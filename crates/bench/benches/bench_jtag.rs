@@ -1,0 +1,56 @@
+//! Criterion bench: JTAG substrate throughput — scan operations per
+//! second against chain length, and TAP stepping cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sint_jtag::bcell::StandardBsc;
+use sint_jtag::chain::Chain;
+use sint_jtag::device::Device;
+use sint_jtag::driver::JtagDriver;
+use sint_jtag::instruction::InstructionSet;
+use sint_logic::BitVector;
+use std::hint::black_box;
+
+fn driver_with_cells(n: usize) -> JtagDriver {
+    let mut d = Device::new("dut", InstructionSet::standard_1149_1());
+    for _ in 0..n {
+        d.push_cell(Box::new(StandardBsc::new()));
+    }
+    let mut drv = JtagDriver::new(Chain::single(d));
+    drv.reset();
+    drv.load_instruction("SAMPLE/PRELOAD").unwrap();
+    drv
+}
+
+fn bench_dr_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jtag/dr_scan");
+    for cells in [8usize, 64, 256, 1024] {
+        group.throughput(Throughput::Elements(cells as u64));
+        let mut drv = driver_with_cells(cells);
+        let data = BitVector::zeros(cells);
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter(|| drv.scan_dr(black_box(&data)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_pulses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jtag/update_pulse");
+    for cells in [8usize, 256] {
+        let mut drv = driver_with_cells(cells);
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter(|| drv.pulse_update_dr(black_box(3)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_ir_scan(c: &mut Criterion) {
+    let mut drv = driver_with_cells(64);
+    c.bench_function("jtag/ir_scan", |b| {
+        b.iter(|| drv.scan_ir(black_box(&BitVector::from_u64(0b0001, 4))).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_dr_scan, bench_update_pulses, bench_ir_scan);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: gate-level substrate — event-driven simulation of
+//! structural cell arrays, netlist analysis, and area costing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sint_core::pgbsc::pgbsc_array_netlist;
+use sint_logic::analysis::analyze;
+use sint_logic::area::AreaReport;
+use sint_logic::{Logic, Simulator};
+use std::hint::black_box;
+
+fn bench_array_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic/pgbsc_array_update");
+    for wires in [2usize, 4, 8] {
+        let (nl, _tdi, cells) = pgbsc_array_netlist(wires).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(wires), &wires, |b, _| {
+            let mut sim = Simulator::new(&nl).unwrap();
+            let find = |name: &str| nl.find_net(name).unwrap();
+            for c in &cells {
+                sim.deposit(c.ff2_q, Logic::Zero).unwrap();
+                sim.deposit(c.ff3_q, Logic::Zero).unwrap();
+            }
+            sim.set_many(&[
+                (find("si"), Logic::One),
+                (find("ce"), Logic::One),
+                (find("mode"), Logic::One),
+                (find("shift_dr"), Logic::Zero),
+            ])
+            .unwrap();
+            let upd = find("update_dr");
+            b.iter(|| {
+                sim.clock_edge(black_box(upd)).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic/analyze");
+    for wires in [4usize, 16, 64] {
+        let (nl, _, _) = pgbsc_array_netlist(wires).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(wires), &nl, |b, nl| {
+            b.iter(|| analyze(black_box(nl)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_area(c: &mut Criterion) {
+    let (nl, _, _) = pgbsc_array_netlist(32).unwrap();
+    c.bench_function("logic/area_report_32_cells", |b| {
+        b.iter(|| AreaReport::of(black_box(&nl)));
+    });
+}
+
+criterion_group!(benches, bench_array_simulation, bench_analysis, bench_area);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: MA fault-model schedule generation and
+//! classification — the reordered-8-pattern ablation (naive 12-vector
+//! schedule vs the PGBSC sequence, DESIGN.md §6.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sint_core::mafm::{
+    classify_pair, conventional_schedule, fault_pair, pgbsc_sequence, IntegrityFault,
+};
+use sint_interconnect::drive::DriveLevel;
+use std::hint::black_box;
+
+fn bench_conventional_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mafm/conventional_schedule");
+    for width in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| conventional_schedule(black_box(w)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_pgbsc_sequence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mafm/pgbsc_sequence_all_victims");
+    for width in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| {
+                for victim in 0..w {
+                    for initial in [DriveLevel::Low, DriveLevel::High] {
+                        black_box(pgbsc_sequence(w, victim, initial).unwrap());
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let pairs: Vec<_> = (0..6)
+        .map(|k| fault_pair(32, 16, IntegrityFault::ALL[k]).unwrap())
+        .collect();
+    c.bench_function("mafm/classify_pair", |b| {
+        b.iter(|| {
+            for p in &pairs {
+                black_box(classify_pair(black_box(p), 16));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_conventional_schedule, bench_pgbsc_sequence, bench_classify);
+criterion_main!(benches);

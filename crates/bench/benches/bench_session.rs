@@ -1,0 +1,73 @@
+//! Criterion bench: full signal-integrity sessions end to end —
+//! generation architecture (conventional vs PGBSC) and observation
+//! method (1 vs 2 vs 3) ablations at the system level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sint_core::session::{ObservationMethod, SessionConfig};
+use sint_core::soc::SocBuilder;
+use sint_interconnect::params::BusParams;
+use std::hint::black_box;
+
+fn fast_cfg(method: ObservationMethod) -> SessionConfig {
+    SessionConfig { settle_time: 1e-9, dt: 10e-12, ..SessionConfig::method(method) }
+}
+
+fn fast_soc(n: usize) -> sint_core::soc::Soc {
+    SocBuilder::new(n)
+        .bus_params(BusParams::dsm_bus(n).segments(2))
+        .build()
+        .expect("soc builds")
+}
+
+fn bench_session_vs_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session/method1_vs_width");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut soc = fast_soc(n);
+            let cfg = fast_cfg(ObservationMethod::Once);
+            b.iter(|| black_box(soc.run_integrity_test(&cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session/methods_n8");
+    group.sample_size(10);
+    for (label, method) in [
+        ("m1", ObservationMethod::Once),
+        ("m2", ObservationMethod::PerInitialValue),
+        ("m3", ObservationMethod::PerPattern),
+    ] {
+        group.bench_function(label, |b| {
+            let mut soc = fast_soc(8);
+            let cfg = fast_cfg(method);
+            b.iter(|| black_box(soc.run_integrity_test(&cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conventional_vs_pgbsc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session/generation_architecture_n8");
+    group.sample_size(10);
+    group.bench_function("conventional", |b| {
+        let mut soc = fast_soc(8);
+        b.iter(|| black_box(soc.run_conventional_generation().unwrap()));
+    });
+    group.bench_function("pgbsc", |b| {
+        let mut soc = fast_soc(8);
+        let cfg = fast_cfg(ObservationMethod::Once);
+        b.iter(|| black_box(soc.run_integrity_test(&cfg).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_session_vs_width,
+    bench_methods,
+    bench_conventional_vs_pgbsc
+);
+criterion_main!(benches);

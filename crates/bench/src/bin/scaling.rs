@@ -1,0 +1,45 @@
+//! **§5 scaling claim** — conventional `O(n²)` versus PGBSC `O(n)`.
+//!
+//! Sweeps the interconnect width far beyond the paper's table (up to
+//! n = 256) and prints both TCK series plus the improvement percentage,
+//! demonstrating where the on-chip generator's advantage comes from:
+//! the scan-in term vanishes from the per-victim cost.
+
+use sint_core::timing::{
+    conventional_generation_tcks, improvement_percent, method_total_tcks,
+    pgbsc_generation_tcks, ChainGeometry,
+};
+use sint_core::session::ObservationMethod;
+
+fn main() {
+    const M: usize = 10;
+    println!("scaling sweep (m = {M})\n");
+    println!(
+        "{:>6} {:>14} {:>12} {:>9} {:>14} {:>14}",
+        "n", "conventional", "pgbsc", "T%", "method1 total", "method3 total"
+    );
+    for n in [4usize, 8, 16, 32, 64, 128, 256] {
+        let g = ChainGeometry::new(n, M);
+        println!(
+            "{:>6} {:>14} {:>12} {:>8.1}% {:>14} {:>14}",
+            n,
+            conventional_generation_tcks(g),
+            pgbsc_generation_tcks(g),
+            improvement_percent(g),
+            method_total_tcks(g, ObservationMethod::Once),
+            method_total_tcks(g, ObservationMethod::PerPattern),
+        );
+    }
+
+    // Fitted growth orders from the last doubling.
+    let g128 = ChainGeometry::new(128, M);
+    let g256 = ChainGeometry::new(256, M);
+    let conv_order = (conventional_generation_tcks(g256) as f64
+        / conventional_generation_tcks(g128) as f64)
+        .log2();
+    let pg_order =
+        (pgbsc_generation_tcks(g256) as f64 / pgbsc_generation_tcks(g128) as f64).log2();
+    println!("\nempirical growth order (log2 of the 128->256 ratio):");
+    println!("  conventional: n^{conv_order:.2}   (paper: O(n^2))");
+    println!("  pgbsc:        n^{pg_order:.2}   (paper: O(n))");
+}

@@ -1,0 +1,86 @@
+//! **Ablation** — detector-threshold sensitivity under within-die
+//! mismatch (DESIGN.md §6: the trade-off behind the ND cell's voltage
+//! thresholds).
+//!
+//! Sweeps the ND vulnerable-band width on a population of varied dies,
+//! half healthy and half carrying a borderline coupling defect, and
+//! reports detection rate vs false-alarm rate — the ROC-style view a
+//! DFT engineer uses to site the thresholds. Narrow bands (thresholds
+//! close to the rails) over-trigger on mismatch; wide bands miss real
+//! defects.
+
+use sint_core::campaign::{Campaign, Trial};
+use sint_core::nd::NdThresholds;
+use sint_core::session::{ObservationMethod, SessionConfig};
+use sint_core::soc::SocBuilder;
+use sint_interconnect::variation::VariationSigma;
+use sint_interconnect::Defect;
+
+const WIRES: usize = 4;
+const DIES: usize = 6;
+const DEFECT: f64 = 2.0; // borderline coupling growth
+
+fn rate_at(band_lo_frac: f64) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+    let vdd = 1.8;
+    let nd = NdThresholds {
+        v_low_max: band_lo_frac * vdd,
+        v_high_min: (1.0 - band_lo_frac) * vdd,
+        overshoot_margin: band_lo_frac * vdd,
+    };
+    let cfg = SessionConfig {
+        settle_time: 2e-9,
+        dt: 4e-12,
+        ..SessionConfig::method(ObservationMethod::Once)
+    };
+    let mut detected = 0usize;
+    let mut false_alarms = 0usize;
+    for die in 0..DIES as u64 {
+        // Healthy die.
+        let mut soc = SocBuilder::new(WIRES)
+            .with_variation(VariationSigma::typical(), die)
+            .nd_thresholds(nd)
+            .build()?;
+        if soc.run_integrity_test(&cfg)?.any_violation() {
+            false_alarms += 1;
+        }
+        // Defective die.
+        let mut soc = SocBuilder::new(WIRES)
+            .with_variation(VariationSigma::typical(), die)
+            .coupling_defect(2, DEFECT)
+            .nd_thresholds(nd)
+            .build()?;
+        if soc.run_integrity_test(&cfg)?.wire(2).noise {
+            detected += 1;
+        }
+    }
+    Ok((detected as f64 / DIES as f64, false_alarms as f64 / DIES as f64))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("ND threshold ablation ({DIES} varied dies, borderline defect = {DEFECT}x coupling)\n");
+    println!("{:>12} {:>12} {:>14} {:>16}", "V_IL/Vdd", "band (V)", "detect rate", "false-alarm rate");
+    for frac in [0.15, 0.20, 0.25, 0.30, 0.35, 0.40] {
+        let (det, fa) = rate_at(frac)?;
+        println!(
+            "{:>12.2} {:>12.2} {:>13.0}% {:>15.0}%",
+            frac,
+            (1.0 - 2.0 * frac) * 1.8,
+            det * 100.0,
+            fa * 100.0
+        );
+    }
+
+    // The campaign API gives the same study in three lines — shown here
+    // so the harness exercises it end to end.
+    let campaign = Campaign::new(WIRES).variation(VariationSigma::typical(), 1000);
+    let trials: Vec<Trial> = (0..4)
+        .map(|_| Trial::defective(Defect::CouplingBoost { wire: 2, factor: 6.0 }))
+        .chain((0..4).map(|_| Trial::control()))
+        .collect();
+    let (stats, _) = campaign.run(&trials)?;
+    println!("\ncross-check via campaign API (gross 6x defect): {stats}");
+
+    println!("\nexpected shape: detection falls and false alarms rise as the band");
+    println!("placement moves; the 0.3*Vdd CMOS levels sit on the knee.");
+    Ok(())
+}

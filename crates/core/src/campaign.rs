@@ -1,0 +1,307 @@
+//! Structured defect-injection campaigns.
+//!
+//! Wraps the build-inject-test loop behind one call so experiments
+//! (detection sweeps, corner qualification, regression gates) share a
+//! single code path and report format. Deterministic by construction:
+//! the caller supplies the exact defect list (randomised campaigns
+//! sample defects upstream, e.g. in `sint-bench`).
+
+use crate::error::CoreError;
+use crate::session::{ObservationMethod, SessionConfig};
+use crate::soc::SocBuilder;
+use serde::{Deserialize, Serialize};
+use sint_interconnect::defect::Defect;
+use sint_interconnect::params::BusParams;
+use sint_interconnect::variation::VariationSigma;
+use std::fmt;
+
+/// One campaign trial: a defect (or `None` for a healthy control) and
+/// the wire whose verdict decides the outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Trial {
+    /// The injected defect; `None` runs a healthy control.
+    pub defect: Option<Defect>,
+}
+
+impl Trial {
+    /// A defect trial.
+    #[must_use]
+    pub fn defective(defect: Defect) -> Trial {
+        Trial { defect: Some(defect) }
+    }
+
+    /// A healthy control trial.
+    #[must_use]
+    pub fn control() -> Trial {
+        Trial { defect: None }
+    }
+
+    /// The wire whose verdict is judged (the defect's focus, or wire 0
+    /// for controls).
+    #[must_use]
+    pub fn judged_wire(&self) -> usize {
+        self.defect.as_ref().map_or(0, Defect::focus_wire)
+    }
+}
+
+/// Outcome of one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrialOutcome {
+    /// Defect trial: the judged wire flagged noise and/or skew.
+    Detected {
+        /// ND flip-flop of the judged wire.
+        noise: bool,
+        /// SD flip-flop of the judged wire.
+        skew: bool,
+    },
+    /// Defect trial: the judged wire stayed clean.
+    Missed,
+    /// Control trial: the whole bus stayed clean.
+    CleanPass,
+    /// Control trial: some wire flagged — a false positive.
+    FalseAlarm,
+}
+
+impl TrialOutcome {
+    /// Whether the outcome is the desired one for its trial kind.
+    #[must_use]
+    pub fn is_good(self) -> bool {
+        matches!(self, TrialOutcome::Detected { .. } | TrialOutcome::CleanPass)
+    }
+}
+
+/// Aggregate campaign statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Defect trials run.
+    pub defect_trials: usize,
+    /// Defect trials detected at the judged wire.
+    pub detected: usize,
+    /// Control trials run.
+    pub control_trials: usize,
+    /// Control trials with any violation.
+    pub false_alarms: usize,
+}
+
+impl CampaignStats {
+    /// Detection rate over defect trials (1.0 when none ran).
+    #[must_use]
+    pub fn detection_rate(&self) -> f64 {
+        if self.defect_trials == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.defect_trials as f64
+        }
+    }
+
+    /// False-alarm rate over control trials (0.0 when none ran).
+    #[must_use]
+    pub fn false_alarm_rate(&self) -> f64 {
+        if self.control_trials == 0 {
+            0.0
+        } else {
+            self.false_alarms as f64 / self.control_trials as f64
+        }
+    }
+}
+
+impl fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} detected ({:.0}%), {}/{} false alarms ({:.0}%)",
+            self.detected,
+            self.defect_trials,
+            100.0 * self.detection_rate(),
+            self.false_alarms,
+            self.control_trials,
+            100.0 * self.false_alarm_rate()
+        )
+    }
+}
+
+/// A defect-injection campaign over one SoC configuration.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    wires: usize,
+    bus_params: BusParams,
+    config: SessionConfig,
+    variation: Option<(VariationSigma, u64)>,
+}
+
+impl Campaign {
+    /// A campaign on an `wires`-wide default bus with method-1 sessions.
+    #[must_use]
+    pub fn new(wires: usize) -> Campaign {
+        Campaign {
+            wires,
+            bus_params: BusParams::dsm_bus(wires),
+            config: SessionConfig::method(ObservationMethod::Once),
+            variation: None,
+        }
+    }
+
+    /// Overrides the bus parameters (e.g. a process corner).
+    #[must_use]
+    pub fn bus_params(mut self, params: BusParams) -> Campaign {
+        self.bus_params = params;
+        self
+    }
+
+    /// Overrides the session configuration.
+    #[must_use]
+    pub fn session(mut self, config: SessionConfig) -> Campaign {
+        self.config = config;
+        self
+    }
+
+    /// Adds within-die mismatch to every trial die (seed offset by the
+    /// trial index in [`Campaign::run`], so each die differs).
+    #[must_use]
+    pub fn variation(mut self, sigma: VariationSigma, base_seed: u64) -> Campaign {
+        self.variation = Some((sigma, base_seed));
+        self
+    }
+
+    /// Runs one trial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SoC build/session errors.
+    pub fn run_trial(&self, trial: Trial) -> Result<TrialOutcome, CoreError> {
+        self.run_trial_seeded(trial, 0)
+    }
+
+    /// Runs one trial with a per-die variation seed offset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SoC build/session errors.
+    pub fn run_trial_seeded(&self, trial: Trial, seed_offset: u64) -> Result<TrialOutcome, CoreError> {
+        let mut builder = SocBuilder::new(self.wires).bus_params(self.bus_params.clone());
+        if let Some((sigma, base)) = self.variation {
+            builder = builder.with_variation(sigma, base.wrapping_add(seed_offset));
+        }
+        if let Some(defect) = trial.defect {
+            builder = builder.defect(defect);
+        }
+        let mut soc = builder.build()?;
+        let report = soc.run_integrity_test(&self.config)?;
+        Ok(match trial.defect {
+            Some(_) => {
+                let v = report.wire(trial.judged_wire());
+                if v.any() {
+                    TrialOutcome::Detected { noise: v.noise, skew: v.skew }
+                } else {
+                    TrialOutcome::Missed
+                }
+            }
+            None => {
+                if report.any_violation() {
+                    TrialOutcome::FalseAlarm
+                } else {
+                    TrialOutcome::CleanPass
+                }
+            }
+        })
+    }
+
+    /// Runs a batch of trials and aggregates statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first trial error.
+    pub fn run(&self, trials: &[Trial]) -> Result<(CampaignStats, Vec<TrialOutcome>), CoreError> {
+        let mut stats = CampaignStats::default();
+        let mut outcomes = Vec::with_capacity(trials.len());
+        for (idx, trial) in trials.iter().enumerate() {
+            let outcome = self.run_trial_seeded(*trial, idx as u64)?;
+            match outcome {
+                TrialOutcome::Detected { .. } => {
+                    stats.defect_trials += 1;
+                    stats.detected += 1;
+                }
+                TrialOutcome::Missed => stats.defect_trials += 1,
+                TrialOutcome::CleanPass => stats.control_trials += 1,
+                TrialOutcome::FalseAlarm => {
+                    stats.control_trials += 1;
+                    stats.false_alarms += 1;
+                }
+            }
+            outcomes.push(outcome);
+        }
+        Ok((stats, outcomes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_trials_pass_on_healthy_bus() {
+        let campaign = Campaign::new(3);
+        let outcome = campaign.run_trial(Trial::control()).unwrap();
+        assert_eq!(outcome, TrialOutcome::CleanPass);
+        assert!(outcome.is_good());
+    }
+
+    #[test]
+    fn severe_defects_detected() {
+        let campaign = Campaign::new(3);
+        let outcome = campaign
+            .run_trial(Trial::defective(Defect::CouplingBoost { wire: 1, factor: 6.0 }))
+            .unwrap();
+        match outcome {
+            TrialOutcome::Detected { noise, .. } => assert!(noise),
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mild_defects_missed() {
+        let campaign = Campaign::new(3);
+        let outcome = campaign
+            .run_trial(Trial::defective(Defect::CouplingBoost { wire: 1, factor: 1.05 }))
+            .unwrap();
+        assert_eq!(outcome, TrialOutcome::Missed);
+        assert!(!outcome.is_good());
+    }
+
+    #[test]
+    fn batch_statistics_add_up() {
+        let campaign = Campaign::new(3);
+        let trials = [
+            Trial::control(),
+            Trial::defective(Defect::CouplingBoost { wire: 1, factor: 6.0 }),
+            Trial::defective(Defect::CouplingBoost { wire: 0, factor: 1.01 }),
+            Trial::control(),
+        ];
+        let (stats, outcomes) = campaign.run(&trials).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(stats.defect_trials, 2);
+        assert_eq!(stats.detected, 1);
+        assert_eq!(stats.control_trials, 2);
+        assert_eq!(stats.false_alarms, 0);
+        assert!((stats.detection_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.false_alarm_rate(), 0.0);
+        let s = stats.to_string();
+        assert!(s.contains("1/2 detected"), "{s}");
+    }
+
+    #[test]
+    fn judged_wire_follows_defect_focus() {
+        assert_eq!(Trial::control().judged_wire(), 0);
+        assert_eq!(
+            Trial::defective(Defect::WeakDriver { wire: 4, factor: 3.0 }).judged_wire(),
+            4
+        );
+    }
+
+    #[test]
+    fn empty_campaign_rates() {
+        let stats = CampaignStats::default();
+        assert_eq!(stats.detection_rate(), 1.0);
+        assert_eq!(stats.false_alarm_rate(), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Area cost analysis — the machinery behind the paper's Table 7.
+//!
+//! The paper synthesised its cells with Synopsys and reported NAND-unit
+//! areas for a 32-bit interconnect, concluding the enhanced cells are
+//! "almost twice as expensive" as conventional ones. We reproduce the
+//! comparison by synthesising the same cell structures (the standard
+//! cell of Fig 4, the PGBSC of Fig 6 and the OBSC of Fig 9) into
+//! primitive-gate netlists and costing them with the
+//! [`sint_logic::area`] NAND-equivalent model.
+
+use crate::obsc::obsc_netlist;
+use crate::pgbsc::pgbsc_netlist;
+use serde::{Deserialize, Serialize};
+use sint_logic::area::AreaReport;
+use sint_logic::netlist::Netlist;
+use sint_logic::{LogicError, NandUnits};
+use std::fmt;
+
+/// Structural netlist of the conventional boundary-scan cell (Fig 4):
+/// two flip-flops and two multiplexers.
+///
+/// # Errors
+///
+/// Propagates [`LogicError`] from netlist construction.
+pub fn standard_bsc_netlist() -> Result<Netlist, LogicError> {
+    let mut nl = Netlist::new("standard_bsc");
+    let tdi = nl.add_input("tdi");
+    let pi = nl.add_input("pi");
+    let shift_dr = nl.add_input("shift_dr");
+    let mode = nl.add_input("mode");
+    let clk = nl.add_input("tck");
+    let upd = nl.add_input("update_dr");
+
+    let ff1_d = nl.mux2("m_ff1", shift_dr, pi, tdi)?;
+    let ff1_q = nl.add_net("ff1_q");
+    nl.add_dff("ff1", ff1_d, clk, ff1_q)?;
+    let ff2_q = nl.add_net("ff2_q");
+    nl.add_dff("ff2", ff1_q, upd, ff2_q)?;
+    let out = nl.mux2("m_out", mode, pi, ff2_q)?;
+    nl.mark_output(out)?;
+    Ok(nl)
+}
+
+/// One row of the Table 7 comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostRow {
+    /// Architecture label ("Conventional BSA" / "Enhanced BSA").
+    pub architecture: String,
+    /// Total area of the sending-side cells (NAND units).
+    pub sending: NandUnits,
+    /// Total area of the observing-side cells (NAND units).
+    pub observing: NandUnits,
+}
+
+impl CostRow {
+    /// Sending + observing.
+    #[must_use]
+    pub fn total(&self) -> NandUnits {
+        self.sending + self.observing
+    }
+}
+
+/// The full Table 7 analysis for an `n`-wire interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostAnalysis {
+    /// Interconnect width the totals are scaled to.
+    pub wires: usize,
+    /// Per-cell area of the conventional cell.
+    pub standard_cell: NandUnits,
+    /// Per-cell area of the PGBSC.
+    pub pgbsc_cell: NandUnits,
+    /// Per-cell area of the OBSC (including detector stand-ins).
+    pub obsc_cell: NandUnits,
+    /// Conventional-architecture row (standard cells both sides).
+    pub conventional: CostRow,
+    /// Enhanced-architecture row (PGBSC sending, OBSC observing).
+    pub enhanced: CostRow,
+}
+
+impl CostAnalysis {
+    /// Synthesises all three cells and scales to an `n`-wire bus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LogicError`] from cell synthesis.
+    pub fn for_width(wires: usize) -> Result<CostAnalysis, LogicError> {
+        let std_cell = AreaReport::of(&standard_bsc_netlist()?).total();
+        let pgbsc = AreaReport::of(&pgbsc_netlist()?).total();
+        let obsc = AreaReport::of(&obsc_netlist()?).total();
+        Ok(CostAnalysis {
+            wires,
+            standard_cell: std_cell,
+            pgbsc_cell: pgbsc,
+            obsc_cell: obsc,
+            conventional: CostRow {
+                architecture: "Conventional BSA".to_string(),
+                sending: std_cell * wires,
+                observing: std_cell * wires,
+            },
+            enhanced: CostRow {
+                architecture: "Enhanced BSA".to_string(),
+                sending: pgbsc * wires,
+                observing: obsc * wires,
+            },
+        })
+    }
+
+    /// Enhanced / conventional total-area ratio — the paper's headline
+    /// "almost twice as expensive".
+    #[must_use]
+    pub fn overhead_ratio(&self) -> f64 {
+        self.enhanced.total().ratio_to(self.conventional.total())
+    }
+}
+
+impl fmt::Display for CostAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 7: cost analysis (n = {})", self.wires)?;
+        writeln!(f, "{:<18} {:>10} {:>10} {:>10}", "Architecture", "sending", "observing", "total")?;
+        for row in [&self.conventional, &self.enhanced] {
+            writeln!(
+                f,
+                "{:<18} {:>10} {:>10} {:>10}",
+                row.architecture,
+                row.sending.to_string(),
+                row.observing.to_string(),
+                row.total().to_string()
+            )?;
+        }
+        write!(f, "overhead ratio: {:.2}x", self.overhead_ratio())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_cell_is_two_ffs_two_muxes() {
+        let nl = standard_bsc_netlist().unwrap();
+        let (gates, ffs, latches) = nl.component_counts();
+        assert_eq!((gates, ffs, latches), (2, 2, 0));
+        let area = AreaReport::of(&nl).total();
+        // 2 DFF (6.0) + 2 mux2 (2.5) = 17 NAND units.
+        assert!((area.value() - 17.0).abs() < 1e-9, "got {area}");
+    }
+
+    #[test]
+    fn enhanced_cells_cost_more_than_standard() {
+        let a = CostAnalysis::for_width(32).unwrap();
+        assert!(a.pgbsc_cell > a.standard_cell);
+        assert!(a.obsc_cell > a.standard_cell);
+    }
+
+    #[test]
+    fn overhead_is_roughly_two_x() {
+        // Paper §5: "the new cells are almost twice [as] expensive
+        // compared to the conventional cells". Accept 1.5x–3x.
+        let a = CostAnalysis::for_width(32).unwrap();
+        let r = a.overhead_ratio();
+        assert!(r > 1.5 && r < 3.0, "overhead ratio {r}");
+    }
+
+    #[test]
+    fn totals_scale_linearly_with_width() {
+        let a8 = CostAnalysis::for_width(8).unwrap();
+        let a32 = CostAnalysis::for_width(32).unwrap();
+        assert!(
+            (a32.enhanced.total().value() - 4.0 * a8.enhanced.total().value()).abs() < 1e-9
+        );
+        assert!(
+            (a32.conventional.total().value() - 4.0 * a8.conventional.total().value()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let a = CostAnalysis::for_width(32).unwrap();
+        let s = a.to_string();
+        assert!(s.contains("Table 7"));
+        assert!(s.contains("Conventional BSA"));
+        assert!(s.contains("Enhanced BSA"));
+        assert!(s.contains("overhead ratio"));
+    }
+}

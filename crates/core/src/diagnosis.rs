@@ -1,0 +1,225 @@
+//! Diagnosis: turning read-out records into fault attribution (§3.2).
+//!
+//! The three observation methods trade test time for diagnosability:
+//!
+//! * **Method 1** tells only *which wires* failed and whether the
+//!   failure was noise or skew (the ND/SD split).
+//! * **Method 2** additionally narrows each failure to one of the two
+//!   three-fault classes (`{Pg, Rs, P̄g}` from the 0-initial half,
+//!   `{Ng, Fs, N̄g}` from the 1-initial half).
+//! * **Method 3** pinpoints the exact victim round and fault whose
+//!   pattern first raised each flip-flop.
+
+use crate::mafm::IntegrityFault;
+use crate::session::{IntegrityReport, ObservationMethod, ReadoutPoint, ReadoutRecord};
+use serde::{Deserialize, Serialize};
+use sint_interconnect::drive::DriveLevel;
+use std::fmt;
+
+/// How precisely a failure could be localised.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultLocalisation {
+    /// Method 1: the wire failed; detector kind known, fault class not.
+    WireOnly,
+    /// Method 2: the fault belongs to the class excited from `initial`.
+    FaultClass {
+        /// The initial value whose half first showed the failure.
+        initial: DriveLevel,
+        /// The three candidate faults of that half.
+        candidates: [IntegrityFault; 3],
+    },
+    /// Method 3: the exact pattern that first raised the flip-flop.
+    ExactFault {
+        /// Victim round in which the failure first appeared.
+        victim: usize,
+        /// The fault whose pattern was being applied.
+        fault: IntegrityFault,
+    },
+}
+
+/// Diagnosis for one failing wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireDiagnosis {
+    /// The failing wire.
+    pub wire: usize,
+    /// Noise (ND) failure localisation, if the ND flip-flop was set.
+    pub noise: Option<FaultLocalisation>,
+    /// Skew (SD) failure localisation, if the SD flip-flop was set.
+    pub skew: Option<FaultLocalisation>,
+}
+
+impl fmt::Display for WireDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire {}:", self.wire)?;
+        let fmt_loc = |loc: &FaultLocalisation| match loc {
+            FaultLocalisation::WireOnly => "detected".to_string(),
+            FaultLocalisation::FaultClass { candidates, .. } => {
+                format!("class {{{}, {}, {}}}", candidates[0], candidates[1], candidates[2])
+            }
+            FaultLocalisation::ExactFault { victim, fault } => {
+                format!("{fault} (victim round {victim})")
+            }
+        };
+        if let Some(n) = &self.noise {
+            write!(f, " noise={}", fmt_loc(n))?;
+        }
+        if let Some(s) = &self.skew {
+            write!(f, " skew={}", fmt_loc(s))?;
+        }
+        if self.noise.is_none() && self.skew.is_none() {
+            write!(f, " clean")?;
+        }
+        Ok(())
+    }
+}
+
+fn first_set<'a>(
+    readouts: &'a [ReadoutRecord],
+    wire: usize,
+    pick: impl Fn(&ReadoutRecord) -> &Vec<bool>,
+) -> Option<&'a ReadoutRecord> {
+    readouts.iter().find(|r| pick(r).get(wire).copied().unwrap_or(false))
+}
+
+fn localise(record: &ReadoutRecord, method: ObservationMethod) -> FaultLocalisation {
+    match (method, record.point) {
+        (ObservationMethod::PerPattern, ReadoutPoint::AfterPattern { victim, fault, .. }) => {
+            FaultLocalisation::ExactFault { victim, fault }
+        }
+        (ObservationMethod::PerInitialValue, ReadoutPoint::AfterInitialValue(initial)) => {
+            FaultLocalisation::FaultClass {
+                initial,
+                candidates: IntegrityFault::covered_by_initial(initial),
+            }
+        }
+        _ => FaultLocalisation::WireOnly,
+    }
+}
+
+/// Diagnoses every failing wire of a report at the precision its
+/// observation method allows.
+#[must_use]
+pub fn diagnose(report: &IntegrityReport) -> Vec<WireDiagnosis> {
+    let method = report.method();
+    (0..report.width())
+        .filter(|&w| report.wire(w).any())
+        .map(|wire| {
+            let noise = report.wire(wire).noise.then(|| {
+                first_set(&report.readouts, wire, |r| &r.nd)
+                    .map(|r| localise(r, method))
+                    .unwrap_or(FaultLocalisation::WireOnly)
+            });
+            let skew = report.wire(wire).skew.then(|| {
+                first_set(&report.readouts, wire, |r| &r.sd)
+                    .map(|r| localise(r, method))
+                    .unwrap_or(FaultLocalisation::WireOnly)
+            });
+            WireDiagnosis { wire, noise, skew }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(point: ReadoutPoint, nd: Vec<bool>, sd: Vec<bool>) -> ReadoutRecord {
+        ReadoutRecord { point, nd, sd }
+    }
+
+    #[test]
+    fn method1_gives_wire_only() {
+        let r = record(ReadoutPoint::Final, vec![false, true, false], vec![false, false, true]);
+        let report = IntegrityReport::new(ObservationMethod::Once, 3, vec![r], 0, 0);
+        let diags = diagnose(&report);
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].wire, 1);
+        assert_eq!(diags[0].noise, Some(FaultLocalisation::WireOnly));
+        assert_eq!(diags[0].skew, None);
+        assert_eq!(diags[1].wire, 2);
+        assert_eq!(diags[1].skew, Some(FaultLocalisation::WireOnly));
+    }
+
+    #[test]
+    fn method2_narrows_to_fault_class() {
+        let r1 = record(
+            ReadoutPoint::AfterInitialValue(DriveLevel::Low),
+            vec![true, false],
+            vec![false, false],
+        );
+        let r2 = record(
+            ReadoutPoint::AfterInitialValue(DriveLevel::High),
+            vec![true, false],
+            vec![false, true],
+        );
+        let report =
+            IntegrityReport::new(ObservationMethod::PerInitialValue, 2, vec![r1, r2], 0, 0);
+        let diags = diagnose(&report);
+        // Wire 0 noise first seen in the Low half → {Pg, Rs, P̄g}.
+        match &diags[0].noise {
+            Some(FaultLocalisation::FaultClass { initial, candidates }) => {
+                assert_eq!(*initial, DriveLevel::Low);
+                assert!(candidates.contains(&IntegrityFault::Pg));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Wire 1 skew first seen in the High half → {Ng, Fs, N̄g}.
+        match &diags[1].skew {
+            Some(FaultLocalisation::FaultClass { initial, candidates }) => {
+                assert_eq!(*initial, DriveLevel::High);
+                assert!(candidates.contains(&IntegrityFault::Fs));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn method3_pinpoints_fault() {
+        let clean = record(
+            ReadoutPoint::AfterPattern {
+                initial: DriveLevel::Low,
+                victim: 0,
+                fault: IntegrityFault::Pg,
+            },
+            vec![false, false],
+            vec![false, false],
+        );
+        let hit = record(
+            ReadoutPoint::AfterPattern {
+                initial: DriveLevel::Low,
+                victim: 1,
+                fault: IntegrityFault::Rs,
+            },
+            vec![false, false],
+            vec![false, true],
+        );
+        let report =
+            IntegrityReport::new(ObservationMethod::PerPattern, 2, vec![clean, hit], 0, 0);
+        let diags = diagnose(&report);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(
+            diags[0].skew,
+            Some(FaultLocalisation::ExactFault { victim: 1, fault: IntegrityFault::Rs })
+        );
+    }
+
+    #[test]
+    fn clean_report_yields_no_diagnoses() {
+        let r = record(ReadoutPoint::Final, vec![false; 3], vec![false; 3]);
+        let report = IntegrityReport::new(ObservationMethod::Once, 3, vec![r], 0, 0);
+        assert!(diagnose(&report).is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let d = WireDiagnosis {
+            wire: 2,
+            noise: Some(FaultLocalisation::ExactFault {
+                victim: 2,
+                fault: IntegrityFault::Pg,
+            }),
+            skew: None,
+        };
+        assert_eq!(d.to_string(), "wire 2: noise=Pg (victim round 2)");
+    }
+}

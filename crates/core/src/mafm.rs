@@ -1,0 +1,467 @@
+//! The maximum-aggressor (MA) integrity fault model (paper §2.3).
+//!
+//! One wire at a time is the **victim**; every other wire is an
+//! **aggressor** switching in unison to produce the worst-case coupling
+//! effect on the victim. Six faults are defined (Fig 3):
+//!
+//! | fault | victim | aggressors | effect |
+//! |-------|--------|------------|--------|
+//! | `Pg`  | holds 0 | rise      | positive glitch above ground |
+//! | `NgBar` (N̄g) | holds 0 | fall | negative undershoot below ground |
+//! | `Ng`  | holds 1 | fall      | negative glitch below Vdd |
+//! | `PgBar` (P̄g) | holds 1 | rise | positive overshoot above Vdd |
+//! | `Rs`  | rises  | fall       | rising-edge delay (skew) |
+//! | `Fs`  | falls  | rise       | falling-edge delay (skew) |
+//!
+//! Each fault is excited by a *pair* of consecutive vectors, so a naive
+//! (conventional scan) campaign needs `6 faults × 2 vectors = 12`
+//! scanned vectors per victim. The paper's key observation (§3.1) is
+//! that after reordering, the aggressors toggle every pattern and the
+//! victim toggles every *second* pattern, so the whole per-victim
+//! sequence is generated on-chip from just **two scanned initial
+//! values** — that reordered schedule is [`pgbsc_sequence`].
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+use sint_interconnect::drive::{DriveLevel, VectorPair};
+use sint_logic::BitVector;
+use std::fmt;
+
+/// One of the six MA integrity faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IntegrityFault {
+    /// Positive glitch: victim quiet at 0, aggressors rise.
+    Pg,
+    /// Positive overshoot: victim quiet at 1, aggressors rise.
+    PgBar,
+    /// Negative glitch: victim quiet at 1, aggressors fall.
+    Ng,
+    /// Negative undershoot: victim quiet at 0, aggressors fall.
+    NgBar,
+    /// Rising skew: victim rises while aggressors fall.
+    Rs,
+    /// Falling skew: victim falls while aggressors rise.
+    Fs,
+}
+
+impl IntegrityFault {
+    /// All six faults in the paper's enumeration order.
+    pub const ALL: [IntegrityFault; 6] = [
+        IntegrityFault::Pg,
+        IntegrityFault::PgBar,
+        IntegrityFault::Ng,
+        IntegrityFault::NgBar,
+        IntegrityFault::Rs,
+        IntegrityFault::Fs,
+    ];
+
+    /// Victim level before the transition.
+    #[must_use]
+    pub fn victim_before(self) -> DriveLevel {
+        match self {
+            IntegrityFault::Pg | IntegrityFault::NgBar | IntegrityFault::Rs => DriveLevel::Low,
+            IntegrityFault::PgBar | IntegrityFault::Ng | IntegrityFault::Fs => DriveLevel::High,
+        }
+    }
+
+    /// Victim level after the transition (equal to *before* for the
+    /// four glitch faults).
+    #[must_use]
+    pub fn victim_after(self) -> DriveLevel {
+        match self {
+            IntegrityFault::Pg | IntegrityFault::NgBar | IntegrityFault::Fs => DriveLevel::Low,
+            IntegrityFault::PgBar | IntegrityFault::Ng | IntegrityFault::Rs => DriveLevel::High,
+        }
+    }
+
+    /// Aggressor level before the transition.
+    #[must_use]
+    pub fn aggressor_before(self) -> DriveLevel {
+        match self {
+            IntegrityFault::Pg | IntegrityFault::PgBar | IntegrityFault::Fs => DriveLevel::Low,
+            IntegrityFault::Ng | IntegrityFault::NgBar | IntegrityFault::Rs => DriveLevel::High,
+        }
+    }
+
+    /// Aggressor level after the transition (always the complement:
+    /// aggressors switch on every MA pattern).
+    #[must_use]
+    pub fn aggressor_after(self) -> DriveLevel {
+        match self.aggressor_before() {
+            DriveLevel::Low => DriveLevel::High,
+            DriveLevel::High => DriveLevel::Low,
+        }
+    }
+
+    /// Whether the fault manifests as noise (glitch) on a quiet victim.
+    #[must_use]
+    pub fn is_glitch(self) -> bool {
+        !self.is_skew()
+    }
+
+    /// Whether the fault manifests as added delay on a switching victim.
+    #[must_use]
+    pub fn is_skew(self) -> bool {
+        matches!(self, IntegrityFault::Rs | IntegrityFault::Fs)
+    }
+
+    /// The faults covered by one PGBSC half-sequence starting from the
+    /// given initial value (see [`pgbsc_sequence`]): `0` → `[Pg, Rs,
+    /// P̄g]`, `1` → `[Ng, Fs, N̄g]`.
+    #[must_use]
+    pub fn covered_by_initial(initial: DriveLevel) -> [IntegrityFault; 3] {
+        match initial {
+            DriveLevel::Low => [IntegrityFault::Pg, IntegrityFault::Rs, IntegrityFault::PgBar],
+            DriveLevel::High => [IntegrityFault::Ng, IntegrityFault::Fs, IntegrityFault::NgBar],
+        }
+    }
+}
+
+impl fmt::Display for IntegrityFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IntegrityFault::Pg => "Pg",
+            IntegrityFault::PgBar => "P̄g",
+            IntegrityFault::Ng => "Ng",
+            IntegrityFault::NgBar => "N̄g",
+            IntegrityFault::Rs => "Rs",
+            IntegrityFault::Fs => "Fs",
+        };
+        f.write_str(s)
+    }
+}
+
+fn vector_for(width: usize, victim: usize, victim_level: DriveLevel, aggr: DriveLevel) -> Vec<DriveLevel> {
+    (0..width).map(|w| if w == victim { victim_level } else { aggr }).collect()
+}
+
+/// The two-vector stimulus exciting `fault` on `victim` in a
+/// `width`-wire bus (Fig 3).
+///
+/// # Errors
+///
+/// [`CoreError::VictimOutOfRange`] for a bad victim index or
+/// [`CoreError::BadConfig`] for a bus of fewer than two wires.
+pub fn fault_pair(
+    width: usize,
+    victim: usize,
+    fault: IntegrityFault,
+) -> Result<VectorPair, CoreError> {
+    if width < 2 {
+        return Err(CoreError::config("MA model needs at least two wires"));
+    }
+    if victim >= width {
+        return Err(CoreError::VictimOutOfRange { victim, width });
+    }
+    let before = vector_for(width, victim, fault.victim_before(), fault.aggressor_before());
+    let after = vector_for(width, victim, fault.victim_after(), fault.aggressor_after());
+    Ok(VectorPair::new(before, after))
+}
+
+/// Classifies the MA fault represented by a consecutive vector pair with
+/// respect to `victim`. `None` when the pair is not an MA pattern for
+/// that victim (aggressors disagree or do not all switch).
+#[must_use]
+pub fn classify_pair(pair: &VectorPair, victim: usize) -> Option<IntegrityFault> {
+    let width = pair.width();
+    if victim >= width || width < 2 {
+        return None;
+    }
+    // All aggressors must share levels and switch.
+    let mut aggr_before = None;
+    for w in (0..width).filter(|&w| w != victim) {
+        match aggr_before {
+            None => aggr_before = Some(pair.before(w)),
+            Some(level) if level == pair.before(w) => {}
+            _ => return None,
+        }
+        if !pair.switches(w) {
+            return None;
+        }
+    }
+    let aggr_before = aggr_before?;
+    IntegrityFault::ALL.into_iter().find(|f| {
+        f.victim_before() == pair.before(victim)
+            && f.victim_after() == pair.after(victim)
+            && f.aggressor_before() == aggr_before
+    })
+}
+
+/// One scheduled pattern application: the vector pair, the victim it
+/// targets and the fault it excites.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledPattern {
+    /// Victim wire index.
+    pub victim: usize,
+    /// Excited fault.
+    pub fault: IntegrityFault,
+    /// The two-vector stimulus.
+    pub pair: VectorPair,
+}
+
+/// The **conventional** campaign: for every victim, every fault's two
+/// vectors scanned in explicitly — `6` pairs (12 vectors) per victim,
+/// `6·width` pairs total. This is the baseline whose test time is
+/// `O(n²)` once scan length is accounted for (Table 5, row
+/// "Conventional").
+///
+/// # Errors
+///
+/// [`CoreError::BadConfig`] for a bus of fewer than two wires.
+pub fn conventional_schedule(width: usize) -> Result<Vec<ScheduledPattern>, CoreError> {
+    let mut out = Vec::with_capacity(width * IntegrityFault::ALL.len());
+    for victim in 0..width {
+        for fault in IntegrityFault::ALL {
+            out.push(ScheduledPattern { victim, fault, pair: fault_pair(width, victim, fault)? });
+        }
+    }
+    Ok(out)
+}
+
+/// The vector a PGBSC array drives after `updates` Update-DR events,
+/// starting from `initial` everywhere (§3.1, Fig 5):
+///
+/// * aggressors toggle on **every** update;
+/// * the victim toggles on every **second** update (updates 2, 4, …),
+///   i.e. at half the aggressor frequency.
+#[must_use]
+pub fn pgbsc_vector(
+    width: usize,
+    victim: usize,
+    initial: DriveLevel,
+    updates: usize,
+) -> Vec<DriveLevel> {
+    let flip = |level: DriveLevel, times: usize| -> DriveLevel {
+        if times % 2 == 1 {
+            match level {
+                DriveLevel::Low => DriveLevel::High,
+                DriveLevel::High => DriveLevel::Low,
+            }
+        } else {
+            level
+        }
+    };
+    (0..width)
+        .map(|w| if w == victim { flip(initial, updates / 2) } else { flip(initial, updates) })
+        .collect()
+}
+
+/// The reordered on-chip sequence for one victim and one initial value:
+/// the initial vector plus the three update-generated vectors, along
+/// with the fault each of the three transitions excites.
+///
+/// Covers `[Pg, Rs, P̄g]` from initial 0 and `[Ng, Fs, N̄g]` from
+/// initial 1 — together, all six faults from just two scanned values.
+///
+/// # Errors
+///
+/// As for [`fault_pair`].
+pub fn pgbsc_sequence(
+    width: usize,
+    victim: usize,
+    initial: DriveLevel,
+) -> Result<Vec<ScheduledPattern>, CoreError> {
+    if width < 2 {
+        return Err(CoreError::config("MA model needs at least two wires"));
+    }
+    if victim >= width {
+        return Err(CoreError::VictimOutOfRange { victim, width });
+    }
+    let mut out = Vec::with_capacity(3);
+    for k in 0..3 {
+        let before = pgbsc_vector(width, victim, initial, k);
+        let after = pgbsc_vector(width, victim, initial, k + 1);
+        let pair = VectorPair::new(before, after);
+        let fault = classify_pair(&pair, victim)
+            .expect("pgbsc sequence transitions are MA patterns by construction");
+        out.push(ScheduledPattern { victim, fault, pair });
+    }
+    Ok(out)
+}
+
+/// The one-hot victim-select word for the PGBSC shift stage (Table 2):
+/// bit `victim` set in an `width`-bit vector.
+///
+/// # Errors
+///
+/// [`CoreError::VictimOutOfRange`] for a bad index.
+pub fn victim_select(width: usize, victim: usize) -> Result<BitVector, CoreError> {
+    if victim >= width {
+        return Err(CoreError::VictimOutOfRange { victim, width });
+    }
+    Ok(BitVector::one_hot(width, victim))
+}
+
+/// Number of raw test vectors the conventional campaign scans for a
+/// `width`-wire bus: `12·width` (paper: "total number of required test
+/// vectors … is 12n").
+#[must_use]
+pub fn conventional_vector_count(width: usize) -> usize {
+    12 * width
+}
+
+/// Number of scanned initial values the PGBSC campaign needs: always 2,
+/// independent of width — the paper's headline reduction.
+#[must_use]
+pub fn pgbsc_scanned_value_count() -> usize {
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_pair_matches_fig3_for_pg() {
+        // Fig 3: 5 wires, victim = wire 2, Pg = victim quiet low,
+        // aggressors rising: 00000 → 11011.
+        let p = fault_pair(5, 2, IntegrityFault::Pg).unwrap();
+        assert_eq!(p.to_string(), "00000 -> 11011");
+    }
+
+    #[test]
+    fn fault_pair_matches_fig3_for_all_faults() {
+        let cases = [
+            (IntegrityFault::Pg, "00000 -> 11011"),
+            (IntegrityFault::PgBar, "00100 -> 11111"),
+            (IntegrityFault::Ng, "11111 -> 00100"),
+            (IntegrityFault::NgBar, "11011 -> 00000"),
+            (IntegrityFault::Rs, "11011 -> 00100"),
+            (IntegrityFault::Fs, "00100 -> 11011"),
+        ];
+        for (fault, expect) in cases {
+            let p = fault_pair(5, 2, fault).unwrap();
+            assert_eq!(p.to_string(), expect, "{fault}");
+        }
+    }
+
+    #[test]
+    fn glitch_vs_skew_partition() {
+        let glitches: Vec<_> = IntegrityFault::ALL.iter().filter(|f| f.is_glitch()).collect();
+        let skews: Vec<_> = IntegrityFault::ALL.iter().filter(|f| f.is_skew()).collect();
+        assert_eq!(glitches.len(), 4);
+        assert_eq!(skews.len(), 2);
+    }
+
+    #[test]
+    fn classify_round_trips_every_fault() {
+        for width in [2, 3, 5, 8] {
+            for victim in 0..width {
+                for fault in IntegrityFault::ALL {
+                    let pair = fault_pair(width, victim, fault).unwrap();
+                    assert_eq!(classify_pair(&pair, victim), Some(fault), "w{width} v{victim}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classify_rejects_non_ma_pairs() {
+        // Aggressors hold → not an MA pattern.
+        let p = VectorPair::from_strs("000", "010").unwrap();
+        assert_eq!(classify_pair(&p, 1), None);
+        // Aggressors disagree.
+        let p = VectorPair::from_strs("001", "110").unwrap();
+        assert_eq!(classify_pair(&p, 1), None);
+        // Bad victim index.
+        let p = VectorPair::from_strs("00", "11").unwrap();
+        assert_eq!(classify_pair(&p, 5), None);
+    }
+
+    #[test]
+    fn conventional_schedule_covers_all_victim_fault_combinations() {
+        let sched = conventional_schedule(4).unwrap();
+        assert_eq!(sched.len(), 24);
+        assert_eq!(conventional_vector_count(4), 48, "two vectors per pair");
+        for victim in 0..4 {
+            for fault in IntegrityFault::ALL {
+                assert!(
+                    sched.iter().any(|s| s.victim == victim && s.fault == fault),
+                    "missing {fault} on victim {victim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pgbsc_vector_frequency_relation() {
+        // Aggressors toggle every update, victim every second update.
+        let v = |k| pgbsc_vector(3, 1, DriveLevel::Low, k);
+        assert_eq!(v(0), vec![DriveLevel::Low, DriveLevel::Low, DriveLevel::Low]);
+        assert_eq!(v(1), vec![DriveLevel::High, DriveLevel::Low, DriveLevel::High]);
+        assert_eq!(v(2), vec![DriveLevel::Low, DriveLevel::High, DriveLevel::Low]);
+        assert_eq!(v(3), vec![DriveLevel::High, DriveLevel::High, DriveLevel::High]);
+        assert_eq!(v(4), vec![DriveLevel::Low, DriveLevel::Low, DriveLevel::Low]);
+    }
+
+    #[test]
+    fn pgbsc_sequence_from_zero_covers_pg_rs_pgbar() {
+        let seq = pgbsc_sequence(5, 2, DriveLevel::Low).unwrap();
+        let faults: Vec<_> = seq.iter().map(|s| s.fault).collect();
+        assert_eq!(faults, vec![IntegrityFault::Pg, IntegrityFault::Rs, IntegrityFault::PgBar]);
+        assert_eq!(
+            faults,
+            IntegrityFault::covered_by_initial(DriveLevel::Low).to_vec()
+        );
+    }
+
+    #[test]
+    fn pgbsc_sequence_from_one_covers_ng_fs_ngbar() {
+        let seq = pgbsc_sequence(5, 2, DriveLevel::High).unwrap();
+        let faults: Vec<_> = seq.iter().map(|s| s.fault).collect();
+        assert_eq!(faults, vec![IntegrityFault::Ng, IntegrityFault::Fs, IntegrityFault::NgBar]);
+    }
+
+    #[test]
+    fn two_initial_values_cover_all_six_faults() {
+        // The paper's §3.1 claim: 8 patterns (2 × 4 vectors) suffice.
+        let mut covered = std::collections::BTreeSet::new();
+        for initial in [DriveLevel::Low, DriveLevel::High] {
+            for s in pgbsc_sequence(5, 2, initial).unwrap() {
+                covered.insert(s.fault);
+            }
+        }
+        assert_eq!(covered.len(), 6);
+        assert_eq!(pgbsc_scanned_value_count(), 2);
+    }
+
+    #[test]
+    fn one_initial_value_cannot_cover_all_six() {
+        // §3.1: a single initial value only reaches three fault classes
+        // because the victim transition frequency must stay at half the
+        // aggressor frequency.
+        let mut covered = std::collections::BTreeSet::new();
+        // Even continuing for many updates, the same 3-fault cycle recurs.
+        for k in 0..12 {
+            let before = pgbsc_vector(5, 2, DriveLevel::Low, k);
+            let after = pgbsc_vector(5, 2, DriveLevel::Low, k + 1);
+            if let Some(f) = classify_pair(&VectorPair::new(before, after), 2) {
+                covered.insert(f);
+            }
+        }
+        assert!(covered.len() < 6, "covered {covered:?}");
+    }
+
+    #[test]
+    fn victim_select_is_one_hot_table2() {
+        let v = victim_select(5, 0).unwrap();
+        assert_eq!(v.count_ones(), 1);
+        assert_eq!(v.get(0), Some(sint_logic::Logic::One));
+        assert!(victim_select(5, 5).is_err());
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(fault_pair(1, 0, IntegrityFault::Pg).is_err());
+        assert!(fault_pair(4, 4, IntegrityFault::Pg).is_err());
+        assert!(pgbsc_sequence(1, 0, DriveLevel::Low).is_err());
+        assert!(pgbsc_sequence(4, 9, DriveLevel::Low).is_err());
+        assert!(conventional_schedule(5).is_ok());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IntegrityFault::Pg.to_string(), "Pg");
+        assert_eq!(IntegrityFault::NgBar.to_string(), "N̄g");
+    }
+}

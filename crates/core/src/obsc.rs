@@ -1,0 +1,326 @@
+//! The observation boundary-scan cell (OBSC) — §3.2, Fig 9.
+//!
+//! An OBSC replaces the standard cell on each *input* pin of the core
+//! receiving the interconnect under test. Alongside the ordinary
+//! FF1/FF2 pair it carries the two detector flip-flops fed by the ND and
+//! SD cells. The multiplexer in front of FF1 is steered by
+//!
+//! ```text
+//! sel = !SI + ShiftDR          (Table 4)
+//! ```
+//!
+//! so that in Capture-DR of an SI-mode read-out (`SI=1, ShiftDR=0`,
+//! `sel=0`) FF1 loads the selected detector flip-flop, while during
+//! Shift-DR (`sel=1`) the scan chain is re-formed and the captured bits
+//! stream out through TDO (Fig 10). Which detector is read is chosen by
+//! the device-level ND̄/SD signal, complemented between the two
+//! read-out passes by the `O-SITEST` instruction.
+//!
+//! Operating modes (Table 3):
+//!
+//! | mode   | ND̄/SD | SI |
+//! |--------|--------|----|
+//! | NDFF   | 0      | 1  |
+//! | SDFF   | 1      | 1  |
+//! | Normal | x      | 0  |
+
+use crate::nd::{NdThresholds, NoiseDetector};
+use crate::sd::{SdWindow, SkewDetector};
+use serde::{Deserialize, Serialize};
+use sint_jtag::bcell::{BoundaryCell, CellControl};
+use sint_logic::netlist::Netlist;
+use sint_logic::{LogicError, Logic};
+
+/// Behavioural OBSC implementing [`BoundaryCell`], with embedded ND/SD
+/// detector models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Obsc {
+    ff1: Logic,
+    ff2: Logic,
+    nd: NoiseDetector,
+    sd: SkewDetector,
+    pi: Logic,
+}
+
+impl Obsc {
+    /// A fresh cell with the given detector configurations.
+    #[must_use]
+    pub fn new(nd: NdThresholds, sd: SdWindow) -> Self {
+        Obsc {
+            ff1: Logic::X,
+            ff2: Logic::X,
+            nd: NoiseDetector::new(nd),
+            sd: SkewDetector::new(sd),
+            pi: Logic::X,
+        }
+    }
+
+    /// Immutable access to the noise detector.
+    #[must_use]
+    pub fn nd(&self) -> &NoiseDetector {
+        &self.nd
+    }
+
+    /// Mutable access to the noise detector (the SoC feeds waveforms in).
+    pub fn nd_mut(&mut self) -> &mut NoiseDetector {
+        &mut self.nd
+    }
+
+    /// Immutable access to the skew detector.
+    #[must_use]
+    pub fn sd(&self) -> &SkewDetector {
+        &self.sd
+    }
+
+    /// Mutable access to the skew detector.
+    pub fn sd_mut(&mut self) -> &mut SkewDetector {
+        &mut self.sd
+    }
+
+    /// Applies the CE signal to both detectors.
+    pub fn set_detectors_enabled(&mut self, ce: bool) {
+        self.nd.set_enabled(ce);
+        self.sd.set_enabled(ce);
+    }
+
+    /// Clears both detector flip-flops (start of a session).
+    pub fn clear_detectors(&mut self) {
+        self.nd.clear();
+        self.sd.clear();
+    }
+
+    /// The `sel` signal of Table 4: `!SI + ShiftDR`.
+    #[must_use]
+    pub fn sel(ctrl: &CellControl) -> bool {
+        !ctrl.si || ctrl.shift_dr
+    }
+}
+
+impl BoundaryCell for Obsc {
+    /// Capture-DR: with `sel = 0` (SI mode, not shifting) FF1 loads the
+    /// detector flip-flop chosen by ND̄/SD; otherwise the standard
+    /// parallel-input capture.
+    fn capture(&mut self, ctrl: &CellControl) {
+        if Obsc::sel(ctrl) {
+            self.ff1 = self.pi;
+        } else {
+            let bit = if ctrl.nd_sd { self.sd.violation() } else { self.nd.violation() };
+            self.ff1 = Logic::from(bit);
+        }
+    }
+
+    fn shift(&mut self, tdi: Logic, _ctrl: &CellControl) -> Logic {
+        let out = self.ff1;
+        self.ff1 = tdi;
+        out
+    }
+
+    fn update(&mut self, _ctrl: &CellControl) {
+        self.ff2 = self.ff1;
+    }
+
+    fn set_parallel_input(&mut self, value: Logic) {
+        self.pi = value;
+    }
+
+    fn output(&self, ctrl: &CellControl) -> Logic {
+        if ctrl.mode {
+            self.ff2
+        } else {
+            self.pi
+        }
+    }
+
+    fn scan_bit(&self) -> Logic {
+        self.ff1
+    }
+
+    fn reset(&mut self) {
+        self.ff1 = Logic::X;
+        self.ff2 = Logic::X;
+        // Detector flip-flops are cleared only by an explicit session
+        // action; Test-Logic-Reset must not erase captured evidence.
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Structural gate-level netlist of the OBSC digital portion plus
+/// NAND-equivalent stand-ins for the analog ND/SD sensors (Fig 9), used
+/// for the Table 7 area analysis.
+///
+/// Digital parts: FF1 + FF2 + the Fig 4 muxes, the ND/SD-select mux,
+/// the `sel` OR gate and the two detector flip-flops. The ND sense
+/// amplifier (7 transistors, Fig 1) and the SD delay-generator/NOR
+/// (Fig 2) are represented by equivalent-area gate groups.
+///
+/// # Errors
+///
+/// Propagates [`LogicError`] from netlist construction.
+pub fn obsc_netlist() -> Result<Netlist, LogicError> {
+    use sint_logic::netlist::Primitive;
+    let mut nl = Netlist::new("obsc");
+    let tdi = nl.add_input("tdi");
+    let pi = nl.add_input("pin");
+    let shift_dr = nl.add_input("shift_dr");
+    let si = nl.add_input("si");
+    let nd_sd = nl.add_input("nd_sd");
+    let mode = nl.add_input("mode");
+    let clk = nl.add_input("tck");
+    let upd = nl.add_input("update_dr");
+    let ce = nl.add_input("ce");
+
+    // --- analog sensor stand-ins -------------------------------------
+    // ND sense amplifier (Fig 1, T1–T7 + readout): modelled as a 2-input
+    // NAND pair + inverter ≈ 10 transistors.
+    let nd_raw = nl.add_net("nd_raw");
+    nl.add_gate("nd_amp_a", Primitive::Nand, &[pi, ce], nd_raw)?;
+    let nd_pulse = nl.inv("nd_amp_b", nd_raw)?;
+    // SD delay generator: 3 inverters + NOR comparator (Fig 2).
+    let d1 = nl.inv("sd_d1", clk)?;
+    let d2 = nl.inv("sd_d2", d1)?;
+    let d3 = nl.inv("sd_d3", d2)?;
+    let sd_pulse = nl.add_net("sd_pulse");
+    nl.add_gate("sd_nor", Primitive::Nor, &[d3, pi], sd_pulse)?;
+
+    // Detector flip-flops, set by the sensor pulses (clocked model).
+    let nd_q = nl.add_net("nd_q");
+    nl.add_dff("nd_ff", nd_pulse, clk, nd_q)?;
+    let sd_q = nl.add_net("sd_q");
+    nl.add_dff("sd_ff", sd_pulse, clk, sd_q)?;
+
+    // --- digital boundary cell ---------------------------------------
+    // Detector select mux (ND̄/SD) and the sel = !SI + ShiftDR gating.
+    let det = nl.mux2("m_det", nd_sd, nd_q, sd_q)?;
+    let si_n = nl.inv("i_si", si)?;
+    let sel = nl.add_net("sel");
+    nl.add_gate("or_sel", Primitive::Or, &[si_n, shift_dr], sel)?;
+    // FF1 D input: sel ? scan-path (capture pi / shift tdi) : detector.
+    let scan_d = nl.mux2("m_scan", shift_dr, pi, tdi)?;
+    let ff1_d = nl.mux2("m_ff1", sel, det, scan_d)?;
+    let ff1_q = nl.add_net("ff1_q");
+    nl.add_dff("ff1", ff1_d, clk, ff1_q)?;
+    // FF2 + output mux (standard).
+    let ff2_q = nl.add_net("ff2_q");
+    nl.add_dff("ff2", ff1_q, upd, ff2_q)?;
+    let out = nl.mux2("m_out", mode, pi, ff2_q)?;
+    nl.mark_output(out)?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> Obsc {
+        Obsc::new(NdThresholds::for_vdd(1.8), SdWindow::for_vdd(400e-12, 1.8))
+    }
+
+    fn ctrl(si: bool, shift_dr: bool, nd_sd: bool) -> CellControl {
+        CellControl { si, shift_dr, nd_sd, mode: false, ce: false }
+    }
+
+    #[test]
+    fn sel_truth_table_matches_table4() {
+        // Table 4: sel = !SI + ShiftDR.
+        assert!(Obsc::sel(&ctrl(false, false, false)), "SI=0 → sel=1");
+        assert!(Obsc::sel(&ctrl(false, true, false)));
+        assert!(!Obsc::sel(&ctrl(true, false, false)), "SI=1, ShiftDR=0 → sel=0");
+        assert!(Obsc::sel(&ctrl(true, true, false)), "SI=1, ShiftDR=1 → sel=1");
+    }
+
+    #[test]
+    fn normal_capture_takes_pin() {
+        let mut c = cell();
+        c.set_parallel_input(Logic::One);
+        c.capture(&ctrl(false, false, false));
+        assert_eq!(c.scan_bit(), Logic::One);
+    }
+
+    #[test]
+    fn si_capture_reads_nd_ff() {
+        let mut c = cell();
+        c.set_detectors_enabled(true);
+        // Latch a noise violation: wide mid-band bump.
+        let wave: Vec<f64> =
+            (0..600).map(|k| if (100..500).contains(&k) { 0.9 } else { 0.0 }).collect();
+        c.nd_mut().observe(&wave, 1e-12, 1.8);
+        assert!(c.nd().violation());
+        c.capture(&ctrl(true, false, false)); // ND̄/SD = 0 → ND
+        assert_eq!(c.scan_bit(), Logic::One);
+        // SD FF still clear.
+        c.capture(&ctrl(true, false, true)); // ND̄/SD = 1 → SD
+        assert_eq!(c.scan_bit(), Logic::Zero);
+    }
+
+    #[test]
+    fn si_capture_reads_sd_ff() {
+        use sint_interconnect::drive::DriveLevel;
+        let mut c = cell();
+        c.set_detectors_enabled(true);
+        c.sd_mut().observe(&vec![0.9; 1000], 1e-12, 1.8, DriveLevel::High, 0.0);
+        c.capture(&ctrl(true, false, true));
+        assert_eq!(c.scan_bit(), Logic::One);
+        c.capture(&ctrl(true, false, false));
+        assert_eq!(c.scan_bit(), Logic::Zero);
+    }
+
+    #[test]
+    fn shift_forms_scan_chain() {
+        let mut c = cell();
+        c.capture(&ctrl(true, false, false)); // loads ND = 0
+        let out = c.shift(Logic::One, &ctrl(true, true, false));
+        assert_eq!(out, Logic::Zero);
+        assert_eq!(c.scan_bit(), Logic::One);
+    }
+
+    #[test]
+    fn detector_ffs_survive_tap_reset() {
+        let mut c = cell();
+        c.set_detectors_enabled(true);
+        let wave: Vec<f64> =
+            (0..600).map(|k| if (100..500).contains(&k) { 0.9 } else { 0.0 }).collect();
+        c.nd_mut().observe(&wave, 1e-12, 1.8);
+        c.reset();
+        assert!(c.nd().violation(), "evidence survives Test-Logic-Reset");
+        c.clear_detectors();
+        assert!(!c.nd().violation());
+    }
+
+    #[test]
+    fn output_mux_standard_behaviour() {
+        let mut c = cell();
+        c.set_parallel_input(Logic::Zero);
+        assert_eq!(c.output(&ctrl(false, false, false)), Logic::Zero);
+        c.shift(Logic::One, &ctrl(false, true, false));
+        c.update(&ctrl(false, false, false));
+        let mode = CellControl { mode: true, ..ctrl(false, false, false) };
+        assert_eq!(c.output(&mode), Logic::One);
+    }
+
+    #[test]
+    fn ce_gates_both_detectors() {
+        use sint_interconnect::drive::DriveLevel;
+        let mut c = cell();
+        c.set_detectors_enabled(false);
+        let wave: Vec<f64> = vec![0.9; 1000];
+        c.nd_mut().observe(&wave, 1e-12, 1.8);
+        c.sd_mut().observe(&wave, 1e-12, 1.8, DriveLevel::High, 0.0);
+        assert!(!c.nd().violation());
+        assert!(!c.sd().violation());
+    }
+
+    #[test]
+    fn structural_netlist_shape() {
+        let nl = obsc_netlist().unwrap();
+        let (_gates, ffs, _latches) = nl.component_counts();
+        assert_eq!(ffs, 4, "FF1, FF2 + ND/SD flip-flops");
+        assert_eq!(nl.outputs().len(), 1);
+    }
+}

@@ -1,0 +1,287 @@
+//! Test-session configuration and the integrity report.
+//!
+//! A *session* is one execution of the paper's test algorithm (Figs 8
+//! and 12): two initial values, victim rotation across every wire,
+//! three on-chip patterns per victim per initial value, and one of three
+//! observation (read-out) methods (§3.2):
+//!
+//! 1. **Once** — a single double read-out (ND then SD flip-flops) after
+//!    all patterns. Cheapest; tells *which wire* failed but not which
+//!    transition class caused it.
+//! 2. **PerInitialValue** — a read-out after each initial-value half,
+//!    narrowing the failure to one three-fault class.
+//! 3. **PerPattern** — a read-out after every pattern: full fault
+//!    diagnosis at a large time cost.
+//!
+//! The actual execution lives in [`crate::soc::Soc::run_integrity_test`].
+
+use crate::mafm::IntegrityFault;
+use serde::{Deserialize, Serialize};
+use sint_interconnect::drive::DriveLevel;
+use std::fmt;
+
+/// When the session scans out detector flip-flops (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObservationMethod {
+    /// Method 1: once, after the entire campaign.
+    Once,
+    /// Method 2: after each initial-value half.
+    PerInitialValue,
+    /// Method 3: after every pattern application.
+    PerPattern,
+}
+
+impl fmt::Display for ObservationMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ObservationMethod::Once => "method 1 (once)",
+            ObservationMethod::PerInitialValue => "method 2 (per initial value)",
+            ObservationMethod::PerPattern => "method 3 (per pattern)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Session configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Read-out cadence.
+    pub method: ObservationMethod,
+    /// Simulated settle window per pattern application (s).
+    pub settle_time: f64,
+    /// Analog solver timestep (s).
+    pub dt: f64,
+}
+
+impl SessionConfig {
+    /// Defaults for the given method: 2 ns settle, 2 ps timestep.
+    #[must_use]
+    pub fn method(method: ObservationMethod) -> SessionConfig {
+        SessionConfig { method, settle_time: 2e-9, dt: 2e-12 }
+    }
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig::method(ObservationMethod::Once)
+    }
+}
+
+/// Final verdict for one interconnect wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WireVerdict {
+    /// The wire's ND flip-flop at final read-out: noise violation seen.
+    pub noise: bool,
+    /// The wire's SD flip-flop at final read-out: skew violation seen.
+    pub skew: bool,
+}
+
+impl WireVerdict {
+    /// Whether any violation was recorded.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.noise || self.skew
+    }
+}
+
+/// What triggered a read-out record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadoutPoint {
+    /// Method 1: end of session.
+    Final,
+    /// Method 2: end of the half started by this initial value.
+    AfterInitialValue(DriveLevel),
+    /// Method 3: right after one pattern.
+    AfterPattern {
+        /// Initial value of the enclosing half.
+        initial: DriveLevel,
+        /// Victim wire targeted by the pattern.
+        victim: usize,
+        /// Fault the pattern excites.
+        fault: IntegrityFault,
+    },
+}
+
+/// One scanned-out snapshot of all detector flip-flops.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadoutRecord {
+    /// Where in the session the read-out happened.
+    pub point: ReadoutPoint,
+    /// ND flip-flop per wire (cumulative — the flip-flops are sticky).
+    pub nd: Vec<bool>,
+    /// SD flip-flop per wire (cumulative).
+    pub sd: Vec<bool>,
+}
+
+/// Result of a complete signal-integrity test session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntegrityReport {
+    method: ObservationMethod,
+    wires: Vec<WireVerdict>,
+    /// All read-out snapshots in session order.
+    pub readouts: Vec<ReadoutRecord>,
+    /// Total TCKs the session consumed.
+    pub tck_used: u64,
+    /// Number of pattern transitions applied to the interconnect.
+    pub patterns_applied: usize,
+}
+
+impl IntegrityReport {
+    /// Assembles a report; the final wire verdicts come from the last
+    /// read-out (the flip-flops accumulate across the session).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `readouts` is empty or its width disagrees with
+    /// `wires`.
+    #[must_use]
+    pub fn new(
+        method: ObservationMethod,
+        wires: usize,
+        readouts: Vec<ReadoutRecord>,
+        tck_used: u64,
+        patterns_applied: usize,
+    ) -> IntegrityReport {
+        let last = readouts.last().expect("a session produces at least one read-out");
+        assert_eq!(last.nd.len(), wires, "read-out width mismatch");
+        assert_eq!(last.sd.len(), wires, "read-out width mismatch");
+        let verdicts = (0..wires)
+            .map(|w| WireVerdict { noise: last.nd[w], skew: last.sd[w] })
+            .collect();
+        IntegrityReport { method, wires: verdicts, readouts, tck_used, patterns_applied }
+    }
+
+    /// The observation method used.
+    #[must_use]
+    pub fn method(&self) -> ObservationMethod {
+        self.method
+    }
+
+    /// Number of wires tested.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// Verdict for one wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is out of range.
+    #[must_use]
+    pub fn wire(&self, wire: usize) -> &WireVerdict {
+        &self.wires[wire]
+    }
+
+    /// All per-wire verdicts.
+    #[must_use]
+    pub fn verdicts(&self) -> &[WireVerdict] {
+        &self.wires
+    }
+
+    /// Whether any wire shows any violation.
+    #[must_use]
+    pub fn any_violation(&self) -> bool {
+        self.wires.iter().any(WireVerdict::any)
+    }
+
+    /// Indices of wires with violations.
+    pub fn failing_wires(&self) -> impl Iterator<Item = usize> + '_ {
+        self.wires.iter().enumerate().filter(|(_, v)| v.any()).map(|(w, _)| w)
+    }
+}
+
+impl fmt::Display for IntegrityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "integrity report ({}; {} patterns, {} TCK)",
+            self.method, self.patterns_applied, self.tck_used
+        )?;
+        for (w, v) in self.wires.iter().enumerate() {
+            writeln!(
+                f,
+                "  wire {w}: noise={} skew={}",
+                u8::from(v.noise),
+                u8::from(v.skew)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(point: ReadoutPoint, nd: &[bool], sd: &[bool]) -> ReadoutRecord {
+        ReadoutRecord { point, nd: nd.to_vec(), sd: sd.to_vec() }
+    }
+
+    #[test]
+    fn verdicts_come_from_last_readout() {
+        let r1 = record(
+            ReadoutPoint::AfterInitialValue(DriveLevel::Low),
+            &[false, false, false],
+            &[false, false, false],
+        );
+        let r2 = record(ReadoutPoint::Final, &[false, true, false], &[false, false, true]);
+        let report =
+            IntegrityReport::new(ObservationMethod::PerInitialValue, 3, vec![r1, r2], 1234, 12);
+        assert!(!report.wire(0).any());
+        assert!(report.wire(1).noise);
+        assert!(!report.wire(1).skew);
+        assert!(report.wire(2).skew);
+        assert!(report.any_violation());
+        assert_eq!(report.failing_wires().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(report.width(), 3);
+        assert_eq!(report.tck_used, 1234);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one read-out")]
+    fn empty_readouts_rejected() {
+        let _ = IntegrityReport::new(ObservationMethod::Once, 3, vec![], 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_rejected() {
+        let r = record(ReadoutPoint::Final, &[true], &[false]);
+        let _ = IntegrityReport::new(ObservationMethod::Once, 3, vec![r], 0, 0);
+    }
+
+    #[test]
+    fn clean_report_has_no_violations() {
+        let r = record(ReadoutPoint::Final, &[false; 4], &[false; 4]);
+        let report = IntegrityReport::new(ObservationMethod::Once, 4, vec![r], 10, 24);
+        assert!(!report.any_violation());
+        assert_eq!(report.failing_wires().count(), 0);
+    }
+
+    #[test]
+    fn display_lists_wires() {
+        let r = record(ReadoutPoint::Final, &[true, false], &[false, true]);
+        let report = IntegrityReport::new(ObservationMethod::Once, 2, vec![r], 10, 24);
+        let s = report.to_string();
+        assert!(s.contains("wire 0: noise=1 skew=0"));
+        assert!(s.contains("wire 1: noise=0 skew=1"));
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c = SessionConfig::default();
+        assert_eq!(c.method, ObservationMethod::Once);
+        assert!(c.settle_time > 0.0 && c.dt > 0.0);
+        assert_eq!(
+            SessionConfig::method(ObservationMethod::PerPattern).method,
+            ObservationMethod::PerPattern
+        );
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(ObservationMethod::Once.to_string(), "method 1 (once)");
+        assert_eq!(ObservationMethod::PerPattern.to_string(), "method 3 (per pattern)");
+    }
+}

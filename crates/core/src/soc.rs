@@ -1,0 +1,687 @@
+//! The two-core SoC of the paper's Fig 11: Core *i* drives an `n`-wire
+//! interconnect through PGBSCs; Core *j* receives it through OBSCs with
+//! ND/SD detectors; a single TAP serves the whole chip; `m` further
+//! standard cells share the boundary chain.
+//!
+//! [`Soc`] closes the loop between the digital and analog substrates:
+//! every boundary Update-DR that changes the PGBSC outputs launches a
+//! transient simulation of the coupled bus, and the resulting waveforms
+//! feed the receiving detectors — so an injected physical defect
+//! propagates all the way to bits scanned out of TDO, with every TCK
+//! accounted for.
+
+use crate::error::CoreError;
+use crate::instructions::extended_instruction_set;
+use crate::mafm::{victim_select, IntegrityFault};
+use crate::nd::NdThresholds;
+use crate::obsc::Obsc;
+use crate::pgbsc::Pgbsc;
+use crate::sd::SdWindow;
+use crate::session::{
+    IntegrityReport, ObservationMethod, ReadoutPoint, ReadoutRecord, SessionConfig,
+};
+use sint_interconnect::defect::Defect;
+use sint_interconnect::drive::{DriveLevel, VectorPair};
+use sint_interconnect::measure::{propagation_delay, settled_value};
+use sint_interconnect::params::{Bus, BusParams};
+use sint_interconnect::solver::TransientSim;
+use sint_interconnect::variation::{apply_variation, VariationSigma};
+use sint_jtag::bcell::{BoundaryCell, StandardBsc};
+use sint_jtag::chain::Chain;
+use sint_jtag::device::Device;
+use sint_jtag::driver::JtagDriver;
+use sint_logic::{BitVector, Logic};
+
+/// Builder for a [`Soc`].
+#[derive(Debug, Clone)]
+pub struct SocBuilder {
+    wires: usize,
+    extra_cells: usize,
+    bus_params: BusParams,
+    defects: Vec<Defect>,
+    nd: Option<NdThresholds>,
+    sd_window: Option<f64>,
+    variation: Option<(VariationSigma, u64)>,
+}
+
+impl SocBuilder {
+    /// An `wires`-wide SoC over the default DSM bus, no defects, no
+    /// extra chain cells, detector parameters derived automatically.
+    #[must_use]
+    pub fn new(wires: usize) -> SocBuilder {
+        SocBuilder {
+            wires,
+            extra_cells: 0,
+            bus_params: BusParams::dsm_bus(wires),
+            defects: Vec::new(),
+            nd: None,
+            sd_window: None,
+            variation: None,
+        }
+    }
+
+    /// Adds `m` standard boundary cells to the chain (the paper's other
+    /// pins).
+    #[must_use]
+    pub fn extra_cells(mut self, m: usize) -> Self {
+        self.extra_cells = m;
+        self
+    }
+
+    /// Replaces the bus description entirely.
+    ///
+    /// The parameter width must match; checked at [`SocBuilder::build`].
+    #[must_use]
+    pub fn bus_params(mut self, params: BusParams) -> Self {
+        self.bus_params = params;
+        self
+    }
+
+    /// Injects an arbitrary defect.
+    #[must_use]
+    pub fn defect(mut self, defect: Defect) -> Self {
+        self.defects.push(defect);
+        self
+    }
+
+    /// Shortcut: multiply the coupling around `wire` by `factor`.
+    #[must_use]
+    pub fn coupling_defect(self, wire: usize, factor: f64) -> Self {
+        self.defect(Defect::CouplingBoost { wire, factor })
+    }
+
+    /// Shortcut: resistive open adding `extra_ohms` on `wire`.
+    #[must_use]
+    pub fn open_defect(self, wire: usize, extra_ohms: f64) -> Self {
+        self.defect(Defect::ResistiveOpen { wire, segment: 0, extra_ohms })
+    }
+
+    /// Shortcut: weaken `wire`'s driver by `factor`.
+    #[must_use]
+    pub fn weak_driver_defect(self, wire: usize, factor: f64) -> Self {
+        self.defect(Defect::WeakDriver { wire, factor })
+    }
+
+    /// Applies seeded within-die parameter mismatch to the built bus
+    /// (defects stack on top). Detector calibration still uses the
+    /// *nominal* healthy bus — the designer budgets for the typical
+    /// die, and the mismatch must fit inside the calibration margins.
+    #[must_use]
+    pub fn with_variation(mut self, sigma: VariationSigma, seed: u64) -> Self {
+        self.variation = Some((sigma, seed));
+        self
+    }
+
+    /// Overrides the ND thresholds (default: [`NdThresholds::for_vdd`]).
+    #[must_use]
+    pub fn nd_thresholds(mut self, nd: NdThresholds) -> Self {
+        self.nd = Some(nd);
+        self
+    }
+
+    /// Overrides the SD skew-immune window in seconds (default:
+    /// calibrated to twice the healthiest worst-case arrival, see
+    /// [`SocBuilder::build`]).
+    #[must_use]
+    pub fn sd_window(mut self, seconds: f64) -> Self {
+        self.sd_window = Some(seconds);
+        self
+    }
+
+    /// Builds the SoC: injects defects, calibrates detectors against the
+    /// *healthy* bus (the designer's delay budget, §2.2), constructs the
+    /// boundary chain and resets the TAP.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] for fewer than two wires or mismatched
+    /// bus width; substrate errors are propagated.
+    pub fn build(self) -> Result<Soc, CoreError> {
+        if self.wires < 2 {
+            return Err(CoreError::config("a coupled-bus SoC needs at least two wires"));
+        }
+        let healthy = self.bus_params.clone().build()?;
+        if healthy.wires() != self.wires {
+            return Err(CoreError::config(format!(
+                "bus parameters describe {} wires, SoC wants {}",
+                healthy.wires(),
+                self.wires
+            )));
+        }
+        let mut bus = healthy.clone();
+        if let Some((sigma, seed)) = self.variation {
+            apply_variation(&mut bus, sigma, seed)?;
+        }
+        for d in &self.defects {
+            d.apply(&mut bus)?;
+        }
+
+        let dt = 2e-12;
+        let settle = 2e-9;
+        // Calibrate the skew-immune window on the healthy bus: worst-case
+        // MA skew pattern (victim rising against falling aggressors, the
+        // Miller-slowed case) on a middle wire, with 2x design margin.
+        let sd_window = match self.sd_window {
+            Some(w) => w,
+            None => {
+                let sim = TransientSim::new(&healthy, dt)?;
+                let victim = self.wires / 2;
+                let pair = crate::mafm::fault_pair(self.wires, victim, IntegrityFault::Rs)?;
+                let waves = sim.run_pair(&pair, settle)?;
+                let delay = propagation_delay(
+                    waves.wire(victim),
+                    waves.dt(),
+                    healthy.vdd(),
+                    sim.switch_at(),
+                    true,
+                )
+                .ok_or_else(|| {
+                    CoreError::config("healthy bus never settles; cannot calibrate SD window")
+                })?;
+                2.0 * delay + healthy.rise_time()
+            }
+        };
+        let nd = self.nd.unwrap_or_else(|| NdThresholds::for_vdd(bus.vdd()));
+        let sd = SdWindow::for_vdd(sd_window, bus.vdd());
+
+        let mut device = Device::new("soc", extended_instruction_set()?);
+        for _ in 0..self.wires {
+            device.push_cell(Box::new(Pgbsc::new()));
+        }
+        for _ in 0..self.wires {
+            device.push_cell(Box::new(Obsc::new(nd, sd)));
+        }
+        for _ in 0..self.extra_cells {
+            device.push_cell(Box::new(StandardBsc::new()));
+        }
+        let sim = TransientSim::new(&bus, dt)?;
+        let mut driver = JtagDriver::new(Chain::single(device));
+        driver.reset();
+
+        Ok(Soc {
+            driver,
+            bus,
+            sim,
+            wires: self.wires,
+            extra_cells: self.extra_cells,
+            prev: None,
+            settle,
+            transients_run: 0,
+            patterns_applied: 0,
+        })
+    }
+}
+
+/// A simulated two-core SoC with the enhanced boundary-scan
+/// architecture.
+#[derive(Debug)]
+pub struct Soc {
+    driver: JtagDriver,
+    bus: Bus,
+    sim: TransientSim,
+    wires: usize,
+    extra_cells: usize,
+    /// Last defined vector driven onto the bus.
+    prev: Option<Vec<DriveLevel>>,
+    settle: f64,
+    transients_run: usize,
+    patterns_applied: usize,
+}
+
+impl Soc {
+    /// Interconnect width.
+    #[must_use]
+    pub fn wires(&self) -> usize {
+        self.wires
+    }
+
+    /// Extra standard cells on the chain.
+    #[must_use]
+    pub fn extra_cells(&self) -> usize {
+        self.extra_cells
+    }
+
+    /// Total boundary chain length (`2n + m`).
+    #[must_use]
+    pub fn chain_len(&self) -> usize {
+        2 * self.wires + self.extra_cells
+    }
+
+    /// The (possibly defect-injected) bus model.
+    #[must_use]
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// TCKs spent so far.
+    #[must_use]
+    pub fn tck(&self) -> u64 {
+        self.driver.tck()
+    }
+
+    /// Transient analyses run so far.
+    #[must_use]
+    pub fn transients_run(&self) -> usize {
+        self.transients_run
+    }
+
+    /// The JTAG driver, for custom test plans.
+    pub fn driver_mut(&mut self) -> &mut JtagDriver {
+        &mut self.driver
+    }
+
+    fn obsc_mut(&mut self, wire: usize) -> Result<&mut Obsc, CoreError> {
+        let idx = self.wires + wire;
+        let cell = self
+            .driver
+            .chain_mut()
+            .device_mut(0)?
+            .boundary_mut()
+            .cell_mut(idx)?
+            .as_any_mut()
+            .downcast_mut::<Obsc>()
+            .expect("cells n..2n are OBSCs by construction");
+        Ok(cell)
+    }
+
+    /// Builds the TDI-order scan word that deposits `values[j]` into
+    /// boundary cell `j` (cell 0 nearest TDI).
+    fn scan_word(&self, values: &[Logic]) -> BitVector {
+        // The last bit shifted lands in cell 0, so shift in reverse
+        // cell order.
+        values.iter().rev().copied().collect()
+    }
+
+    fn uniform_word(&self, level: DriveLevel) -> BitVector {
+        let v = Logic::from(level == DriveLevel::High);
+        BitVector::filled(self.chain_len(), v)
+    }
+
+    fn victim_select_word(&self, victim: usize) -> Result<BitVector, CoreError> {
+        let one_hot = victim_select(self.wires, victim)?;
+        let mut values = vec![Logic::Zero; self.chain_len()];
+        for (i, v) in one_hot.iter().enumerate() {
+            values[i] = v;
+        }
+        Ok(self.scan_word(&values))
+    }
+
+    /// Samples the PGBSC outputs and, if they form a newly *defined*
+    /// vector different from the previous one, runs the analog
+    /// transient and feeds the detectors.
+    fn apply_bus_state(&mut self) -> Result<(), CoreError> {
+        let ctrl = self.driver.chain().device(0)?.cell_control();
+        let mut new = Vec::with_capacity(self.wires);
+        for i in 0..self.wires {
+            let out = self.driver.chain().device(0)?.boundary().cell(i)?.output(&ctrl);
+            match out.to_bool() {
+                Some(b) => new.push(DriveLevel::from(b)),
+                None => {
+                    // Undefined drive (pre-preload): nothing physical yet.
+                    self.prev = None;
+                    return Ok(());
+                }
+            }
+        }
+        let prev = match self.prev.take() {
+            Some(p) => p,
+            None => {
+                self.prev = Some(new);
+                return Ok(());
+            }
+        };
+        if prev == new {
+            self.prev = Some(new);
+            return Ok(());
+        }
+        let pair = VectorPair::new(prev, new.clone());
+        let waves = self.sim.run_pair(&pair, self.settle)?;
+        self.transients_run += 1;
+        self.patterns_applied += 1;
+        let vdd = self.bus.vdd();
+        let dt = waves.dt();
+        let switch_at = self.sim.switch_at();
+        let ce = ctrl.ce;
+        for w in 0..self.wires {
+            let wave: Vec<f64> = waves.wire(w).to_vec();
+            let switched = pair.switches(w);
+            let final_level = pair.after(w);
+            let settled = settled_value(&wave, 0.1);
+            let obsc = self.obsc_mut(w)?;
+            obsc.set_detectors_enabled(ce);
+            obsc.nd_mut().observe(&wave, dt, vdd);
+            if switched {
+                obsc.sd_mut().observe(&wave, dt, vdd, final_level, switch_at);
+            }
+            obsc.set_parallel_input(Logic::from(settled > vdd / 2.0));
+        }
+        self.prev = Some(new);
+        Ok(())
+    }
+
+    /// Extracts the OBSC bits from a full-chain scan-out (TDO order).
+    fn obsc_bits(&self, out: &BitVector) -> Vec<bool> {
+        let len = self.chain_len();
+        (0..self.wires)
+            .map(|w| out.get(len - 1 - (self.wires + w)) == Some(Logic::One))
+            .collect()
+    }
+
+    /// One O-SITEST double read-out: loads the instruction, scans the ND
+    /// flip-flops, then (ND̄/SD having toggled on Update-DR) the SD
+    /// flip-flops.
+    fn readout(&mut self, point: ReadoutPoint) -> Result<ReadoutRecord, CoreError> {
+        self.driver.load_instruction("O-SITEST")?;
+        let zeros = BitVector::zeros(self.chain_len());
+        let nd_out = self.driver.scan_dr(&zeros)?;
+        let sd_out = self.driver.scan_dr(&zeros)?;
+        // Update-DRs during O-SITEST hold the pattern generators (CE=0),
+        // so the bus state is undisturbed; keep `prev` as is.
+        Ok(ReadoutRecord {
+            point,
+            nd: self.obsc_bits(&nd_out),
+            sd: self.obsc_bits(&sd_out),
+        })
+    }
+
+    /// Restores the victim-select word after a mid-half read-out and
+    /// reloads `G-SITEST` (see `timing::resume_tcks`).
+    fn resume(&mut self, victim: usize) -> Result<(), CoreError> {
+        // Restore under O-SITEST: its Update-DR leaves the generators
+        // untouched (CE gating), so the extra update is inert.
+        let word = self.victim_select_word(victim)?;
+        self.driver.scan_dr(&word)?;
+        self.driver.load_instruction("G-SITEST")?;
+        Ok(())
+    }
+
+    /// Runs the **conventional** pattern-application campaign (the
+    /// Table 5 baseline): every MA vector is scanned into the full
+    /// boundary chain under EXTEST and applied by Update-DR — no
+    /// on-chip generation, `12` scans per victim, `O(n²)` TCKs overall.
+    ///
+    /// Returns `(tcks_used, patterns_applied)`. The conventional
+    /// architecture has no detectors (CE stays low under EXTEST), so
+    /// only the cost is meaningful — exactly how the paper uses it.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors are propagated.
+    pub fn run_conventional_generation(&mut self) -> Result<(u64, usize), CoreError> {
+        self.driver.reset();
+        self.patterns_applied = 0;
+        self.prev = None;
+        let tck_start = self.driver.tck();
+        self.driver.load_instruction("EXTEST")?;
+        let schedule = crate::mafm::conventional_schedule(self.wires)?;
+        for sched in &schedule {
+            for vector in [
+                (0..self.wires).map(|w| sched.pair.before(w)).collect::<Vec<_>>(),
+                (0..self.wires).map(|w| sched.pair.after(w)).collect::<Vec<_>>(),
+            ] {
+                let mut values = vec![Logic::Zero; self.chain_len()];
+                for (w, level) in vector.iter().enumerate() {
+                    values[w] = Logic::from(*level == DriveLevel::High);
+                }
+                let word = self.scan_word(&values);
+                self.driver.scan_dr(&word)?;
+                self.apply_bus_state()?;
+            }
+        }
+        Ok((self.driver.tck() - tck_start, self.patterns_applied))
+    }
+
+    /// Runs the integrity session while recording every host operation
+    /// and returns the report together with the SVF program that would
+    /// replay the session on real test equipment.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Soc::run_integrity_test`].
+    pub fn run_integrity_test_with_svf(
+        &mut self,
+        config: &SessionConfig,
+        options: &sint_jtag::svf::SvfOptions,
+    ) -> Result<(IntegrityReport, String), CoreError> {
+        self.driver.start_recording();
+        let report = self.run_integrity_test(config)?;
+        let ops = self.driver.take_recording();
+        Ok((report, sint_jtag::svf::to_svf(&ops, options)))
+    }
+
+    /// Clears every detector flip-flop (start of a session).
+    pub fn clear_detectors(&mut self) -> Result<(), CoreError> {
+        for w in 0..self.wires {
+            self.obsc_mut(w)?.clear_detectors();
+        }
+        Ok(())
+    }
+
+    /// Runs the full signal-integrity test algorithm (Figs 8 and 12)
+    /// and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] for a non-positive settle time or
+    /// timestep; substrate errors are propagated.
+    pub fn run_integrity_test(
+        &mut self,
+        config: &SessionConfig,
+    ) -> Result<IntegrityReport, CoreError> {
+        if config.settle_time <= 0.0 || config.dt <= 0.0 {
+            return Err(CoreError::config("settle time and dt must be positive"));
+        }
+        self.settle = config.settle_time;
+        if (self.sim.dt() - config.dt).abs() > f64::EPSILON {
+            self.sim = TransientSim::new(&self.bus, config.dt)?;
+        }
+        self.driver.reset();
+        self.clear_detectors()?;
+        self.patterns_applied = 0;
+        let tck_start = self.driver.tck();
+
+        let mut readouts = Vec::new();
+        let n = self.wires;
+        for initial in [DriveLevel::Low, DriveLevel::High] {
+            // Preload the initial value into every update stage.
+            self.driver.load_instruction("SAMPLE/PRELOAD")?;
+            let word = self.uniform_word(initial);
+            self.driver.scan_dr(&word)?;
+            self.apply_bus_state()?;
+            // Enter signal-integrity mode; the pattern stages now drive
+            // the bus with the initial value (the baseline state the
+            // first Update-DR transitions away from).
+            self.driver.load_instruction("G-SITEST")?;
+            self.apply_bus_state()?;
+            for victim in 0..n {
+                // Pattern 1 of this victim rides on the trailing
+                // Update-DR of the select scan / rotation shift.
+                if victim == 0 {
+                    let word = self.victim_select_word(0)?;
+                    self.driver.scan_dr(&word)?;
+                } else {
+                    let one = BitVector::zeros(1);
+                    self.driver.shift_dr_bits(&one)?;
+                }
+                self.apply_bus_state()?;
+                self.per_pattern_readout(config, initial, victim, 0, &mut readouts)?;
+                for p in 1..3usize {
+                    self.driver.pulse_update_dr(1)?;
+                    self.apply_bus_state()?;
+                    self.per_pattern_readout(config, initial, victim, p, &mut readouts)?;
+                }
+            }
+            if config.method == ObservationMethod::PerInitialValue {
+                readouts.push(self.readout(ReadoutPoint::AfterInitialValue(initial))?);
+            }
+        }
+        if config.method == ObservationMethod::Once {
+            readouts.push(self.readout(ReadoutPoint::Final)?);
+        }
+
+        let tck_used = self.driver.tck() - tck_start;
+        Ok(IntegrityReport::new(
+            config.method,
+            n,
+            readouts,
+            tck_used,
+            self.patterns_applied,
+        ))
+    }
+
+    fn per_pattern_readout(
+        &mut self,
+        config: &SessionConfig,
+        initial: DriveLevel,
+        victim: usize,
+        pattern_index: usize,
+        readouts: &mut Vec<ReadoutRecord>,
+    ) -> Result<(), CoreError> {
+        if config.method != ObservationMethod::PerPattern {
+            return Ok(());
+        }
+        let fault = IntegrityFault::covered_by_initial(initial)[pattern_index];
+        readouts.push(self.readout(ReadoutPoint::AfterPattern { initial, victim, fault })?);
+        // Resume unless this was the last pattern of the half (the next
+        // half re-preloads everything anyway).
+        let last_of_half = victim == self.wires - 1 && pattern_index == 2;
+        if !last_of_half {
+            self.resume(victim)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::{method_total_tcks, pgbsc_generation_tcks, ChainGeometry};
+
+    fn healthy(n: usize) -> Soc {
+        SocBuilder::new(n).build().unwrap()
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(SocBuilder::new(1).build().is_err());
+        assert!(SocBuilder::new(2).build().is_ok());
+        // Width mismatch between builder and explicit bus params.
+        let err = SocBuilder::new(4).bus_params(BusParams::dsm_bus(3)).build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn chain_layout() {
+        let soc = SocBuilder::new(5).extra_cells(7).build().unwrap();
+        assert_eq!(soc.chain_len(), 17);
+        assert_eq!(soc.wires(), 5);
+        assert_eq!(soc.extra_cells(), 7);
+    }
+
+    #[test]
+    fn healthy_bus_passes_method1() {
+        let mut soc = healthy(4);
+        let report =
+            soc.run_integrity_test(&SessionConfig::method(ObservationMethod::Once)).unwrap();
+        assert!(
+            !report.any_violation(),
+            "healthy bus must be clean: {report}"
+        );
+        assert_eq!(report.patterns_applied, 2 * 4 * 3, "3 patterns per victim per half");
+    }
+
+    #[test]
+    fn coupling_defect_detected_as_noise() {
+        let mut soc = SocBuilder::new(4).coupling_defect(2, 6.0).build().unwrap();
+        let report =
+            soc.run_integrity_test(&SessionConfig::method(ObservationMethod::Once)).unwrap();
+        assert!(report.wire(2).noise, "boosted coupling must latch the victim's ND: {report}");
+    }
+
+    #[test]
+    fn open_defect_detected_as_skew() {
+        let mut soc = SocBuilder::new(4).open_defect(1, 3000.0).build().unwrap();
+        let report =
+            soc.run_integrity_test(&SessionConfig::method(ObservationMethod::Once)).unwrap();
+        assert!(report.wire(1).skew, "resistive open must latch the victim's SD: {report}");
+    }
+
+    #[test]
+    fn generation_tcks_match_closed_form() {
+        // Measure only the generation part by running method 1 and
+        // subtracting the single final read-out.
+        let n = 4;
+        let m = 3;
+        let mut soc = SocBuilder::new(n).extra_cells(m).build().unwrap();
+        let report =
+            soc.run_integrity_test(&SessionConfig::method(ObservationMethod::Once)).unwrap();
+        let g = ChainGeometry::new(n, m);
+        let expected = method_total_tcks(g, ObservationMethod::Once);
+        assert_eq!(report.tck_used, expected, "driver TCKs must equal the Table 5/6 formulas");
+        let _ = pgbsc_generation_tcks(g);
+    }
+
+    #[test]
+    fn method_tcks_match_closed_form_for_all_methods() {
+        for method in [
+            ObservationMethod::Once,
+            ObservationMethod::PerInitialValue,
+            ObservationMethod::PerPattern,
+        ] {
+            let n = 3;
+            let m = 2;
+            let mut soc = SocBuilder::new(n).extra_cells(m).build().unwrap();
+            let report = soc.run_integrity_test(&SessionConfig::method(method)).unwrap();
+            let g = ChainGeometry::new(n, m);
+            assert_eq!(report.tck_used, method_total_tcks(g, method), "{method}");
+        }
+    }
+
+    #[test]
+    fn method3_attributes_fault_class() {
+        // Boosted coupling on wire 1 of 3: the per-pattern read-outs
+        // must first show wire 1's ND latching during one of wire 1's
+        // glitch patterns.
+        let mut soc = SocBuilder::new(3).coupling_defect(1, 6.0).build().unwrap();
+        let report = soc
+            .run_integrity_test(&SessionConfig::method(ObservationMethod::PerPattern))
+            .unwrap();
+        let first_hit = report
+            .readouts
+            .iter()
+            .find(|r| r.nd[1])
+            .expect("defect must be seen in some read-out");
+        match first_hit.point {
+            ReadoutPoint::AfterPattern { victim, fault, .. } => {
+                assert_eq!(victim, 1, "first ND hit attributed to wire 1's own round");
+                assert!(fault.is_glitch(), "coupling defect is a noise fault, got {fault}");
+            }
+            other => panic!("unexpected read-out point {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conventional_generation_matches_closed_form_and_is_slower() {
+        use crate::timing::conventional_generation_tcks;
+        let n = 4;
+        let m = 2;
+        let mut soc = SocBuilder::new(n).extra_cells(m).build().unwrap();
+        let (tck_conv, patterns) = soc.run_conventional_generation().unwrap();
+        let g = ChainGeometry::new(n, m);
+        assert_eq!(tck_conv, conventional_generation_tcks(g));
+        assert!(patterns >= 6 * n, "every fault pair applies at least one transition");
+        // And it must dwarf the PGBSC campaign on the same geometry.
+        assert!(tck_conv > pgbsc_generation_tcks(g));
+    }
+
+    #[test]
+    fn detectors_accumulate_across_readouts() {
+        let mut soc = SocBuilder::new(3).coupling_defect(1, 6.0).build().unwrap();
+        let report = soc
+            .run_integrity_test(&SessionConfig::method(ObservationMethod::PerInitialValue))
+            .unwrap();
+        assert_eq!(report.readouts.len(), 2);
+        let last = report.readouts.last().unwrap();
+        assert!(last.nd[1], "final read-out is cumulative");
+    }
+}

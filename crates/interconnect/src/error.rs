@@ -1,0 +1,79 @@
+//! Error type for bus construction and transient simulation.
+
+use std::fmt;
+
+/// Errors produced while building a bus or running a transient analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum InterconnectError {
+    /// The bus description is physically meaningless (zero wires, zero
+    /// segments, non-positive R/C, …).
+    BadGeometry {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The MNA conductance matrix is singular (disconnected node or
+    /// degenerate element values).
+    SingularMatrix,
+    /// A stimulus refers to a wire outside the bus.
+    WireOutOfRange {
+        /// The offending wire index.
+        wire: usize,
+        /// Number of wires on the bus.
+        width: usize,
+    },
+    /// A non-positive simulation timestep or duration was requested.
+    BadTimeAxis {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl InterconnectError {
+    pub(crate) fn geometry(reason: impl Into<String>) -> Self {
+        InterconnectError::BadGeometry { reason: reason.into() }
+    }
+
+    pub(crate) fn time(reason: impl Into<String>) -> Self {
+        InterconnectError::BadTimeAxis { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for InterconnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterconnectError::BadGeometry { reason } => {
+                write!(f, "invalid bus geometry: {reason}")
+            }
+            InterconnectError::SingularMatrix => {
+                write!(f, "singular nodal matrix (disconnected or degenerate circuit)")
+            }
+            InterconnectError::WireOutOfRange { wire, width } => {
+                write!(f, "wire index {wire} out of range for {width}-wire bus")
+            }
+            InterconnectError::BadTimeAxis { reason } => {
+                write!(f, "invalid time axis: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterconnectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = InterconnectError::WireOutOfRange { wire: 7, width: 5 };
+        assert_eq!(e.to_string(), "wire index 7 out of range for 5-wire bus");
+        assert!(InterconnectError::geometry("zero wires").to_string().contains("zero wires"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InterconnectError>();
+    }
+}

@@ -1,0 +1,240 @@
+//! Dense linear algebra for the nodal solver.
+//!
+//! The MNA conductance matrix of a coupled bus is small (wires × segments
+//! nodes — at most a few hundred) and constant across a transient run, so
+//! a dense LU factorisation with partial pivoting, computed once and
+//! back-substituted every timestep, is both simple and fast.
+
+use crate::error::InterconnectError;
+use std::fmt;
+
+/// A dense row-major `n × n` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Matrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Creates the `n × n` identity.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    #[must_use]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// LU-factorises the matrix with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// [`InterconnectError::SingularMatrix`] when a pivot underflows.
+    pub fn lu(&self) -> Result<LuFactors, InterconnectError> {
+        let n = self.n;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: find the largest |entry| in column k at/below k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[k * n + k].abs();
+            for r in k + 1..n {
+                let v = lu[r * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(InterconnectError::SingularMatrix);
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, pivot_row * n + c);
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = lu[k * n + k];
+            for r in k + 1..n {
+                let factor = lu[r * n + k] / pivot;
+                lu[r * n + k] = factor;
+                for c in k + 1..n {
+                    lu[r * n + c] -= factor * lu[k * n + c];
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, perm })
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.n + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.n + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.n {
+            for c in 0..self.n {
+                write!(f, "{:>12.4e} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of [`Matrix::lu`]: packed L/U factors plus the row
+/// permutation, reusable for many right-hand sides.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Solves `A · x = b` for the factored `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        let n = self.n;
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let m = Matrix::identity(4);
+        let lu = m.lu().unwrap();
+        let b = [1.0, -2.0, 3.5, 0.0];
+        assert_close(&lu.solve(&b), &b, 1e-14);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [[2,1],[1,3]] x = [3,5] → x = [4/5, 7/5]
+        let mut m = Matrix::zeros(2);
+        m[(0, 0)] = 2.0;
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 1.0;
+        m[(1, 1)] = 3.0;
+        let x = m.lu().unwrap().solve(&[3.0, 5.0]);
+        assert_close(&x, &[0.8, 1.4], 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [[0,1],[1,0]] is perfectly regular but needs a row swap.
+        let mut m = Matrix::zeros(2);
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 1.0;
+        let x = m.lu().unwrap().solve(&[2.0, 3.0]);
+        assert_close(&x, &[3.0, 2.0], 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let mut m = Matrix::zeros(3);
+        // Rank 1: every row identical.
+        for r in 0..3 {
+            for c in 0..3 {
+                m[(r, c)] = 1.0;
+            }
+        }
+        assert_eq!(m.lu().unwrap_err(), InterconnectError::SingularMatrix);
+    }
+
+    #[test]
+    fn solve_round_trips_with_mul_vec() {
+        // Random-ish diagonally dominant SPD-like matrix.
+        let n = 8;
+        let mut m = Matrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                m[(r, c)] = if r == c { 10.0 + r as f64 } else { 1.0 / (1.0 + (r + 2 * c) as f64) };
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 3.0).collect();
+        let b = m.mul_vec(&x_true);
+        let x = m.lu().unwrap().solve(&b);
+        assert_close(&x, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = Matrix::identity(2);
+        let s = m.to_string();
+        assert_eq!(s.lines().count(), 2);
+    }
+}

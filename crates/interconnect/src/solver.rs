@@ -1,0 +1,777 @@
+//! Transient nodal simulation of a coupled bus.
+//!
+//! Discretisation: each wire contributes `segments` internal nodes. The
+//! driver is a Thevenin source behind the driver resistance (plus
+//! segment 0's series impedance) into node 0; consecutive nodes are
+//! joined by the segment impedance; every node carries its share of
+//! ground capacitance plus coupling capacitance to the same-position
+//! node of each adjacent wire; the last node additionally carries the
+//! receiver load.
+//!
+//! Integration: **backward Euler**, with the system matrix factored
+//! once per (topology, timestep) and reused every step — the same trick
+//! production fast-SPICE engines use for fixed-step sections. BE is
+//! unconditionally stable, which matters because segment RC time
+//! constants are ~10³ shorter than the simulated window.
+//!
+//! Two formulations are selected automatically:
+//!
+//! * **Pure RC** (`l_per_mm == 0`, the default): classic nodal analysis
+//!   with only node voltages as unknowns —
+//!   `(G + C/h)·v = (C/h)·v_prev + b(t)`.
+//! * **RLC** (any series inductance): *augmented MNA* with one extra
+//!   unknown per inductive branch current. Branch `a→b` with series
+//!   `R`, `L` contributes the row `v_a − v_b − (R + L/h)·i = −(L/h)·i_prev`
+//!   and `±i` to the two KCL rows. This is what lets the bus ring and
+//!   overshoot — the physics behind the paper's P̄g/N̄g faults.
+
+use crate::drive::{Stimulus, VectorPair};
+use crate::error::InterconnectError;
+use crate::linalg::{LuFactors, Matrix};
+use crate::params::Bus;
+use serde::{Deserialize, Serialize};
+
+/// Default time the drivers launch their edge after simulation start.
+pub const DEFAULT_SWITCH_AT: f64 = 0.2e-9;
+
+/// Pure-RC engine state.
+#[derive(Debug, Clone)]
+struct RcEngine {
+    nodes: usize,
+    /// `G + C/h`, LU-factored.
+    a_lu: LuFactors,
+    /// `G` alone, LU-factored (for the DC operating point).
+    g_lu: LuFactors,
+    /// Dense copy of `C / h` for the history term.
+    c_over_h: Matrix,
+    /// Per-wire driver conductances (into node 0 of each wire).
+    g_drv: Vec<f64>,
+}
+
+/// One series R‖L branch of the augmented formulation.
+#[derive(Debug, Clone, Copy)]
+struct Branch {
+    /// Source node index, or `None` when fed by the wire's driver.
+    from: Option<usize>,
+    /// Sink node index.
+    to: usize,
+    /// Driving wire (for source lookup) when `from` is `None`.
+    wire: usize,
+    /// Series inductance (H).
+    l: f64,
+}
+
+/// Augmented-MNA engine state for inductive buses.
+#[derive(Debug, Clone)]
+struct RlcEngine {
+    nodes: usize,
+    branches: Vec<Branch>,
+    /// Transient system, LU-factored.
+    a_lu: LuFactors,
+    /// DC system (inductors shorted, capacitors open), LU-factored.
+    dc_lu: LuFactors,
+    /// Dense `C / h` over the node block for the history term.
+    c_over_h: Matrix,
+}
+
+#[derive(Debug, Clone)]
+enum Engine {
+    Rc(RcEngine),
+    Rlc(RlcEngine),
+}
+
+/// A factored transient simulator bound to one bus and timestep.
+#[derive(Debug, Clone)]
+pub struct TransientSim {
+    bus: Bus,
+    dt: f64,
+    switch_at: f64,
+    engine: Engine,
+}
+
+fn build_cap_matrix(bus: &Bus) -> Matrix {
+    let s = bus.segments();
+    let w = bus.wires();
+    let nodes = w * s;
+    let node = |wire: usize, seg: usize| wire * s + seg;
+    let mut c = Matrix::zeros(nodes);
+    for wire in 0..w {
+        for seg in 0..s {
+            c[(node(wire, seg), node(wire, seg))] += bus.cg_node[wire][seg];
+        }
+        c[(node(wire, s - 1), node(wire, s - 1))] += bus.receiver_c;
+    }
+    for pair in 0..w.saturating_sub(1) {
+        for seg in 0..s {
+            let cc = bus.cc_node[pair][seg];
+            let a = node(pair, seg);
+            let b = node(pair + 1, seg);
+            c[(a, a)] += cc;
+            c[(b, b)] += cc;
+            c[(a, b)] -= cc;
+            c[(b, a)] -= cc;
+        }
+    }
+    c
+}
+
+fn build_rc_engine(bus: &Bus, dt: f64) -> Result<RcEngine, InterconnectError> {
+    let s = bus.segments();
+    let w = bus.wires();
+    let nodes = w * s;
+    let node = |wire: usize, seg: usize| wire * s + seg;
+
+    let mut g = Matrix::zeros(nodes);
+    let mut g_drv = Vec::with_capacity(w);
+    for wire in 0..w {
+        // Driver Thevenin conductance into node 0; segment 0's series
+        // resistance lies between the driver and node 0, so it folds
+        // into the same branch.
+        let gd = 1.0 / (bus.driver_r[wire] + bus.r_seg[wire][0]);
+        g_drv.push(gd);
+        g[(node(wire, 0), node(wire, 0))] += gd;
+        for seg in 1..s {
+            let gseg = 1.0 / bus.r_seg[wire][seg];
+            let a = node(wire, seg - 1);
+            let b = node(wire, seg);
+            g[(a, a)] += gseg;
+            g[(b, b)] += gseg;
+            g[(a, b)] -= gseg;
+            g[(b, a)] -= gseg;
+        }
+    }
+    let c = build_cap_matrix(bus);
+    let mut a = Matrix::zeros(nodes);
+    let mut c_over_h = Matrix::zeros(nodes);
+    for r in 0..nodes {
+        for col in 0..nodes {
+            c_over_h[(r, col)] = c[(r, col)] / dt;
+            a[(r, col)] = g[(r, col)] + c_over_h[(r, col)];
+        }
+    }
+    Ok(RcEngine { nodes, a_lu: a.lu()?, g_lu: g.lu()?, c_over_h, g_drv })
+}
+
+fn build_rlc_engine(bus: &Bus, dt: f64) -> Result<RlcEngine, InterconnectError> {
+    let s = bus.segments();
+    let w = bus.wires();
+    let nodes = w * s;
+    let node = |wire: usize, seg: usize| wire * s + seg;
+
+    // One branch per segment: the driver branch carries segment 0's
+    // series impedance plus the driver resistance.
+    let mut branches = Vec::with_capacity(w * s);
+    for wire in 0..w {
+        branches.push(Branch { from: None, to: node(wire, 0), wire, l: bus.l_seg[wire][0] });
+        for seg in 1..s {
+            branches.push(Branch {
+                from: Some(node(wire, seg - 1)),
+                to: node(wire, seg),
+                wire,
+                l: bus.l_seg[wire][seg],
+            });
+        }
+    }
+    let nb = branches.len();
+    let dim = nodes + nb;
+    let c = build_cap_matrix(bus);
+
+    let mut a = Matrix::zeros(dim);
+    let mut dc = Matrix::zeros(dim);
+    let mut c_over_h = Matrix::zeros(nodes);
+    for r in 0..nodes {
+        for col in 0..nodes {
+            c_over_h[(r, col)] = c[(r, col)] / dt;
+            a[(r, col)] = c_over_h[(r, col)];
+        }
+    }
+    for (k, br) in branches.iter().enumerate() {
+        let col = nodes + k;
+        let r_series = match br.from {
+            None => bus.driver_r[br.wire] + bus.r_seg[br.wire][0],
+            Some(_) => {
+                // Segment index recovered from the sink node.
+                let seg = br.to % s;
+                bus.r_seg[br.wire][seg]
+            }
+        };
+        // KCL: current flows from `from` to `to`.
+        if let Some(from) = br.from {
+            a[(from, col)] += 1.0;
+            dc[(from, col)] += 1.0;
+        }
+        a[(br.to, col)] -= 1.0;
+        dc[(br.to, col)] -= 1.0;
+        // Branch voltage equation.
+        if let Some(from) = br.from {
+            a[(col, from)] += 1.0;
+            dc[(col, from)] += 1.0;
+        }
+        a[(col, br.to)] -= 1.0;
+        dc[(col, br.to)] -= 1.0;
+        a[(col, col)] -= r_series + br.l / dt;
+        dc[(col, col)] -= r_series;
+    }
+    // Mutual inductance: branch (w, seg) couples with the same-segment
+    // branch of each adjacent wire — an off-diagonal −(M/h)·i_neighbor
+    // term in the branch voltage equation. At DC inductors (self and
+    // mutual) are shorts, so only the transient matrix is stamped.
+    for pair in 0..w.saturating_sub(1) {
+        for seg in 0..s {
+            let m = bus.lm_seg[pair][seg];
+            if m == 0.0 {
+                continue;
+            }
+            let ka = nodes + pair * s + seg;
+            let kb = nodes + (pair + 1) * s + seg;
+            a[(ka, kb)] -= m / dt;
+            a[(kb, ka)] -= m / dt;
+        }
+    }
+    Ok(RlcEngine { nodes, branches, a_lu: a.lu()?, dc_lu: dc.lu()?, c_over_h })
+}
+
+impl TransientSim {
+    /// Builds and factorises the solver for `bus` with timestep `dt`,
+    /// selecting the RC or RLC formulation automatically.
+    ///
+    /// # Errors
+    ///
+    /// [`InterconnectError::BadTimeAxis`] for a non-positive `dt`;
+    /// [`InterconnectError::SingularMatrix`] if the bus graph is
+    /// degenerate.
+    pub fn new(bus: &Bus, dt: f64) -> Result<TransientSim, InterconnectError> {
+        Self::with_switch_at(bus, dt, DEFAULT_SWITCH_AT)
+    }
+
+    /// As [`TransientSim::new`] with an explicit edge-launch time.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransientSim::new`].
+    pub fn with_switch_at(
+        bus: &Bus,
+        dt: f64,
+        switch_at: f64,
+    ) -> Result<TransientSim, InterconnectError> {
+        if dt <= 0.0 {
+            return Err(InterconnectError::time("timestep must be positive"));
+        }
+        if switch_at < 0.0 {
+            return Err(InterconnectError::time("switch time must be non-negative"));
+        }
+        let engine = if bus.has_inductance() {
+            Engine::Rlc(build_rlc_engine(bus, dt)?)
+        } else {
+            Engine::Rc(build_rc_engine(bus, dt)?)
+        };
+        Ok(TransientSim { bus: bus.clone(), dt, switch_at, engine })
+    }
+
+    /// The timestep (s).
+    #[must_use]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The edge-launch time (s).
+    #[must_use]
+    pub fn switch_at(&self) -> f64 {
+        self.switch_at
+    }
+
+    /// Whether the augmented (inductive) formulation is active.
+    #[must_use]
+    pub fn is_rlc(&self) -> bool {
+        matches!(self.engine, Engine::Rlc(_))
+    }
+
+    /// Runs the transient for `duration` seconds under `stimulus`,
+    /// starting from the DC operating point of the *initial* source
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// [`InterconnectError::BadTimeAxis`] for a non-positive duration;
+    /// [`InterconnectError::WireOutOfRange`] for a stimulus width
+    /// mismatch.
+    pub fn run(
+        &self,
+        stimulus: &Stimulus,
+        duration: f64,
+    ) -> Result<BusWaveforms, InterconnectError> {
+        if duration <= 0.0 {
+            return Err(InterconnectError::time("duration must be positive"));
+        }
+        if stimulus.width() != self.bus.wires() {
+            return Err(InterconnectError::WireOutOfRange {
+                wire: stimulus.width(),
+                width: self.bus.wires(),
+            });
+        }
+        // Epsilon guard: 1e-9/1e-12 must give exactly 1000 steps despite
+        // floating-point representation of the quotient.
+        let steps = ((duration / self.dt) - 1e-9).ceil().max(1.0) as usize;
+        match &self.engine {
+            Engine::Rc(e) => self.run_rc(e, stimulus, steps),
+            Engine::Rlc(e) => self.run_rlc(e, stimulus, steps),
+        }
+    }
+
+    fn collect(
+        &self,
+        v: &[f64],
+        recv: &mut [Vec<f64>],
+        drv: &mut [Vec<f64>],
+    ) {
+        let s = self.bus.segments();
+        for wire in 0..self.bus.wires() {
+            recv[wire].push(v[wire * s + (s - 1)]);
+            drv[wire].push(v[wire * s]);
+        }
+    }
+
+    fn wrap(&self, recv: Vec<Vec<f64>>, drv: Vec<Vec<f64>>) -> BusWaveforms {
+        BusWaveforms {
+            dt: self.dt,
+            switch_at: self.switch_at,
+            vdd: self.bus.vdd(),
+            receiver: recv,
+            driver: drv,
+        }
+    }
+
+    fn run_rc(
+        &self,
+        e: &RcEngine,
+        stimulus: &Stimulus,
+        steps: usize,
+    ) -> Result<BusWaveforms, InterconnectError> {
+        let s = self.bus.segments();
+        let w = self.bus.wires();
+        let source_rhs = |t: f64| {
+            let mut b = vec![0.0; e.nodes];
+            for wire in 0..w {
+                b[wire * s] = e.g_drv[wire] * stimulus.voltage(wire, t);
+            }
+            b
+        };
+        let mut v = e.g_lu.solve(&source_rhs(0.0));
+        let mut recv = vec![Vec::with_capacity(steps + 1); w];
+        let mut drv = vec![Vec::with_capacity(steps + 1); w];
+        self.collect(&v, &mut recv, &mut drv);
+        for k in 1..=steps {
+            let t = k as f64 * self.dt;
+            let mut rhs = e.c_over_h.mul_vec(&v);
+            for (r, bi) in rhs.iter_mut().zip(source_rhs(t)) {
+                *r += bi;
+            }
+            v = e.a_lu.solve(&rhs);
+            self.collect(&v, &mut recv, &mut drv);
+        }
+        Ok(self.wrap(recv, drv))
+    }
+
+    fn run_rlc(
+        &self,
+        e: &RlcEngine,
+        stimulus: &Stimulus,
+        steps: usize,
+    ) -> Result<BusWaveforms, InterconnectError> {
+        let w = self.bus.wires();
+        let nb = e.branches.len();
+        let dim = e.nodes + nb;
+        // RHS builder: node rows carry the capacitor history, branch
+        // rows carry −vs (driver branches) and the inductor history.
+        let s = self.bus.segments();
+        let build_rhs = |t: f64, v_prev: &[f64], i_prev: &[f64]| {
+            let mut rhs = vec![0.0; dim];
+            let hist = e.c_over_h.mul_vec(v_prev);
+            rhs[..e.nodes].copy_from_slice(&hist);
+            for (k, br) in e.branches.iter().enumerate() {
+                let mut b = -(br.l / self.dt) * i_prev[k];
+                // Mutual-inductance history from same-segment neighbours.
+                let seg = k % s;
+                let wire = k / s;
+                if wire > 0 {
+                    let m = self.bus.lm_seg[wire - 1][seg];
+                    if m != 0.0 {
+                        b -= (m / self.dt) * i_prev[(wire - 1) * s + seg];
+                    }
+                }
+                if wire + 1 < w {
+                    let m = self.bus.lm_seg[wire][seg];
+                    if m != 0.0 {
+                        b -= (m / self.dt) * i_prev[(wire + 1) * s + seg];
+                    }
+                }
+                if br.from.is_none() {
+                    b -= stimulus.voltage(br.wire, t);
+                }
+                rhs[e.nodes + k] = b;
+            }
+            rhs
+        };
+        // DC operating point: inductors short, capacitors open.
+        let mut dc_rhs = vec![0.0; dim];
+        for (k, br) in e.branches.iter().enumerate() {
+            if br.from.is_none() {
+                dc_rhs[e.nodes + k] = -stimulus.voltage(br.wire, 0.0);
+            }
+        }
+        let x0 = e.dc_lu.solve(&dc_rhs);
+        let mut v: Vec<f64> = x0[..e.nodes].to_vec();
+        let mut i: Vec<f64> = x0[e.nodes..].to_vec();
+
+        let mut recv = vec![Vec::with_capacity(steps + 1); w];
+        let mut drv = vec![Vec::with_capacity(steps + 1); w];
+        self.collect(&v, &mut recv, &mut drv);
+        for k in 1..=steps {
+            let t = k as f64 * self.dt;
+            let x = e.a_lu.solve(&build_rhs(t, &v, &i));
+            v.copy_from_slice(&x[..e.nodes]);
+            i.copy_from_slice(&x[e.nodes..]);
+            self.collect(&v, &mut recv, &mut drv);
+        }
+        Ok(self.wrap(recv, drv))
+    }
+
+    /// Convenience: lowers a [`VectorPair`] to a stimulus (edge at the
+    /// configured switch time) and runs it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransientSim::run`].
+    pub fn run_pair(
+        &self,
+        pair: &VectorPair,
+        duration: f64,
+    ) -> Result<BusWaveforms, InterconnectError> {
+        let stim = Stimulus::from_pair(&self.bus, pair, self.switch_at)?;
+        self.run(&stim, duration)
+    }
+}
+
+/// Simulated voltages for every bus wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusWaveforms {
+    dt: f64,
+    switch_at: f64,
+    vdd: f64,
+    /// `[wire][step]` voltage at the receiver-end node.
+    receiver: Vec<Vec<f64>>,
+    /// `[wire][step]` voltage at the driver-end node.
+    driver: Vec<Vec<f64>>,
+}
+
+impl BusWaveforms {
+    /// Sample interval (s).
+    #[must_use]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// When the drivers launched their edge (s).
+    #[must_use]
+    pub fn switch_at(&self) -> f64 {
+        self.switch_at
+    }
+
+    /// Supply voltage the run used (V).
+    #[must_use]
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Number of wires.
+    #[must_use]
+    pub fn wires(&self) -> usize {
+        self.receiver.len()
+    }
+
+    /// Number of samples per wire.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.receiver.first().map_or(0, Vec::len)
+    }
+
+    /// Receiver-end waveform of `wire`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is out of range.
+    #[must_use]
+    pub fn wire(&self, wire: usize) -> &[f64] {
+        &self.receiver[wire]
+    }
+
+    /// Driver-end waveform of `wire`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is out of range.
+    #[must_use]
+    pub fn driver_end(&self, wire: usize) -> &[f64] {
+        &self.driver[wire]
+    }
+
+    /// The time of sample `k` (s).
+    #[must_use]
+    pub fn time_of(&self, k: usize) -> f64 {
+        k as f64 * self.dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BusParams;
+
+    fn small_bus(wires: usize) -> Bus {
+        BusParams::dsm_bus(wires).segments(4).build().unwrap()
+    }
+
+    #[test]
+    fn dc_point_matches_drive_levels() {
+        let bus = small_bus(3);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        let pair = VectorPair::from_strs("101", "101").unwrap();
+        let waves = sim.run_pair(&pair, 1e-9).unwrap();
+        // No switching: every wire must sit at its DC level throughout.
+        for (w, expect) in [(0usize, bus.vdd()), (1, 0.0), (2, bus.vdd())] {
+            for &v in waves.wire(w) {
+                assert!((v - expect).abs() < 1e-6, "wire {w}: {v} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_wire_settles_to_vdd_after_rise() {
+        let bus = BusParams::dsm_bus(1).segments(4).build().unwrap();
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        let pair = VectorPair::from_strs("0", "1").unwrap();
+        let waves = sim.run_pair(&pair, 3e-9).unwrap();
+        let wave = waves.wire(0);
+        assert!(wave[0].abs() < 1e-9, "starts at ground");
+        let last = *wave.last().unwrap();
+        assert!((last - bus.vdd()).abs() < 1e-3, "settles at vdd: {last}");
+        // Monotone-ish rise: final 10% of samples near vdd.
+        let tail = &wave[wave.len() * 9 / 10..];
+        assert!(tail.iter().all(|v| (v - bus.vdd()).abs() < 0.01));
+    }
+
+    #[test]
+    fn rise_is_slower_at_receiver_than_driver() {
+        let bus = BusParams::dsm_bus(1).segments(8).build().unwrap();
+        let sim = TransientSim::new(&bus, 1e-12).unwrap();
+        let pair = VectorPair::from_strs("0", "1").unwrap();
+        let waves = sim.run_pair(&pair, 2e-9).unwrap();
+        // Mid-rise sample: driver end must lead the receiver end.
+        let k = ((sim.switch_at() + 60e-12) / waves.dt()) as usize;
+        assert!(
+            waves.driver_end(0)[k] > waves.wire(0)[k] + 1e-3,
+            "driver {} vs receiver {}",
+            waves.driver_end(0)[k],
+            waves.wire(0)[k]
+        );
+    }
+
+    #[test]
+    fn aggressors_couple_positive_glitch_into_quiet_low_victim() {
+        let bus = small_bus(3);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        // Victim = wire 1 held low; both neighbours rise (Pg pattern).
+        let pair = VectorPair::from_strs("000", "101").unwrap();
+        let waves = sim.run_pair(&pair, 2e-9).unwrap();
+        let peak = waves.wire(1).iter().cloned().fold(f64::MIN, f64::max);
+        assert!(peak > 0.05, "expected a visible positive glitch, got {peak}");
+        assert!(peak < bus.vdd(), "glitch cannot exceed the rail, got {peak}");
+        // And it must die back down (it is a glitch, not a level change).
+        let last = *waves.wire(1).last().unwrap();
+        assert!(last.abs() < 0.01, "victim returns to ground: {last}");
+    }
+
+    #[test]
+    fn negative_glitch_mirrors_positive() {
+        let bus = small_bus(3);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        // Victim held high; neighbours fall (Ng pattern).
+        let up = VectorPair::from_strs("000", "101").unwrap();
+        let down = VectorPair::from_strs("111", "010").unwrap();
+        let wu = sim.run_pair(&up, 2e-9).unwrap();
+        let wd = sim.run_pair(&down, 2e-9).unwrap();
+        let peak_up = wu.wire(1).iter().cloned().fold(f64::MIN, f64::max);
+        let dip_down = wd.wire(1).iter().cloned().fold(f64::MAX, f64::min);
+        // Linear network ⇒ symmetric responses.
+        assert!((peak_up - (bus.vdd() - dip_down)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn opposing_neighbours_slow_the_victim_edge() {
+        // Miller effect: victim rising with falling neighbours is slower
+        // than victim rising with rising neighbours.
+        let bus = small_bus(3);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        let with = VectorPair::from_strs("000", "111").unwrap(); // all rise
+        let against = VectorPair::from_strs("101", "010").unwrap(); // victim rises, aggrs fall
+        let ww = sim.run_pair(&with, 4e-9).unwrap();
+        let wa = sim.run_pair(&against, 4e-9).unwrap();
+        let half = bus.vdd() / 2.0;
+        let t_with = crate::measure::crossing_time(ww.wire(1), ww.dt(), half, true).unwrap();
+        let t_against = crate::measure::crossing_time(wa.wire(1), wa.dt(), half, true).unwrap();
+        assert!(
+            t_against > t_with + 5e-12,
+            "opposing switching must add delay: {t_against} vs {t_with}"
+        );
+    }
+
+    #[test]
+    fn more_coupling_means_bigger_glitch() {
+        let weak = BusParams::dsm_bus(3).segments(4).cc_per_mm(20e-15).build().unwrap();
+        let strong = BusParams::dsm_bus(3).segments(4).cc_per_mm(160e-15).build().unwrap();
+        let pair = VectorPair::from_strs("000", "101").unwrap();
+        let peak = |bus: &Bus| {
+            let sim = TransientSim::new(bus, 2e-12).unwrap();
+            let w = sim.run_pair(&pair, 2e-9).unwrap();
+            w.wire(1).iter().cloned().fold(f64::MIN, f64::max)
+        };
+        assert!(peak(&strong) > 2.0 * peak(&weak));
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let bus = small_bus(2);
+        assert!(TransientSim::new(&bus, 0.0).is_err());
+        assert!(TransientSim::with_switch_at(&bus, 1e-12, -1.0).is_err());
+        let sim = TransientSim::new(&bus, 1e-12).unwrap();
+        let pair3 = VectorPair::from_strs("000", "111").unwrap();
+        assert!(sim.run_pair(&pair3, 1e-9).is_err());
+        let pair = VectorPair::from_strs("00", "11").unwrap();
+        assert!(sim.run_pair(&pair, -1.0).is_err());
+    }
+
+    #[test]
+    fn waveform_metadata() {
+        let bus = small_bus(2);
+        let sim = TransientSim::new(&bus, 1e-12).unwrap();
+        let pair = VectorPair::from_strs("00", "10").unwrap();
+        let w = sim.run_pair(&pair, 1e-9).unwrap();
+        assert_eq!(w.wires(), 2);
+        assert_eq!(w.samples(), 1001);
+        assert!((w.time_of(1000) - 1e-9).abs() < 1e-18);
+        assert!((w.vdd() - bus.vdd()).abs() < 1e-12);
+    }
+
+    // ------------------------- RLC path -------------------------
+
+    fn rlc_bus(wires: usize, l_per_mm: f64) -> Bus {
+        BusParams::dsm_bus(wires).segments(4).l_per_mm(l_per_mm).build().unwrap()
+    }
+
+    #[test]
+    fn rlc_path_selected_only_with_inductance() {
+        let rc = small_bus(2);
+        assert!(!TransientSim::new(&rc, 2e-12).unwrap().is_rlc());
+        let rlc = rlc_bus(2, 0.4e-9);
+        assert!(TransientSim::new(&rlc, 2e-12).unwrap().is_rlc());
+    }
+
+    #[test]
+    fn tiny_inductance_matches_rc_solution() {
+        // L → 0 must converge to the RC result.
+        let rc = small_bus(3);
+        let rlc = rlc_bus(3, 1e-15); // femto-henry per mm: negligible
+        let pair = VectorPair::from_strs("000", "101").unwrap();
+        let wv_rc = TransientSim::new(&rc, 2e-12).unwrap().run_pair(&pair, 2e-9).unwrap();
+        let wv_rlc = TransientSim::new(&rlc, 2e-12).unwrap().run_pair(&pair, 2e-9).unwrap();
+        for (a, b) in wv_rc.wire(0).iter().zip(wv_rlc.wire(0)) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rlc_dc_point_matches_drive_levels() {
+        let bus = rlc_bus(3, 0.4e-9);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        let pair = VectorPair::from_strs("110", "110").unwrap();
+        let waves = sim.run_pair(&pair, 1e-9).unwrap();
+        for (w, expect) in [(0usize, bus.vdd()), (1, bus.vdd()), (2, 0.0)] {
+            for &v in waves.wire(w) {
+                assert!((v - expect).abs() < 1e-6, "wire {w}: {v} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn rlc_settles_to_final_levels() {
+        let bus = rlc_bus(2, 0.4e-9);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        let pair = VectorPair::from_strs("00", "10").unwrap();
+        let waves = sim.run_pair(&pair, 4e-9).unwrap();
+        let last0 = *waves.wire(0).last().unwrap();
+        let last1 = *waves.wire(1).last().unwrap();
+        assert!((last0 - bus.vdd()).abs() < 5e-3, "{last0}");
+        assert!(last1.abs() < 5e-3, "{last1}");
+    }
+
+    #[test]
+    fn inductance_causes_overshoot() {
+        // Strong series inductance with a fast edge must ring above the
+        // rail at the receiver — impossible in the pure-RC model for a
+        // single isolated wire.
+        let rc = BusParams::dsm_bus(1).segments(4).rise_time(30e-12).build().unwrap();
+        let lc = BusParams::dsm_bus(1)
+            .segments(4)
+            .rise_time(30e-12)
+            .r_per_mm(5.0) // low loss to let it ring
+            .l_per_mm(2e-9)
+            .build()
+            .unwrap();
+        let pair = VectorPair::from_strs("0", "1").unwrap();
+        let peak = |bus: &Bus| {
+            let sim = TransientSim::new(bus, 1e-12).unwrap();
+            let w = sim.run_pair(&pair, 3e-9).unwrap();
+            w.wire(0).iter().cloned().fold(f64::MIN, f64::max)
+        };
+        let rc_peak = peak(&rc);
+        let lc_peak = peak(&lc);
+        assert!(rc_peak <= rc.vdd() + 1e-6, "RC cannot overshoot: {rc_peak}");
+        assert!(lc_peak > lc.vdd() * 1.02, "RLC must overshoot: {lc_peak}");
+    }
+
+    #[test]
+    fn mutual_inductance_validated_and_adds_crosstalk() {
+        // M >= L rejected.
+        assert!(BusParams::dsm_bus(2).l_per_mm(0.4e-9).lm_per_mm(0.5e-9).build().is_err());
+        assert!(BusParams::dsm_bus(2).lm_per_mm(-1e-12).build().is_err());
+        // With no capacitive coupling at all, a quiet victim still sees
+        // inductively coupled noise when M > 0.
+        let quiet = |lm: f64| {
+            let bus = BusParams::dsm_bus(2)
+                .segments(4)
+                .cc_per_mm(0.0)
+                .l_per_mm(1e-9)
+                .lm_per_mm(lm)
+                .rise_time(30e-12)
+                .build()
+                .unwrap();
+            let sim = TransientSim::new(&bus, 1e-12).unwrap();
+            let pair = VectorPair::from_strs("00", "10").unwrap();
+            let waves = sim.run_pair(&pair, 2e-9).unwrap();
+            waves.wire(1).iter().map(|v| v.abs()).fold(0.0, f64::max)
+        };
+        let without = quiet(0.0);
+        let with = quiet(0.5e-9);
+        assert!(with > without + 1e-3, "mutual coupling must add noise: {with} vs {without}");
+    }
+
+    #[test]
+    fn rlc_crosstalk_still_present() {
+        let bus = rlc_bus(3, 0.4e-9);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        let pair = VectorPair::from_strs("000", "101").unwrap();
+        let waves = sim.run_pair(&pair, 2e-9).unwrap();
+        let peak = waves.wire(1).iter().cloned().fold(f64::MIN, f64::max);
+        assert!(peak > 0.05, "coupling must still glitch the victim: {peak}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Random within-die parameter variation.
+//!
+//! Process corners ([`crate::corner`]) shift every element together;
+//! real dies additionally show *local* mismatch: each segment's R and C
+//! lands a few percent off nominal, independently. This module jitters
+//! a built [`Bus`] with a deterministic, dependency-free PRNG
+//! (SplitMix64) so Monte-Carlo studies are reproducible from a seed.
+
+use crate::error::InterconnectError;
+use crate::params::Bus;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64: tiny, high-quality, seedable — ideal for reproducible
+/// parameter jitter without pulling a dependency into the substrate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Approximately normal sample (mean 0, unit variance) via the sum
+    /// of 12 uniforms — plenty for parameter mismatch.
+    pub fn next_gaussian(&mut self) -> f64 {
+        (0..12).map(|_| self.next_f64()).sum::<f64>() - 6.0
+    }
+}
+
+/// Relative (1-sigma) mismatch magnitudes per element class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationSigma {
+    /// Segment-resistance sigma (fraction of nominal).
+    pub resistance: f64,
+    /// Ground-capacitance sigma.
+    pub capacitance: f64,
+    /// Coupling-capacitance sigma.
+    pub coupling: f64,
+    /// Driver-resistance sigma.
+    pub driver: f64,
+}
+
+impl VariationSigma {
+    /// A typical mismatch budget: 3 % on wires and grounds, 5 % on
+    /// coupling (spacing-sensitive), 4 % on drivers.
+    #[must_use]
+    pub fn typical() -> VariationSigma {
+        VariationSigma { resistance: 0.03, capacitance: 0.03, coupling: 0.05, driver: 0.04 }
+    }
+
+    /// Uniformly scaled mismatch budget.
+    #[must_use]
+    pub fn uniform(sigma: f64) -> VariationSigma {
+        VariationSigma { resistance: sigma, capacitance: sigma, coupling: sigma, driver: sigma }
+    }
+}
+
+/// Applies per-element Gaussian jitter to a built bus; deterministic in
+/// `seed`. Samples are clamped to ±3σ so extreme tails cannot produce
+/// non-physical (negative) element values.
+///
+/// # Errors
+///
+/// [`InterconnectError::BadGeometry`] when a sigma is negative or at
+/// least `1/3` (the clamp could then reach zero).
+pub fn apply_variation(
+    bus: &mut Bus,
+    sigma: VariationSigma,
+    seed: u64,
+) -> Result<(), InterconnectError> {
+    for (name, s) in [
+        ("resistance", sigma.resistance),
+        ("capacitance", sigma.capacitance),
+        ("coupling", sigma.coupling),
+        ("driver", sigma.driver),
+    ] {
+        if s < 0.0 || s >= 1.0 / 3.0 {
+            return Err(InterconnectError::geometry(format!(
+                "{name} sigma must be in [0, 1/3), got {s}"
+            )));
+        }
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut jitter = |sigma: f64| 1.0 + sigma * rng.next_gaussian().clamp(-3.0, 3.0);
+    for wire in bus.r_seg.iter_mut() {
+        for r in wire.iter_mut() {
+            *r *= jitter(sigma.resistance);
+        }
+    }
+    for wire in bus.cg_node.iter_mut() {
+        for c in wire.iter_mut() {
+            *c *= jitter(sigma.capacitance);
+        }
+    }
+    for pair in bus.cc_node.iter_mut() {
+        for c in pair.iter_mut() {
+            *c *= jitter(sigma.coupling);
+        }
+    }
+    for r in bus.driver_r.iter_mut() {
+        *r *= jitter(sigma.driver);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BusParams;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+        // Uniform samples stay in range.
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gaussian_has_roughly_unit_moments() {
+        let mut rng = SplitMix64::new(1234);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn variation_is_seed_deterministic() {
+        let mut a = BusParams::dsm_bus(3).build().unwrap();
+        let mut b = BusParams::dsm_bus(3).build().unwrap();
+        apply_variation(&mut a, VariationSigma::typical(), 99).unwrap();
+        apply_variation(&mut b, VariationSigma::typical(), 99).unwrap();
+        assert_eq!(a, b);
+        let mut c = BusParams::dsm_bus(3).build().unwrap();
+        apply_variation(&mut c, VariationSigma::typical(), 100).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn jitter_stays_near_nominal() {
+        let nominal = BusParams::dsm_bus(4).build().unwrap();
+        let mut varied = nominal.clone();
+        apply_variation(&mut varied, VariationSigma::typical(), 5).unwrap();
+        for w in 0..4 {
+            let r0 = nominal.wire_resistance(w).unwrap();
+            let r1 = varied.wire_resistance(w).unwrap();
+            assert!((r1 / r0 - 1.0).abs() < 0.1, "wire {w}: {r0} vs {r1}");
+            assert!(r1 > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let nominal = BusParams::dsm_bus(3).build().unwrap();
+        let mut varied = nominal.clone();
+        apply_variation(&mut varied, VariationSigma::uniform(0.0), 7).unwrap();
+        assert_eq!(nominal, varied);
+    }
+
+    #[test]
+    fn excessive_sigma_rejected() {
+        let mut bus = BusParams::dsm_bus(2).build().unwrap();
+        assert!(apply_variation(&mut bus, VariationSigma::uniform(0.4), 0).is_err());
+        assert!(apply_variation(&mut bus, VariationSigma::uniform(-0.1), 0).is_err());
+    }
+
+    #[test]
+    fn varied_bus_still_simulates() {
+        use crate::drive::VectorPair;
+        use crate::solver::TransientSim;
+        let mut bus = BusParams::dsm_bus(3).segments(4).build().unwrap();
+        apply_variation(&mut bus, VariationSigma::typical(), 21).unwrap();
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        let pair = VectorPair::from_strs("000", "111").unwrap();
+        let waves = sim.run_pair(&pair, 2e-9).unwrap();
+        for w in 0..3 {
+            let last = *waves.wire(w).last().unwrap();
+            assert!((last - bus.vdd()).abs() < 0.02, "wire {w} settles: {last}");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Board-level scan chains: several devices sharing TMS/TCK with their
+//! TDO→TDI daisy-chained.
+
+use crate::device::Device;
+use crate::error::JtagError;
+use crate::state::TapState;
+use sint_logic::Logic;
+
+/// A serial chain of JTAG devices. `devices[0]` is nearest TDI.
+#[derive(Debug, Default)]
+pub struct Chain {
+    devices: Vec<Device>,
+    tck: u64,
+}
+
+impl Chain {
+    /// An empty chain.
+    #[must_use]
+    pub fn new() -> Self {
+        Chain::default()
+    }
+
+    /// A chain of one device (the common SoC case of the paper's Fig 11).
+    #[must_use]
+    pub fn single(device: Device) -> Self {
+        let mut c = Chain::new();
+        c.push(device);
+        c
+    }
+
+    /// Appends a device at the TDO end; returns its index.
+    pub fn push(&mut self, device: Device) -> usize {
+        self.devices.push(device);
+        self.devices.len() - 1
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the chain is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// TCK cycles applied to the chain.
+    #[must_use]
+    pub fn tck(&self) -> u64 {
+        self.tck
+    }
+
+    /// Shared TAP state (all devices see the same TMS, so they agree);
+    /// `TestLogicReset` for an empty chain.
+    #[must_use]
+    pub fn state(&self) -> TapState {
+        self.devices.first().map_or(TapState::TestLogicReset, Device::state)
+    }
+
+    /// Access a device.
+    ///
+    /// # Errors
+    ///
+    /// [`JtagError::DeviceOutOfRange`] for a bad index.
+    pub fn device(&self, index: usize) -> Result<&Device, JtagError> {
+        self.devices
+            .get(index)
+            .ok_or(JtagError::DeviceOutOfRange { index, len: self.devices.len() })
+    }
+
+    /// Mutable access to a device.
+    ///
+    /// # Errors
+    ///
+    /// [`JtagError::DeviceOutOfRange`] for a bad index.
+    pub fn device_mut(&mut self, index: usize) -> Result<&mut Device, JtagError> {
+        let len = self.devices.len();
+        self.devices.get_mut(index).ok_or(JtagError::DeviceOutOfRange { index, len })
+    }
+
+    /// Total bits between TDI and TDO for the currently selected data
+    /// registers.
+    #[must_use]
+    pub fn selected_dr_len(&self) -> usize {
+        self.devices.iter().map(Device::selected_dr_len).sum()
+    }
+
+    /// Total instruction-register bits across the chain.
+    #[must_use]
+    pub fn total_ir_width(&self) -> usize {
+        self.devices.iter().map(|d| d.instruction_set().ir_width()).sum()
+    }
+
+    /// One TCK across the whole chain; TDI ripples through every device
+    /// toward the board TDO.
+    pub fn step(&mut self, tms: bool, tdi: Logic) -> Logic {
+        self.tck += 1;
+        let mut bit = tdi;
+        for dev in &mut self.devices {
+            bit = dev.step(tms, bit);
+        }
+        bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcell::StandardBsc;
+    use crate::instruction::InstructionSet;
+    use sint_logic::BitVector;
+
+    fn dev(name: &str, cells: usize) -> Device {
+        let mut d = Device::new(name, InstructionSet::standard_1149_1());
+        for _ in 0..cells {
+            d.push_cell(Box::new(StandardBsc::new()));
+        }
+        d
+    }
+
+    fn to_idle(c: &mut Chain) {
+        for _ in 0..5 {
+            c.step(true, Logic::Zero);
+        }
+        c.step(false, Logic::Zero);
+        assert_eq!(c.state(), TapState::RunTestIdle);
+    }
+
+    #[test]
+    fn chain_bookkeeping() {
+        let mut c = Chain::new();
+        assert!(c.is_empty());
+        c.push(dev("a", 2));
+        c.push(dev("b", 3));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.total_ir_width(), 8);
+        assert_eq!(c.device(1).unwrap().name(), "b");
+        assert!(c.device(2).is_err());
+        // Both in reset → both select bypass → 2 bits of DR.
+        assert_eq!(c.selected_dr_len(), 2);
+    }
+
+    #[test]
+    fn two_bypassed_devices_delay_by_two() {
+        let mut c = Chain::new();
+        c.push(dev("a", 1));
+        c.push(dev("b", 1));
+        to_idle(&mut c);
+        // Navigate into Shift-DR.
+        c.step(true, Logic::Zero);
+        c.step(false, Logic::Zero);
+        c.step(false, Logic::Zero); // capture, enter Shift-DR
+        // Bypass registers each delay one TCK: a 1 appears after 2 shifts.
+        let t0 = c.step(false, Logic::One);
+        let t1 = c.step(false, Logic::One);
+        let t2 = c.step(false, Logic::One);
+        assert_eq!(t0, Logic::Zero);
+        assert_eq!(t1, Logic::Zero);
+        assert_eq!(t2, Logic::One);
+    }
+
+    #[test]
+    fn chain_ir_scan_loads_different_instructions() {
+        let mut c = Chain::new();
+        c.push(dev("a", 2)); // TDI side
+        c.push(dev("b", 3)); // TDO side
+        to_idle(&mut c);
+        // Enter Shift-IR.
+        c.step(true, Logic::Zero);
+        c.step(true, Logic::Zero);
+        c.step(false, Logic::Zero);
+        c.step(false, Logic::Zero);
+        // TDO-side device receives the FIRST bits shifted; want:
+        // device b = EXTEST (0000), device a = SAMPLE (0001).
+        let stream: Vec<Logic> = BitVector::from_u64(0b0000, 4)
+            .iter()
+            .chain(BitVector::from_u64(0b0001, 4).iter())
+            .collect();
+        for (i, b) in stream.iter().enumerate() {
+            let last = i == stream.len() - 1;
+            c.step(last, *b);
+        }
+        c.step(true, Logic::Zero); // → Update-IR
+        c.step(false, Logic::Zero); // update; → RTI
+        assert_eq!(c.device(0).unwrap().current_instruction().unwrap().name, "SAMPLE/PRELOAD");
+        assert_eq!(c.device(1).unwrap().current_instruction().unwrap().name, "EXTEST");
+        assert_eq!(c.selected_dr_len(), 2 + 3);
+    }
+
+    #[test]
+    fn tck_counts_chain_steps() {
+        let mut c = Chain::single(dev("a", 1));
+        to_idle(&mut c);
+        assert_eq!(c.tck(), 6);
+        assert_eq!(c.device(0).unwrap().tck(), 6);
+    }
+}

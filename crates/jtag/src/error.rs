@@ -1,0 +1,96 @@
+//! Error type for JTAG device construction and driving.
+
+use std::fmt;
+
+/// Errors produced while building or driving a JTAG device or chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JtagError {
+    /// An instruction opcode has the wrong width for the IR.
+    OpcodeWidth {
+        /// Instruction name.
+        name: String,
+        /// IR width of the device.
+        ir_width: usize,
+        /// Width of the offending opcode.
+        got: usize,
+    },
+    /// Two instructions share an opcode.
+    DuplicateOpcode {
+        /// The clashing opcode, rendered MSB-first.
+        opcode: String,
+    },
+    /// A named instruction is not in the device's instruction set.
+    UnknownInstruction {
+        /// The requested name.
+        name: String,
+    },
+    /// A boundary-cell index is out of range.
+    CellOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of boundary cells.
+        len: usize,
+    },
+    /// A device index is out of range for a chain operation.
+    DeviceOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of devices on the chain.
+        len: usize,
+    },
+    /// A scan was requested with data whose width does not match the
+    /// target register.
+    ScanWidth {
+        /// Expected number of bits.
+        expected: usize,
+        /// Provided number of bits.
+        got: usize,
+    },
+}
+
+impl fmt::Display for JtagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JtagError::OpcodeWidth { name, ir_width, got } => {
+                write!(f, "instruction {name:?} opcode is {got} bits, IR is {ir_width}")
+            }
+            JtagError::DuplicateOpcode { opcode } => {
+                write!(f, "duplicate instruction opcode {opcode}")
+            }
+            JtagError::UnknownInstruction { name } => {
+                write!(f, "unknown instruction {name:?}")
+            }
+            JtagError::CellOutOfRange { index, len } => {
+                write!(f, "boundary cell {index} out of range ({len} cells)")
+            }
+            JtagError::DeviceOutOfRange { index, len } => {
+                write!(f, "device {index} out of range ({len} devices)")
+            }
+            JtagError::ScanWidth { expected, got } => {
+                write!(f, "scan data is {got} bits, register expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JtagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = JtagError::UnknownInstruction { name: "G-SITEST".into() };
+        assert_eq!(e.to_string(), "unknown instruction \"G-SITEST\"");
+        let e = JtagError::ScanWidth { expected: 5, got: 3 };
+        assert_eq!(e.to_string(), "scan data is 3 bits, register expects 5");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<JtagError>();
+    }
+}

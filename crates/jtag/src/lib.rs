@@ -1,0 +1,71 @@
+//! # sint-jtag
+//!
+//! IEEE 1149.1 (JTAG) boundary-scan substrate for the `sint` workspace —
+//! the platform the DATE 2003 paper *"Extending JTAG for Testing Signal
+//! Integrity in SoCs"* extends.
+//!
+//! Everything a boundary-scan test plan touches is here, simulated
+//! cycle-accurately at TCK granularity:
+//!
+//! * [`state`] — the 16-state TAP controller FSM.
+//! * [`instruction`] — opcodes, the instruction register and an open
+//!   instruction registry (extension instructions like the paper's
+//!   `G-SITEST`/`O-SITEST` plug in as data).
+//! * [`register`] — bypass and IDCODE data registers.
+//! * [`bcell`] — the [`bcell::BoundaryCell`] trait and the standard cell
+//!   of the paper's Fig 4; enhanced cells in `sint-core` implement the
+//!   same trait and drop into unmodified chains.
+//! * [`device`] — a chip: TAP + IR + DRs + boundary register.
+//! * [`chain`] — board-level daisy chains.
+//! * [`driver`] — the host/ATE side: reset, IR/DR scans, Update-DR pulse
+//!   trains, with every TCK counted (the measurement behind the paper's
+//!   test-time tables).
+//!
+//! # Example
+//!
+//! Drive EXTEST pin values through a 4-cell device:
+//!
+//! ```
+//! use sint_jtag::bcell::StandardBsc;
+//! use sint_jtag::chain::Chain;
+//! use sint_jtag::device::Device;
+//! use sint_jtag::driver::JtagDriver;
+//! use sint_jtag::instruction::InstructionSet;
+//!
+//! # fn main() -> Result<(), sint_jtag::JtagError> {
+//! let mut dev = Device::new("u1", InstructionSet::standard_1149_1());
+//! for _ in 0..4 {
+//!     dev.push_cell(Box::new(StandardBsc::new()));
+//! }
+//! let mut drv = JtagDriver::new(Chain::single(dev));
+//! drv.reset();
+//! drv.load_instruction("SAMPLE/PRELOAD")?;
+//! drv.scan_dr(&"1001".parse().unwrap())?;
+//! drv.load_instruction("EXTEST")?; // update stages now drive the pins
+//! // Costs: reset 6, one DR scan (4 bits + 5 overhead), two IR scans
+//! // (4 bits + 6 overhead each) — every TCK accounted for.
+//! assert_eq!(drv.tck(), 6 + (4 + 5) + 2 * (4 + 6));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bcell;
+pub mod bsdl;
+pub mod chain;
+pub mod device;
+pub mod driver;
+pub mod error;
+pub mod instruction;
+pub mod interconnect_test;
+pub mod register;
+pub mod state;
+pub mod svf;
+
+pub use bcell::{BoundaryCell, BoundaryRegister, CellControl, StandardBsc};
+pub use chain::Chain;
+pub use device::Device;
+pub use driver::JtagDriver;
+pub use error::JtagError;
+pub use instruction::{DrTarget, Instruction, InstructionRegister, InstructionSet};
+pub use register::{BypassRegister, IdcodeRegister};
+pub use state::TapState;

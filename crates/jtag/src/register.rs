@@ -1,0 +1,133 @@
+//! Non-boundary data registers: bypass and device identification.
+
+use serde::{Deserialize, Serialize};
+use sint_logic::Logic;
+
+/// The mandatory 1-bit bypass register.
+///
+/// Capture-DR loads a fixed 0 (as the standard requires); each Shift-DR
+/// delays TDI by exactly one TCK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BypassRegister {
+    bit: Logic,
+}
+
+impl BypassRegister {
+    /// A fresh bypass register.
+    #[must_use]
+    pub fn new() -> Self {
+        BypassRegister { bit: Logic::Zero }
+    }
+
+    /// Capture-DR: loads the mandated constant 0.
+    pub fn capture(&mut self) {
+        self.bit = Logic::Zero;
+    }
+
+    /// Shift-DR: one-bit delay.
+    pub fn shift(&mut self, tdi: Logic) -> Logic {
+        std::mem::replace(&mut self.bit, tdi)
+    }
+}
+
+/// The optional 32-bit device-identification register.
+///
+/// Layout (LSB→MSB): 1 fixed `1`, 11-bit manufacturer id, 16-bit part
+/// number, 4-bit version — per IEEE 1149.1 §12.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdcodeRegister {
+    idcode: u32,
+    shift: u32,
+    remaining: u8,
+}
+
+impl IdcodeRegister {
+    /// Builds the register from the three id fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its width (manufacturer 11 bits, part
+    /// 16 bits, version 4 bits).
+    #[must_use]
+    pub fn new(manufacturer: u16, part: u16, version: u8) -> Self {
+        assert!(manufacturer < (1 << 11), "manufacturer id is 11 bits");
+        assert!(version < (1 << 4), "version is 4 bits");
+        let idcode = 1u32
+            | (u32::from(manufacturer) << 1)
+            | (u32::from(part) << 12)
+            | (u32::from(version) << 28);
+        IdcodeRegister { idcode, shift: idcode, remaining: 32 }
+    }
+
+    /// The packed 32-bit IDCODE value.
+    #[must_use]
+    pub fn value(&self) -> u32 {
+        self.idcode
+    }
+
+    /// Capture-DR: loads the IDCODE for scanning out.
+    pub fn capture(&mut self) {
+        self.shift = self.idcode;
+        self.remaining = 32;
+    }
+
+    /// Shift-DR: emits LSB-first.
+    pub fn shift(&mut self, tdi: Logic) -> Logic {
+        let out = Logic::from(self.shift & 1 == 1);
+        self.shift >>= 1;
+        if tdi == Logic::One {
+            self.shift |= 1 << 31;
+        }
+        self.remaining = self.remaining.saturating_sub(1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bypass_is_single_cycle_delay() {
+        let mut b = BypassRegister::new();
+        b.capture();
+        assert_eq!(b.shift(Logic::One), Logic::Zero, "captured 0 comes out first");
+        assert_eq!(b.shift(Logic::Zero), Logic::One);
+        assert_eq!(b.shift(Logic::One), Logic::Zero);
+    }
+
+    #[test]
+    fn idcode_lsb_is_one() {
+        let id = IdcodeRegister::new(0x123, 0xBEEF, 0x7);
+        assert_eq!(id.value() & 1, 1, "bit 0 fixed to 1 per the standard");
+    }
+
+    #[test]
+    fn idcode_field_packing() {
+        let id = IdcodeRegister::new(0x7FF, 0xFFFF, 0xF);
+        assert_eq!(id.value(), 0xFFFF_FFFF);
+        let id = IdcodeRegister::new(0, 0, 0);
+        assert_eq!(id.value(), 1);
+        let id = IdcodeRegister::new(0x0AB, 0x1234, 0x2);
+        assert_eq!(id.value(), (0x2 << 28) | (0x1234 << 12) | (0x0AB << 1) | 1);
+    }
+
+    #[test]
+    fn idcode_scans_out_lsb_first() {
+        let mut id = IdcodeRegister::new(0x0AB, 0x1234, 0x2);
+        id.capture();
+        let mut got = 0u32;
+        for k in 0..32 {
+            if id.shift(Logic::Zero) == Logic::One {
+                got |= 1 << k;
+            }
+        }
+        assert_eq!(got, id.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "manufacturer id is 11 bits")]
+    fn oversized_manufacturer_panics() {
+        let _ = IdcodeRegister::new(0x800, 0, 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Graphviz DOT export of netlists.
+//!
+//! `dot -Tsvg` on the output renders the cell schematics (Figs 4/6/9 of
+//! the paper) straight from the same structural netlists the area and
+//! equivalence analyses use — documentation that cannot drift from the
+//! implementation.
+
+use crate::netlist::{Component, Netlist};
+use std::fmt::Write as _;
+
+/// Renders a netlist as a DOT digraph. Gates become boxes, flip-flops
+/// and latches become records with their clock/enable pins, primary
+/// inputs and outputs become ovals.
+#[must_use]
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+
+    for &input in netlist.inputs() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=oval, style=filled, fillcolor=lightblue];",
+            netlist.net_name(input)
+        );
+    }
+    for &output in netlist.outputs() {
+        if !netlist.is_input(output) {
+            let _ = writeln!(
+                out,
+                "  \"out_{0}\" [label=\"{0}\", shape=oval, style=filled, fillcolor=lightyellow];",
+                netlist.net_name(output)
+            );
+        }
+    }
+
+    for (idx, comp) in netlist.components().iter().enumerate() {
+        let id = format!("u{idx}");
+        match comp {
+            Component::Gate { name, prim, inputs, output } => {
+                let _ = writeln!(out, "  {id} [label=\"{name}\\n{prim}\", shape=box];");
+                for n in inputs {
+                    let _ = writeln!(out, "  {} -> {id};", source_of(netlist, *n));
+                }
+                let _ = emit_output(&mut out, netlist, &id, *output);
+            }
+            Component::Dff { name, d, clk, q } => {
+                let _ = writeln!(
+                    out,
+                    "  {id} [label=\"{{<d>D|<c>▷}}|{name}|<q>Q\", shape=record];"
+                );
+                let _ = writeln!(out, "  {} -> {id}:d;", source_of(netlist, *d));
+                let _ = writeln!(out, "  {} -> {id}:c [style=dashed];", source_of(netlist, *clk));
+                let _ = emit_output(&mut out, netlist, &format!("{id}:q"), *q);
+            }
+            Component::Latch { name, d, en, q } => {
+                let _ = writeln!(
+                    out,
+                    "  {id} [label=\"{{<d>D|<e>EN}}|{name}|<q>Q\", shape=record, style=rounded];"
+                );
+                let _ = writeln!(out, "  {} -> {id}:d;", source_of(netlist, *d));
+                let _ = writeln!(out, "  {} -> {id}:e [style=dashed];", source_of(netlist, *en));
+                let _ = emit_output(&mut out, netlist, &format!("{id}:q"), *q);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Where an edge feeding `net` starts: the driving component's node, or
+/// the primary-input oval.
+fn source_of(netlist: &Netlist, net: crate::netlist::NetId) -> String {
+    match netlist.driver_of(net) {
+        Some(comp) => {
+            let idx = comp.index();
+            match &netlist.components()[idx] {
+                Component::Gate { .. } => format!("u{idx}"),
+                Component::Dff { .. } | Component::Latch { .. } => format!("u{idx}:q"),
+            }
+        }
+        None => format!("\"{}\"", netlist.net_name(net)),
+    }
+}
+
+fn emit_output(
+    out: &mut String,
+    netlist: &Netlist,
+    from: &str,
+    net: crate::netlist::NetId,
+) -> std::fmt::Result {
+    if netlist.outputs().contains(&net) {
+        writeln!(out, "  {from} -> \"out_{}\";", netlist.net_name(net))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Primitive;
+
+    fn cell() -> Netlist {
+        let mut nl = Netlist::new("demo");
+        let d = nl.add_input("d");
+        let clk = nl.add_input("clk");
+        let q = nl.add_net("q");
+        nl.add_dff("ff", d, clk, q).unwrap();
+        let y = nl.add_output("y");
+        nl.add_gate("inv", Primitive::Not, &[q], y).unwrap();
+        nl
+    }
+
+    #[test]
+    fn dot_structure() {
+        let dot = to_dot(&cell());
+        assert!(dot.starts_with("digraph \"demo\""));
+        assert!(dot.contains("\"d\" [shape=oval"));
+        assert!(dot.contains("u0 [label=\"{<d>D|<c>▷}|ff|<q>Q\", shape=record];"));
+        assert!(dot.contains("u1 [label=\"inv\\nnot\", shape=box];"));
+        assert!(dot.contains("u0:q -> u1;"), "gate fed by FF output:\n{dot}");
+        assert!(dot.contains("u1 -> \"out_y\";"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn clock_edges_are_dashed() {
+        let dot = to_dot(&cell());
+        assert!(dot.contains("\"clk\" -> u0:c [style=dashed];"));
+    }
+
+    #[test]
+    fn latch_renders_rounded_record() {
+        let mut nl = Netlist::new("l");
+        let d = nl.add_input("d");
+        let en = nl.add_input("en");
+        let q = nl.add_output("q");
+        nl.add_latch("lt", d, en, q).unwrap();
+        let dot = to_dot(&nl);
+        assert!(dot.contains("style=rounded"));
+        assert!(dot.contains("u0:q -> \"out_q\";"));
+    }
+
+    #[test]
+    fn balanced_braces() {
+        let dot = to_dot(&cell());
+        // DOT record labels contain braces; only count line-level ones.
+        assert_eq!(dot.matches("digraph").count(), 1);
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for netlist construction and simulation.
+
+use std::fmt;
+
+/// Errors produced while building or simulating a [`crate::Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// A referenced net id does not belong to the netlist.
+    UnknownNet {
+        /// The offending id index.
+        net: usize,
+    },
+    /// Two components both drive the same net.
+    MultipleDrivers {
+        /// The multiply-driven net id index.
+        net: usize,
+    },
+    /// A gate was created with the wrong number of inputs.
+    BadArity {
+        /// Component name as given at construction.
+        component: String,
+        /// Number of inputs expected by the primitive.
+        expected: usize,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// `Simulator::set` was called on a net that is not a netlist input.
+    NotAnInput {
+        /// The offending net id index.
+        net: usize,
+    },
+    /// The simulator failed to reach a fixed point (combinational loop).
+    Unstable {
+        /// Delta-cycle budget that was exhausted.
+        limit: usize,
+    },
+    /// A duplicate component or port name was used.
+    DuplicateName {
+        /// The clashing name.
+        name: String,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::UnknownNet { net } => write!(f, "unknown net id {net}"),
+            LogicError::MultipleDrivers { net } => {
+                write!(f, "net id {net} has more than one driver")
+            }
+            LogicError::BadArity { component, expected, got } => write!(
+                f,
+                "component {component:?} expects {expected} inputs, got {got}"
+            ),
+            LogicError::NotAnInput { net } => {
+                write!(f, "net id {net} is not a primary input")
+            }
+            LogicError::Unstable { limit } => {
+                write!(f, "simulation did not settle within {limit} delta cycles")
+            }
+            LogicError::DuplicateName { name } => {
+                write!(f, "duplicate component or port name {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = LogicError::BadArity { component: "u1".into(), expected: 2, got: 3 };
+        assert_eq!(e.to_string(), "component \"u1\" expects 2 inputs, got 3");
+        assert_eq!(LogicError::UnknownNet { net: 7 }.to_string(), "unknown net id 7");
+        assert_eq!(
+            LogicError::Unstable { limit: 100 }.to_string(),
+            "simulation did not settle within 100 delta cycles"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LogicError>();
+    }
+}

@@ -1,0 +1,67 @@
+//! # sint-logic
+//!
+//! Gate-level digital-logic substrate for the `sint` workspace — the
+//! reproduction of *"Extending JTAG for Testing Signal Integrity in SoCs"*
+//! (DATE 2003).
+//!
+//! This crate provides everything the boundary-scan and signal-integrity
+//! layers need from a digital simulator:
+//!
+//! * [`Logic`] — a four-valued (`0/1/X/Z`) signal algebra with Kleene
+//!   semantics, used by every sequential model in the workspace.
+//! * [`BitVector`] — scan-chain data with LSB-first shift semantics,
+//!   the unit of currency of every JTAG shift operation.
+//! * [`netlist`] — structural gate-level netlists (primitive gates,
+//!   D flip-flops, level latches, 2:1 muxes) used to *synthesise* the
+//!   paper's boundary-scan cells for the Table 7 area analysis.
+//! * [`sim`] — a small event-driven simulator that executes those netlists
+//!   cycle-accurately (delta cycles + per-gate delays).
+//! * [`area`] — the NAND-equivalent area model behind Table 7.
+//! * [`wave`] — change-dump waveform traces and a minimal VCD writer used
+//!   to regenerate the paper's timing figures.
+//!
+//! # Example
+//!
+//! Build a tiny netlist (an SR-free D flip-flop feeding an inverter),
+//! simulate two clock edges and read the output:
+//!
+//! ```
+//! use sint_logic::netlist::{Netlist, Primitive};
+//! use sint_logic::sim::Simulator;
+//! use sint_logic::Logic;
+//!
+//! # fn main() -> Result<(), sint_logic::LogicError> {
+//! let mut nl = Netlist::new("demo");
+//! let d = nl.add_input("d");
+//! let clk = nl.add_input("clk");
+//! let q = nl.add_net("q");
+//! let qn = nl.add_output("qn");
+//! nl.add_dff("ff", d, clk, q)?;
+//! nl.add_gate("inv", Primitive::Not, &[q], qn)?;
+//!
+//! let mut sim = Simulator::new(&nl)?;
+//! sim.set(d, Logic::One)?;
+//! sim.clock_edge(clk)?;          // rising edge captures D
+//! assert_eq!(sim.value(qn), Logic::Zero);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod area;
+pub mod bitvec;
+pub mod dot;
+pub mod error;
+pub mod logic;
+pub mod netlist;
+pub mod sim;
+pub mod wave;
+
+pub use analysis::{analyze, NetlistStats};
+pub use area::{AreaReport, NandUnits};
+pub use bitvec::BitVector;
+pub use error::LogicError;
+pub use logic::Logic;
+pub use netlist::{CompId, NetId, Netlist, Primitive};
+pub use sim::Simulator;
+pub use wave::{Trace, VcdWriter};

@@ -1,0 +1,336 @@
+//! Four-valued logic: the signal algebra used across the workspace.
+//!
+//! IEEE 1149.1 hardware is plain binary, but a faithful simulation needs
+//! `X` (unknown — e.g. a flip-flop before its first clock) and `Z`
+//! (high impedance — e.g. a disabled output driver). The operations
+//! implement Kleene's strong three-valued logic with `Z` treated as an
+//! unknown *input* (a floating node reads as `X` to a gate).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A four-valued logic level.
+///
+/// ```
+/// use sint_logic::Logic;
+/// assert_eq!(Logic::One & Logic::Zero, Logic::Zero);
+/// assert_eq!(Logic::One & Logic::X, Logic::X);
+/// assert_eq!(!Logic::Zero, Logic::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub enum Logic {
+    /// Driven logic low.
+    Zero,
+    /// Driven logic high.
+    One,
+    /// Unknown value (uninitialised storage, conflicting drivers).
+    #[default]
+    X,
+    /// High impedance (undriven net).
+    Z,
+}
+
+impl Logic {
+    /// All four levels, in declaration order. Handy for exhaustive tests.
+    pub const ALL: [Logic; 4] = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+
+    /// Returns `true` when the value is a *defined* binary level.
+    #[must_use]
+    pub fn is_binary(self) -> bool {
+        matches!(self, Logic::Zero | Logic::One)
+    }
+
+    /// Returns the binary value, or `None` for `X`/`Z`.
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    /// Collapses `Z` (floating input) to `X` for gate-input evaluation.
+    #[must_use]
+    pub fn as_input(self) -> Logic {
+        if self == Logic::Z {
+            Logic::X
+        } else {
+            self
+        }
+    }
+
+    /// The character used in string and VCD representations.
+    #[must_use]
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        }
+    }
+
+    /// Parses a single logic character (`0`, `1`, `x`/`X`, `z`/`Z`).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for any other character.
+    #[must_use]
+    pub fn from_char(c: char) -> Option<Logic> {
+        match c {
+            '0' => Some(Logic::Zero),
+            '1' => Some(Logic::One),
+            'x' | 'X' => Some(Logic::X),
+            'z' | 'Z' => Some(Logic::Z),
+            _ => None,
+        }
+    }
+
+    /// Resolution of two drivers on the same net (wired resolution).
+    ///
+    /// `Z` yields to anything; equal drivers agree; conflicting strong
+    /// drivers produce `X`.
+    #[must_use]
+    pub fn resolve(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Z, v) | (v, Logic::Z) => v,
+            (a, b) if a == b => a,
+            _ => Logic::X,
+        }
+    }
+
+    /// Kleene AND over the input-collapsed values.
+    #[must_use]
+    pub fn and(self, other: Logic) -> Logic {
+        match (self.as_input(), other.as_input()) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Kleene OR over the input-collapsed values.
+    #[must_use]
+    pub fn or(self, other: Logic) -> Logic {
+        match (self.as_input(), other.as_input()) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Kleene XOR over the input-collapsed values.
+    #[must_use]
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self.as_input().to_bool(), other.as_input().to_bool()) {
+            (Some(a), Some(b)) => Logic::from(a ^ b),
+            _ => Logic::X,
+        }
+    }
+
+    /// Kleene NOT over the input-collapsed value.
+    #[must_use]
+    pub fn not(self) -> Logic {
+        match self.as_input() {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// 2:1 multiplexer: returns `a` when `sel` is 0, `b` when `sel` is 1.
+    ///
+    /// An undefined select produces `X` unless both data inputs agree on a
+    /// binary value (the hardware output would be that value either way).
+    #[must_use]
+    pub fn mux2(sel: Logic, a: Logic, b: Logic) -> Logic {
+        match sel.as_input() {
+            Logic::Zero => a.as_input(),
+            Logic::One => b.as_input(),
+            _ => {
+                let (a, b) = (a.as_input(), b.as_input());
+                if a == b && a.is_binary() {
+                    a
+                } else {
+                    Logic::X
+                }
+            }
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+}
+
+impl BitAnd for Logic {
+    type Output = Logic;
+    fn bitand(self, rhs: Logic) -> Logic {
+        self.and(rhs)
+    }
+}
+
+impl BitOr for Logic {
+    type Output = Logic;
+    fn bitor(self, rhs: Logic) -> Logic {
+        self.or(rhs)
+    }
+}
+
+impl BitXor for Logic {
+    type Output = Logic;
+    fn bitxor(self, rhs: Logic) -> Logic {
+        self.xor(rhs)
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+    fn not(self) -> Logic {
+        Logic::not(self)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_and_truth_table() {
+        assert_eq!(Logic::Zero & Logic::Zero, Logic::Zero);
+        assert_eq!(Logic::Zero & Logic::One, Logic::Zero);
+        assert_eq!(Logic::One & Logic::Zero, Logic::Zero);
+        assert_eq!(Logic::One & Logic::One, Logic::One);
+    }
+
+    #[test]
+    fn binary_or_truth_table() {
+        assert_eq!(Logic::Zero | Logic::Zero, Logic::Zero);
+        assert_eq!(Logic::Zero | Logic::One, Logic::One);
+        assert_eq!(Logic::One | Logic::Zero, Logic::One);
+        assert_eq!(Logic::One | Logic::One, Logic::One);
+    }
+
+    #[test]
+    fn binary_xor_truth_table() {
+        assert_eq!(Logic::Zero ^ Logic::Zero, Logic::Zero);
+        assert_eq!(Logic::Zero ^ Logic::One, Logic::One);
+        assert_eq!(Logic::One ^ Logic::Zero, Logic::One);
+        assert_eq!(Logic::One ^ Logic::One, Logic::Zero);
+    }
+
+    #[test]
+    fn not_truth_table() {
+        assert_eq!(!Logic::Zero, Logic::One);
+        assert_eq!(!Logic::One, Logic::Zero);
+        assert_eq!(!Logic::X, Logic::X);
+        assert_eq!(!Logic::Z, Logic::X);
+    }
+
+    #[test]
+    fn controlling_values_dominate_unknowns() {
+        // AND: 0 dominates X/Z; OR: 1 dominates X/Z.
+        for u in [Logic::X, Logic::Z] {
+            assert_eq!(Logic::Zero & u, Logic::Zero);
+            assert_eq!(u & Logic::Zero, Logic::Zero);
+            assert_eq!(Logic::One | u, Logic::One);
+            assert_eq!(u | Logic::One, Logic::One);
+        }
+    }
+
+    #[test]
+    fn non_controlling_with_unknown_is_unknown() {
+        for u in [Logic::X, Logic::Z] {
+            assert_eq!(Logic::One & u, Logic::X);
+            assert_eq!(Logic::Zero | u, Logic::X);
+            assert_eq!(Logic::One ^ u, Logic::X);
+            assert_eq!(Logic::Zero ^ u, Logic::X);
+        }
+    }
+
+    #[test]
+    fn z_collapses_to_x_on_input() {
+        assert_eq!(Logic::Z.as_input(), Logic::X);
+        assert_eq!(Logic::X.as_input(), Logic::X);
+        assert_eq!(Logic::One.as_input(), Logic::One);
+    }
+
+    #[test]
+    fn resolve_wired_drivers() {
+        assert_eq!(Logic::Z.resolve(Logic::One), Logic::One);
+        assert_eq!(Logic::Zero.resolve(Logic::Z), Logic::Zero);
+        assert_eq!(Logic::Z.resolve(Logic::Z), Logic::Z);
+        assert_eq!(Logic::One.resolve(Logic::One), Logic::One);
+        assert_eq!(Logic::One.resolve(Logic::Zero), Logic::X);
+        assert_eq!(Logic::X.resolve(Logic::One), Logic::X);
+    }
+
+    #[test]
+    fn mux2_selects() {
+        assert_eq!(Logic::mux2(Logic::Zero, Logic::One, Logic::Zero), Logic::One);
+        assert_eq!(Logic::mux2(Logic::One, Logic::One, Logic::Zero), Logic::Zero);
+        // Unknown select with agreeing inputs is still defined.
+        assert_eq!(Logic::mux2(Logic::X, Logic::One, Logic::One), Logic::One);
+        assert_eq!(Logic::mux2(Logic::X, Logic::One, Logic::Zero), Logic::X);
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::from_char(v.to_char()), Some(v));
+        }
+        assert_eq!(Logic::from_char('q'), None);
+        assert_eq!(Logic::from_char('X'), Some(Logic::X));
+        assert_eq!(Logic::from_char('Z'), Some(Logic::Z));
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic::from(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::Zero.to_bool(), Some(false));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert_eq!(Logic::Z.to_bool(), None);
+    }
+
+    #[test]
+    fn and_or_commutative_over_all_values() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a & b, b & a, "and {a} {b}");
+                assert_eq!(a | b, b | a, "or {a} {b}");
+                assert_eq!(a ^ b, b ^ a, "xor {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds_for_binary_inputs() {
+        for a in [Logic::Zero, Logic::One] {
+            for b in [Logic::Zero, Logic::One] {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_x() {
+        assert_eq!(Logic::default(), Logic::X);
+    }
+}

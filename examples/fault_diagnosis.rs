@@ -1,0 +1,48 @@
+//! Fault diagnosis: the time/diagnosability trade-off of the paper's
+//! three observation methods (§3.2), on a SoC with two different
+//! defects.
+//!
+//! ```text
+//! cargo run --example fault_diagnosis
+//! ```
+//!
+//! Method 1 only names the failing wires; method 2 narrows each failure
+//! to a three-fault class; method 3 pinpoints the exact MA fault — at
+//! rapidly growing TCK cost.
+
+use sint::core::diagnosis::diagnose;
+use sint::core::session::{ObservationMethod, SessionConfig};
+use sint::core::soc::SocBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== observation methods: cost vs diagnosability ==\n");
+
+    for method in [
+        ObservationMethod::Once,
+        ObservationMethod::PerInitialValue,
+        ObservationMethod::PerPattern,
+    ] {
+        // Same defective SoC each time: crosstalk around wire 1 and a
+        // resistive open slowing wire 3.
+        let mut soc = SocBuilder::new(4)
+            .extra_cells(6)
+            .coupling_defect(1, 6.0)
+            .open_defect(3, 3000.0)
+            .build()?;
+        let report = soc.run_integrity_test(&SessionConfig::method(method))?;
+        println!("--- {method} ---");
+        println!(
+            "cost: {} TCK, {} read-outs",
+            report.tck_used,
+            report.readouts.len()
+        );
+        for d in diagnose(&report) {
+            println!("  {d}");
+        }
+        println!();
+    }
+
+    println!("note how method 3 attributes each failure to an exact MA fault,");
+    println!("while method 1 only flags the wires — at a fraction of the TCKs.");
+    Ok(())
+}

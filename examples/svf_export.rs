@@ -1,0 +1,41 @@
+//! SVF export: turn a simulated signal-integrity session into a test
+//! program for real equipment.
+//!
+//! ```text
+//! cargo run --example svf_export [out.svf]
+//! ```
+//!
+//! Runs the `G-SITEST`/`O-SITEST` session on a 3-wire SoC with every
+//! host operation recorded, then prints (or writes) the equivalent
+//! Serial Vector Format program — `SIR`/`SDR` scans with expected-TDO
+//! masks taken from the simulation, plus explicit `STATE` paths for the
+//! shift-free Update-DR pulse trains that drive on-chip pattern
+//! generation.
+
+use sint::core::session::{ObservationMethod, SessionConfig};
+use sint::core::soc::SocBuilder;
+use sint::jtag::svf::SvfOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut soc = SocBuilder::new(3).coupling_defect(1, 6.0).build()?;
+    let (report, svf) = soc.run_integrity_test_with_svf(
+        &SessionConfig::method(ObservationMethod::Once),
+        &SvfOptions::default(),
+    )?;
+
+    println!("session verdicts:");
+    print!("{report}");
+    println!();
+
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &svf)?;
+            println!("SVF written to {path} ({} lines)", svf.lines().count());
+        }
+        None => {
+            println!("--- SVF program ({} lines) ---", svf.lines().count());
+            print!("{svf}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,170 @@
+//! IEEE 1149.1 compliance of the extended architecture: the paper's
+//! claim is that signal-integrity testing rides on an *unmodified* TAP
+//! protocol — new opcodes and cells only. These tests drive the
+//! enhanced device exactly like any conforming tool would.
+
+use sint::core::instructions::{extended_instruction_set, G_SITEST_OPCODE, O_SITEST_OPCODE};
+use sint::core::nd::NdThresholds;
+use sint::core::obsc::Obsc;
+use sint::core::pgbsc::Pgbsc;
+use sint::core::soc::SocBuilder;
+use sint::jtag::bcell::StandardBsc;
+use sint::jtag::chain::Chain;
+use sint::jtag::device::Device;
+use sint::jtag::driver::JtagDriver;
+use sint::jtag::state::TapState;
+use sint::core::sd::SdWindow;
+use sint::logic::{BitVector, Logic};
+
+fn enhanced_device(wires: usize) -> Device {
+    let mut d = Device::new("soc", extended_instruction_set().unwrap());
+    let nd = NdThresholds::for_vdd(1.8);
+    let sd = SdWindow::for_vdd(500e-12, 1.8);
+    for _ in 0..wires {
+        d.push_cell(Box::new(Pgbsc::new()));
+    }
+    for _ in 0..wires {
+        d.push_cell(Box::new(Obsc::new(nd, sd)));
+    }
+    d.push_cell(Box::new(StandardBsc::new()));
+    d
+}
+
+#[test]
+fn five_tms_ones_reset_the_enhanced_device() {
+    let mut drv = JtagDriver::new(Chain::single(enhanced_device(3)));
+    drv.reset();
+    drv.load_instruction("G-SITEST").unwrap();
+    // From the middle of anything, 5 ones must reset.
+    drv.reset();
+    assert_eq!(drv.state(), TapState::RunTestIdle);
+    let name = drv
+        .chain()
+        .device(0)
+        .unwrap()
+        .current_instruction()
+        .unwrap()
+        .name
+        .clone();
+    assert_eq!(name, "BYPASS", "reset restores the mandated default");
+}
+
+#[test]
+fn mandatory_instructions_still_work_on_enhanced_device() {
+    let mut drv = JtagDriver::new(Chain::single(enhanced_device(2)));
+    drv.reset();
+    for name in ["EXTEST", "SAMPLE/PRELOAD", "BYPASS", "INTEST"] {
+        drv.load_instruction(name).unwrap();
+        let cur = drv
+            .chain()
+            .device(0)
+            .unwrap()
+            .current_instruction()
+            .unwrap()
+            .name
+            .clone();
+        assert_eq!(cur, name);
+    }
+}
+
+#[test]
+fn extest_scan_through_mixed_cell_chain() {
+    // PGBSC and OBSC must behave as plain cells under EXTEST: scan data
+    // through the 2*2+1 = 5-cell boundary register and read it back.
+    let mut drv = JtagDriver::new(Chain::single(enhanced_device(2)));
+    drv.reset();
+    drv.load_instruction("SAMPLE/PRELOAD").unwrap();
+    let data: BitVector = "10110".parse().unwrap();
+    drv.scan_dr(&data).unwrap();
+    drv.load_instruction("EXTEST").unwrap();
+    // Shift out what the update stages hold by re-capturing... EXTEST
+    // capture reads pins, so instead verify through cell outputs.
+    let dev = drv.chain().device(0).unwrap();
+    let ctrl = dev.cell_control();
+    let outs: Vec<Logic> =
+        (0..5).map(|i| dev.boundary().cell(i).unwrap().output(&ctrl)).collect();
+    // "10110" MSB-first: first-shifted bit (index 0 = '0') lands at the
+    // far (TDO-side) cell; cells TDI-first read the string left→right.
+    assert_eq!(
+        outs,
+        vec![Logic::One, Logic::Zero, Logic::One, Logic::One, Logic::Zero]
+    );
+}
+
+#[test]
+fn bypass_is_one_bit_through_enhanced_device() {
+    let mut drv = JtagDriver::new(Chain::single(enhanced_device(4)));
+    drv.reset();
+    drv.load_instruction("BYPASS").unwrap();
+    assert_eq!(drv.chain().selected_dr_len(), 1);
+    let out = drv.scan_dr(&"1".parse().unwrap()).unwrap();
+    assert_eq!(out.get(0), Some(Logic::Zero), "bypass capture is 0");
+}
+
+#[test]
+fn extension_opcodes_do_not_collide_with_mandated_codes() {
+    assert_ne!(G_SITEST_OPCODE, 0b0000);
+    assert_ne!(G_SITEST_OPCODE, 0b1111);
+    assert_ne!(O_SITEST_OPCODE, 0b0000);
+    assert_ne!(O_SITEST_OPCODE, 0b1111);
+    assert_ne!(G_SITEST_OPCODE, O_SITEST_OPCODE);
+}
+
+#[test]
+fn unknown_private_opcode_falls_back_to_bypass() {
+    let mut drv = JtagDriver::new(Chain::single(enhanced_device(2)));
+    drv.reset();
+    drv.scan_ir(&BitVector::from_u64(0b1010, 4)).unwrap();
+    let name = drv
+        .chain()
+        .device(0)
+        .unwrap()
+        .current_instruction()
+        .unwrap()
+        .name
+        .clone();
+    assert_eq!(name, "BYPASS");
+}
+
+#[test]
+fn o_sitest_alternates_nd_and_sd_readout() {
+    let mut drv = JtagDriver::new(Chain::single(enhanced_device(2)));
+    drv.reset();
+    drv.load_instruction("O-SITEST").unwrap();
+    assert!(!drv.chain().device(0).unwrap().nd_sd(), "starts at ND");
+    let zeros = BitVector::zeros(5);
+    drv.scan_dr(&zeros).unwrap();
+    assert!(drv.chain().device(0).unwrap().nd_sd(), "after one scan: SD");
+    drv.scan_dr(&zeros).unwrap();
+    assert!(!drv.chain().device(0).unwrap().nd_sd(), "after two scans: ND again");
+}
+
+#[test]
+fn detector_evidence_survives_tap_reset_but_not_session_restart() {
+    // TAP reset must not clear ND/SD flip-flops (evidence preservation);
+    // a fresh run_integrity_test must (it starts a new session).
+    let mut soc = SocBuilder::new(3).coupling_defect(1, 6.0).build().unwrap();
+    let cfg = sint::core::session::SessionConfig::default();
+    let r1 = soc.run_integrity_test(&cfg).unwrap();
+    assert!(r1.wire(1).noise);
+    // Re-running starts clean and re-detects (not stale carry-over):
+    let r2 = soc.run_integrity_test(&cfg).unwrap();
+    assert!(r2.wire(1).noise);
+    let clean_cfg = cfg;
+    // A healthy SoC stays clean after someone else's dirty session — the
+    // flip-flops are per-device, not global.
+    let mut healthy = SocBuilder::new(3).build().unwrap();
+    let r3 = healthy.run_integrity_test(&clean_cfg).unwrap();
+    assert!(!r3.any_violation());
+}
+
+#[test]
+fn si_session_leaves_tap_usable_for_standard_work() {
+    let mut soc = SocBuilder::new(3).build().unwrap();
+    soc.run_integrity_test(&sint::core::session::SessionConfig::default()).unwrap();
+    // After the session, plain EXTEST still works on the same device.
+    let drv = soc.driver_mut();
+    drv.load_instruction("EXTEST").unwrap();
+    let out = drv.scan_dr(&BitVector::zeros(6)).unwrap();
+    assert_eq!(out.len(), 6);
+}

@@ -1,0 +1,237 @@
+//! Three independent implementations of the PGBSC pattern schedule must
+//! agree:
+//!
+//! 1. the analytical schedule (`sint_core::mafm::pgbsc_vector`),
+//! 2. the behavioural cell array (`sint_core::pgbsc::Pgbsc`),
+//! 3. the structural gate netlist (`sint_core::pgbsc::pgbsc_netlist`
+//!    simulated by `sint_logic`).
+//!
+//! This is the ablation DESIGN.md calls out: the session uses (2) for
+//! speed and the area analysis uses (3); their agreement is what makes
+//! the Table 7 numbers meaningful for the same design.
+
+use sint::core::mafm::pgbsc_vector;
+use sint::core::pgbsc::{pgbsc_netlist, Pgbsc};
+use sint::interconnect::drive::DriveLevel;
+use sint::jtag::bcell::{BoundaryCell, CellControl};
+use sint::logic::{Logic, Simulator};
+
+fn si_ctrl() -> CellControl {
+    CellControl { si: true, ce: true, mode: true, ..CellControl::default() }
+}
+
+fn level(l: Logic) -> DriveLevel {
+    DriveLevel::from(l == Logic::One)
+}
+
+/// Drives the structural netlist through `updates` Update-DR pulses for
+/// a single cell configured as victim/aggressor, returning the output
+/// levels seen after each pulse.
+fn structural_stream(victim: bool, initial: Logic, updates: usize) -> Vec<Logic> {
+    let nl = pgbsc_netlist().expect("netlist builds");
+    let mut sim = Simulator::new(&nl).expect("sim builds");
+    let find = |name: &str| nl.find_net(name).expect("net exists");
+    let tdi = find("tdi");
+    let shift_dr = find("shift_dr");
+    let si = find("si");
+    let ce = find("ce");
+    let mode = find("mode");
+    let clk = find("tck");
+    let upd = find("update_dr");
+    let ff1_q = find("ff1_q");
+    let ff2_q = find("ff2_q");
+    let ff3_q = find("ff3_q");
+    let out = *nl.outputs().first().expect("one output");
+
+    // Power-up: clear the divider like the behavioural cell's reset.
+    sim.deposit(ff3_q, Logic::Zero).unwrap();
+    // Preload FF2 with the initial value (hardware: SAMPLE/PRELOAD).
+    sim.deposit(ff2_q, initial).unwrap();
+    // Shift the victim-select bit into FF1: shift_dr=1, one TCK.
+    sim.set_many(&[
+        (shift_dr, Logic::One),
+        (si, Logic::One),
+        (ce, Logic::One),
+        (mode, Logic::One),
+        (tdi, Logic::from(victim)),
+    ])
+    .unwrap();
+    sim.clock_edge(clk).unwrap();
+    assert_eq!(sim.value(ff1_q), Logic::from(victim));
+    sim.set(shift_dr, Logic::Zero).unwrap();
+
+    // Note: the structural netlist generates patterns by clocking
+    // update_dr; the divider-based victim path mirrors Fig 6.
+    let mut outs = Vec::new();
+    for _ in 0..updates {
+        sim.clock_edge(upd).unwrap();
+        outs.push(sim.value(out));
+    }
+    outs
+}
+
+#[test]
+fn behavioural_cell_matches_analytical_schedule_for_long_streams() {
+    let ctrl = si_ctrl();
+    for initial in [DriveLevel::Low, DriveLevel::High] {
+        for victim in 0..4usize {
+            let init_logic = Logic::from(initial == DriveLevel::High);
+            let mut cells: Vec<Pgbsc> = (0..4)
+                .map(|i| {
+                    let mut c = Pgbsc::new();
+                    c.preload(init_logic);
+                    c.shift(Logic::from(i == victim), &ctrl);
+                    c
+                })
+                .collect();
+            for updates in 1..=8 {
+                for c in &mut cells {
+                    c.update(&ctrl);
+                }
+                let got: Vec<DriveLevel> =
+                    cells.iter().map(|c| level(c.output(&ctrl))).collect();
+                let expect = pgbsc_vector(4, victim, initial, updates);
+                assert_eq!(got, expect, "initial {initial:?} victim {victim} u{updates}");
+            }
+        }
+    }
+}
+
+#[test]
+fn structural_aggressor_matches_behavioural() {
+    // An aggressor toggles its output on every update.
+    for initial in [Logic::Zero, Logic::One] {
+        let outs = structural_stream(false, initial, 6);
+        let mut expect = Vec::new();
+        let mut v = initial;
+        for _ in 0..6 {
+            v = !v;
+            expect.push(v);
+        }
+        assert_eq!(outs, expect, "aggressor from {initial}");
+    }
+}
+
+#[test]
+fn structural_victim_matches_behavioural() {
+    // A victim toggles on every second update (2, 4, 6, …).
+    for initial in [Logic::Zero, Logic::One] {
+        let outs = structural_stream(true, initial, 6);
+        let mut expect = Vec::new();
+        let mut v = initial;
+        for k in 1..=6 {
+            if k % 2 == 0 {
+                v = !v;
+            }
+            expect.push(v);
+        }
+        assert_eq!(outs, expect, "victim from {initial}");
+    }
+}
+
+#[test]
+fn structural_array_reproduces_full_victim_rotation() {
+    // The strongest three-way check: a complete 4-cell structural array
+    // (gates only) driven through the *whole* per-initial-value flow —
+    // preload, victim-select shift, 3 updates, 1-bit rotation, 3
+    // updates, … — must match the analytical schedule cell for cell.
+    use sint::core::pgbsc::pgbsc_array_netlist;
+
+    const WIRES: usize = 4;
+    let (nl, tdi, cells) = pgbsc_array_netlist(WIRES).expect("array builds");
+    let mut sim = Simulator::new(&nl).expect("sim builds");
+    let find = |name: &str| nl.find_net(name).expect("net exists");
+    let (shift_dr, si, ce, mode) = (find("shift_dr"), find("si"), find("ce"), find("mode"));
+    let (tck, upd) = (find("tck"), find("update_dr"));
+
+    for initial in [Logic::Zero, Logic::One] {
+        // Preload FF2 = initial, clear dividers (hardware: SAMPLE/PRELOAD
+        // + a normal-mode Update-DR; shortcut via deposits).
+        for c in &cells {
+            sim.deposit(c.ff2_q, initial).unwrap();
+            sim.deposit(c.ff3_q, Logic::Zero).unwrap();
+        }
+        sim.set_many(&[
+            (si, Logic::One),
+            (ce, Logic::One),
+            (mode, Logic::One),
+            (shift_dr, Logic::One),
+        ])
+        .unwrap();
+        // Shift the one-hot victim-select for victim 0: bits enter at
+        // TDI and ripple; shift WIRES bits, last one being the 1 that
+        // lands in cell 0 — wait: cell 0 is nearest TDI, so the LAST bit
+        // shifted stays in cell 0. One-hot for victim 0 = 1 then zeros…
+        // shift order: 0,0,0,1.
+        for k in 0..WIRES {
+            let bit = Logic::from(k == WIRES - 1);
+            sim.set(tdi, bit).unwrap();
+            sim.clock_edge(tck).unwrap();
+        }
+        sim.set(shift_dr, Logic::Zero).unwrap();
+
+        for victim in 0..WIRES {
+            if victim > 0 {
+                // Rotate the one-hot by a single shift of 0.
+                sim.set_many(&[(shift_dr, Logic::One), (tdi, Logic::Zero)]).unwrap();
+                sim.clock_edge(tck).unwrap();
+                sim.set(shift_dr, Logic::Zero).unwrap();
+            }
+            // Victim-select sanity.
+            for (i, c) in cells.iter().enumerate() {
+                assert_eq!(
+                    sim.value(c.ff1_q),
+                    Logic::from(i == victim),
+                    "one-hot at victim {victim}"
+                );
+            }
+            // Fresh victim: its divider was cleared by aggressor/preload
+            // updates; apply 3 patterns and compare with the schedule.
+            // The analytic schedule restarts per victim, so track the
+            // per-victim update count.
+            let base: Vec<Logic> = cells.iter().map(|c| sim.value(c.ff2_q)).collect();
+            let mut prev = base.clone();
+            for updates in 1..=3usize {
+                sim.clock_edge(upd).unwrap();
+                let level = |l: Logic| DriveLevel::from(l == Logic::One);
+                let got: Vec<Logic> = cells.iter().map(|c| sim.value(c.ff2_q)).collect();
+                // Victim column follows the analytical half-frequency
+                // schedule relative to ITS starting level…
+                let expect = pgbsc_vector(WIRES, victim, level(base[victim]), updates);
+                assert_eq!(
+                    level(got[victim]),
+                    expect[victim],
+                    "victim {victim} u{updates}"
+                );
+                // …and every aggressor toggles on every update (their
+                // absolute phase shifts across victim rounds, which the
+                // MA model does not care about).
+                for w in (0..WIRES).filter(|&w| w != victim) {
+                    assert_eq!(got[w], !prev[w], "aggressor {w} must toggle");
+                }
+                prev = got;
+            }
+        }
+        sim.set(si, Logic::Zero).unwrap();
+    }
+}
+
+#[test]
+fn structural_normal_mode_is_a_standard_cell() {
+    let nl = pgbsc_netlist().unwrap();
+    let mut sim = Simulator::new(&nl).unwrap();
+    let find = |name: &str| nl.find_net(name).unwrap();
+    let out = *nl.outputs().first().unwrap();
+    // si = 0, mode = 0: output follows the core.
+    sim.set_many(&[
+        (find("si"), Logic::Zero),
+        (find("ce"), Logic::Zero),
+        (find("mode"), Logic::Zero),
+        (find("shift_dr"), Logic::Zero),
+        (find("core_out"), Logic::One),
+    ])
+    .unwrap();
+    assert_eq!(sim.value(out), Logic::One);
+    sim.set(find("core_out"), Logic::Zero).unwrap();
+    assert_eq!(sim.value(out), Logic::Zero, "normal path is purely combinational");
+}

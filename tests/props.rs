@@ -1,0 +1,223 @@
+//! Property-based tests over the workspace's core data structures and
+//! invariants.
+
+use proptest::prelude::*;
+use sint::core::mafm::{classify_pair, fault_pair, pgbsc_vector, IntegrityFault};
+use sint::core::nd::{NdThresholds, NoiseDetector};
+use sint::interconnect::drive::DriveLevel;
+use sint::interconnect::linalg::Matrix;
+use sint::interconnect::variation::SplitMix64;
+use sint::jtag::state::TapState;
+use sint::jtag::svf::{mask_hex, scan_hex};
+use sint::logic::{BitVector, Logic};
+
+fn arb_logic() -> impl Strategy<Value = Logic> {
+    prop_oneof![
+        Just(Logic::Zero),
+        Just(Logic::One),
+        Just(Logic::X),
+        Just(Logic::Z),
+    ]
+}
+
+fn arb_bits(max_len: usize) -> impl Strategy<Value = Vec<Logic>> {
+    proptest::collection::vec(arb_logic(), 0..max_len)
+}
+
+proptest! {
+    // ---------------- Logic algebra ----------------
+
+    #[test]
+    fn logic_ops_commute(a in arb_logic(), b in arb_logic()) {
+        prop_assert_eq!(a & b, b & a);
+        prop_assert_eq!(a | b, b | a);
+        prop_assert_eq!(a ^ b, b ^ a);
+        prop_assert_eq!(a.resolve(b), b.resolve(a));
+    }
+
+    #[test]
+    fn logic_ops_associate(a in arb_logic(), b in arb_logic(), c in arb_logic()) {
+        prop_assert_eq!((a & b) & c, a & (b & c));
+        prop_assert_eq!((a | b) | c, a | (b | c));
+    }
+
+    #[test]
+    fn double_negation_collapses_to_input_view(a in arb_logic()) {
+        // !!a equals a for binary values and X for X/Z.
+        prop_assert_eq!(!!a, a.as_input());
+    }
+
+    // ---------------- BitVector scan semantics ----------------
+
+    #[test]
+    fn shift_preserves_length(bits in arb_bits(64), tdi in arb_logic()) {
+        let mut v: BitVector = bits.iter().copied().collect();
+        let len = v.len();
+        let _ = v.shift(tdi);
+        prop_assert_eq!(v.len(), len);
+    }
+
+    #[test]
+    fn full_shift_in_replaces_content_exactly(
+        (old, new) in (0usize..48).prop_flat_map(|len| (
+            proptest::collection::vec(arb_logic(), len),
+            proptest::collection::vec(arb_logic(), len),
+        )),
+    ) {
+        let mut chain: BitVector = old.iter().copied().collect();
+        let incoming: BitVector = new.iter().copied().collect();
+        let out = chain.shift_in(&incoming);
+        // Everything that was in the chain left, in order.
+        prop_assert_eq!(out.as_slice(), &old[..]);
+        // The chain now holds exactly the new data.
+        prop_assert_eq!(chain.as_slice(), &new[..]);
+    }
+
+    #[test]
+    fn display_parse_round_trip(bits in arb_bits(64)) {
+        let v: BitVector = bits.iter().copied().collect();
+        let parsed: BitVector = v.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn u64_round_trip(value in any::<u64>(), len in 1usize..=64) {
+        let masked = if len == 64 { value } else { value & ((1u64 << len) - 1) };
+        let v = BitVector::from_u64(masked, len);
+        prop_assert_eq!(v.to_u64(), Some(masked));
+    }
+
+    // ---------------- TAP controller ----------------
+
+    #[test]
+    fn five_ones_always_reset(start in 0usize..16, walk in proptest::collection::vec(any::<bool>(), 0..32)) {
+        let mut s = TapState::ALL[start];
+        for tms in walk {
+            s = s.next(tms);
+        }
+        for _ in 0..5 {
+            s = s.next(true);
+        }
+        prop_assert_eq!(s, TapState::TestLogicReset);
+    }
+
+    #[test]
+    fn shift_states_self_loop_on_zero(start in 0usize..16) {
+        let s = TapState::ALL[start];
+        if matches!(s, TapState::ShiftDr | TapState::ShiftIr | TapState::RunTestIdle
+            | TapState::PauseDr | TapState::PauseIr | TapState::TestLogicReset) {
+            prop_assert_eq!(s.next(false).next(false), s.next(false));
+        }
+    }
+
+    // ---------------- MA fault model ----------------
+
+    #[test]
+    fn classify_inverts_fault_pair(width in 2usize..12, victim_seed in any::<usize>(), fault_idx in 0usize..6) {
+        let victim = victim_seed % width;
+        let fault = IntegrityFault::ALL[fault_idx];
+        let pair = fault_pair(width, victim, fault).unwrap();
+        prop_assert_eq!(classify_pair(&pair, victim), Some(fault));
+    }
+
+    #[test]
+    fn pgbsc_vector_periodicity(width in 2usize..10, victim_seed in any::<usize>(), updates in 0usize..16) {
+        let victim = victim_seed % width;
+        // Aggressors have period 2, the victim period 4.
+        let v0 = pgbsc_vector(width, victim, DriveLevel::Low, updates);
+        let v4 = pgbsc_vector(width, victim, DriveLevel::Low, updates + 4);
+        prop_assert_eq!(v0, v4);
+    }
+
+    #[test]
+    fn pgbsc_aggressors_always_toggle(width in 2usize..10, victim_seed in any::<usize>(), updates in 0usize..12) {
+        let victim = victim_seed % width;
+        let a = pgbsc_vector(width, victim, DriveLevel::High, updates);
+        let b = pgbsc_vector(width, victim, DriveLevel::High, updates + 1);
+        for w in (0..width).filter(|&w| w != victim) {
+            prop_assert_ne!(a[w], b[w], "aggressor {} must toggle", w);
+        }
+    }
+
+    // ---------------- Noise detector ----------------
+
+    #[test]
+    fn nd_detection_is_monotone_in_glitch_amplitude(
+        amp in 0.0f64..1.8,
+        width in 10usize..200,
+    ) {
+        // If a triangular bump of amplitude `amp` triggers the ND, any
+        // taller bump of the same width must too.
+        let bump = |a: f64| -> Vec<f64> {
+            (0..600)
+                .map(|k| {
+                    let d = (k as i64 - 300).unsigned_abs() as usize;
+                    if d < width { a * (1.0 - d as f64 / width as f64) } else { 0.0 }
+                })
+                .collect()
+        };
+        let fires = |a: f64| {
+            let mut nd = NoiseDetector::new(NdThresholds::for_vdd(1.8));
+            nd.set_enabled(true);
+            nd.observe(&bump(a), 1e-12, 1.8)
+        };
+        if fires(amp) {
+            prop_assert!(fires((amp + 0.2).min(2.2)), "taller bump must also fire");
+        }
+        // And sub-threshold bumps never fire.
+        if amp < 0.54 {
+            prop_assert!(!fires(amp));
+        }
+    }
+
+    // ---------------- SVF hex packing ----------------
+
+    #[test]
+    fn svf_hex_round_trips_binary_vectors(value in any::<u64>(), len in 1usize..=64) {
+        let masked = if len == 64 { value } else { value & ((1u64 << len) - 1) };
+        let bits = BitVector::from_u64(masked, len);
+        let hex = scan_hex(&bits);
+        let parsed = u64::from_str_radix(&hex, 16).unwrap();
+        prop_assert_eq!(parsed, masked);
+        // Fully-defined vectors have an all-ones mask.
+        let mask = u64::from_str_radix(&mask_hex(&bits), 16).unwrap();
+        let all = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        prop_assert_eq!(mask, all);
+    }
+
+    // ---------------- SplitMix64 ----------------
+
+    #[test]
+    fn splitmix_streams_are_seed_deterministic(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let x = a.next_f64();
+        prop_assert!((0.0..1.0).contains(&x));
+    }
+
+    // ---------------- Dense linear algebra ----------------
+
+    #[test]
+    fn lu_solves_diagonally_dominant_systems(
+        n in 1usize..10,
+        seed in proptest::collection::vec(-1.0f64..1.0, 110),
+    ) {
+        let mut m = Matrix::zeros(n);
+        let mut k = 0;
+        for r in 0..n {
+            for c in 0..n {
+                m[(r, c)] = if r == c { n as f64 + 2.0 } else { seed[k % seed.len()] };
+                k += 1;
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| seed[(i * 7 + 3) % seed.len()] * 5.0).collect();
+        let b = m.mul_vec(&x_true);
+        let x = m.lu().unwrap().solve(&b);
+        for (a, e) in x.iter().zip(&x_true) {
+            prop_assert!((a - e).abs() < 1e-8, "{} vs {}", a, e);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Timing-table consistency: the closed-form TCK formulas of
+//! `sint_core::timing` (Tables 5 and 6) must equal the counts measured
+//! from the cycle-accurate driver, across a grid of geometries.
+
+use sint::core::session::{ObservationMethod, SessionConfig};
+use sint::core::soc::SocBuilder;
+use sint::core::timing::{
+    conventional_generation_tcks, improvement_percent, method_total_tcks, pgbsc_generation_tcks,
+    ChainGeometry,
+};
+
+#[test]
+fn pgbsc_session_tcks_match_formula_over_grid() {
+    for (n, m) in [(2usize, 0usize), (3, 4), (4, 10), (6, 1)] {
+        for method in [
+            ObservationMethod::Once,
+            ObservationMethod::PerInitialValue,
+            ObservationMethod::PerPattern,
+        ] {
+            let mut soc = SocBuilder::new(n).extra_cells(m).build().unwrap();
+            let report = soc.run_integrity_test(&SessionConfig::method(method)).unwrap();
+            let g = ChainGeometry::new(n, m);
+            assert_eq!(
+                report.tck_used,
+                method_total_tcks(g, method),
+                "n={n} m={m} {method}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conventional_tcks_match_formula_over_grid() {
+    for (n, m) in [(2usize, 0usize), (3, 4), (5, 10)] {
+        let mut soc = SocBuilder::new(n).extra_cells(m).build().unwrap();
+        let (tck, _) = soc.run_conventional_generation().unwrap();
+        assert_eq!(tck, conventional_generation_tcks(ChainGeometry::new(n, m)), "n={n} m={m}");
+    }
+}
+
+#[test]
+fn paper_headline_pgbsc_beats_conventional_everywhere() {
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        let g = ChainGeometry::new(n, 10);
+        assert!(
+            pgbsc_generation_tcks(g) < conventional_generation_tcks(g),
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn improvement_approaches_but_never_reaches_100_percent() {
+    let mut last = 0.0;
+    for n in [4usize, 8, 16, 32, 64, 128, 256] {
+        let p = improvement_percent(ChainGeometry::new(n, 10));
+        assert!(p > last, "monotone improvement, n={n}: {p} vs {last}");
+        assert!(p < 100.0);
+        last = p;
+    }
+    assert!(last > 95.0, "asymptotically the scan-in cost vanishes: {last}");
+}
+
+#[test]
+fn complexity_orders_match_paper_claims() {
+    // Paper §4: conventional O(n²), PGBSC O(n). Check via ratios on a
+    // geometric ladder: an O(n²) cost quadruples when n doubles (for
+    // m ≪ n), an O(n) cost doubles.
+    let m = 0;
+    let conv_ratio = conventional_generation_tcks(ChainGeometry::new(128, m)) as f64
+        / conventional_generation_tcks(ChainGeometry::new(64, m)) as f64;
+    let pg_ratio = pgbsc_generation_tcks(ChainGeometry::new(128, m)) as f64
+        / pgbsc_generation_tcks(ChainGeometry::new(64, m)) as f64;
+    assert!((conv_ratio - 4.0).abs() < 0.2, "conventional ratio {conv_ratio}");
+    assert!((pg_ratio - 2.0).abs() < 0.2, "pgbsc ratio {pg_ratio}");
+}
+
+#[test]
+fn method_costs_are_ordered_and_method3_dominated_by_readouts() {
+    for n in [4usize, 8, 16] {
+        let g = ChainGeometry::new(n, 10);
+        let m1 = method_total_tcks(g, ObservationMethod::Once);
+        let m2 = method_total_tcks(g, ObservationMethod::PerInitialValue);
+        let m3 = method_total_tcks(g, ObservationMethod::PerPattern);
+        assert!(m1 < m2 && m2 < m3);
+        let gen = pgbsc_generation_tcks(g);
+        assert!(m3 - gen > 3 * gen, "method 3 overhead dwarfs generation at n={n}");
+    }
+}
+
+#[test]
+fn patterns_applied_is_6n_for_all_methods() {
+    // Read-outs must not change how many patterns hit the bus.
+    for method in [
+        ObservationMethod::Once,
+        ObservationMethod::PerInitialValue,
+        ObservationMethod::PerPattern,
+    ] {
+        let mut soc = SocBuilder::new(3).build().unwrap();
+        let report = soc.run_integrity_test(&SessionConfig::method(method)).unwrap();
+        assert_eq!(report.patterns_applied, 18, "{method}");
+    }
+}

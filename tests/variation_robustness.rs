@@ -1,0 +1,56 @@
+//! Robustness across within-die mismatch: the detector calibration is
+//! done once on the nominal die, but every manufactured die is a little
+//! different. Healthy varied dies must pass; defective varied dies must
+//! still fail.
+
+use sint::core::session::{ObservationMethod, SessionConfig};
+use sint::core::soc::SocBuilder;
+use sint::interconnect::variation::VariationSigma;
+
+fn cfg() -> SessionConfig {
+    SessionConfig { settle_time: 2e-9, dt: 4e-12, ..SessionConfig::method(ObservationMethod::Once) }
+}
+
+#[test]
+fn healthy_varied_dies_pass() {
+    for seed in 0..6u64 {
+        let mut soc = SocBuilder::new(4)
+            .with_variation(VariationSigma::typical(), seed)
+            .build()
+            .unwrap();
+        let report = soc.run_integrity_test(&cfg()).unwrap();
+        assert!(
+            !report.any_violation(),
+            "seed {seed}: healthy die must pass\n{report}"
+        );
+    }
+}
+
+#[test]
+fn defective_varied_dies_still_fail() {
+    for seed in 0..6u64 {
+        let mut soc = SocBuilder::new(4)
+            .with_variation(VariationSigma::typical(), seed)
+            .coupling_defect(2, 6.0)
+            .build()
+            .unwrap();
+        let report = soc.run_integrity_test(&cfg()).unwrap();
+        assert!(
+            report.wire(2).noise,
+            "seed {seed}: gross defect must dominate mismatch\n{report}"
+        );
+    }
+}
+
+#[test]
+fn variation_plus_corner_is_composable() {
+    use sint::interconnect::corner::Corner;
+    use sint::interconnect::params::BusParams;
+    let mut soc = SocBuilder::new(3)
+        .bus_params(BusParams::dsm_bus(3).at_corner(Corner::Ss))
+        .with_variation(VariationSigma::typical(), 11)
+        .build()
+        .unwrap();
+    let report = soc.run_integrity_test(&cfg()).unwrap();
+    assert!(!report.any_violation(), "slow varied healthy die passes\n{report}");
+}
