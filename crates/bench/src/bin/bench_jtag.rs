@@ -1,0 +1,51 @@
+//! Bench: JTAG substrate throughput — scan operations against chain
+//! length, and TAP stepping cost.
+
+use sint_bench::emit_artifact;
+use sint_jtag::bcell::StandardBsc;
+use sint_jtag::chain::Chain;
+use sint_jtag::device::Device;
+use sint_jtag::driver::JtagDriver;
+use sint_jtag::instruction::InstructionSet;
+use sint_logic::BitVector;
+use sint_runtime::bench::{black_box, Bench};
+
+fn driver_with_cells(n: usize) -> JtagDriver {
+    let mut d = Device::new("dut", InstructionSet::standard_1149_1());
+    for _ in 0..n {
+        d.push_cell(Box::new(StandardBsc::new()));
+    }
+    let mut drv = JtagDriver::new(Chain::single(d));
+    drv.reset();
+    drv.load_instruction("SAMPLE/PRELOAD").unwrap();
+    drv
+}
+
+fn main() {
+    let mut b = Bench::new("jtag");
+
+    for cells in [8usize, 64, 256, 1024] {
+        let mut drv = driver_with_cells(cells);
+        let data = BitVector::zeros(cells);
+        b.measure(&format!("dr_scan/{cells}"), || {
+            black_box(drv.scan_dr(black_box(&data)).unwrap());
+        });
+    }
+
+    for cells in [8usize, 256] {
+        let mut drv = driver_with_cells(cells);
+        b.measure(&format!("update_pulse/{cells}"), || {
+            black_box(drv.pulse_update_dr(black_box(3)).unwrap());
+        });
+    }
+
+    {
+        let mut drv = driver_with_cells(64);
+        b.measure("ir_scan", || {
+            black_box(drv.scan_ir(black_box(&BitVector::from_u64(0b0001, 4))).unwrap());
+        });
+    }
+
+    print!("{}", b.table());
+    emit_artifact("bench_jtag", &b.json());
+}

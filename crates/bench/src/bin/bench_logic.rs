@@ -1,0 +1,51 @@
+//! Bench: gate-level substrate — event-driven simulation of structural
+//! cell arrays, netlist analysis, and area costing.
+
+use sint_bench::emit_artifact;
+use sint_core::pgbsc::pgbsc_array_netlist;
+use sint_logic::analysis::analyze;
+use sint_logic::area::AreaReport;
+use sint_logic::{Logic, Simulator};
+use sint_runtime::bench::{black_box, Bench};
+
+fn main() {
+    let mut b = Bench::new("logic");
+
+    for wires in [2usize, 4, 8] {
+        let (nl, _tdi, cells) = pgbsc_array_netlist(wires).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let find = |name: &str| nl.find_net(name).unwrap();
+        for c in &cells {
+            sim.deposit(c.ff2_q, Logic::Zero).unwrap();
+            sim.deposit(c.ff3_q, Logic::Zero).unwrap();
+        }
+        sim.set_many(&[
+            (find("si"), Logic::One),
+            (find("ce"), Logic::One),
+            (find("mode"), Logic::One),
+            (find("shift_dr"), Logic::Zero),
+        ])
+        .unwrap();
+        let upd = find("update_dr");
+        b.measure(&format!("pgbsc_array_update/{wires}"), || {
+            sim.clock_edge(black_box(upd)).unwrap();
+        });
+    }
+
+    for wires in [4usize, 16, 64] {
+        let (nl, _, _) = pgbsc_array_netlist(wires).unwrap();
+        b.measure(&format!("analyze/{wires}"), || {
+            black_box(analyze(black_box(&nl)));
+        });
+    }
+
+    {
+        let (nl, _, _) = pgbsc_array_netlist(32).unwrap();
+        b.measure("area_report_32_cells", || {
+            black_box(AreaReport::of(black_box(&nl)));
+        });
+    }
+
+    print!("{}", b.table());
+    emit_artifact("bench_logic", &b.json());
+}

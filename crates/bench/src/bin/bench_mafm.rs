@@ -1,0 +1,44 @@
+//! Bench: MA fault-model schedule generation and classification — the
+//! reordered-8-pattern ablation (naive 12-vector schedule vs the PGBSC
+//! sequence, DESIGN.md §6.3).
+
+use sint_bench::emit_artifact;
+use sint_core::mafm::{
+    classify_pair, conventional_schedule, fault_pair, pgbsc_sequence, IntegrityFault,
+};
+use sint_interconnect::drive::DriveLevel;
+use sint_runtime::bench::{black_box, Bench};
+
+fn main() {
+    let mut b = Bench::new("mafm");
+
+    for width in [8usize, 32, 128] {
+        b.measure(&format!("conventional_schedule/{width}"), || {
+            black_box(conventional_schedule(black_box(width)).unwrap());
+        });
+    }
+
+    for width in [8usize, 32, 128] {
+        b.measure(&format!("pgbsc_sequence_all_victims/{width}"), || {
+            for victim in 0..width {
+                for initial in [DriveLevel::Low, DriveLevel::High] {
+                    black_box(pgbsc_sequence(width, victim, initial).unwrap());
+                }
+            }
+        });
+    }
+
+    {
+        let pairs: Vec<_> = (0..6)
+            .map(|k| fault_pair(32, 16, IntegrityFault::ALL[k]).unwrap())
+            .collect();
+        b.measure("classify_pair", || {
+            for p in &pairs {
+                black_box(classify_pair(black_box(p), 16));
+            }
+        });
+    }
+
+    print!("{}", b.table());
+    emit_artifact("bench_mafm", &b.json());
+}

@@ -1,0 +1,64 @@
+//! Bench: full signal-integrity sessions end to end — generation
+//! architecture (conventional vs PGBSC) and observation method
+//! (1 vs 2 vs 3) ablations at the system level.
+//!
+//! Plain `cargo run` bin on the `sint_runtime::bench` harness; prints
+//! a median/p95 table and a JSON timing artifact.
+
+use sint_bench::emit_artifact;
+use sint_core::session::{ObservationMethod, SessionConfig};
+use sint_core::soc::SocBuilder;
+use sint_interconnect::params::BusParams;
+use sint_runtime::bench::{black_box, Bench};
+
+fn fast_cfg(method: ObservationMethod) -> SessionConfig {
+    SessionConfig { settle_time: 1e-9, dt: 10e-12, ..SessionConfig::method(method) }
+}
+
+fn fast_soc(n: usize) -> sint_core::soc::Soc {
+    SocBuilder::new(n)
+        .bus_params(BusParams::dsm_bus(n).segments(2))
+        .build()
+        .expect("soc builds")
+}
+
+fn main() {
+    let mut b = Bench::new("session").samples(10);
+
+    for n in [4usize, 8, 16] {
+        let mut soc = fast_soc(n);
+        let cfg = fast_cfg(ObservationMethod::Once);
+        b.measure(&format!("method1_vs_width/{n}"), || {
+            black_box(soc.run_integrity_test(&cfg).unwrap());
+        });
+    }
+
+    for (label, method) in [
+        ("m1", ObservationMethod::Once),
+        ("m2", ObservationMethod::PerInitialValue),
+        ("m3", ObservationMethod::PerPattern),
+    ] {
+        let mut soc = fast_soc(8);
+        let cfg = fast_cfg(method);
+        b.measure(&format!("methods_n8/{label}"), || {
+            black_box(soc.run_integrity_test(&cfg).unwrap());
+        });
+    }
+
+    {
+        let mut soc = fast_soc(8);
+        b.measure("generation_architecture_n8/conventional", || {
+            black_box(soc.run_conventional_generation().unwrap());
+        });
+    }
+    {
+        let mut soc = fast_soc(8);
+        let cfg = fast_cfg(ObservationMethod::Once);
+        b.measure("generation_architecture_n8/pgbsc", || {
+            black_box(soc.run_integrity_test(&cfg).unwrap());
+        });
+    }
+
+    print!("{}", b.table());
+    emit_artifact("bench_session", &b.json());
+}

@@ -1,15 +1,15 @@
-//! Criterion bench: coupled-bus transient solver cost.
+//! Bench: coupled-bus transient solver cost.
 //!
 //! Measures (a) one-off LU factorisation against wire count and segment
 //! count, and (b) per-transient cost of a full MA pattern window — the
 //! quantity that dominates SoC-session wall time. This is the DESIGN.md
 //! ablation for the backward-Euler/factor-once design choice.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sint_bench::emit_artifact;
 use sint_interconnect::drive::VectorPair;
 use sint_interconnect::params::BusParams;
 use sint_interconnect::solver::TransientSim;
-use std::hint::black_box;
+use sint_runtime::bench::{black_box, Bench};
 
 fn pg_pair(wires: usize) -> VectorPair {
     let before = "0".repeat(wires);
@@ -18,44 +18,34 @@ fn pg_pair(wires: usize) -> VectorPair {
     VectorPair::from_strs(&before, &after).expect("static vectors")
 }
 
-fn bench_factorisation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver/factorise");
+fn main() {
+    let mut b = Bench::new("solver").samples(20);
+
     for wires in [4usize, 8, 16, 32] {
         let bus = BusParams::dsm_bus(wires).build().unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(wires), &bus, |b, bus| {
-            b.iter(|| TransientSim::new(black_box(bus), 2e-12).unwrap());
+        b.measure(&format!("factorise/{wires}"), || {
+            black_box(TransientSim::new(black_box(&bus), 2e-12).unwrap());
         });
     }
-    group.finish();
-}
 
-fn bench_transient(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver/transient_2ns");
-    group.sample_size(20);
     for wires in [4usize, 8, 16] {
         let bus = BusParams::dsm_bus(wires).build().unwrap();
         let sim = TransientSim::new(&bus, 2e-12).unwrap();
         let pair = pg_pair(wires);
-        group.bench_with_input(BenchmarkId::from_parameter(wires), &sim, |b, sim| {
-            b.iter(|| sim.run_pair(black_box(&pair), 2e-9).unwrap());
+        b.measure(&format!("transient_2ns/{wires}"), || {
+            black_box(sim.run_pair(black_box(&pair), 2e-9).unwrap());
         });
     }
-    group.finish();
-}
 
-fn bench_segments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver/segments_ablation");
-    group.sample_size(20);
     for segments in [2usize, 4, 8, 16] {
         let bus = BusParams::dsm_bus(5).segments(segments).build().unwrap();
         let sim = TransientSim::new(&bus, 2e-12).unwrap();
         let pair = pg_pair(5);
-        group.bench_with_input(BenchmarkId::from_parameter(segments), &sim, |b, sim| {
-            b.iter(|| sim.run_pair(black_box(&pair), 2e-9).unwrap());
+        b.measure(&format!("segments_ablation/{segments}"), || {
+            black_box(sim.run_pair(black_box(&pair), 2e-9).unwrap());
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_factorisation, bench_transient, bench_segments);
-criterion_main!(benches);
+    print!("{}", b.table());
+    emit_artifact("bench_solver", &b.json());
+}

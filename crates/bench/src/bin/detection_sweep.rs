@@ -1,100 +1,55 @@
 //! **Experiment X2** — end-to-end detection rate versus defect
 //! severity (the workspace's falsifiable addition; see DESIGN.md §5).
 //!
-//! Monte-Carlo campaign: random defects of each kind are injected at a
-//! sweep of severities into random wires of a 6-wire SoC; the full
-//! `G-SITEST`/`O-SITEST` session runs and the defective wire's verdict
-//! is checked. The output is a detection-rate curve per defect kind,
-//! plus the false-positive rate on healthy buses.
+//! Thin CLI over [`sint_bench::detection::run_sweep`]: the Monte-Carlo
+//! campaign itself lives in the library so the determinism test can
+//! run it at several thread counts and compare summaries. Victims are
+//! drawn from per-cell [`Rng64`](sint_runtime::rng::Rng64) substreams
+//! and trials fan out over the `sint_runtime` worker pool
+//! (`SINT_THREADS` controls the width, default: all cores), so the
+//! output is bitwise-identical at any thread count.
+//!
+//! Prints the human-readable detection-rate table plus a JSON artifact.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use sint_core::session::{ObservationMethod, SessionConfig};
-use sint_core::soc::SocBuilder;
-use sint_interconnect::Defect;
-
-const WIRES: usize = 6;
-const TRIALS: usize = 8;
-
-fn run_one(defect: Option<Defect>) -> Result<(bool, bool), Box<dyn std::error::Error>> {
-    let mut builder = SocBuilder::new(WIRES);
-    let focus = defect.as_ref().map(|d| d.focus_wire()).unwrap_or(0);
-    if let Some(d) = defect {
-        builder = builder.defect(d);
-    }
-    let mut soc = builder.build()?;
-    let cfg = SessionConfig {
-        settle_time: 2e-9,
-        dt: 4e-12,
-        ..SessionConfig::method(ObservationMethod::Once)
-    };
-    let report = soc.run_integrity_test(&cfg)?;
-    let v = report.wire(focus);
-    Ok((v.noise, v.skew))
-}
+use sint_bench::detection::{run_sweep, SweepConfig};
+use sint_bench::{emit_artifact, threads_from_env};
+use sint_runtime::json::ToJson;
+use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(0x51E5_7E57);
+    let config = SweepConfig { threads: threads_from_env(), ..SweepConfig::default() };
+    let t0 = Instant::now();
+    let summary = run_sweep(&config)?;
+    let elapsed = t0.elapsed();
 
-    // False positives on healthy buses first.
-    let (fp_noise, fp_skew) = run_one(None)?;
-    println!("healthy bus: noise={fp_noise} skew={fp_skew} (must both be false)\n");
-
-    println!("detection rate per defect kind and severity ({TRIALS} random victims each)\n");
+    println!(
+        "healthy bus: noise={} skew={} (must both be false)\n",
+        summary.healthy_noise, summary.healthy_skew
+    );
+    println!(
+        "detection rate per defect kind and severity ({} random victims each, {} threads)\n",
+        config.trials_per_cell, config.threads
+    );
     println!("{:>22} {:>10} {:>12} {:>12}", "defect", "severity", "noise rate", "skew rate");
-
-    for severity_step in 1..=4u32 {
-        let coupling = 1.0 + f64::from(severity_step) * 1.25; // 2.25x .. 6x
-        let mut hits = 0usize;
-        for _ in 0..TRIALS {
-            let wire = rng.random_range(0..WIRES);
-            let (noise, _) = run_one(Some(Defect::CouplingBoost { wire, factor: coupling }))?;
-            hits += usize::from(noise);
-        }
+    for cell in &summary.cells {
+        let rate = format!("{:.0}%", 100.0 * cell.rate());
+        let (noise_col, skew_col) = match cell.judged {
+            sint_bench::detection::JudgedDetector::Noise => (rate, "-".to_string()),
+            sint_bench::detection::JudgedDetector::Skew => ("-".to_string(), rate),
+        };
         println!(
-            "{:>22} {:>9.2}x {:>11.0}% {:>12}",
-            "coupling boost",
-            coupling,
-            100.0 * hits as f64 / TRIALS as f64,
-            "-"
+            "{:>22} {:>10} {:>12} {:>12}",
+            cell.kind, cell.severity_label, noise_col, skew_col
         );
     }
-
-    for severity_step in 1..=4u32 {
-        let ohms = f64::from(severity_step) * 1200.0; // 1.2k .. 4.8k
-        let mut hits = 0usize;
-        for _ in 0..TRIALS {
-            let wire = rng.random_range(0..WIRES);
-            let (_, skew) =
-                run_one(Some(Defect::ResistiveOpen { wire, segment: 0, extra_ohms: ohms }))?;
-            hits += usize::from(skew);
-        }
-        println!(
-            "{:>22} {:>9.0}Ω {:>12} {:>11.0}%",
-            "resistive open",
-            ohms,
-            "-",
-            100.0 * hits as f64 / TRIALS as f64
-        );
-    }
-
-    for severity_step in 1..=4u32 {
-        let factor = 1.0 + f64::from(severity_step) * 2.0; // 3x .. 9x weaker
-        let mut hits = 0usize;
-        for _ in 0..TRIALS {
-            let wire = rng.random_range(0..WIRES);
-            let (_, skew) = run_one(Some(Defect::WeakDriver { wire, factor }))?;
-            hits += usize::from(skew);
-        }
-        println!(
-            "{:>22} {:>9.1}x {:>12} {:>11.0}%",
-            "weak driver",
-            factor,
-            "-",
-            100.0 * hits as f64 / TRIALS as f64
-        );
-    }
-
+    println!(
+        "\naggregate: {} ({} trials in {:.2}s wall)",
+        summary.stats,
+        summary.stats.defect_trials + summary.stats.control_trials,
+        elapsed.as_secs_f64()
+    );
     println!("\nexpected shape: rates rise with severity toward 100%; healthy stays clean.");
+
+    emit_artifact("detection_sweep", &summary.to_json());
     Ok(())
 }

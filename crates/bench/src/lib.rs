@@ -16,8 +16,16 @@
 //! | `detection_sweep` | X2 — end-to-end detection rate vs defect severity |
 //!
 //! Run any of them with `cargo run -p sint-bench --release --bin <name>`.
+//!
+//! The five `bench_*` binaries are micro/macro benchmarks on the
+//! `sint_runtime::bench` harness (median + p95, JSON artifacts) — plain
+//! `cargo run` bins, so they execute in offline CI. Campaign-style bins
+//! honour `SINT_THREADS` for the worker-pool width.
+
+pub mod detection;
 
 use sint_core::timing::ChainGeometry;
+use sint_runtime::json::Json;
 
 /// The paper's table geometries: `n ∈ {8, 16, 32}` with `m = 10` other
 /// cells on the chain.
@@ -52,6 +60,25 @@ pub fn row(label: &str, cells: &[String]) -> String {
         s.push_str(&format!("{c:>14}"));
     }
     s
+}
+
+/// Worker-thread count for campaign bins: `SINT_THREADS` when set (and
+/// parseable), else the host's available parallelism.
+#[must_use]
+pub fn threads_from_env() -> usize {
+    std::env::var("SINT_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| sint_runtime::pool::Pool::host().threads())
+}
+
+/// Prints a named machine-readable artifact as a delimited JSON block,
+/// so a human scanning the log and a script scraping it both find it.
+pub fn emit_artifact(name: &str, json: &Json) {
+    println!("\n--- artifact {name}.json ---");
+    println!("{}", json.render_pretty());
+    println!("--- end artifact ---");
 }
 
 #[cfg(test)]

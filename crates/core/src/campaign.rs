@@ -9,15 +9,16 @@
 use crate::error::CoreError;
 use crate::session::{ObservationMethod, SessionConfig};
 use crate::soc::SocBuilder;
-use serde::{Deserialize, Serialize};
 use sint_interconnect::defect::Defect;
 use sint_interconnect::params::BusParams;
 use sint_interconnect::variation::VariationSigma;
+use sint_runtime::json::{Json, ToJson};
+use sint_runtime::pool::Pool;
 use std::fmt;
 
 /// One campaign trial: a defect (or `None` for a healthy control) and
 /// the wire whose verdict decides the outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Trial {
     /// The injected defect; `None` runs a healthy control.
     pub defect: Option<Defect>,
@@ -45,7 +46,7 @@ impl Trial {
 }
 
 /// Outcome of one trial.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrialOutcome {
     /// Defect trial: the judged wire flagged noise and/or skew.
     Detected {
@@ -70,8 +71,23 @@ impl TrialOutcome {
     }
 }
 
+impl ToJson for TrialOutcome {
+    fn to_json(&self) -> Json {
+        match self {
+            TrialOutcome::Detected { noise, skew } => Json::obj([
+                ("kind", "detected".to_json()),
+                ("noise", noise.to_json()),
+                ("skew", skew.to_json()),
+            ]),
+            TrialOutcome::Missed => Json::obj([("kind", "missed".to_json())]),
+            TrialOutcome::CleanPass => Json::obj([("kind", "clean_pass".to_json())]),
+            TrialOutcome::FalseAlarm => Json::obj([("kind", "false_alarm".to_json())]),
+        }
+    }
+}
+
 /// Aggregate campaign statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CampaignStats {
     /// Defect trials run.
     pub defect_trials: usize,
@@ -102,6 +118,40 @@ impl CampaignStats {
         } else {
             self.false_alarms as f64 / self.control_trials as f64
         }
+    }
+
+    /// Aggregates a batch of outcomes into statistics.
+    #[must_use]
+    pub fn tally(outcomes: &[TrialOutcome]) -> CampaignStats {
+        let mut stats = CampaignStats::default();
+        for outcome in outcomes {
+            match outcome {
+                TrialOutcome::Detected { .. } => {
+                    stats.defect_trials += 1;
+                    stats.detected += 1;
+                }
+                TrialOutcome::Missed => stats.defect_trials += 1,
+                TrialOutcome::CleanPass => stats.control_trials += 1,
+                TrialOutcome::FalseAlarm => {
+                    stats.control_trials += 1;
+                    stats.false_alarms += 1;
+                }
+            }
+        }
+        stats
+    }
+}
+
+impl ToJson for CampaignStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("defect_trials", self.defect_trials.to_json()),
+            ("detected", self.detected.to_json()),
+            ("control_trials", self.control_trials.to_json()),
+            ("false_alarms", self.false_alarms.to_json()),
+            ("detection_rate", self.detection_rate().to_json()),
+            ("false_alarm_rate", self.false_alarm_rate().to_json()),
+        ])
     }
 }
 
@@ -206,31 +256,38 @@ impl Campaign {
         })
     }
 
-    /// Runs a batch of trials and aggregates statistics.
+    /// Runs a batch of trials serially and aggregates statistics.
+    ///
+    /// Equivalent to [`Campaign::run_parallel`] with one thread; the
+    /// two produce bitwise-identical results because every trial's
+    /// behaviour depends only on its index (variation seed offset),
+    /// never on execution order.
     ///
     /// # Errors
     ///
     /// Propagates the first trial error.
     pub fn run(&self, trials: &[Trial]) -> Result<(CampaignStats, Vec<TrialOutcome>), CoreError> {
-        let mut stats = CampaignStats::default();
-        let mut outcomes = Vec::with_capacity(trials.len());
-        for (idx, trial) in trials.iter().enumerate() {
-            let outcome = self.run_trial_seeded(*trial, idx as u64)?;
-            match outcome {
-                TrialOutcome::Detected { .. } => {
-                    stats.defect_trials += 1;
-                    stats.detected += 1;
-                }
-                TrialOutcome::Missed => stats.defect_trials += 1,
-                TrialOutcome::CleanPass => stats.control_trials += 1,
-                TrialOutcome::FalseAlarm => {
-                    stats.control_trials += 1;
-                    stats.false_alarms += 1;
-                }
-            }
-            outcomes.push(outcome);
-        }
-        Ok((stats, outcomes))
+        self.run_parallel(trials, 1)
+    }
+
+    /// Runs a batch of trials across `threads` workers.
+    ///
+    /// Each trial's die (its variation seed) is derived from the trial
+    /// *index*, and the pool returns outcomes in input order, so the
+    /// summary is reproducible at any thread count — the determinism
+    /// contract locked in by the workspace's campaign-determinism test.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-indexed trial error.
+    pub fn run_parallel(
+        &self,
+        trials: &[Trial],
+        threads: usize,
+    ) -> Result<(CampaignStats, Vec<TrialOutcome>), CoreError> {
+        let outcomes = Pool::new(threads)
+            .try_map(trials, |idx, trial| self.run_trial_seeded(*trial, idx as u64))?;
+        Ok((CampaignStats::tally(&outcomes), outcomes))
     }
 }
 
@@ -303,5 +360,35 @@ mod tests {
         let stats = CampaignStats::default();
         assert_eq!(stats.detection_rate(), 1.0);
         assert_eq!(stats.false_alarm_rate(), 0.0);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_exactly() {
+        use sint_interconnect::variation::VariationSigma;
+        let campaign = Campaign::new(3).variation(VariationSigma::typical(), 7);
+        let trials: Vec<Trial> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Trial::defective(Defect::CouplingBoost { wire: 1, factor: 6.0 })
+                } else {
+                    Trial::control()
+                }
+            })
+            .collect();
+        let (serial_stats, serial_outcomes) = campaign.run(&trials).unwrap();
+        for threads in [2, 4] {
+            let (stats, outcomes) = campaign.run_parallel(&trials, threads).unwrap();
+            assert_eq!(stats, serial_stats, "{threads} threads");
+            assert_eq!(outcomes, serial_outcomes, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn stats_and_outcomes_serialise() {
+        let stats = CampaignStats { defect_trials: 2, detected: 1, control_trials: 1, false_alarms: 0 };
+        let j = stats.to_json().render();
+        assert!(j.contains("\"detection_rate\":0.5"), "{j}");
+        let o = TrialOutcome::Detected { noise: true, skew: false }.to_json().render();
+        assert_eq!(o, r#"{"kind":"detected","noise":true,"skew":false}"#);
     }
 }

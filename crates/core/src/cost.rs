@@ -10,7 +10,6 @@
 
 use crate::obsc::obsc_netlist;
 use crate::pgbsc::pgbsc_netlist;
-use serde::{Deserialize, Serialize};
 use sint_logic::area::AreaReport;
 use sint_logic::netlist::Netlist;
 use sint_logic::{LogicError, NandUnits};
@@ -42,7 +41,7 @@ pub fn standard_bsc_netlist() -> Result<Netlist, LogicError> {
 }
 
 /// One row of the Table 7 comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostRow {
     /// Architecture label ("Conventional BSA" / "Enhanced BSA").
     pub architecture: String,
@@ -61,7 +60,7 @@ impl CostRow {
 }
 
 /// The full Table 7 analysis for an `n`-wire interconnect.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostAnalysis {
     /// Interconnect width the totals are scaled to.
     pub wires: usize,

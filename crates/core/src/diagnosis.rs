@@ -12,12 +12,11 @@
 
 use crate::mafm::IntegrityFault;
 use crate::session::{IntegrityReport, ObservationMethod, ReadoutPoint, ReadoutRecord};
-use serde::{Deserialize, Serialize};
 use sint_interconnect::drive::DriveLevel;
 use std::fmt;
 
 /// How precisely a failure could be localised.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultLocalisation {
     /// Method 1: the wire failed; detector kind known, fault class not.
     WireOnly,
@@ -38,7 +37,7 @@ pub enum FaultLocalisation {
 }
 
 /// Diagnosis for one failing wire.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireDiagnosis {
     /// The failing wire.
     pub wire: usize,

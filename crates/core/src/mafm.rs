@@ -22,13 +22,12 @@
 //! values** — that reordered schedule is [`pgbsc_sequence`].
 
 use crate::error::CoreError;
-use serde::{Deserialize, Serialize};
 use sint_interconnect::drive::{DriveLevel, VectorPair};
 use sint_logic::BitVector;
 use std::fmt;
 
 /// One of the six MA integrity faults.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum IntegrityFault {
     /// Positive glitch: victim quiet at 0, aggressors rise.
     Pg,
@@ -189,7 +188,7 @@ pub fn classify_pair(pair: &VectorPair, victim: usize) -> Option<IntegrityFault>
 
 /// One scheduled pattern application: the vector pair, the victim it
 /// targets and the fault it excites.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduledPattern {
     /// Victim wire index.
     pub victim: usize,

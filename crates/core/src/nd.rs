@@ -24,10 +24,9 @@
 //! A slow-but-monotone edge passes the ND — added delay is the SD
 //! cell's job — which reproduces the paper's clean noise/skew split.
 
-use serde::{Deserialize, Serialize};
 
 /// Voltage thresholds for a noise detector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NdThresholds {
     /// Highest voltage still accepted as logic 0 (V).
     pub v_low_max: f64,
@@ -78,7 +77,7 @@ enum Side {
 /// nd.observe(&wave, 1e-12, 1.8);
 /// assert!(nd.violation());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NoiseDetector {
     thresholds: NdThresholds,
     /// Cell enable (the CE signal of Fig 1).

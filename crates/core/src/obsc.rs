@@ -26,14 +26,13 @@
 
 use crate::nd::{NdThresholds, NoiseDetector};
 use crate::sd::{SdWindow, SkewDetector};
-use serde::{Deserialize, Serialize};
 use sint_jtag::bcell::{BoundaryCell, CellControl};
 use sint_logic::netlist::Netlist;
 use sint_logic::{LogicError, Logic};
 
 /// Behavioural OBSC implementing [`BoundaryCell`], with embedded ND/SD
 /// detector models.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Obsc {
     ff1: Logic,
     ff2: Logic,

@@ -21,7 +21,6 @@
 //! Only one extra control signal (SI) reaches the cell; it is decoded
 //! from the `G-SITEST` instruction (§4.1).
 
-use serde::{Deserialize, Serialize};
 use sint_jtag::bcell::{BoundaryCell, CellControl};
 use sint_logic::netlist::{NetId, Netlist};
 use sint_logic::{LogicError, Logic};
@@ -43,7 +42,7 @@ use sint_logic::{LogicError, Logic};
 /// cell.update(&si);
 /// assert_eq!(cell.output(&si), Logic::Zero);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pgbsc {
     ff1: Logic,
     ff2: Logic,

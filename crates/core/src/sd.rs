@@ -12,11 +12,10 @@
 //! violation is recorded when the sample deviates from the expected
 //! final level by more than `settle_tolerance`.
 
-use serde::{Deserialize, Serialize};
 use sint_interconnect::drive::DriveLevel;
 
 /// Timing parameters for a skew detector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SdWindow {
     /// The skew-immune range: allowed time from edge launch to settled
     /// arrival (s). Fig 2's delay-generator value.
@@ -46,7 +45,7 @@ impl SdWindow {
 /// sd.observe(&wave, 1e-12, 1.8, DriveLevel::High, 0.0);
 /// assert!(sd.violation());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SkewDetector {
     window: SdWindow,
     enabled: bool,

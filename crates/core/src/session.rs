@@ -16,12 +16,12 @@
 //! The actual execution lives in [`crate::soc::Soc::run_integrity_test`].
 
 use crate::mafm::IntegrityFault;
-use serde::{Deserialize, Serialize};
 use sint_interconnect::drive::DriveLevel;
+use sint_runtime::json::{Json, ToJson};
 use std::fmt;
 
 /// When the session scans out detector flip-flops (§3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ObservationMethod {
     /// Method 1: once, after the entire campaign.
     Once,
@@ -43,7 +43,7 @@ impl fmt::Display for ObservationMethod {
 }
 
 /// Session configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionConfig {
     /// Read-out cadence.
     pub method: ObservationMethod,
@@ -68,7 +68,7 @@ impl Default for SessionConfig {
 }
 
 /// Final verdict for one interconnect wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WireVerdict {
     /// The wire's ND flip-flop at final read-out: noise violation seen.
     pub noise: bool,
@@ -84,8 +84,53 @@ impl WireVerdict {
     }
 }
 
+impl ToJson for WireVerdict {
+    fn to_json(&self) -> Json {
+        Json::obj([("noise", self.noise.to_json()), ("skew", self.skew.to_json())])
+    }
+}
+
+impl ToJson for ObservationMethod {
+    fn to_json(&self) -> Json {
+        let s = match self {
+            ObservationMethod::Once => "once",
+            ObservationMethod::PerInitialValue => "per_initial_value",
+            ObservationMethod::PerPattern => "per_pattern",
+        };
+        s.to_json()
+    }
+}
+
+impl ToJson for ReadoutPoint {
+    fn to_json(&self) -> Json {
+        match self {
+            ReadoutPoint::Final => Json::obj([("at", "final".to_json())]),
+            ReadoutPoint::AfterInitialValue(level) => Json::obj([
+                ("at", "after_initial_value".to_json()),
+                ("initial", format!("{level:?}").to_json()),
+            ]),
+            ReadoutPoint::AfterPattern { initial, victim, fault } => Json::obj([
+                ("at", "after_pattern".to_json()),
+                ("initial", format!("{initial:?}").to_json()),
+                ("victim", victim.to_json()),
+                ("fault", format!("{fault:?}").to_json()),
+            ]),
+        }
+    }
+}
+
+impl ToJson for ReadoutRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("point", self.point.to_json()),
+            ("nd", self.nd.to_json()),
+            ("sd", self.sd.to_json()),
+        ])
+    }
+}
+
 /// What triggered a read-out record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadoutPoint {
     /// Method 1: end of session.
     Final,
@@ -103,7 +148,7 @@ pub enum ReadoutPoint {
 }
 
 /// One scanned-out snapshot of all detector flip-flops.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadoutRecord {
     /// Where in the session the read-out happened.
     pub point: ReadoutPoint,
@@ -114,7 +159,7 @@ pub struct ReadoutRecord {
 }
 
 /// Result of a complete signal-integrity test session.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntegrityReport {
     method: ObservationMethod,
     wires: Vec<WireVerdict>,
@@ -188,6 +233,19 @@ impl IntegrityReport {
     /// Indices of wires with violations.
     pub fn failing_wires(&self) -> impl Iterator<Item = usize> + '_ {
         self.wires.iter().enumerate().filter(|(_, v)| v.any()).map(|(w, _)| w)
+    }
+}
+
+impl ToJson for IntegrityReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("method", self.method.to_json()),
+            ("wires", self.wires.to_json()),
+            ("readouts", self.readouts.to_json()),
+            ("tck_used", self.tck_used.to_json()),
+            ("patterns_applied", self.patterns_applied.to_json()),
+            ("any_violation", self.any_violation().to_json()),
+        ])
     }
 }
 

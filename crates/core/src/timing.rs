@@ -18,7 +18,7 @@
 //! `n` PGBSCs, `n` OBSCs and `m` other (standard) cells.
 
 use crate::session::ObservationMethod;
-use serde::{Deserialize, Serialize};
+use sint_runtime::json::{Json, ToJson};
 
 /// TCKs for one IR scan with the 4-bit IR.
 pub const IR_SCAN_TCKS: u64 = 10;
@@ -30,7 +30,7 @@ pub const UPDATE_PULSE_TCKS: u64 = 5;
 pub const RESET_TCKS: u64 = 6;
 
 /// Scan-chain geometry of the SoC under test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChainGeometry {
     /// Interconnect width `n` (PGBSC and OBSC count each).
     pub wires: usize,
@@ -55,6 +55,16 @@ impl ChainGeometry {
     #[must_use]
     pub fn dr_scan_tcks(&self) -> u64 {
         self.chain_len() + DR_SCAN_OVERHEAD
+    }
+}
+
+impl ToJson for ChainGeometry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("wires", self.wires.to_json()),
+            ("extra_cells", self.extra_cells.to_json()),
+            ("chain_len", self.chain_len().to_json()),
+        ])
     }
 }
 

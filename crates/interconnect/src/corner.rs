@@ -8,11 +8,10 @@
 //! across the spread.
 
 use crate::params::BusParams;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A named process corner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Corner {
     /// Slow-slow: resistive wires, fat capacitors, weak drivers.
     Ss,
@@ -67,7 +66,7 @@ impl fmt::Display for Corner {
 }
 
 /// Multipliers a corner applies to the bus parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CornerFactors {
     /// Wire-resistance multiplier.
     pub resistance: f64,

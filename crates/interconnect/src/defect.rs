@@ -10,11 +10,10 @@
 
 use crate::error::InterconnectError;
 use crate::params::Bus;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A physical defect to inject into a [`Bus`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum Defect {
     /// Multiplies the coupling capacitance of every pair adjacent to

@@ -8,11 +8,10 @@
 
 use crate::error::InterconnectError;
 use crate::params::Bus;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A binary drive level at a bus input.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DriveLevel {
     /// Driven to ground.
     Low,
@@ -69,7 +68,7 @@ impl fmt::Display for DriveLevel {
 /// assert_eq!(p.after(2), DriveLevel::Low);   // quiet victim
 /// assert_eq!(p.after(0), DriveLevel::High);  // rising aggressor
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VectorPair {
     before: Vec<DriveLevel>,
     after: Vec<DriveLevel>,
@@ -154,7 +153,7 @@ impl fmt::Display for VectorPair {
 
 /// Per-wire piecewise-linear source: holds `v0`, ramps linearly to `v1`
 /// between `t_switch` and `t_switch + ramp`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RampSource {
     /// Initial source voltage (V).
     pub v0: f64,
@@ -182,7 +181,7 @@ impl RampSource {
 }
 
 /// A complete bus stimulus: one ramp source per wire.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Stimulus {
     sources: Vec<RampSource>,
 }

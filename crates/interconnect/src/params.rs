@@ -12,14 +12,13 @@
 //! per mm.
 
 use crate::error::InterconnectError;
-use serde::{Deserialize, Serialize};
 
 /// Builder for a [`Bus`].
 ///
 /// Defaults (see [`BusParams::dsm_bus`]) model a 5 mm global interconnect
 /// in a late-1990s DSM process, the technology the paper targets: strong
 /// neighbour coupling, ~GHz edges, 1.8 V supply.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BusParams {
     wires: usize,
     length_mm: f64,
@@ -235,7 +234,7 @@ impl BusParams {
 /// is indexed `[pair][segment]` where pair `p` couples wires `p` and
 /// `p + 1`. Defect injection (see [`crate::defect`]) mutates these
 /// element values directly, exactly like a layout-level parasitic shift.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bus {
     pub(crate) wires: usize,
     pub(crate) segments: usize,

@@ -29,7 +29,6 @@ use crate::drive::{Stimulus, VectorPair};
 use crate::error::InterconnectError;
 use crate::linalg::{LuFactors, Matrix};
 use crate::params::Bus;
-use serde::{Deserialize, Serialize};
 
 /// Default time the drivers launch their edge after simulation start.
 pub const DEFAULT_SWITCH_AT: f64 = 0.2e-9;
@@ -453,7 +452,7 @@ impl TransientSim {
 }
 
 /// Simulated voltages for every bus wire.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BusWaveforms {
     dt: f64,
     switch_at: f64,

@@ -3,50 +3,23 @@
 //! Process corners ([`crate::corner`]) shift every element together;
 //! real dies additionally show *local* mismatch: each segment's R and C
 //! lands a few percent off nominal, independently. This module jitters
-//! a built [`Bus`] with a deterministic, dependency-free PRNG
-//! (SplitMix64) so Monte-Carlo studies are reproducible from a seed.
+//! a built [`Bus`] with the workspace's deterministic PRNG
+//! ([`sint_runtime::rng::Rng64`], SplitMix64) so Monte-Carlo studies
+//! are reproducible from a seed.
 
 use crate::error::InterconnectError;
 use crate::params::Bus;
-use serde::{Deserialize, Serialize};
 
-/// SplitMix64: tiny, high-quality, seedable — ideal for reproducible
-/// parameter jitter without pulling a dependency into the substrate.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct SplitMix64 {
-    state: u64,
-}
+/// The workspace RNG, re-exported at its historical home: the
+/// SplitMix64 that started here was promoted to `sint-runtime` so every
+/// crate shares one stream-splittable generator.
+pub use sint_runtime::rng::Rng64;
 
-impl SplitMix64 {
-    /// Seeds the generator.
-    #[must_use]
-    pub fn new(seed: u64) -> Self {
-        SplitMix64 { state: seed }
-    }
-
-    /// Next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform sample in `[0, 1)`.
-    pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    /// Approximately normal sample (mean 0, unit variance) via the sum
-    /// of 12 uniforms — plenty for parameter mismatch.
-    pub fn next_gaussian(&mut self) -> f64 {
-        (0..12).map(|_| self.next_f64()).sum::<f64>() - 6.0
-    }
-}
+/// Backwards-compatible alias for the promoted generator.
+pub use sint_runtime::rng::Rng64 as SplitMix64;
 
 /// Relative (1-sigma) mismatch magnitudes per element class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationSigma {
     /// Segment-resistance sigma (fraction of nominal).
     pub resistance: f64,
@@ -98,8 +71,8 @@ pub fn apply_variation(
             )));
         }
     }
-    let mut rng = SplitMix64::new(seed);
-    let mut jitter = |sigma: f64| 1.0 + sigma * rng.next_gaussian().clamp(-3.0, 3.0);
+    let mut rng = Rng64::new(seed);
+    let mut jitter = |sigma: f64| 1.0 + sigma * rng.gen_gaussian().clamp(-3.0, 3.0);
     for wire in bus.r_seg.iter_mut() {
         for r in wire.iter_mut() {
             *r *= jitter(sigma.resistance);
@@ -141,17 +114,6 @@ mod tests {
             let x = r.next_f64();
             assert!((0.0..1.0).contains(&x));
         }
-    }
-
-    #[test]
-    fn gaussian_has_roughly_unit_moments() {
-        let mut rng = SplitMix64::new(1234);
-        let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-        assert!(mean.abs() < 0.03, "mean {mean}");
-        assert!((var - 1.0).abs() < 0.05, "variance {var}");
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! paper's claim of 1149.1 compliance.
 
 use crate::error::JtagError;
-use serde::{Deserialize, Serialize};
 use sint_logic::Logic;
 use std::fmt;
 
@@ -18,7 +17,7 @@ use std::fmt;
 /// `nd_sd` are the paper's extension signals, decoded from the
 /// `G-SITEST`/`O-SITEST` instructions (§4.1). Standard cells ignore the
 /// extension fields.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CellControl {
     /// Test-mode select: when true, cell outputs come from the update
     /// stage instead of the system path (EXTEST-style).
@@ -90,7 +89,7 @@ pub trait BoundaryCell: fmt::Debug + std::any::Any {
 /// cell.update(&ctrl);                       // FF2 ← FF1
 /// assert_eq!(cell.output(&ctrl), Logic::Zero); // mode=1 → FF2 drives
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StandardBsc {
     /// Shift-stage flip-flop (FF1 in Fig 4).
     ff1: Logic,

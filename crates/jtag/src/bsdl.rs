@@ -30,12 +30,11 @@ use crate::bcell::{BoundaryCell, StandardBsc};
 use crate::device::Device;
 use crate::instruction::{DrTarget, Instruction, InstructionSet};
 use crate::register::IdcodeRegister;
-use serde::{Deserialize, Serialize};
 use sint_logic::BitVector;
 use std::fmt;
 
 /// Instruction specification inside a description.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstructionSpec {
     /// Mnemonic.
     pub name: String,
@@ -48,7 +47,7 @@ pub struct InstructionSpec {
 }
 
 /// IDCODE fields of a description.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IdcodeSpec {
     /// 11-bit manufacturer id.
     pub manufacturer: u16,
@@ -59,7 +58,7 @@ pub struct IdcodeSpec {
 }
 
 /// A parsed device description.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeviceDescription {
     /// Device name.
     pub name: String,

@@ -7,12 +7,11 @@
 //! and which boundary-cell control signals it asserts.
 
 use crate::error::JtagError;
-use serde::{Deserialize, Serialize};
 use sint_logic::{BitVector, Logic};
 use std::fmt;
 
 /// Which data register an instruction places between TDI and TDO.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DrTarget {
     /// The boundary register.
     Boundary,
@@ -23,7 +22,7 @@ pub enum DrTarget {
 }
 
 /// A JTAG instruction: opcode plus the behaviour it selects.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instruction {
     /// Mnemonic, e.g. `"EXTEST"` or `"G-SITEST"`.
     pub name: String,
@@ -65,7 +64,7 @@ impl fmt::Display for Instruction {
 }
 
 /// The set of instructions a device implements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InstructionSet {
     ir_width: usize,
     instructions: Vec<Instruction>,
@@ -150,7 +149,7 @@ impl InstructionSet {
 }
 
 /// The instruction register: shift stage plus the *current* instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InstructionRegister {
     shift: BitVector,
     current: BitVector,

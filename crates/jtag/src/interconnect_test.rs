@@ -17,13 +17,12 @@
 //! modified-counting refinement).
 
 use crate::error::JtagError;
-use serde::{Deserialize, Serialize};
 use sint_logic::{BitVector, Logic};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A wiring fault on a board interconnect.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum WiringFault {
     /// Net shorted to ground.
@@ -65,7 +64,7 @@ impl fmt::Display for WiringFault {
 
 /// A board-level interconnect: `nets` point-to-point wires from driver
 /// cells to receiver cells, with zero or more wiring faults.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BoardWiring {
     nets: usize,
     faults: Vec<WiringFault>,
@@ -145,7 +144,7 @@ impl BoardWiring {
 }
 
 /// One applied pattern and the response it produced.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternResult {
     /// The levels driven onto the nets.
     pub driven: Vec<Logic>,
@@ -154,7 +153,7 @@ pub struct PatternResult {
 }
 
 /// The outcome of an interconnect test campaign.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WiringDiagnosis {
     /// Nets whose received sequence differed from the driven one.
     pub failing_nets: Vec<usize>,

@@ -1,13 +1,12 @@
 //! Non-boundary data registers: bypass and device identification.
 
-use serde::{Deserialize, Serialize};
 use sint_logic::Logic;
 
 /// The mandatory 1-bit bypass register.
 ///
 /// Capture-DR loads a fixed 0 (as the standard requires); each Shift-DR
 /// delays TDI by exactly one TCK.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BypassRegister {
     bit: Logic,
 }
@@ -34,7 +33,7 @@ impl BypassRegister {
 ///
 /// Layout (LSB→MSB): 1 fixed `1`, 11-bit manufacturer id, 16-bit part
 /// number, 4-bit version — per IEEE 1149.1 §12.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IdcodeRegister {
     idcode: u32,
     shift: u32,

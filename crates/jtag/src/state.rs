@@ -5,11 +5,10 @@
 //! device on a board. The transition table below is verbatim from the
 //! standard (IEEE Std 1149.1-2001, Figure 6-1).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A TAP controller state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TapState {
     /// Test logic disabled; entered from anywhere with five TMS=1 clocks.
     TestLogicReset,

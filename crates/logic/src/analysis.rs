@@ -6,12 +6,11 @@
 //! netlist graph treating flip-flops and latches as path endpoints.
 
 use crate::netlist::{CompId, Component, NetId, Netlist};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 
 /// Structural statistics of a netlist.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NetlistStats {
     /// Longest combinational path, in gate levels (storage elements and
     /// primary inputs are level 0 sources).
@@ -113,7 +112,13 @@ pub fn analyze(netlist: &Netlist) -> NetlistStats {
         .map(|(l, i)| (l, Some(i)))
         .unwrap_or((0, None));
     let mut critical_path = Vec::new();
+    let mut visited = vec![false; nets];
     while let Some(net) = sink {
+        // A combinational loop makes `from_gate` cyclic; stop at the
+        // first revisited net so the walk terminates.
+        if std::mem::replace(&mut visited[net], true) {
+            break;
+        }
         match from_gate[net] {
             Some(gi) => {
                 critical_path.push(CompId(gi as u32));

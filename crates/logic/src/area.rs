@@ -18,13 +18,12 @@
 //! | level latch               | 12 | 3.0 |
 
 use crate::netlist::{Component, Netlist, Primitive};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul};
 
 /// An area measured in 2-input-NAND equivalents.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct NandUnits(pub f64);
 
 impl NandUnits {
@@ -114,7 +113,7 @@ pub fn latch_area() -> NandUnits {
 }
 
 /// Area breakdown of a netlist.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AreaReport {
     /// Design name the report was computed for.
     pub design: String,

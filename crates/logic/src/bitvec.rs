@@ -11,7 +11,6 @@
 //! one position toward TDO.
 
 use crate::logic::Logic;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -25,7 +24,7 @@ use std::str::FromStr;
 /// assert_eq!(out, Logic::Zero);            // "1010" is written MSB-first
 /// assert_eq!(chain.to_string(), "1101");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct BitVector {
     /// bits[0] is nearest TDO (first out); bits[len-1] is nearest TDI.
     bits: Vec<Logic>,

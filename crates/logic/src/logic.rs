@@ -6,7 +6,6 @@
 //! implement Kleene's strong three-valued logic with `Z` treated as an
 //! unknown *input* (a floating node reads as `X` to a gate).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{BitAnd, BitOr, BitXor, Not};
 
@@ -18,7 +17,7 @@ use std::ops::{BitAnd, BitOr, BitXor, Not};
 /// assert_eq!(Logic::One & Logic::X, Logic::X);
 /// assert_eq!(!Logic::Zero, Logic::One);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Logic {
     /// Driven logic low.
     Zero,

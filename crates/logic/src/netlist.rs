@@ -9,12 +9,11 @@
 
 use crate::error::LogicError;
 use crate::logic::Logic;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a net (wire) inside one [`Netlist`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NetId(pub(crate) u32);
 
 impl NetId {
@@ -32,7 +31,7 @@ impl fmt::Display for NetId {
 }
 
 /// Identifier of a component inside one [`Netlist`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CompId(pub(crate) u32);
 
 impl CompId {
@@ -50,7 +49,7 @@ impl fmt::Display for CompId {
 }
 
 /// Combinational primitive gate kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Primitive {
     /// 1-input buffer.
     Buf,
@@ -136,7 +135,7 @@ impl fmt::Display for Primitive {
 }
 
 /// A netlist component: a combinational gate or a storage element.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Component {
     /// Combinational primitive gate.
     Gate {
@@ -198,7 +197,7 @@ impl Component {
 ///
 /// Nets are single-driver (enforced at construction); primary inputs are
 /// driven by the testbench via [`crate::Simulator::set`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Netlist {
     name: String,
     net_names: Vec<String>,

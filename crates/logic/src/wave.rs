@@ -7,7 +7,7 @@
 //! external viewer.
 
 use crate::logic::Logic;
-use serde::{Deserialize, Serialize};
+use sint_runtime::json::{Json, ToJson};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 /// assert_eq!(t.value_at("clk", 1), Some(Logic::One));
 /// assert_eq!(t.value_at("clk", 5), Some(Logic::Zero)); // holds last value
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// signal name → (tick → value) change list.
     signals: BTreeMap<String, BTreeMap<u64, Logic>>,
@@ -96,6 +96,32 @@ impl Trace {
     #[must_use]
     pub fn to_vcd(&self, timescale: &str) -> String {
         VcdWriter::new(timescale).write(self)
+    }
+}
+
+impl ToJson for Trace {
+    fn to_json(&self) -> Json {
+        // Each signal becomes an ordered change list [[tick, "0|1|X|Z"], ...].
+        let signals = Json::Object(
+            self.signals
+                .iter()
+                .map(|(name, changes)| {
+                    let list = Json::Array(
+                        changes
+                            .iter()
+                            .map(|(tick, v)| {
+                                Json::Array(vec![
+                                    tick.to_json(),
+                                    v.to_char().to_string().to_json(),
+                                ])
+                            })
+                            .collect(),
+                    );
+                    (name.clone(), list)
+                })
+                .collect(),
+        );
+        Json::obj([("horizon", self.horizon.to_json()), ("signals", signals)])
     }
 }
 

@@ -1,0 +1,315 @@
+//! Minimal JSON emission for machine-readable reports.
+//!
+//! The workspace emits experiment artifacts — integrity reports,
+//! campaign summaries, bench timings — that downstream tooling parses.
+//! This module provides a tiny value tree ([`Json`]) plus a conversion
+//! trait ([`ToJson`]), with an emitter that is correct where it matters:
+//!
+//! - **String escaping** covers `"`,`\`, and every control character
+//!   below `U+0020` (short escapes for `\n \r \t \b \f`, `\u00XX`
+//!   otherwise).
+//! - **`f64` formatting** uses Rust's shortest round-trip `Display`, so
+//!   `parse::<f64>()` of the emitted text recovers the exact bits;
+//!   non-finite values (which JSON cannot represent) emit as `null`.
+//! - **Object key order** is insertion order — reports serialise
+//!   identically run to run, so artifacts can be diffed byte-for-byte.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (emitted without a decimal point).
+    Int(i64),
+    /// An unsigned integer — kept separate so `u64` counters above
+    /// `i64::MAX` (e.g. TCK totals) survive exactly.
+    UInt(u64),
+    /// A double-precision number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion-ordered key/value pairs.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, preserving order.
+    #[must_use]
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from anything convertible.
+    #[must_use]
+    pub fn arr<T: ToJson>(items: impl IntoIterator<Item = T>) -> Json {
+        Json::Array(items.into_iter().map(|v| v.to_json()).collect())
+    }
+
+    /// Appends a key/value pair (no-op on non-objects).
+    pub fn push(&mut self, key: impl Into<String>, value: Json) {
+        if let Json::Object(pairs) = self {
+            pairs.push((key.into(), value));
+        }
+    }
+
+    /// Renders compact JSON (no insignificant whitespace).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with 2-space indentation, for human-facing artifacts.
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => write_f64(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Object(pairs) => {
+                write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i, d| {
+                    write_escaped(out, &pairs[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    pairs[i].1.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+/// Shared array/object layout: compact, or one element per line.
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut elem: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(step * (depth + 1)));
+        }
+        elem(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(step * depth));
+    }
+    out.push(close);
+}
+
+/// Emits `x` so that parsing the text recovers the exact value; JSON
+/// has no NaN/Infinity, so those become `null`.
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // Rust's f64 Display is the shortest string that round-trips.
+        let _ = write!(out, "{x}");
+        // `{}` prints integral floats without a dot ("1"); that is a
+        // valid JSON number, so leave it — parsers read it as 1.0.
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Emits `s` as a quoted, escaped JSON string.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] tree.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::$variant(*self as $conv)
+            }
+        }
+    )*};
+}
+
+int_to_json!(
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64, i64 => Int as i64,
+    isize => Int as i64,
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64, u64 => UInt as u64,
+    usize => UInt as u64,
+);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        self.as_ref().map_or(Json::Null, ToJson::to_json)
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(true.to_json().render(), "true");
+        assert_eq!(42i64.to_json().render(), "42");
+        assert_eq!((-3i32).to_json().render(), "-3");
+        assert_eq!(u64::MAX.to_json().render(), "18446744073709551615");
+        assert_eq!(1.5f64.to_json().render(), "1.5");
+        assert_eq!("hi".to_json().render(), "\"hi\"");
+    }
+
+    #[test]
+    fn containers_render_in_order() {
+        let j = Json::obj([
+            ("b", Json::Int(1)),
+            ("a", Json::arr([1u32, 2, 3])),
+            ("empty", Json::Array(vec![])),
+        ]);
+        assert_eq!(j.render(), r#"{"b":1,"a":[1,2,3],"empty":[]}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let j = Json::obj([("x", Json::arr([1u8]))]);
+        assert_eq!(j.render_pretty(), "{\n  \"x\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn escaping_covers_specials_and_controls() {
+        let s = "a\"b\\c\nd\te\rf\u{8}g\u{c}h\u{1}i";
+        assert_eq!(
+            s.to_json().render(),
+            r#""a\"b\\c\nd\te\rf\bg\fh\u0001i""#
+        );
+    }
+
+    #[test]
+    fn f64_round_trips() {
+        for x in [0.1, 1.0 / 3.0, 6.02214076e23, 5e-324, f64::MAX, -0.0, 2e-12] {
+            let rendered = x.to_json().render();
+            let back: f64 = rendered.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {rendered}");
+        }
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(f64::NAN.to_json().render(), "null");
+        assert_eq!(f64::INFINITY.to_json().render(), "null");
+        assert_eq!(f64::NEG_INFINITY.to_json().render(), "null");
+    }
+
+    #[test]
+    fn option_and_push() {
+        assert_eq!(None::<u8>.to_json().render(), "null");
+        assert_eq!(Some(3u8).to_json().render(), "3");
+        let mut o = Json::obj::<&str>([]);
+        o.push("k", Json::Bool(false));
+        assert_eq!(o.render(), r#"{"k":false}"#);
+    }
+}

@@ -1,0 +1,42 @@
+//! `sint-runtime` — the workspace's zero-dependency execution substrate.
+//!
+//! Every other `sint` crate needs a handful of infrastructure services:
+//! reproducible random streams for Monte-Carlo campaigns, machine-readable
+//! report emission, fan-out of independent solves across cores, randomised
+//! property checking, and wall-clock measurement. Pulling external crates
+//! for these couples the build to a network-reachable registry — a
+//! non-starter for hermetic CI — and brings far more surface than the
+//! workspace uses. This crate implements exactly the needed slice, on
+//! `std` alone:
+//!
+//! - [`rng`] — [`rng::Rng64`], a SplitMix64 generator with independent
+//!   substreams ([`rng::Rng64::fork`]) so parallel campaigns stay
+//!   bit-reproducible regardless of scheduling.
+//! - [`json`] — [`json::Json`] value tree + [`json::ToJson`] trait with an
+//!   escaping-correct, round-trip-faithful emitter for reports and
+//!   artifacts.
+//! - [`pool`] — a scoped-thread worker pool ([`pool::Pool`]) whose
+//!   [`pool::Pool::map`] preserves input ordering deterministically.
+//! - [`prop`] — a seeded mini property-test harness ([`prop::Runner`])
+//!   with failing-seed reporting.
+//! - [`bench`] — a warmup/iterate micro-benchmark harness
+//!   ([`bench::Bench`]) reporting median and p95 with JSON output.
+//!
+//! The policy this crate enforces: **no `sint` crate may declare an
+//! external dependency.** `scripts/verify.sh` builds with
+//! `CARGO_NET_OFFLINE=true` so a reintroduced dependency fails the build
+//! immediately.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod pool;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{Bench, BenchResult};
+pub use json::{Json, ToJson};
+pub use pool::Pool;
+pub use prop::Runner;
+pub use rng::Rng64;

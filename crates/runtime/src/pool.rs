@@ -1,0 +1,191 @@
+//! Scoped-thread worker pool with deterministic result ordering.
+//!
+//! Defect-injection campaigns solve thousands of independent per-die
+//! transients; this pool fans them out across cores. Two properties
+//! make it safe for reproducible experiments:
+//!
+//! 1. **Deterministic ordering** — [`Pool::map`] returns results in
+//!    input order regardless of which worker finished first, so a
+//!    campaign summary is byte-identical at any thread count.
+//! 2. **Borrow-friendly** — built on [`std::thread::scope`], so jobs
+//!    may borrow from the caller's stack (the campaign, the bus
+//!    parameters) without `Arc` plumbing.
+//!
+//! Work distribution is a shared atomic cursor (cheap dynamic load
+//! balancing — long and short dies interleave freely); results come
+//! back over an mpsc channel tagged with their input index.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A fixed-width worker pool configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of exactly `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Pool {
+        Pool { threads: threads.max(1) }
+    }
+
+    /// A pool sized to the host's available parallelism.
+    #[must_use]
+    pub fn host() -> Pool {
+        Pool::new(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+    }
+
+    /// Number of worker threads this pool will spawn.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning results in
+    /// input order. `f` receives `(index, &item)` so callers can key
+    /// per-item RNG substreams off the stable index.
+    ///
+    /// With one thread (or one item) the work runs inline on the
+    /// calling thread — no spawn overhead, identical results.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(idx) else { break };
+                    // A worker that panics drops its channel sender; the
+                    // panic is re-raised when the scope joins.
+                    let result = f(idx, item);
+                    if tx.send((idx, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            for (idx, result) in rx {
+                slots[idx] = Some(result);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every index produced exactly one result"))
+                .collect()
+        })
+    }
+
+    /// Like [`Pool::map`] but for fallible jobs: returns the first
+    /// error **by input index** (not completion time), so error
+    /// reporting is deterministic too.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing item.
+    pub fn try_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        let mut first_err: Option<E> = None;
+        let mut out = Vec::with_capacity(items.len());
+        for r in self.map(items, f) {
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    first_err = first_err.or(Some(e));
+                    break;
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = Pool::new(threads).map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u8> = vec![];
+        assert!(Pool::new(4).map(&empty, |_, &x| x).is_empty());
+        assert_eq!(Pool::new(4).map(&[9u8], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..50).collect();
+        let slow_square = |_: usize, &x: &u64| {
+            // Uneven workloads exercise the dynamic cursor.
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * x
+        };
+        let serial = Pool::new(1).map(&items, slow_square);
+        let parallel = Pool::new(4).map(&items, slow_square);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn try_map_reports_lowest_index_error() {
+        let items: Vec<usize> = (0..40).collect();
+        let r = Pool::new(4).try_map(&items, |_, &x| {
+            if x == 5 || x == 31 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "bad 5");
+        let ok = Pool::new(4).try_map(&items[6..31], |_, &x| Ok::<_, String>(x));
+        assert_eq!(ok.unwrap(), items[6..31].to_vec());
+    }
+
+    #[test]
+    fn jobs_may_borrow_caller_state() {
+        let base = vec![10usize, 20, 30];
+        let items = [0usize, 1, 2];
+        let out = Pool::new(2).map(&items, |_, &i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(Pool::host().threads() >= 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! A seeded mini property-test harness.
+//!
+//! Replaces the external `proptest` dependency for this workspace's
+//! needs: run a property over a few hundred generated cases and, on
+//! failure, print everything needed to reproduce — the harness seed,
+//! the failing case index, and the generated input's `Debug` form.
+//! Re-running with [`Runner::seed`] set to the reported seed replays
+//! the exact failing sequence.
+//!
+//! Generators are plain closures `FnMut(&mut Rng64) -> T`, composed with
+//! ordinary Rust; the [`gen`] module provides the common building
+//! blocks (ranges, vectors, choices).
+//!
+//! ```
+//! use sint_runtime::prop::{gen, Runner};
+//!
+//! Runner::new("addition_commutes").run(
+//!     |rng| (gen::u64_any(rng), gen::u64_any(rng)),
+//!     |&(a, b)| {
+//!         let (x, y) = (a.wrapping_add(b), b.wrapping_add(a));
+//!         if x == y { Ok(()) } else { Err(format!("{x} != {y}")) }
+//!     },
+//! );
+//! ```
+
+use crate::rng::Rng64;
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: usize = 256;
+
+/// Default harness seed; override with [`Runner::seed`] to replay.
+pub const DEFAULT_SEED: u64 = 0x5EED_0F_5EED;
+
+/// Runs one property over many generated cases.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    name: String,
+    cases: usize,
+    seed: u64,
+}
+
+impl Runner {
+    /// A runner with default case count and seed.
+    #[must_use]
+    pub fn new(name: &str) -> Runner {
+        Runner { name: name.to_string(), cases: DEFAULT_CASES, seed: DEFAULT_SEED }
+    }
+
+    /// Overrides the number of generated cases.
+    #[must_use]
+    pub fn cases(mut self, cases: usize) -> Runner {
+        self.cases = cases;
+        self
+    }
+
+    /// Overrides the harness seed (to replay a reported failure).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Runner {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates `cases` inputs and checks `property` on each.
+    ///
+    /// Every case draws from an independent [`Rng64::fork`] substream,
+    /// so case `k` is reproducible in isolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case with a replayable report.
+    pub fn run<T, G, P>(&self, mut generate: G, mut property: P)
+    where
+        T: std::fmt::Debug,
+        G: FnMut(&mut Rng64) -> T,
+        P: FnMut(&T) -> Result<(), String>,
+    {
+        let root = Rng64::new(self.seed);
+        for case in 0..self.cases {
+            let mut rng = root.fork(case as u64);
+            let input = generate(&mut rng);
+            if let Err(msg) = property(&input) {
+                panic!(
+                    "property '{}' failed at case {case}/{}: {msg}\n  input: {input:?}\n  \
+                     replay: Runner::new(\"{}\").seed(0x{:X}).cases({})",
+                    self.name, self.cases, self.name, self.seed, self.cases
+                );
+            }
+        }
+    }
+}
+
+/// Generator building blocks for [`Runner::run`] closures.
+pub mod gen {
+    use crate::rng::Rng64;
+
+    /// Any `u64`.
+    pub fn u64_any(rng: &mut Rng64) -> u64 {
+        rng.gen_u64()
+    }
+
+    /// A `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn usize_in(rng: &mut Rng64, range: std::ops::Range<usize>) -> usize {
+        rng.gen_range(range.start as u64..range.end as u64) as usize
+    }
+
+    /// An `f64` uniform in `[lo, hi)`.
+    pub fn f64_in(rng: &mut Rng64, range: std::ops::Range<f64>) -> f64 {
+        range.start + rng.gen_f64() * (range.end - range.start)
+    }
+
+    /// A boolean.
+    pub fn bool_any(rng: &mut Rng64) -> bool {
+        rng.gen_bool()
+    }
+
+    /// One element of `choices`, uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `choices` is empty.
+    pub fn one_of<T: Clone>(rng: &mut Rng64, choices: &[T]) -> T {
+        choices[rng.gen_index(choices.len())].clone()
+    }
+
+    /// A vector whose length is uniform in `len` and whose elements
+    /// come from `element`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is empty.
+    pub fn vec_of<T>(
+        rng: &mut Rng64,
+        len: std::ops::Range<usize>,
+        mut element: impl FnMut(&mut Rng64) -> T,
+    ) -> Vec<T> {
+        let n = usize_in(rng, len);
+        (0..n).map(|_| element(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0usize;
+        Runner::new("counts").cases(50).run(
+            |rng| rng.gen_u64(),
+            |_| {
+                count += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn failure_report_carries_replay_info() {
+        let err = std::panic::catch_unwind(|| {
+            Runner::new("always_fails").cases(10).run(
+                |rng| rng.gen_range(0..100),
+                |&x| Err(format!("saw {x}")),
+            );
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("case 0/10"), "{msg}");
+        assert!(msg.contains("replay:"), "{msg}");
+        assert!(msg.contains("input:"), "{msg}");
+    }
+
+    #[test]
+    fn same_seed_generates_same_cases() {
+        let collect = |seed: u64| {
+            let mut v = Vec::new();
+            Runner::new("gen").seed(seed).cases(20).run(
+                |rng| rng.gen_u64(),
+                |&x| {
+                    v.push(x);
+                    Ok(())
+                },
+            );
+            v
+        };
+        assert_eq!(collect(1), collect(1));
+        assert_ne!(collect(1), collect(2));
+    }
+
+    #[test]
+    fn gen_helpers_respect_bounds() {
+        let mut rng = Rng64::new(3);
+        for _ in 0..500 {
+            assert!((2..9).contains(&gen::usize_in(&mut rng, 2..9)));
+            let x = gen::f64_in(&mut rng, -1.5..2.5);
+            assert!((-1.5..2.5).contains(&x));
+            let v = gen::vec_of(&mut rng, 0..5, |r| r.gen_bool());
+            assert!(v.len() < 5);
+            assert!([10, 20, 30].contains(&gen::one_of(&mut rng, &[10, 20, 30])));
+        }
+    }
+}

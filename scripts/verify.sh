@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate: release build + full test suite, forced
+# offline. The workspace has zero external dependencies, so this must
+# succeed against an empty cargo registry; a network fetch here is a
+# regression in itself.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release --workspace
+cargo test -q --workspace
+
+echo "verify: OK"

@@ -8,6 +8,9 @@
 //! module names so that applications (and the bundled `examples/`) can
 //! depend on a single package:
 //!
+//! * [`runtime`] — zero-dependency execution substrate: deterministic
+//!   RNG, JSON reports, parallel campaign pool, property-test and
+//!   bench harnesses ([`sint_runtime`]).
 //! * [`logic`] — gate-level digital substrate ([`sint_logic`]).
 //! * [`interconnect`] — coupled-line analog substrate
 //!   ([`sint_interconnect`]).
@@ -35,3 +38,4 @@ pub use sint_core as core;
 pub use sint_interconnect as interconnect;
 pub use sint_jtag as jtag;
 pub use sint_logic as logic;
+pub use sint_runtime as runtime;

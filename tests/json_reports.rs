@@ -1,0 +1,86 @@
+//! Golden tests for the in-tree JSON emitter and the machine-readable
+//! report formats built on it.
+//!
+//! These pin the exact serialised byte sequences: escaping rules, f64
+//! round-trip formatting, and a full `IntegrityReport` snapshot from a
+//! deterministic two-wire healthy session.
+
+use sint::core::session::{ObservationMethod, SessionConfig};
+use sint::core::soc::SocBuilder;
+use sint::runtime::json::{Json, ToJson};
+
+#[test]
+fn string_escaping_is_exact() {
+    let cases: [(&str, &str); 6] = [
+        ("plain", r#""plain""#),
+        ("quote\"back\\slash", r#""quote\"back\\slash""#),
+        ("nl\ntab\tcr\r", r#""nl\ntab\tcr\r""#),
+        ("\u{0}\u{1f}", r#""\u0000\u001f""#),
+        ("µ-unicode is passed through", "\"µ-unicode is passed through\""),
+        ("", r#""""#),
+    ];
+    for (input, expected) in cases {
+        assert_eq!(input.to_json().render(), expected, "escaping {input:?}");
+    }
+}
+
+#[test]
+fn f64_rendering_round_trips_exactly() {
+    let values =
+        [0.0, -0.0, 1.0, -1.5, 0.1, 1e-9, 2e-12, 6.02214076e23, f64::MIN_POSITIVE, f64::MAX];
+    for v in values {
+        let rendered = v.to_json().render();
+        let back: f64 = rendered.parse().expect("rendered f64 parses");
+        assert_eq!(back.to_bits(), v.to_bits(), "round-trip of {v:e} via {rendered}");
+    }
+    // Non-finite values have no JSON representation; they become null.
+    assert_eq!(f64::NAN.to_json().render(), "null");
+    assert_eq!(f64::INFINITY.to_json().render(), "null");
+}
+
+#[test]
+fn object_keys_preserve_insertion_order() {
+    let j = Json::obj([("z", 1u64.to_json()), ("a", 2u64.to_json()), ("m", 3u64.to_json())]);
+    assert_eq!(j.render(), r#"{"z":1,"a":2,"m":3}"#);
+}
+
+#[test]
+fn integrity_report_snapshot() {
+    // Nominal two-wire bus, no defects, no variation: every quantity in
+    // the report is fully determined by the session configuration.
+    let mut soc = SocBuilder::new(2).build().unwrap();
+    let cfg = SessionConfig {
+        settle_time: 2e-9,
+        dt: 4e-12,
+        ..SessionConfig::method(ObservationMethod::Once)
+    };
+    let report = soc.run_integrity_test(&cfg).unwrap();
+
+    let json = report.to_json();
+    let expected = concat!(
+        r#"{"method":"once","#,
+        r#""wires":[{"noise":false,"skew":false},{"noise":false,"skew":false}],"#,
+        r#""readouts":[{"point":{"at":"final"},"nd":[false,false],"sd":[false,false]}],"#,
+        r#""tck_used":"#,
+        "TCK",
+        r#","patterns_applied":"#,
+        "PATTERNS",
+        r#","any_violation":false}"#,
+    )
+    .replace("TCK", &report.tck_used.to_string())
+    .replace("PATTERNS", &report.patterns_applied.to_string());
+    assert_eq!(json.render(), expected);
+
+    // The counters themselves are part of the contract: a healthy
+    // method-1 session on 2 wires applies 16 transitions (2 victims x 2
+    // initial values x 4 updates) and its TCK budget is stable.
+    assert!(report.patterns_applied > 0, "session applied no patterns");
+    assert!(report.tck_used > 0, "session consumed no TCKs");
+
+    // Pretty rendering is the same tree with whitespace; it must parse
+    // back to the same compact form after whitespace removal outside
+    // strings (no strings with spaces here).
+    let pretty = json.render_pretty();
+    let compacted: String = pretty.chars().filter(|c| !c.is_whitespace()).collect();
+    assert_eq!(compacted, expected);
+}

@@ -1,7 +1,9 @@
 //! Property-based tests over the workspace's core data structures and
-//! invariants.
+//! invariants, running on the in-tree `sint_runtime::prop` harness.
+//!
+//! Each `#[test]` wraps one property; a failure panics with the harness
+//! seed, case index, and generated input so it can be replayed exactly.
 
-use proptest::prelude::*;
 use sint::core::mafm::{classify_pair, fault_pair, pgbsc_vector, IntegrityFault};
 use sint::core::nd::{NdThresholds, NoiseDetector};
 use sint::interconnect::drive::DriveLevel;
@@ -10,214 +12,312 @@ use sint::interconnect::variation::SplitMix64;
 use sint::jtag::state::TapState;
 use sint::jtag::svf::{mask_hex, scan_hex};
 use sint::logic::{BitVector, Logic};
+use sint::runtime::prop::{gen, Runner};
+use sint::runtime::rng::Rng64;
 
-fn arb_logic() -> impl Strategy<Value = Logic> {
-    prop_oneof![
-        Just(Logic::Zero),
-        Just(Logic::One),
-        Just(Logic::X),
-        Just(Logic::Z),
-    ]
+const LOGIC_VALUES: [Logic; 4] = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+
+fn arb_logic(rng: &mut Rng64) -> Logic {
+    gen::one_of(rng, &LOGIC_VALUES)
 }
 
-fn arb_bits(max_len: usize) -> impl Strategy<Value = Vec<Logic>> {
-    proptest::collection::vec(arb_logic(), 0..max_len)
+fn arb_bits(rng: &mut Rng64, max_len: usize) -> Vec<Logic> {
+    gen::vec_of(rng, 0..max_len, arb_logic)
 }
 
-proptest! {
-    // ---------------- Logic algebra ----------------
-
-    #[test]
-    fn logic_ops_commute(a in arb_logic(), b in arb_logic()) {
-        prop_assert_eq!(a & b, b & a);
-        prop_assert_eq!(a | b, b | a);
-        prop_assert_eq!(a ^ b, b ^ a);
-        prop_assert_eq!(a.resolve(b), b.resolve(a));
+fn check(ok: bool, msg: impl Fn() -> String) -> Result<(), String> {
+    if ok {
+        Ok(())
+    } else {
+        Err(msg())
     }
+}
 
-    #[test]
-    fn logic_ops_associate(a in arb_logic(), b in arb_logic(), c in arb_logic()) {
-        prop_assert_eq!((a & b) & c, a & (b & c));
-        prop_assert_eq!((a | b) | c, a | (b | c));
-    }
+fn check_eq<T: PartialEq + std::fmt::Debug>(a: T, b: T) -> Result<(), String> {
+    check(a == b, || format!("{a:?} != {b:?}"))
+}
 
-    #[test]
-    fn double_negation_collapses_to_input_view(a in arb_logic()) {
-        // !!a equals a for binary values and X for X/Z.
-        prop_assert_eq!(!!a, a.as_input());
-    }
+// ---------------- Logic algebra ----------------
 
-    // ---------------- BitVector scan semantics ----------------
+#[test]
+fn logic_ops_commute() {
+    Runner::new("logic_ops_commute").run(
+        |rng| (arb_logic(rng), arb_logic(rng)),
+        |&(a, b)| {
+            check_eq(a & b, b & a)?;
+            check_eq(a | b, b | a)?;
+            check_eq(a ^ b, b ^ a)?;
+            check_eq(a.resolve(b), b.resolve(a))
+        },
+    );
+}
 
-    #[test]
-    fn shift_preserves_length(bits in arb_bits(64), tdi in arb_logic()) {
-        let mut v: BitVector = bits.iter().copied().collect();
-        let len = v.len();
-        let _ = v.shift(tdi);
-        prop_assert_eq!(v.len(), len);
-    }
+#[test]
+fn logic_ops_associate() {
+    Runner::new("logic_ops_associate").run(
+        |rng| (arb_logic(rng), arb_logic(rng), arb_logic(rng)),
+        |&(a, b, c)| {
+            check_eq((a & b) & c, a & (b & c))?;
+            check_eq((a | b) | c, a | (b | c))
+        },
+    );
+}
 
-    #[test]
-    fn full_shift_in_replaces_content_exactly(
-        (old, new) in (0usize..48).prop_flat_map(|len| (
-            proptest::collection::vec(arb_logic(), len),
-            proptest::collection::vec(arb_logic(), len),
-        )),
-    ) {
-        let mut chain: BitVector = old.iter().copied().collect();
-        let incoming: BitVector = new.iter().copied().collect();
-        let out = chain.shift_in(&incoming);
-        // Everything that was in the chain left, in order.
-        prop_assert_eq!(out.as_slice(), &old[..]);
-        // The chain now holds exactly the new data.
-        prop_assert_eq!(chain.as_slice(), &new[..]);
-    }
+#[test]
+fn double_negation_collapses_to_input_view() {
+    // !!a equals a for binary values and X for X/Z.
+    Runner::new("double_negation").run(arb_logic, |&a| check_eq(!!a, a.as_input()));
+}
 
-    #[test]
-    fn display_parse_round_trip(bits in arb_bits(64)) {
-        let v: BitVector = bits.iter().copied().collect();
-        let parsed: BitVector = v.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, v);
-    }
+// ---------------- BitVector scan semantics ----------------
 
-    #[test]
-    fn u64_round_trip(value in any::<u64>(), len in 1usize..=64) {
-        let masked = if len == 64 { value } else { value & ((1u64 << len) - 1) };
-        let v = BitVector::from_u64(masked, len);
-        prop_assert_eq!(v.to_u64(), Some(masked));
-    }
+#[test]
+fn shift_preserves_length() {
+    Runner::new("shift_preserves_length").run(
+        |rng| (arb_bits(rng, 64), arb_logic(rng)),
+        |(bits, tdi)| {
+            let mut v: BitVector = bits.iter().copied().collect();
+            let len = v.len();
+            let _ = v.shift(*tdi);
+            check_eq(v.len(), len)
+        },
+    );
+}
 
-    // ---------------- TAP controller ----------------
+#[test]
+fn full_shift_in_replaces_content_exactly() {
+    Runner::new("full_shift_in").run(
+        |rng| {
+            let len = gen::usize_in(rng, 0..48);
+            let old: Vec<Logic> = (0..len).map(|_| arb_logic(rng)).collect();
+            let new: Vec<Logic> = (0..len).map(|_| arb_logic(rng)).collect();
+            (old, new)
+        },
+        |(old, new)| {
+            let mut chain: BitVector = old.iter().copied().collect();
+            let incoming: BitVector = new.iter().copied().collect();
+            let out = chain.shift_in(&incoming);
+            // Everything that was in the chain left, in order.
+            check_eq(out.as_slice(), &old[..])?;
+            // The chain now holds exactly the new data.
+            check_eq(chain.as_slice(), &new[..])
+        },
+    );
+}
 
-    #[test]
-    fn five_ones_always_reset(start in 0usize..16, walk in proptest::collection::vec(any::<bool>(), 0..32)) {
-        let mut s = TapState::ALL[start];
-        for tms in walk {
-            s = s.next(tms);
-        }
-        for _ in 0..5 {
-            s = s.next(true);
-        }
-        prop_assert_eq!(s, TapState::TestLogicReset);
-    }
+#[test]
+fn display_parse_round_trip() {
+    Runner::new("display_parse_round_trip").run(
+        |rng| arb_bits(rng, 64),
+        |bits| {
+            let v: BitVector = bits.iter().copied().collect();
+            let parsed: BitVector = v.to_string().parse().unwrap();
+            check_eq(parsed, v)
+        },
+    );
+}
 
-    #[test]
-    fn shift_states_self_loop_on_zero(start in 0usize..16) {
-        let s = TapState::ALL[start];
-        if matches!(s, TapState::ShiftDr | TapState::ShiftIr | TapState::RunTestIdle
-            | TapState::PauseDr | TapState::PauseIr | TapState::TestLogicReset) {
-            prop_assert_eq!(s.next(false).next(false), s.next(false));
-        }
-    }
+#[test]
+fn u64_round_trip() {
+    Runner::new("u64_round_trip").run(
+        |rng| (gen::u64_any(rng), gen::usize_in(rng, 1..65)),
+        |&(value, len)| {
+            let masked = if len == 64 { value } else { value & ((1u64 << len) - 1) };
+            let v = BitVector::from_u64(masked, len);
+            check_eq(v.to_u64(), Some(masked))
+        },
+    );
+}
 
-    // ---------------- MA fault model ----------------
+// ---------------- TAP controller ----------------
 
-    #[test]
-    fn classify_inverts_fault_pair(width in 2usize..12, victim_seed in any::<usize>(), fault_idx in 0usize..6) {
-        let victim = victim_seed % width;
-        let fault = IntegrityFault::ALL[fault_idx];
-        let pair = fault_pair(width, victim, fault).unwrap();
-        prop_assert_eq!(classify_pair(&pair, victim), Some(fault));
-    }
+#[test]
+fn five_ones_always_reset() {
+    Runner::new("five_ones_always_reset").run(
+        |rng| (gen::usize_in(rng, 0..16), gen::vec_of(rng, 0..32, gen::bool_any)),
+        |(start, walk)| {
+            let mut s = TapState::ALL[*start];
+            for &tms in walk {
+                s = s.next(tms);
+            }
+            for _ in 0..5 {
+                s = s.next(true);
+            }
+            check_eq(s, TapState::TestLogicReset)
+        },
+    );
+}
 
-    #[test]
-    fn pgbsc_vector_periodicity(width in 2usize..10, victim_seed in any::<usize>(), updates in 0usize..16) {
-        let victim = victim_seed % width;
-        // Aggressors have period 2, the victim period 4.
-        let v0 = pgbsc_vector(width, victim, DriveLevel::Low, updates);
-        let v4 = pgbsc_vector(width, victim, DriveLevel::Low, updates + 4);
-        prop_assert_eq!(v0, v4);
-    }
+#[test]
+fn shift_states_self_loop_on_zero() {
+    Runner::new("shift_states_self_loop").cases(16).run(
+        |rng| gen::usize_in(rng, 0..16),
+        |&start| {
+            let s = TapState::ALL[start];
+            if matches!(
+                s,
+                TapState::ShiftDr
+                    | TapState::ShiftIr
+                    | TapState::RunTestIdle
+                    | TapState::PauseDr
+                    | TapState::PauseIr
+                    | TapState::TestLogicReset
+            ) {
+                check_eq(s.next(false).next(false), s.next(false))?;
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn pgbsc_aggressors_always_toggle(width in 2usize..10, victim_seed in any::<usize>(), updates in 0usize..12) {
-        let victim = victim_seed % width;
-        let a = pgbsc_vector(width, victim, DriveLevel::High, updates);
-        let b = pgbsc_vector(width, victim, DriveLevel::High, updates + 1);
-        for w in (0..width).filter(|&w| w != victim) {
-            prop_assert_ne!(a[w], b[w], "aggressor {} must toggle", w);
-        }
-    }
+// ---------------- MA fault model ----------------
 
-    // ---------------- Noise detector ----------------
+#[test]
+fn classify_inverts_fault_pair() {
+    Runner::new("classify_inverts_fault_pair").run(
+        |rng| {
+            let width = gen::usize_in(rng, 2..12);
+            (width, gen::usize_in(rng, 0..width), gen::usize_in(rng, 0..6))
+        },
+        |&(width, victim, fault_idx)| {
+            let fault = IntegrityFault::ALL[fault_idx];
+            let pair = fault_pair(width, victim, fault).unwrap();
+            check_eq(classify_pair(&pair, victim), Some(fault))
+        },
+    );
+}
 
-    #[test]
-    fn nd_detection_is_monotone_in_glitch_amplitude(
-        amp in 0.0f64..1.8,
-        width in 10usize..200,
-    ) {
-        // If a triangular bump of amplitude `amp` triggers the ND, any
-        // taller bump of the same width must too.
-        let bump = |a: f64| -> Vec<f64> {
-            (0..600)
-                .map(|k| {
-                    let d = (k as i64 - 300).unsigned_abs() as usize;
-                    if d < width { a * (1.0 - d as f64 / width as f64) } else { 0.0 }
-                })
-                .collect()
-        };
-        let fires = |a: f64| {
-            let mut nd = NoiseDetector::new(NdThresholds::for_vdd(1.8));
-            nd.set_enabled(true);
-            nd.observe(&bump(a), 1e-12, 1.8)
-        };
-        if fires(amp) {
-            prop_assert!(fires((amp + 0.2).min(2.2)), "taller bump must also fire");
-        }
-        // And sub-threshold bumps never fire.
-        if amp < 0.54 {
-            prop_assert!(!fires(amp));
-        }
-    }
+#[test]
+fn pgbsc_vector_periodicity() {
+    Runner::new("pgbsc_vector_periodicity").run(
+        |rng| {
+            let width = gen::usize_in(rng, 2..10);
+            (width, gen::usize_in(rng, 0..width), gen::usize_in(rng, 0..16))
+        },
+        |&(width, victim, updates)| {
+            // Aggressors have period 2, the victim period 4.
+            let v0 = pgbsc_vector(width, victim, DriveLevel::Low, updates);
+            let v4 = pgbsc_vector(width, victim, DriveLevel::Low, updates + 4);
+            check_eq(v0, v4)
+        },
+    );
+}
 
-    // ---------------- SVF hex packing ----------------
+#[test]
+fn pgbsc_aggressors_always_toggle() {
+    Runner::new("pgbsc_aggressors_always_toggle").run(
+        |rng| {
+            let width = gen::usize_in(rng, 2..10);
+            (width, gen::usize_in(rng, 0..width), gen::usize_in(rng, 0..12))
+        },
+        |&(width, victim, updates)| {
+            let a = pgbsc_vector(width, victim, DriveLevel::High, updates);
+            let b = pgbsc_vector(width, victim, DriveLevel::High, updates + 1);
+            for w in (0..width).filter(|&w| w != victim) {
+                check(a[w] != b[w], || format!("aggressor {w} must toggle"))?;
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn svf_hex_round_trips_binary_vectors(value in any::<u64>(), len in 1usize..=64) {
-        let masked = if len == 64 { value } else { value & ((1u64 << len) - 1) };
-        let bits = BitVector::from_u64(masked, len);
-        let hex = scan_hex(&bits);
-        let parsed = u64::from_str_radix(&hex, 16).unwrap();
-        prop_assert_eq!(parsed, masked);
-        // Fully-defined vectors have an all-ones mask.
-        let mask = u64::from_str_radix(&mask_hex(&bits), 16).unwrap();
-        let all = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
-        prop_assert_eq!(mask, all);
-    }
+// ---------------- Noise detector ----------------
 
-    // ---------------- SplitMix64 ----------------
+#[test]
+fn nd_detection_is_monotone_in_glitch_amplitude() {
+    Runner::new("nd_monotone_in_amplitude").cases(64).run(
+        |rng| (gen::f64_in(rng, 0.0..1.8), gen::usize_in(rng, 10..200)),
+        |&(amp, width)| {
+            // If a triangular bump of amplitude `amp` triggers the ND, any
+            // taller bump of the same width must too.
+            let bump = |a: f64| -> Vec<f64> {
+                (0..600)
+                    .map(|k| {
+                        let d = (k as i64 - 300).unsigned_abs() as usize;
+                        if d < width { a * (1.0 - d as f64 / width as f64) } else { 0.0 }
+                    })
+                    .collect()
+            };
+            let fires = |a: f64| {
+                let mut nd = NoiseDetector::new(NdThresholds::for_vdd(1.8));
+                nd.set_enabled(true);
+                nd.observe(&bump(a), 1e-12, 1.8)
+            };
+            if fires(amp) {
+                check(fires((amp + 0.2).min(2.2)), || "taller bump must also fire".into())?;
+            }
+            // And sub-threshold bumps never fire.
+            if amp < 0.54 {
+                check(!fires(amp), || "sub-threshold bump fired".into())?;
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn splitmix_streams_are_seed_deterministic(seed in any::<u64>()) {
+// ---------------- SVF hex packing ----------------
+
+#[test]
+fn svf_hex_round_trips_binary_vectors() {
+    Runner::new("svf_hex_round_trip").run(
+        |rng| (gen::u64_any(rng), gen::usize_in(rng, 1..65)),
+        |&(value, len)| {
+            let masked = if len == 64 { value } else { value & ((1u64 << len) - 1) };
+            let bits = BitVector::from_u64(masked, len);
+            let hex = scan_hex(&bits);
+            let parsed = u64::from_str_radix(&hex, 16).unwrap();
+            check_eq(parsed, masked)?;
+            // Fully-defined vectors have an all-ones mask.
+            let mask = u64::from_str_radix(&mask_hex(&bits), 16).unwrap();
+            let all = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+            check_eq(mask, all)
+        },
+    );
+}
+
+// ---------------- SplitMix64 ----------------
+
+#[test]
+fn splitmix_streams_are_seed_deterministic() {
+    Runner::new("splitmix_seed_deterministic").run(gen::u64_any, |&seed| {
         let mut a = SplitMix64::new(seed);
         let mut b = SplitMix64::new(seed);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            check_eq(a.next_u64(), b.next_u64())?;
         }
         let x = a.next_f64();
-        prop_assert!((0.0..1.0).contains(&x));
-    }
+        check((0.0..1.0).contains(&x), || format!("f64 out of unit range: {x}"))
+    });
+}
 
-    // ---------------- Dense linear algebra ----------------
+// ---------------- Dense linear algebra ----------------
 
-    #[test]
-    fn lu_solves_diagonally_dominant_systems(
-        n in 1usize..10,
-        seed in proptest::collection::vec(-1.0f64..1.0, 110),
-    ) {
-        let mut m = Matrix::zeros(n);
-        let mut k = 0;
-        for r in 0..n {
-            for c in 0..n {
-                m[(r, c)] = if r == c { n as f64 + 2.0 } else { seed[k % seed.len()] };
-                k += 1;
+#[test]
+fn lu_solves_diagonally_dominant_systems() {
+    Runner::new("lu_diag_dominant").run(
+        |rng| {
+            let n = gen::usize_in(rng, 1..10);
+            let seed: Vec<f64> = (0..110).map(|_| gen::f64_in(rng, -1.0..1.0)).collect();
+            (n, seed)
+        },
+        |(n, seed)| {
+            let n = *n;
+            let mut m = Matrix::zeros(n);
+            let mut k = 0;
+            for r in 0..n {
+                for c in 0..n {
+                    m[(r, c)] = if r == c { n as f64 + 2.0 } else { seed[k % seed.len()] };
+                    k += 1;
+                }
             }
-        }
-        let x_true: Vec<f64> = (0..n).map(|i| seed[(i * 7 + 3) % seed.len()] * 5.0).collect();
-        let b = m.mul_vec(&x_true);
-        let x = m.lu().unwrap().solve(&b);
-        for (a, e) in x.iter().zip(&x_true) {
-            prop_assert!((a - e).abs() < 1e-8, "{} vs {}", a, e);
-        }
-    }
+            let x_true: Vec<f64> =
+                (0..n).map(|i| seed[(i * 7 + 3) % seed.len()] * 5.0).collect();
+            let b = m.mul_vec(&x_true);
+            let x = m.lu().unwrap().solve(&b);
+            for (a, e) in x.iter().zip(&x_true) {
+                check((a - e).abs() < 1e-8, || format!("{a} vs {e}"))?;
+            }
+            Ok(())
+        },
+    );
 }
