@@ -1,15 +1,22 @@
-//! Bench: coupled-bus transient solver cost.
+//! Bench: coupled-bus transient solver cost, banded vs dense.
 //!
 //! Measures (a) one-off LU factorisation against wire count and segment
 //! count, and (b) per-transient cost of a full MA pattern window — the
-//! quantity that dominates SoC-session wall time. This is the DESIGN.md
-//! ablation for the backward-Euler/factor-once design choice.
+//! quantity that dominates SoC-session wall time — on both the banded
+//! segment-major fast path (the default) and the dense wire-major
+//! oracle. The `banded/…` vs `dense/…` rows at the same geometry are
+//! the DESIGN.md complexity-table evidence: O(N·b²) vs O(N³) factor,
+//! O(N·b) vs O(N²) step. A `scratch` row shows the additional win from
+//! reusing [`SimScratch`] buffers across runs, as campaigns do.
 
 use sint_bench::emit_artifact;
 use sint_interconnect::drive::VectorPair;
 use sint_interconnect::params::BusParams;
-use sint_interconnect::solver::TransientSim;
+use sint_interconnect::solver::{SimScratch, SolverBackend, TransientSim, DEFAULT_SWITCH_AT};
 use sint_runtime::bench::{black_box, Bench};
+
+const BACKENDS: [(&str, SolverBackend); 2] =
+    [("banded", SolverBackend::Banded), ("dense", SolverBackend::Dense)];
 
 fn pg_pair(wires: usize) -> VectorPair {
     let before = "0".repeat(wires);
@@ -18,32 +25,56 @@ fn pg_pair(wires: usize) -> VectorPair {
     VectorPair::from_strs(&before, &after).expect("static vectors")
 }
 
+fn sim(bus: &sint_interconnect::params::Bus, backend: SolverBackend) -> TransientSim {
+    TransientSim::with_backend(bus, 2e-12, DEFAULT_SWITCH_AT, backend).unwrap()
+}
+
 fn main() {
     let mut b = Bench::new("solver").samples(20);
 
-    for wires in [4usize, 8, 16, 32] {
-        let bus = BusParams::dsm_bus(wires).build().unwrap();
-        b.measure(&format!("factorise/{wires}"), || {
-            black_box(TransientSim::new(black_box(&bus), 2e-12).unwrap());
+    for (tag, backend) in BACKENDS {
+        for wires in [4usize, 8, 16, 32] {
+            let bus = BusParams::dsm_bus(wires).build().unwrap();
+            b.measure(&format!("factorise/{tag}/{wires}"), || {
+                black_box(sim(black_box(&bus), backend));
+            });
+        }
+    }
+
+    // The acceptance geometry: 16 wires x 8 segments is the `/16` row
+    // (dsm_bus defaults to 8 segments).
+    for (tag, backend) in BACKENDS {
+        for wires in [4usize, 8, 16] {
+            let bus = BusParams::dsm_bus(wires).build().unwrap();
+            let s = sim(&bus, backend);
+            let pair = pg_pair(wires);
+            b.measure(&format!("transient_2ns/{tag}/{wires}"), || {
+                black_box(s.run_pair(black_box(&pair), 2e-9).unwrap());
+            });
+        }
+    }
+
+    // Campaign-style stepping: same transient, scratch reused across
+    // runs so the timestep loop never allocates.
+    {
+        let bus = BusParams::dsm_bus(16).build().unwrap();
+        let s = sim(&bus, SolverBackend::Banded);
+        let pair = pg_pair(16);
+        let mut scratch = SimScratch::new();
+        b.measure("transient_2ns/banded_scratch/16", || {
+            black_box(s.run_pair_with_scratch(black_box(&pair), 2e-9, &mut scratch).unwrap());
         });
     }
 
-    for wires in [4usize, 8, 16] {
-        let bus = BusParams::dsm_bus(wires).build().unwrap();
-        let sim = TransientSim::new(&bus, 2e-12).unwrap();
-        let pair = pg_pair(wires);
-        b.measure(&format!("transient_2ns/{wires}"), || {
-            black_box(sim.run_pair(black_box(&pair), 2e-9).unwrap());
-        });
-    }
-
-    for segments in [2usize, 4, 8, 16] {
-        let bus = BusParams::dsm_bus(5).segments(segments).build().unwrap();
-        let sim = TransientSim::new(&bus, 2e-12).unwrap();
-        let pair = pg_pair(5);
-        b.measure(&format!("segments_ablation/{segments}"), || {
-            black_box(sim.run_pair(black_box(&pair), 2e-9).unwrap());
-        });
+    for (tag, backend) in BACKENDS {
+        for segments in [2usize, 4, 8, 16] {
+            let bus = BusParams::dsm_bus(5).segments(segments).build().unwrap();
+            let s = sim(&bus, backend);
+            let pair = pg_pair(5);
+            b.measure(&format!("segments_ablation/{tag}/{segments}"), || {
+                black_box(s.run_pair(black_box(&pair), 2e-9).unwrap());
+            });
+        }
     }
 
     print!("{}", b.table());

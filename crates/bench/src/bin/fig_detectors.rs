@@ -11,13 +11,16 @@ use sint_core::nd::{NdThresholds, NoiseDetector};
 use sint_core::sd::{SdWindow, SkewDetector};
 use sint_interconnect::measure::{glitch_amplitude, propagation_delay};
 use sint_interconnect::params::BusParams;
-use sint_interconnect::solver::TransientSim;
+use sint_interconnect::solver::{SimScratch, TransientSim};
 use sint_interconnect::Defect;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const WIDTH: usize = 5;
     const VICTIM: usize = 2;
     let vdd = 1.8;
+    // One scratch for every transient in the sweep: no per-run
+    // allocations in the solver core.
+    let mut scratch = SimScratch::new();
 
     println!("Fig 1: ND cell on the Pg pattern (victim = wire {VICTIM})\n");
     println!(
@@ -30,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Defect::CouplingBoost { wire: VICTIM, factor }.apply(&mut bus)?;
         let sim = TransientSim::new(&bus, 2e-12)?;
         let pair = fault_pair(WIDTH, VICTIM, IntegrityFault::Pg)?;
-        let waves = sim.run_pair(&pair, 2e-9)?;
+        let waves = sim.run_pair_with_scratch(&pair, 2e-9, &mut scratch)?;
         let wave = waves.wire(VICTIM);
         let peak = glitch_amplitude(wave, 0.0);
         let mut nd = NoiseDetector::new(nd_cfg);
@@ -50,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let healthy = BusParams::dsm_bus(WIDTH).build()?;
     let sim = TransientSim::new(&healthy, 2e-12)?;
     let pair = fault_pair(WIDTH, VICTIM, IntegrityFault::Rs)?;
-    let waves = sim.run_pair(&pair, 2e-9)?;
+    let waves = sim.run_pair_with_scratch(&pair, 2e-9, &mut scratch)?;
     let healthy_delay = propagation_delay(
         waves.wire(VICTIM),
         waves.dt(),
@@ -68,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Defect::ResistiveOpen { wire: VICTIM, segment: 0, extra_ohms }.apply(&mut bus)?;
         }
         let sim = TransientSim::new(&bus, 2e-12)?;
-        let waves = sim.run_pair(&pair, 4e-9)?;
+        let waves = sim.run_pair_with_scratch(&pair, 4e-9, &mut scratch)?;
         let wave = waves.wire(VICTIM);
         let arrival = propagation_delay(wave, waves.dt(), vdd, sim.switch_at(), true);
         let mut sd = SkewDetector::new(SdWindow::for_vdd(window, vdd));

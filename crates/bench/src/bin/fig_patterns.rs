@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     const VICTIM: usize = 2;
 
     println!("Fig 3: maximum-aggressor fault model (n = {WIDTH}, victim = wire {VICTIM})\n");
-    println!("{:<6} {:<30} {}", "fault", "vector pair", "effect");
+    println!("{:<6} {:<30} effect", "fault", "vector pair");
     for fault in IntegrityFault::ALL {
         let pair = fault_pair(WIDTH, VICTIM, fault)?;
         let effect = if fault.is_glitch() { "glitch (ND)" } else { "skew (SD)" };

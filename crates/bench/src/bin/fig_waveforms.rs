@@ -14,7 +14,7 @@
 
 use sint_core::mafm::{fault_pair, IntegrityFault};
 use sint_interconnect::params::BusParams;
-use sint_interconnect::solver::TransientSim;
+use sint_interconnect::solver::{SimScratch, TransientSim};
 use sint_interconnect::Defect;
 use sint_logic::dot::to_dot;
 use std::fmt::Write as _;
@@ -34,8 +34,9 @@ fn dataset(fault: IntegrityFault) -> Result<String, Box<dyn std::error::Error>> 
     }
     let sim_h = TransientSim::new(&healthy, 2e-12)?;
     let sim_f = TransientSim::new(&faulty, 2e-12)?;
-    let wh = sim_h.run_pair(&pair, 2.5e-9)?;
-    let wf = sim_f.run_pair(&pair, 2.5e-9)?;
+    let mut scratch = SimScratch::new();
+    let wh = sim_h.run_pair_with_scratch(&pair, 2.5e-9, &mut scratch)?;
+    let wf = sim_f.run_pair_with_scratch(&pair, 2.5e-9, &mut scratch)?;
     let mut out = String::new();
     let _ = writeln!(out, "# {fault}: {pair}  (victim = wire {VICTIM})");
     let _ = writeln!(out, "# time_ps\thealthy_V\tdefective_V");

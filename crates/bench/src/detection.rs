@@ -133,9 +133,12 @@ impl ToJson for SweepSummary {
     }
 }
 
+/// One labelled severity point: display label plus raw parameter value.
+type SeveritySchedule = Vec<(String, f64)>;
+
 /// The three defect kinds the sweep exercises, with their severity
 /// schedule and judged detector. Severity step `k` is 1-based.
-fn kinds(steps: u32) -> Vec<(&'static str, JudgedDetector, Vec<(String, f64)>)> {
+fn kinds(steps: u32) -> Vec<(&'static str, JudgedDetector, SeveritySchedule)> {
     let coupling: Vec<(String, f64)> = (1..=steps)
         .map(|k| {
             let f = 1.0 + f64::from(k) * 1.25; // 2.25x .. 6x at 4 steps

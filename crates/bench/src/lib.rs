@@ -75,10 +75,20 @@ pub fn threads_from_env() -> usize {
 
 /// Prints a named machine-readable artifact as a delimited JSON block,
 /// so a human scanning the log and a script scraping it both find it.
+/// When `SINT_ARTIFACT_DIR` is set, the artifact is additionally
+/// written to `$SINT_ARTIFACT_DIR/{name}.json` — `scripts/bench.sh`
+/// uses this to accumulate the repo-root `BENCH_*.json` trajectory.
 pub fn emit_artifact(name: &str, json: &Json) {
+    let rendered = json.render_pretty();
     println!("\n--- artifact {name}.json ---");
-    println!("{}", json.render_pretty());
+    println!("{rendered}");
     println!("--- end artifact ---");
+    if let Some(dir) = std::env::var_os("SINT_ARTIFACT_DIR") {
+        let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+        if let Err(e) = std::fs::write(&path, format!("{rendered}\n")) {
+            eprintln!("warning: could not write artifact {}: {e}", path.display());
+        }
+    }
 }
 
 #[cfg(test)]

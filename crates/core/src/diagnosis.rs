@@ -72,11 +72,11 @@ impl fmt::Display for WireDiagnosis {
     }
 }
 
-fn first_set<'a>(
-    readouts: &'a [ReadoutRecord],
+fn first_set(
+    readouts: &[ReadoutRecord],
     wire: usize,
     pick: impl Fn(&ReadoutRecord) -> &Vec<bool>,
-) -> Option<&'a ReadoutRecord> {
+) -> Option<&ReadoutRecord> {
     readouts.iter().find(|r| pick(r).get(wire).copied().unwrap_or(false))
 }
 

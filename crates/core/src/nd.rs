@@ -268,7 +268,7 @@ mod tests {
         // Added delay is the SD cell's job; ND must stay quiet.
         let mut nd = det();
         let mut wave = edge(0.0, 1.8, 5000);
-        wave.extend(std::iter::repeat(1.8).take(500));
+        wave.extend(std::iter::repeat_n(1.8, 500));
         assert!(!nd.observe(&wave, 1e-12, 1.8));
     }
 

@@ -24,7 +24,9 @@ use sint_interconnect::defect::Defect;
 use sint_interconnect::drive::{DriveLevel, VectorPair};
 use sint_interconnect::measure::{propagation_delay, settled_value};
 use sint_interconnect::params::{Bus, BusParams};
-use sint_interconnect::solver::TransientSim;
+use sint_interconnect::solver::{SimScratch, TransientSim};
+use std::collections::HashMap;
+use std::sync::Arc;
 use sint_interconnect::variation::{apply_variation, VariationSigma};
 use sint_jtag::bcell::{BoundaryCell, StandardBsc};
 use sint_jtag::chain::Chain;
@@ -194,7 +196,9 @@ impl SocBuilder {
         for _ in 0..self.extra_cells {
             device.push_cell(Box::new(StandardBsc::new()));
         }
-        let sim = TransientSim::new(&bus, dt)?;
+        let sim = Arc::new(TransientSim::new(&bus, dt)?);
+        let sim_key = (bus.fingerprint(), dt.to_bits());
+        let sim_cache = HashMap::from([(sim_key, Arc::clone(&sim))]);
         let mut driver = JtagDriver::new(Chain::single(device));
         driver.reset();
 
@@ -202,6 +206,9 @@ impl SocBuilder {
             driver,
             bus,
             sim,
+            sim_key,
+            sim_cache,
+            scratch: SimScratch::new(),
             wires: self.wires,
             extra_cells: self.extra_cells,
             prev: None,
@@ -218,7 +225,17 @@ impl SocBuilder {
 pub struct Soc {
     driver: JtagDriver,
     bus: Bus,
-    sim: TransientSim,
+    /// The active factored solver; shared with `sim_cache`.
+    sim: Arc<TransientSim>,
+    /// Cache key of `sim`: `(bus fingerprint, dt bits)`.
+    sim_key: (u64, u64),
+    /// Every solver factored so far, keyed by `(bus fingerprint, dt
+    /// bits)` — a campaign that alternates session configs (or re-tests
+    /// at the same dt) never refactors the same system twice.
+    sim_cache: HashMap<(u64, u64), Arc<TransientSim>>,
+    /// Reused solver scratch: keeps the per-pattern transient runs
+    /// allocation-free in the timestep loop.
+    scratch: SimScratch,
     wires: usize,
     extra_cells: usize,
     /// Last defined vector driven onto the bus.
@@ -335,7 +352,7 @@ impl Soc {
             return Ok(());
         }
         let pair = VectorPair::new(prev, new.clone());
-        let waves = self.sim.run_pair(&pair, self.settle)?;
+        let waves = self.sim.run_pair_with_scratch(&pair, self.settle, &mut self.scratch)?;
         self.transients_run += 1;
         self.patterns_applied += 1;
         let vdd = self.bus.vdd();
@@ -472,8 +489,17 @@ impl Soc {
             return Err(CoreError::config("settle time and dt must be positive"));
         }
         self.settle = config.settle_time;
-        if (self.sim.dt() - config.dt).abs() > f64::EPSILON {
-            self.sim = TransientSim::new(&self.bus, config.dt)?;
+        let key = (self.bus.fingerprint(), config.dt.to_bits());
+        if self.sim_key != key {
+            self.sim = match self.sim_cache.get(&key) {
+                Some(sim) => Arc::clone(sim),
+                None => {
+                    let sim = Arc::new(TransientSim::new(&self.bus, config.dt)?);
+                    self.sim_cache.insert(key, Arc::clone(&sim));
+                    sim
+                }
+            };
+            self.sim_key = key;
         }
         self.driver.reset();
         self.clear_detectors()?;
@@ -672,6 +698,27 @@ mod tests {
         assert!(patterns >= 6 * n, "every fault pair applies at least one transition");
         // And it must dwarf the PGBSC campaign on the same geometry.
         assert!(tck_conv > pgbsc_generation_tcks(g));
+    }
+
+    #[test]
+    fn sim_cache_reuses_factored_solvers() {
+        let mut soc = healthy(3);
+        let built = Arc::clone(&soc.sim);
+        let default_cfg = SessionConfig::method(ObservationMethod::Once);
+        // Same dt as build time: the factored solver is reused as-is.
+        soc.run_integrity_test(&default_cfg).unwrap();
+        assert!(Arc::ptr_eq(&built, &soc.sim), "default dt must not refactor");
+        // New dt: factored once, cached.
+        let fine = SessionConfig { dt: 1e-12, ..default_cfg };
+        soc.run_integrity_test(&fine).unwrap();
+        let fine_sim = Arc::clone(&soc.sim);
+        assert!(!Arc::ptr_eq(&built, &fine_sim));
+        // Alternating back and forth hits the cache both ways.
+        soc.run_integrity_test(&default_cfg).unwrap();
+        assert!(Arc::ptr_eq(&built, &soc.sim), "original solver came from cache");
+        soc.run_integrity_test(&fine).unwrap();
+        assert!(Arc::ptr_eq(&fine_sim, &soc.sim), "fine-dt solver came from cache");
+        assert_eq!(soc.sim_cache.len(), 2, "exactly one factorisation per distinct dt");
     }
 
     #[test]

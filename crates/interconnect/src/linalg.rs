@@ -1,12 +1,23 @@
-//! Dense linear algebra for the nodal solver.
+//! Linear algebra for the nodal solver: a dense path and a banded path.
 //!
-//! The MNA conductance matrix of a coupled bus is small (wires × segments
-//! nodes — at most a few hundred) and constant across a transient run, so
-//! a dense LU factorisation with partial pivoting, computed once and
-//! back-substituted every timestep, is both simple and fast.
+//! The MNA matrix of a segmented coupled bus is constant across a
+//! transient run, so both paths factor once and back-substitute every
+//! timestep. The **dense** [`Matrix`]/[`LuFactors`] pair is the simple
+//! O(N³)/O(N²) reference ("oracle") implementation; the **banded**
+//! [`Banded`]/[`BandedLu`] pair exploits the nearest-neighbour coupling
+//! structure of the bus — with a bandwidth-minimising node ordering the
+//! matrix has half-bandwidth `b = O(wires)`, giving an O(N·b²) factor
+//! and O(N·b) per-step solve (LAPACK `gbtrf`/`gbtrs` style storage with
+//! `kl` extra superdiagonals reserved for partial-pivoting fill-in).
+//!
+//! Both factorisations expose allocation-free `*_into` kernels so the
+//! timestep loop never touches the allocator.
 
 use crate::error::InterconnectError;
 use std::fmt;
+
+/// Pivot threshold below which a matrix is declared singular.
+const PIVOT_TINY: f64 = 1e-300;
 
 /// A dense row-major `n × n` matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,13 +56,22 @@ impl Matrix {
     /// Panics if `x.len() != self.dim()`.
     #[must_use]
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n, "dimension mismatch");
         let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
-            let row = &self.data[i * self.n..(i + 1) * self.n];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
-        }
+        self.mul_vec_into(x, &mut y);
         y
+    }
+
+    /// Matrix–vector product `y = self · x` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `y.len()` differs from `self.dim()`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        assert_eq!(y.len(), self.n, "dimension mismatch");
+        for (yi, row) in y.iter_mut().zip(self.data.chunks_exact(self.n)) {
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
     }
 
     /// LU-factorises the matrix with partial pivoting.
@@ -62,7 +82,10 @@ impl Matrix {
     pub fn lu(&self) -> Result<LuFactors, InterconnectError> {
         let n = self.n;
         let mut lu = self.data.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
+        // Row-swap sequence (LAPACK `ipiv` convention): at step k, row k
+        // was exchanged with row piv[k] >= k. Recording swaps rather
+        // than the final permutation lets `solve_into` run in place.
+        let mut piv: Vec<usize> = (0..n).collect();
         for k in 0..n {
             // Partial pivot: find the largest |entry| in column k at/below k.
             let mut pivot_row = k;
@@ -74,14 +97,14 @@ impl Matrix {
                     pivot_row = r;
                 }
             }
-            if pivot_val < 1e-300 {
+            if pivot_val < PIVOT_TINY {
                 return Err(InterconnectError::SingularMatrix);
             }
+            piv[k] = pivot_row;
             if pivot_row != k {
                 for c in 0..n {
                     lu.swap(k * n + c, pivot_row * n + c);
                 }
-                perm.swap(k, pivot_row);
             }
             let pivot = lu[k * n + k];
             for r in k + 1..n {
@@ -92,7 +115,7 @@ impl Matrix {
                 }
             }
         }
-        Ok(LuFactors { n, lu, perm })
+        Ok(LuFactors { n, lu, piv })
     }
 }
 
@@ -121,13 +144,13 @@ impl fmt::Display for Matrix {
     }
 }
 
-/// The result of [`Matrix::lu`]: packed L/U factors plus the row
-/// permutation, reusable for many right-hand sides.
+/// The result of [`Matrix::lu`]: packed L/U factors plus the row-swap
+/// sequence, reusable for many right-hand sides.
 #[derive(Debug, Clone)]
 pub struct LuFactors {
     n: usize,
     lu: Vec<f64>,
-    perm: Vec<usize>,
+    piv: Vec<usize>,
 }
 
 impl LuFactors {
@@ -138,27 +161,300 @@ impl LuFactors {
     /// Panics if `b.len()` differs from the matrix dimension.
     #[must_use]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_into(&mut x);
+        x
+    }
+
+    /// Solves `A · x = b` in place: `b` holds the solution on return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve_into(&self, b: &mut [f64]) {
         assert_eq!(b.len(), self.n, "dimension mismatch");
         let n = self.n;
-        // Apply permutation.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Apply the recorded row swaps.
+        for (k, &p) in self.piv.iter().enumerate() {
+            if p != k {
+                b.swap(k, p);
+            }
+        }
         // Forward substitution with unit-diagonal L.
         for i in 1..n {
-            let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = s;
+            let (head, tail) = b.split_at_mut(i);
+            let row = &self.lu[i * n..i * n + i];
+            tail[0] -= row.iter().zip(head.iter()).map(|(l, x)| l * x).sum::<f64>();
         }
         // Backward substitution with U.
         for i in (0..n).rev() {
-            let mut s = x[i];
-            for j in i + 1..n {
-                s -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = s / self.lu[i * n + i];
+            let (head, tail) = b.split_at_mut(i + 1);
+            let row = &self.lu[i * n + i + 1..(i + 1) * n];
+            let s: f64 = row.iter().zip(tail.iter()).map(|(u, x)| u * x).sum();
+            head[i] = (head[i] - s) / self.lu[i * n + i];
         }
+    }
+}
+
+/// A banded `n × n` matrix with `kl` subdiagonals and `ku`
+/// superdiagonals, stored as packed diagonals (LAPACK general-band
+/// layout): entry `(i, j)` lives at `data[j * stride + kl + ku + i - j]`
+/// and each column reserves `kl` extra superdiagonal slots for the
+/// fill-in produced by row pivoting during factorisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Banded {
+    n: usize,
+    kl: usize,
+    ku: usize,
+    /// Rows of packed storage per column: `2·kl + ku + 1`.
+    stride: usize,
+    data: Vec<f64>,
+}
+
+impl Banded {
+    /// Creates an `n × n` zero matrix with bandwidths `kl`/`ku`
+    /// (sub-/super-diagonal counts, clamped to `n − 1`).
+    #[must_use]
+    pub fn zeros(n: usize, kl: usize, ku: usize) -> Self {
+        let kl = kl.min(n.saturating_sub(1));
+        let ku = ku.min(n.saturating_sub(1));
+        let stride = 2 * kl + ku + 1;
+        Banded { n, kl, ku, stride, data: vec![0.0; n * stride] }
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// `(kl, ku)`: sub- and super-diagonal counts of the logical band.
+    #[must_use]
+    pub fn bandwidths(&self) -> (usize, usize) {
+        (self.kl, self.ku)
+    }
+
+    #[inline]
+    fn slot(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.n && j < self.n, "index out of range");
+        debug_assert!(
+            i <= j + self.kl && j <= i + self.ku,
+            "({i}, {j}) outside band kl={} ku={}",
+            self.kl,
+            self.ku
+        );
+        j * self.stride + self.kl + self.ku + i - j
+    }
+
+    /// Entry `(i, j)`; zero outside the band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        if i > j + self.kl || j > i + self.ku {
+            0.0
+        } else {
+            self.data[self.slot(i, j)]
+        }
+    }
+
+    /// Adds `v` to entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` lies outside the band.
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        assert!(
+            i < self.n && j < self.n && i <= j + self.kl && j <= i + self.ku,
+            "({i}, {j}) outside band kl={} ku={} n={}",
+            self.kl,
+            self.ku,
+            self.n
+        );
+        let s = self.slot(i, j);
+        self.data[s] += v;
+    }
+
+    /// Banded matrix–vector product `y = self · x` without allocating:
+    /// O(N·b) where `b = kl + ku + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `y.len()` differs from `self.dim()`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        assert_eq!(y.len(), self.n, "dimension mismatch");
+        y.fill(0.0);
+        // Column sweep: contiguous walk down each packed column, with
+        // slice-paired inner loops so the axpy vectorises.
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            let lo = j.saturating_sub(self.ku);
+            let hi = (j + self.kl).min(self.n - 1);
+            let base = j * self.stride + self.kl + self.ku - j;
+            let col = &self.data[base + lo..=base + hi];
+            for (yi, &a) in y[lo..=hi].iter_mut().zip(col) {
+                *yi += a * xj;
+            }
+        }
+    }
+
+    /// Dense copy (testing/diagnostics).
+    #[must_use]
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n);
+        for i in 0..self.n {
+            for j in i.saturating_sub(self.kl)..=(i + self.ku).min(self.n.saturating_sub(1)) {
+                m[(i, j)] = self.get(i, j);
+            }
+        }
+        m
+    }
+
+    /// Banded LU factorisation with partial pivoting (LAPACK `gbtrf`,
+    /// unblocked): O(N·b²) time, fill-in confined to the `kl` reserved
+    /// extra superdiagonals.
+    ///
+    /// # Errors
+    ///
+    /// [`InterconnectError::SingularMatrix`] when a pivot underflows.
+    pub fn lu(&self) -> Result<BandedLu, InterconnectError> {
+        let n = self.n;
+        let (kl, ku, stride) = (self.kl, self.ku, self.stride);
+        let kv = kl + ku; // superdiagonals of U including fill-in
+        let mut ab = self.data.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        let at = |j: usize, i: usize| j * stride + kv + i - j;
+        for k in 0..n {
+            // Pivot search in column k, rows k..=k+kl.
+            let km = kl.min(n - 1 - k);
+            let mut p = 0usize;
+            let mut best = ab[at(k, k)].abs();
+            for r in 1..=km {
+                let v = ab[at(k, k + r)].abs();
+                if v > best {
+                    best = v;
+                    p = r;
+                }
+            }
+            if best < PIVOT_TINY {
+                return Err(InterconnectError::SingularMatrix);
+            }
+            piv[k] = k + p;
+            let ju = (k + kv).min(n - 1); // last column touched by row k
+            if p != 0 {
+                for j in k..=ju {
+                    ab.swap(at(j, k), at(j, k + p));
+                }
+            }
+            let pivot = ab[at(k, k)];
+            // Scale the multipliers (contiguous below the diagonal of
+            // column k), then apply the rank-1 update column by column —
+            // both the multiplier column and each updated column chunk
+            // are contiguous in the packed layout.
+            for r in 1..=km {
+                ab[at(k, k + r)] /= pivot;
+            }
+            if km > 0 {
+                let (left, right) = ab.split_at_mut((k + 1) * stride);
+                let mults = &left[k * stride + kv + 1..k * stride + kv + 1 + km];
+                for j in k + 1..=ju {
+                    let off = (j - k - 1) * stride;
+                    let head = off + kv + k - j; // slot of row k in column j
+                    let x = right[head];
+                    if x != 0.0 {
+                        for (d, &m) in right[head + 1..=head + km].iter_mut().zip(mults) {
+                            *d -= m * x;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(BandedLu { n, kl, ku, stride, ab, piv })
+    }
+}
+
+/// The result of [`Banded::lu`]: packed band factors plus the row-swap
+/// sequence, reusable for many right-hand sides.
+#[derive(Debug, Clone)]
+pub struct BandedLu {
+    n: usize,
+    kl: usize,
+    ku: usize,
+    stride: usize,
+    ab: Vec<f64>,
+    piv: Vec<usize>,
+}
+
+impl BandedLu {
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A · x = b` for the factored `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_into(&mut x);
         x
+    }
+
+    /// Solves `A · x = b` in place without allocating: O(N·b) per call
+    /// (`b` holds the solution on return).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve_into(&self, b: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        let n = self.n;
+        let kv = self.kl + self.ku;
+        let stride = self.stride;
+        // Forward: apply swaps and unit-diagonal L (bandwidth kl). The
+        // multipliers of step k sit contiguously below column k's
+        // diagonal slot.
+        for k in 0..n {
+            let p = self.piv[k];
+            if p != k {
+                b.swap(k, p);
+            }
+            let bk = b[k];
+            if bk != 0.0 {
+                let reach = self.kl.min(n - 1 - k);
+                let base = k * stride + kv;
+                let col = &self.ab[base + 1..=base + reach];
+                for (bi, &l) in b[k + 1..=k + reach].iter_mut().zip(col) {
+                    *bi -= l * bk;
+                }
+            }
+        }
+        // Backward with U (bandwidth kl + ku after fill-in), column
+        // oriented: once x_j is known, its contribution is subtracted
+        // from every earlier row in one contiguous walk up column j —
+        // the row-oriented form would stride across columns instead.
+        for j in (0..n).rev() {
+            let base = j * stride + kv - j; // slot of row i in column j is base + i
+            let xj = b[j] / self.ab[base + j];
+            b[j] = xj;
+            if xj != 0.0 && j > 0 {
+                let lo = j.saturating_sub(kv);
+                let col = &self.ab[base + lo..base + j];
+                for (bi, &u) in b[lo..j].iter_mut().zip(col) {
+                    *bi -= u * xj;
+                }
+            }
+        }
     }
 }
 
@@ -232,9 +528,131 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_match_allocating_ones() {
+        let n = 6;
+        let mut m = Matrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                m[(r, c)] = if r == c { 5.0 } else { ((r * 3 + c) as f64).sin() * 0.4 };
+            }
+        }
+        let x: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+        let mut y = vec![0.0; n];
+        m.mul_vec_into(&x, &mut y);
+        assert_eq!(y, m.mul_vec(&x), "mul_vec delegates to mul_vec_into");
+        let lu = m.lu().unwrap();
+        let mut in_place = y.clone();
+        lu.solve_into(&mut in_place);
+        assert_eq!(in_place, lu.solve(&y), "solve delegates to solve_into");
+        assert_close(&in_place, &x, 1e-12);
+    }
+
+    #[test]
     fn display_renders_rows() {
         let m = Matrix::identity(2);
         let s = m.to_string();
         assert_eq!(s.lines().count(), 2);
+    }
+
+    // ---------------- banded ----------------
+
+    /// A seeded pseudo-random banded test matrix with a dominant
+    /// diagonal, returned in both banded and dense forms.
+    fn random_band(n: usize, kl: usize, ku: usize, seed: u64) -> (Banded, Matrix) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            // SplitMix64-style scramble, mapped to [-1, 1).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        };
+        let mut band = Banded::zeros(n, kl, ku);
+        let (kl, ku) = band.bandwidths();
+        let mut dense = Matrix::zeros(n);
+        for i in 0..n {
+            for j in i.saturating_sub(kl)..=(i + ku).min(n - 1) {
+                let v = if i == j { 4.0 + next().abs() } else { next() };
+                band.add(i, j, v);
+                dense[(i, j)] = v;
+            }
+        }
+        (band, dense)
+    }
+
+    #[test]
+    fn banded_mul_vec_matches_dense() {
+        for (n, kl, ku, seed) in [(1, 0, 0, 7), (5, 1, 2, 1), (9, 3, 1, 2), (16, 4, 4, 3)] {
+            let (band, dense) = random_band(n, kl, ku, seed);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+            let mut y = vec![0.0; n];
+            band.mul_vec_into(&x, &mut y);
+            assert_close(&y, &dense.mul_vec(&x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn banded_solve_matches_dense() {
+        for (n, kl, ku, seed) in [(1, 0, 0, 11), (4, 1, 1, 5), (12, 3, 2, 6), (24, 5, 5, 9)] {
+            let (band, dense) = random_band(n, kl, ku, seed);
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.3 - 1.0).collect();
+            let b = dense.mul_vec(&x_true);
+            let mut x = b.clone();
+            band.lu().unwrap().solve_into(&mut x);
+            assert_close(&x, &x_true, 1e-9);
+            assert_close(&x, &dense.lu().unwrap().solve(&b), 1e-9);
+        }
+    }
+
+    #[test]
+    fn banded_pivoting_handles_zero_diagonal() {
+        // Tridiagonal with zero diagonal: [[0,1,0],[1,0,1],[0,1,0]] is
+        // singular, but [[0,1,0],[1,0,1],[0,1,1]] is regular and needs
+        // row exchanges throughout.
+        let mut m = Banded::zeros(3, 1, 1);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 2, 1.0);
+        m.add(2, 1, 1.0);
+        m.add(2, 2, 1.0);
+        let x = m.lu().unwrap().solve(&[1.0, 2.0, 3.0]);
+        let mut y = vec![0.0; 3];
+        m.mul_vec_into(&x, &mut y);
+        assert_close(&y, &[1.0, 2.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn banded_singular_detected() {
+        let mut m = Banded::zeros(3, 1, 1);
+        // Row 1 is all zeros inside the band.
+        m.add(0, 0, 1.0);
+        m.add(2, 2, 1.0);
+        assert_eq!(m.lu().unwrap_err(), InterconnectError::SingularMatrix);
+    }
+
+    #[test]
+    fn banded_accessors_and_outside_band() {
+        let mut m = Banded::zeros(4, 1, 2);
+        assert_eq!(m.dim(), 4);
+        assert_eq!(m.bandwidths(), (1, 2));
+        m.add(1, 3, 2.5);
+        assert_eq!(m.get(1, 3), 2.5);
+        assert_eq!(m.get(3, 0), 0.0, "outside band reads as zero");
+        let dense = m.to_dense();
+        assert_eq!(dense[(1, 3)], 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside band")]
+    fn banded_add_outside_band_panics() {
+        let mut m = Banded::zeros(4, 1, 1);
+        m.add(3, 0, 1.0);
+    }
+
+    #[test]
+    fn banded_bandwidths_clamped_to_dim() {
+        let m = Banded::zeros(3, 10, 10);
+        assert_eq!(m.bandwidths(), (2, 2));
     }
 }

@@ -162,7 +162,7 @@ mod tests {
         wave.extend(ramp(11, 0.0, 1.8));
         let d = propagation_delay(&wave, 1.0, 1.8, 10.0, true).unwrap();
         assert!((d - 5.0).abs() < 1e-9, "50% at sample 15, switch at 10: {d}");
-        assert!(propagation_delay(&vec![0.0; 5], 1.0, 1.8, 0.0, true).is_none());
+        assert!(propagation_delay(&[0.0; 5], 1.0, 1.8, 0.0, true).is_none());
     }
 
     #[test]
@@ -174,7 +174,7 @@ mod tests {
     #[test]
     fn settled_value_averages_tail() {
         let mut wave = ramp(100, 0.0, 1.8);
-        wave.extend(std::iter::repeat(1.8).take(100));
+        wave.extend(std::iter::repeat_n(1.8, 100));
         let v = settled_value(&wave, 0.25);
         assert!((v - 1.8).abs() < 1e-9);
     }

@@ -322,6 +322,34 @@ impl Bus {
         0.69 * r_total * c_total
     }
 
+    /// A structural fingerprint over every electrical parameter (FNV-1a
+    /// over the exact bit patterns): equal buses fingerprint equal, any
+    /// single element change — a defect, a variation draw — perturbs
+    /// it. Used to key factored-solver caches, so it must be exact, not
+    /// approximate.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fn fnv(h: u64, x: u64) -> u64 {
+            (h ^ x).wrapping_mul(0x100_0000_01B3)
+        }
+        let mut h = fnv(0xCBF2_9CE4_8422_2325, self.wires as u64);
+        h = fnv(h, self.segments as u64);
+        for table in [&self.r_seg, &self.cg_node, &self.cc_node, &self.l_seg, &self.lm_seg] {
+            for row in table {
+                for v in row {
+                    h = fnv(h, v.to_bits());
+                }
+            }
+        }
+        for v in &self.driver_r {
+            h = fnv(h, v.to_bits());
+        }
+        for v in [self.receiver_c, self.vdd, self.rise_time] {
+            h = fnv(h, v.to_bits());
+        }
+        h
+    }
+
     pub(crate) fn check_wire(&self, wire: usize) -> Result<(), InterconnectError> {
         if wire < self.wires {
             Ok(())
@@ -401,5 +429,21 @@ mod tests {
     fn single_wire_bus_has_no_pairs() {
         let bus = BusParams::dsm_bus(1).build().unwrap();
         assert!(bus.pair_coupling(0).is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_element_sensitive() {
+        let a = BusParams::dsm_bus(3).build().unwrap();
+        let b = BusParams::dsm_bus(3).build().unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal buses fingerprint equal");
+        // Any single element change must perturb the fingerprint.
+        let mut mutated = a.clone();
+        mutated.r_seg[1][2] *= 1.0 + 1e-12;
+        assert_ne!(a.fingerprint(), mutated.fingerprint(), "tiny R change");
+        let mut mutated = a.clone();
+        mutated.cc_node[0][3] += 1e-18;
+        assert_ne!(a.fingerprint(), mutated.fingerprint(), "tiny Cc change");
+        let wider = BusParams::dsm_bus(4).build().unwrap();
+        assert_ne!(a.fingerprint(), wider.fingerprint(), "different geometry");
     }
 }

@@ -24,59 +24,159 @@
 //!   `R`, `L` contributes the row `v_a − v_b − (R + L/h)·i = −(L/h)·i_prev`
 //!   and `±i` to the two KCL rows. This is what lets the bus ring and
 //!   overshoot — the physics behind the paper's P̄g/N̄g faults.
+//!
+//! # The banded fast path
+//!
+//! Coupling is strictly nearest-neighbour, so under a **segment-major**
+//! unknown ordering (all of segment 0's nodes first, then segment 1's,
+//! …; the RLC branch current interleaved right after its sink node) the
+//! MNA matrix is banded with half-bandwidth `O(wires)` — independent of
+//! the segment count, and far below the `O(wires·segments)` bandwidth
+//! the dense wire-major layout exhibits once branch rows are appended.
+//! The default engine therefore assembles [`crate::linalg::Banded`]
+//! matrices: factorisation drops from O(N³) to O(N·b²) and each
+//! timestep from O(N²) to O(N·b). Every step is also allocation-free —
+//! history multiply, source stamp and in-place solve all reuse a
+//! [`SimScratch`] that callers can thread through
+//! [`TransientSim::run_with_scratch`] to amortise across a campaign.
+//! The dense path survives behind the `dense-oracle` feature (a default
+//! feature) as a runtime-selectable reference implementation; the
+//! property suite pins the two engines together to ≤ 1e-9 V.
 
 use crate::drive::{Stimulus, VectorPair};
 use crate::error::InterconnectError;
+use crate::linalg::{Banded, BandedLu};
+#[cfg(feature = "dense-oracle")]
 use crate::linalg::{LuFactors, Matrix};
 use crate::params::Bus;
 
 /// Default time the drivers launch their edge after simulation start.
 pub const DEFAULT_SWITCH_AT: f64 = 0.2e-9;
 
-/// Pure-RC engine state.
+/// Which linear-algebra engine a [`TransientSim`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Banded LU on a segment-major ordering: O(N·b²) factorisation,
+    /// O(N·b) allocation-free timesteps. The production path.
+    #[default]
+    Banded,
+    /// Dense LU on the wire-major ordering: the simple O(N³)/O(N²)
+    /// reference used as a correctness oracle and perf baseline.
+    #[cfg(feature = "dense-oracle")]
+    Dense,
+}
+
+/// Reusable per-run scratch buffers: threading one through
+/// [`TransientSim::run_with_scratch`] / [`TransientSim::run_pair_with_scratch`]
+/// makes every timestep — and, across a campaign, every run —
+/// allocation-free in the solver core.
+#[derive(Debug, Clone, Default)]
+pub struct SimScratch {
+    /// Current full state vector (node voltages, then/with branch currents).
+    state: Vec<f64>,
+    /// Right-hand side, overwritten in place by the solve each step.
+    rhs: Vec<f64>,
+}
+
+impl SimScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+
+    fn reset(&mut self, dim: usize) {
+        self.state.clear();
+        self.state.resize(dim, 0.0);
+        self.rhs.clear();
+        self.rhs.resize(dim, 0.0);
+    }
+}
+
+/// Banded pure-RC engine state (segment-major node ordering).
 #[derive(Debug, Clone)]
-struct RcEngine {
-    nodes: usize,
-    /// `G + C/h`, LU-factored.
-    a_lu: LuFactors,
-    /// `G` alone, LU-factored (for the DC operating point).
-    g_lu: LuFactors,
-    /// Dense copy of `C / h` for the history term.
-    c_over_h: Matrix,
+struct BandedRcEngine {
+    dim: usize,
+    /// `G + C/h`, banded-LU-factored.
+    a_lu: BandedLu,
+    /// `G` alone, banded-LU-factored (for the DC operating point).
+    g_lu: BandedLu,
+    /// `C / h` for the history term.
+    c_over_h: Banded,
     /// Per-wire driver conductances (into node 0 of each wire).
     g_drv: Vec<f64>,
+    /// Unknown index of each wire's driver-end node.
+    drv_nodes: Vec<usize>,
+    /// Unknown index of each wire's receiver-end node.
+    recv_nodes: Vec<usize>,
 }
 
-/// One series R‖L branch of the augmented formulation.
-#[derive(Debug, Clone, Copy)]
-struct Branch {
-    /// Source node index, or `None` when fed by the wire's driver.
-    from: Option<usize>,
-    /// Sink node index.
-    to: usize,
-    /// Driving wire (for source lookup) when `from` is `None`.
-    wire: usize,
-    /// Series inductance (H).
-    l: f64,
-}
-
-/// Augmented-MNA engine state for inductive buses.
+/// Banded augmented-MNA engine state (segment-major, branch currents
+/// interleaved with their sink nodes).
 #[derive(Debug, Clone)]
-struct RlcEngine {
-    nodes: usize,
-    branches: Vec<Branch>,
-    /// Transient system, LU-factored.
+struct BandedRlcEngine {
+    dim: usize,
+    /// Transient system, banded-LU-factored.
+    a_lu: BandedLu,
+    /// DC system (inductors shorted, capacitors open), banded-LU-factored.
+    dc_lu: BandedLu,
+    /// Full-state history matrix: `C/h` on node rows, `−L/h` / `−M/h`
+    /// on branch rows — one banded mat-vec builds the whole RHS.
+    hist: Banded,
+    /// Unknown index of each wire's driver branch current row.
+    drv_branches: Vec<usize>,
+    drv_nodes: Vec<usize>,
+    recv_nodes: Vec<usize>,
+}
+
+/// Dense pure-RC engine state (wire-major ordering): the oracle.
+#[cfg(feature = "dense-oracle")]
+#[derive(Debug, Clone)]
+struct DenseRcEngine {
+    dim: usize,
     a_lu: LuFactors,
-    /// DC system (inductors shorted, capacitors open), LU-factored.
-    dc_lu: LuFactors,
-    /// Dense `C / h` over the node block for the history term.
+    g_lu: LuFactors,
     c_over_h: Matrix,
+    g_drv: Vec<f64>,
+    drv_nodes: Vec<usize>,
+    recv_nodes: Vec<usize>,
+}
+
+/// Dense augmented-MNA engine state: the oracle.
+#[cfg(feature = "dense-oracle")]
+#[derive(Debug, Clone)]
+struct DenseRlcEngine {
+    dim: usize,
+    a_lu: LuFactors,
+    dc_lu: LuFactors,
+    /// Full-state history matrix, same convention as the banded engine.
+    hist: Matrix,
+    drv_branches: Vec<usize>,
+    drv_nodes: Vec<usize>,
+    recv_nodes: Vec<usize>,
 }
 
 #[derive(Debug, Clone)]
 enum Engine {
-    Rc(RcEngine),
-    Rlc(RlcEngine),
+    BandedRc(BandedRcEngine),
+    BandedRlc(BandedRlcEngine),
+    #[cfg(feature = "dense-oracle")]
+    DenseRc(DenseRcEngine),
+    #[cfg(feature = "dense-oracle")]
+    DenseRlc(DenseRlcEngine),
+}
+
+impl Engine {
+    fn dim(&self) -> usize {
+        match self {
+            Engine::BandedRc(e) => e.dim,
+            Engine::BandedRlc(e) => e.dim,
+            #[cfg(feature = "dense-oracle")]
+            Engine::DenseRc(e) => e.dim,
+            #[cfg(feature = "dense-oracle")]
+            Engine::DenseRlc(e) => e.dim,
+        }
+    }
 }
 
 /// A factored transient simulator bound to one bus and timestep.
@@ -88,39 +188,48 @@ pub struct TransientSim {
     engine: Engine,
 }
 
-fn build_cap_matrix(bus: &Bus) -> Matrix {
+// ---------------------------------------------------------------------
+// Banded assembly (segment-major ordering)
+// ---------------------------------------------------------------------
+
+/// Stamps the capacitance-over-h terms into `m` under an arbitrary
+/// node-index mapping; shared by every engine.
+fn stamp_cap_over_h(
+    bus: &Bus,
+    dt: f64,
+    node: &impl Fn(usize, usize) -> usize,
+    mut add: impl FnMut(usize, usize, f64),
+) {
     let s = bus.segments();
     let w = bus.wires();
-    let nodes = w * s;
-    let node = |wire: usize, seg: usize| wire * s + seg;
-    let mut c = Matrix::zeros(nodes);
     for wire in 0..w {
         for seg in 0..s {
-            c[(node(wire, seg), node(wire, seg))] += bus.cg_node[wire][seg];
+            add(node(wire, seg), node(wire, seg), bus.cg_node[wire][seg] / dt);
         }
-        c[(node(wire, s - 1), node(wire, s - 1))] += bus.receiver_c;
+        add(node(wire, s - 1), node(wire, s - 1), bus.receiver_c / dt);
     }
     for pair in 0..w.saturating_sub(1) {
         for seg in 0..s {
-            let cc = bus.cc_node[pair][seg];
+            let cc = bus.cc_node[pair][seg] / dt;
             let a = node(pair, seg);
             let b = node(pair + 1, seg);
-            c[(a, a)] += cc;
-            c[(b, b)] += cc;
-            c[(a, b)] -= cc;
-            c[(b, a)] -= cc;
+            add(a, a, cc);
+            add(b, b, cc);
+            add(a, b, -cc);
+            add(b, a, -cc);
         }
     }
-    c
 }
 
-fn build_rc_engine(bus: &Bus, dt: f64) -> Result<RcEngine, InterconnectError> {
+/// Stamps the conductance matrix `G` (series segments + drivers) under
+/// an arbitrary node-index mapping; returns the driver conductances.
+fn stamp_conductance(
+    bus: &Bus,
+    node: &impl Fn(usize, usize) -> usize,
+    mut add: impl FnMut(usize, usize, f64),
+) -> Vec<f64> {
     let s = bus.segments();
     let w = bus.wires();
-    let nodes = w * s;
-    let node = |wire: usize, seg: usize| wire * s + seg;
-
-    let mut g = Matrix::zeros(nodes);
     let mut g_drv = Vec::with_capacity(w);
     for wire in 0..w {
         // Driver Thevenin conductance into node 0; segment 0's series
@@ -128,111 +237,230 @@ fn build_rc_engine(bus: &Bus, dt: f64) -> Result<RcEngine, InterconnectError> {
         // into the same branch.
         let gd = 1.0 / (bus.driver_r[wire] + bus.r_seg[wire][0]);
         g_drv.push(gd);
-        g[(node(wire, 0), node(wire, 0))] += gd;
+        add(node(wire, 0), node(wire, 0), gd);
         for seg in 1..s {
             let gseg = 1.0 / bus.r_seg[wire][seg];
             let a = node(wire, seg - 1);
             let b = node(wire, seg);
-            g[(a, a)] += gseg;
-            g[(b, b)] += gseg;
-            g[(a, b)] -= gseg;
-            g[(b, a)] -= gseg;
+            add(a, a, gseg);
+            add(b, b, gseg);
+            add(a, b, -gseg);
+            add(b, a, -gseg);
         }
     }
-    let c = build_cap_matrix(bus);
-    let mut a = Matrix::zeros(nodes);
-    let mut c_over_h = Matrix::zeros(nodes);
-    for r in 0..nodes {
-        for col in 0..nodes {
-            c_over_h[(r, col)] = c[(r, col)] / dt;
-            a[(r, col)] = g[(r, col)] + c_over_h[(r, col)];
-        }
-    }
-    Ok(RcEngine { nodes, a_lu: a.lu()?, g_lu: g.lu()?, c_over_h, g_drv })
+    g_drv
 }
 
-fn build_rlc_engine(bus: &Bus, dt: f64) -> Result<RlcEngine, InterconnectError> {
+fn build_banded_rc(bus: &Bus, dt: f64) -> Result<BandedRcEngine, InterconnectError> {
     let s = bus.segments();
     let w = bus.wires();
-    let nodes = w * s;
-    let node = |wire: usize, seg: usize| wire * s + seg;
+    let dim = w * s;
+    // Segment-major: same-position nodes of adjacent wires are
+    // contiguous, so coupling terms sit next to the diagonal and the
+    // series terms reach exactly `w` away — half-bandwidth `w`.
+    let node = |wire: usize, seg: usize| seg * w + wire;
 
-    // One branch per segment: the driver branch carries segment 0's
-    // series impedance plus the driver resistance.
-    let mut branches = Vec::with_capacity(w * s);
+    let mut g = Banded::zeros(dim, w, w);
+    let g_drv = stamp_conductance(bus, &node, |i, j, v| g.add(i, j, v));
+    // The capacitance stamps only couple same-segment neighbours, which
+    // are adjacent under segment-major ordering: the history matrix is
+    // tridiagonal, so the per-step mul is O(N·3) regardless of width.
+    let mut c_over_h = Banded::zeros(dim, 1, 1);
+    stamp_cap_over_h(bus, dt, &node, |i, j, v| c_over_h.add(i, j, v));
+    let mut a = Banded::zeros(dim, w, w);
+    stamp_conductance(bus, &node, |i, j, v| a.add(i, j, v));
+    stamp_cap_over_h(bus, dt, &node, |i, j, v| a.add(i, j, v));
+
+    Ok(BandedRcEngine {
+        dim,
+        a_lu: a.lu()?,
+        g_lu: g.lu()?,
+        c_over_h,
+        g_drv,
+        drv_nodes: (0..w).map(|wire| node(wire, 0)).collect(),
+        recv_nodes: (0..w).map(|wire| node(wire, s - 1)).collect(),
+    })
+}
+
+/// Stamps the full augmented-MNA system under arbitrary index mappings.
+///
+/// `v_idx(wire, seg)` is the unknown slot of a node voltage and
+/// `i_idx(wire, seg)` that of the branch current *into* the node —
+/// branch `(wire, 0)` is the driver branch (Thevenin source behind
+/// `driver_r + r_seg[0]`), branch `(wire, seg > 0)` the series branch
+/// from node `seg − 1`. Stamps the transient matrix, the DC matrix
+/// (inductors shorted, capacitors open) and the history matrix.
+fn stamp_rlc(
+    bus: &Bus,
+    dt: f64,
+    v_idx: &impl Fn(usize, usize) -> usize,
+    i_idx: &impl Fn(usize, usize) -> usize,
+    mut add_a: impl FnMut(usize, usize, f64),
+    mut add_dc: impl FnMut(usize, usize, f64),
+    mut add_hist: impl FnMut(usize, usize, f64),
+) {
+    let s = bus.segments();
+    let w = bus.wires();
+    stamp_cap_over_h(bus, dt, v_idx, &mut add_hist);
+    stamp_cap_over_h(bus, dt, v_idx, &mut add_a);
     for wire in 0..w {
-        branches.push(Branch { from: None, to: node(wire, 0), wire, l: bus.l_seg[wire][0] });
-        for seg in 1..s {
-            branches.push(Branch {
-                from: Some(node(wire, seg - 1)),
-                to: node(wire, seg),
-                wire,
-                l: bus.l_seg[wire][seg],
-            });
-        }
-    }
-    let nb = branches.len();
-    let dim = nodes + nb;
-    let c = build_cap_matrix(bus);
-
-    let mut a = Matrix::zeros(dim);
-    let mut dc = Matrix::zeros(dim);
-    let mut c_over_h = Matrix::zeros(nodes);
-    for r in 0..nodes {
-        for col in 0..nodes {
-            c_over_h[(r, col)] = c[(r, col)] / dt;
-            a[(r, col)] = c_over_h[(r, col)];
-        }
-    }
-    for (k, br) in branches.iter().enumerate() {
-        let col = nodes + k;
-        let r_series = match br.from {
-            None => bus.driver_r[br.wire] + bus.r_seg[br.wire][0],
-            Some(_) => {
-                // Segment index recovered from the sink node.
-                let seg = br.to % s;
-                bus.r_seg[br.wire][seg]
+        for seg in 0..s {
+            let col = i_idx(wire, seg);
+            let from = (seg > 0).then(|| v_idx(wire, seg - 1));
+            let to = v_idx(wire, seg);
+            let r_series = if seg == 0 {
+                bus.driver_r[wire] + bus.r_seg[wire][0]
+            } else {
+                bus.r_seg[wire][seg]
+            };
+            let l = bus.l_seg[wire][seg];
+            // KCL: current flows from `from` to `to`.
+            if let Some(from) = from {
+                add_a(from, col, 1.0);
+                add_dc(from, col, 1.0);
             }
-        };
-        // KCL: current flows from `from` to `to`.
-        if let Some(from) = br.from {
-            a[(from, col)] += 1.0;
-            dc[(from, col)] += 1.0;
+            add_a(to, col, -1.0);
+            add_dc(to, col, -1.0);
+            // Branch voltage equation.
+            if let Some(from) = from {
+                add_a(col, from, 1.0);
+                add_dc(col, from, 1.0);
+            }
+            add_a(col, to, -1.0);
+            add_dc(col, to, -1.0);
+            add_a(col, col, -(r_series + l / dt));
+            add_dc(col, col, -r_series);
+            add_hist(col, col, -(l / dt));
         }
-        a[(br.to, col)] -= 1.0;
-        dc[(br.to, col)] -= 1.0;
-        // Branch voltage equation.
-        if let Some(from) = br.from {
-            a[(col, from)] += 1.0;
-            dc[(col, from)] += 1.0;
-        }
-        a[(col, br.to)] -= 1.0;
-        dc[(col, br.to)] -= 1.0;
-        a[(col, col)] -= r_series + br.l / dt;
-        dc[(col, col)] -= r_series;
     }
     // Mutual inductance: branch (w, seg) couples with the same-segment
     // branch of each adjacent wire — an off-diagonal −(M/h)·i_neighbor
-    // term in the branch voltage equation. At DC inductors (self and
-    // mutual) are shorts, so only the transient matrix is stamped.
+    // term in the branch voltage equation (and the matching history
+    // term). At DC inductors (self and mutual) are shorts, so the DC
+    // matrix is untouched.
     for pair in 0..w.saturating_sub(1) {
         for seg in 0..s {
             let m = bus.lm_seg[pair][seg];
             if m == 0.0 {
                 continue;
             }
-            let ka = nodes + pair * s + seg;
-            let kb = nodes + (pair + 1) * s + seg;
-            a[(ka, kb)] -= m / dt;
-            a[(kb, ka)] -= m / dt;
+            let ka = i_idx(pair, seg);
+            let kb = i_idx(pair + 1, seg);
+            add_a(ka, kb, -(m / dt));
+            add_a(kb, ka, -(m / dt));
+            add_hist(ka, kb, -(m / dt));
+            add_hist(kb, ka, -(m / dt));
         }
     }
-    Ok(RlcEngine { nodes, branches, a_lu: a.lu()?, dc_lu: dc.lu()?, c_over_h })
+}
+
+fn build_banded_rlc(bus: &Bus, dt: f64) -> Result<BandedRlcEngine, InterconnectError> {
+    let s = bus.segments();
+    let w = bus.wires();
+    let dim = 2 * w * s;
+    // Segment-major with the branch current interleaved right after its
+    // sink node: the widest stamp is a branch row reaching back to the
+    // previous segment's node, distance 2·w + 1 — again O(wires),
+    // independent of the segment count.
+    let v_idx = |wire: usize, seg: usize| seg * 2 * w + 2 * wire;
+    let i_idx = |wire: usize, seg: usize| seg * 2 * w + 2 * wire + 1;
+    let band = 2 * w + 1;
+
+    let mut a = Banded::zeros(dim, band, band);
+    let mut dc = Banded::zeros(dim, band, band);
+    // History terms (C/h on node rows, −L/h / −M/h on branch rows) only
+    // link interleaved same-segment neighbours — distance ≤ 2 — so the
+    // per-step history mul stays O(N·5) at any width.
+    let mut hist = Banded::zeros(dim, 2, 2);
+    stamp_rlc(
+        bus,
+        dt,
+        &v_idx,
+        &i_idx,
+        |i, j, v| a.add(i, j, v),
+        |i, j, v| dc.add(i, j, v),
+        |i, j, v| hist.add(i, j, v),
+    );
+
+    Ok(BandedRlcEngine {
+        dim,
+        a_lu: a.lu()?,
+        dc_lu: dc.lu()?,
+        hist,
+        drv_branches: (0..w).map(|wire| i_idx(wire, 0)).collect(),
+        drv_nodes: (0..w).map(|wire| v_idx(wire, 0)).collect(),
+        recv_nodes: (0..w).map(|wire| v_idx(wire, s - 1)).collect(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Dense assembly (wire-major ordering) — the oracle
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "dense-oracle")]
+fn build_dense_rc(bus: &Bus, dt: f64) -> Result<DenseRcEngine, InterconnectError> {
+    let s = bus.segments();
+    let w = bus.wires();
+    let dim = w * s;
+    let node = |wire: usize, seg: usize| wire * s + seg;
+
+    let mut g = Matrix::zeros(dim);
+    let g_drv = stamp_conductance(bus, &node, |i, j, v| g[(i, j)] += v);
+    let mut c_over_h = Matrix::zeros(dim);
+    stamp_cap_over_h(bus, dt, &node, |i, j, v| c_over_h[(i, j)] += v);
+    let mut a = g.clone();
+    stamp_cap_over_h(bus, dt, &node, |i, j, v| a[(i, j)] += v);
+
+    Ok(DenseRcEngine {
+        dim,
+        a_lu: a.lu()?,
+        g_lu: g.lu()?,
+        c_over_h,
+        g_drv,
+        drv_nodes: (0..w).map(|wire| node(wire, 0)).collect(),
+        recv_nodes: (0..w).map(|wire| node(wire, s - 1)).collect(),
+    })
+}
+
+#[cfg(feature = "dense-oracle")]
+fn build_dense_rlc(bus: &Bus, dt: f64) -> Result<DenseRlcEngine, InterconnectError> {
+    let s = bus.segments();
+    let w = bus.wires();
+    let nodes = w * s;
+    let dim = 2 * nodes;
+    // Wire-major nodes, branch currents appended after all nodes — the
+    // classic layout whose bandwidth is O(wires·segments).
+    let v_idx = |wire: usize, seg: usize| wire * s + seg;
+    let i_idx = |wire: usize, seg: usize| nodes + wire * s + seg;
+
+    let mut a = Matrix::zeros(dim);
+    let mut dc = Matrix::zeros(dim);
+    let mut hist = Matrix::zeros(dim);
+    stamp_rlc(
+        bus,
+        dt,
+        &v_idx,
+        &i_idx,
+        |i, j, v| a[(i, j)] += v,
+        |i, j, v| dc[(i, j)] += v,
+        |i, j, v| hist[(i, j)] += v,
+    );
+
+    Ok(DenseRlcEngine {
+        dim,
+        a_lu: a.lu()?,
+        dc_lu: dc.lu()?,
+        hist,
+        drv_branches: (0..w).map(|wire| i_idx(wire, 0)).collect(),
+        drv_nodes: (0..w).map(|wire| v_idx(wire, 0)).collect(),
+        recv_nodes: (0..w).map(|wire| v_idx(wire, s - 1)).collect(),
+    })
 }
 
 impl TransientSim {
     /// Builds and factorises the solver for `bus` with timestep `dt`,
-    /// selecting the RC or RLC formulation automatically.
+    /// selecting the RC or RLC formulation automatically and running on
+    /// the banded fast path.
     ///
     /// # Errors
     ///
@@ -253,16 +481,35 @@ impl TransientSim {
         dt: f64,
         switch_at: f64,
     ) -> Result<TransientSim, InterconnectError> {
+        Self::with_backend(bus, dt, switch_at, SolverBackend::default())
+    }
+
+    /// As [`TransientSim::with_switch_at`] with an explicit
+    /// linear-algebra backend — the dense oracle is selectable here for
+    /// verification and baseline benchmarking.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransientSim::new`].
+    pub fn with_backend(
+        bus: &Bus,
+        dt: f64,
+        switch_at: f64,
+        backend: SolverBackend,
+    ) -> Result<TransientSim, InterconnectError> {
         if dt <= 0.0 {
             return Err(InterconnectError::time("timestep must be positive"));
         }
         if switch_at < 0.0 {
             return Err(InterconnectError::time("switch time must be non-negative"));
         }
-        let engine = if bus.has_inductance() {
-            Engine::Rlc(build_rlc_engine(bus, dt)?)
-        } else {
-            Engine::Rc(build_rc_engine(bus, dt)?)
+        let engine = match (backend, bus.has_inductance()) {
+            (SolverBackend::Banded, false) => Engine::BandedRc(build_banded_rc(bus, dt)?),
+            (SolverBackend::Banded, true) => Engine::BandedRlc(build_banded_rlc(bus, dt)?),
+            #[cfg(feature = "dense-oracle")]
+            (SolverBackend::Dense, false) => Engine::DenseRc(build_dense_rc(bus, dt)?),
+            #[cfg(feature = "dense-oracle")]
+            (SolverBackend::Dense, true) => Engine::DenseRlc(build_dense_rlc(bus, dt)?),
         };
         Ok(TransientSim { bus: bus.clone(), dt, switch_at, engine })
     }
@@ -282,12 +529,28 @@ impl TransientSim {
     /// Whether the augmented (inductive) formulation is active.
     #[must_use]
     pub fn is_rlc(&self) -> bool {
-        matches!(self.engine, Engine::Rlc(_))
+        match self.engine {
+            Engine::BandedRlc(_) => true,
+            #[cfg(feature = "dense-oracle")]
+            Engine::DenseRlc(_) => true,
+            _ => false,
+        }
+    }
+
+    /// The linear-algebra backend this simulator runs on.
+    #[must_use]
+    pub fn backend(&self) -> SolverBackend {
+        match self.engine {
+            Engine::BandedRc(_) | Engine::BandedRlc(_) => SolverBackend::Banded,
+            #[cfg(feature = "dense-oracle")]
+            Engine::DenseRc(_) | Engine::DenseRlc(_) => SolverBackend::Dense,
+        }
     }
 
     /// Runs the transient for `duration` seconds under `stimulus`,
     /// starting from the DC operating point of the *initial* source
-    /// values.
+    /// values. Allocates fresh scratch; prefer
+    /// [`TransientSim::run_with_scratch`] inside campaign loops.
     ///
     /// # Errors
     ///
@@ -298,6 +561,21 @@ impl TransientSim {
         &self,
         stimulus: &Stimulus,
         duration: f64,
+    ) -> Result<BusWaveforms, InterconnectError> {
+        self.run_with_scratch(stimulus, duration, &mut SimScratch::new())
+    }
+
+    /// As [`TransientSim::run`], reusing caller-provided scratch
+    /// buffers so repeated runs never allocate in the timestep loop.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransientSim::run`].
+    pub fn run_with_scratch(
+        &self,
+        stimulus: &Stimulus,
+        duration: f64,
+        scratch: &mut SimScratch,
     ) -> Result<BusWaveforms, InterconnectError> {
         if duration <= 0.0 {
             return Err(InterconnectError::time("duration must be positive"));
@@ -311,128 +589,129 @@ impl TransientSim {
         // Epsilon guard: 1e-9/1e-12 must give exactly 1000 steps despite
         // floating-point representation of the quotient.
         let steps = ((duration / self.dt) - 1e-9).ceil().max(1.0) as usize;
+        scratch.reset(self.engine.dim());
+        let w = self.bus.wires();
+        let mut recv = vec![Vec::with_capacity(steps + 1); w];
+        let mut drv = vec![Vec::with_capacity(steps + 1); w];
         match &self.engine {
-            Engine::Rc(e) => self.run_rc(e, stimulus, steps),
-            Engine::Rlc(e) => self.run_rlc(e, stimulus, steps),
+            Engine::BandedRc(e) => self.run_banded_rc(e, stimulus, steps, scratch, &mut recv, &mut drv),
+            Engine::BandedRlc(e) => {
+                self.run_banded_rlc(e, stimulus, steps, scratch, &mut recv, &mut drv);
+            }
+            #[cfg(feature = "dense-oracle")]
+            Engine::DenseRc(e) => self.run_dense_rc(e, stimulus, steps, scratch, &mut recv, &mut drv),
+            #[cfg(feature = "dense-oracle")]
+            Engine::DenseRlc(e) => {
+                self.run_dense_rlc(e, stimulus, steps, scratch, &mut recv, &mut drv);
+            }
         }
-    }
-
-    fn collect(
-        &self,
-        v: &[f64],
-        recv: &mut [Vec<f64>],
-        drv: &mut [Vec<f64>],
-    ) {
-        let s = self.bus.segments();
-        for wire in 0..self.bus.wires() {
-            recv[wire].push(v[wire * s + (s - 1)]);
-            drv[wire].push(v[wire * s]);
-        }
-    }
-
-    fn wrap(&self, recv: Vec<Vec<f64>>, drv: Vec<Vec<f64>>) -> BusWaveforms {
-        BusWaveforms {
+        Ok(BusWaveforms {
             dt: self.dt,
             switch_at: self.switch_at,
             vdd: self.bus.vdd(),
             receiver: recv,
             driver: drv,
-        }
+        })
     }
 
-    fn run_rc(
+    fn run_banded_rc(
         &self,
-        e: &RcEngine,
+        e: &BandedRcEngine,
         stimulus: &Stimulus,
         steps: usize,
-    ) -> Result<BusWaveforms, InterconnectError> {
-        let s = self.bus.segments();
-        let w = self.bus.wires();
-        let source_rhs = |t: f64| {
-            let mut b = vec![0.0; e.nodes];
-            for wire in 0..w {
-                b[wire * s] = e.g_drv[wire] * stimulus.voltage(wire, t);
-            }
-            b
-        };
-        let mut v = e.g_lu.solve(&source_rhs(0.0));
-        let mut recv = vec![Vec::with_capacity(steps + 1); w];
-        let mut drv = vec![Vec::with_capacity(steps + 1); w];
-        self.collect(&v, &mut recv, &mut drv);
+        scratch: &mut SimScratch,
+        recv: &mut [Vec<f64>],
+        drv: &mut [Vec<f64>],
+    ) {
+        let SimScratch { state, rhs } = scratch;
+        // DC operating point of the initial source values.
+        state.fill(0.0);
+        stamp_rc_sources(e, stimulus, 0.0, state);
+        e.g_lu.solve_into(state);
+        collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
         for k in 1..=steps {
             let t = k as f64 * self.dt;
-            let mut rhs = e.c_over_h.mul_vec(&v);
-            for (r, bi) in rhs.iter_mut().zip(source_rhs(t)) {
-                *r += bi;
-            }
-            v = e.a_lu.solve(&rhs);
-            self.collect(&v, &mut recv, &mut drv);
+            e.c_over_h.mul_vec_into(state, rhs);
+            stamp_rc_sources(e, stimulus, t, rhs);
+            e.a_lu.solve_into(rhs);
+            std::mem::swap(state, rhs);
+            collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
         }
-        Ok(self.wrap(recv, drv))
     }
 
-    fn run_rlc(
+    fn run_banded_rlc(
         &self,
-        e: &RlcEngine,
+        e: &BandedRlcEngine,
         stimulus: &Stimulus,
         steps: usize,
-    ) -> Result<BusWaveforms, InterconnectError> {
-        let w = self.bus.wires();
-        let nb = e.branches.len();
-        let dim = e.nodes + nb;
-        // RHS builder: node rows carry the capacitor history, branch
-        // rows carry −vs (driver branches) and the inductor history.
-        let s = self.bus.segments();
-        let build_rhs = |t: f64, v_prev: &[f64], i_prev: &[f64]| {
-            let mut rhs = vec![0.0; dim];
-            let hist = e.c_over_h.mul_vec(v_prev);
-            rhs[..e.nodes].copy_from_slice(&hist);
-            for (k, br) in e.branches.iter().enumerate() {
-                let mut b = -(br.l / self.dt) * i_prev[k];
-                // Mutual-inductance history from same-segment neighbours.
-                let seg = k % s;
-                let wire = k / s;
-                if wire > 0 {
-                    let m = self.bus.lm_seg[wire - 1][seg];
-                    if m != 0.0 {
-                        b -= (m / self.dt) * i_prev[(wire - 1) * s + seg];
-                    }
-                }
-                if wire + 1 < w {
-                    let m = self.bus.lm_seg[wire][seg];
-                    if m != 0.0 {
-                        b -= (m / self.dt) * i_prev[(wire + 1) * s + seg];
-                    }
-                }
-                if br.from.is_none() {
-                    b -= stimulus.voltage(br.wire, t);
-                }
-                rhs[e.nodes + k] = b;
-            }
-            rhs
-        };
+        scratch: &mut SimScratch,
+        recv: &mut [Vec<f64>],
+        drv: &mut [Vec<f64>],
+    ) {
+        let SimScratch { state, rhs } = scratch;
         // DC operating point: inductors short, capacitors open.
-        let mut dc_rhs = vec![0.0; dim];
-        for (k, br) in e.branches.iter().enumerate() {
-            if br.from.is_none() {
-                dc_rhs[e.nodes + k] = -stimulus.voltage(br.wire, 0.0);
-            }
-        }
-        let x0 = e.dc_lu.solve(&dc_rhs);
-        let mut v: Vec<f64> = x0[..e.nodes].to_vec();
-        let mut i: Vec<f64> = x0[e.nodes..].to_vec();
-
-        let mut recv = vec![Vec::with_capacity(steps + 1); w];
-        let mut drv = vec![Vec::with_capacity(steps + 1); w];
-        self.collect(&v, &mut recv, &mut drv);
+        state.fill(0.0);
+        stamp_rlc_sources(&e.drv_branches, stimulus, 0.0, state);
+        e.dc_lu.solve_into(state);
+        collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
         for k in 1..=steps {
             let t = k as f64 * self.dt;
-            let x = e.a_lu.solve(&build_rhs(t, &v, &i));
-            v.copy_from_slice(&x[..e.nodes]);
-            i.copy_from_slice(&x[e.nodes..]);
-            self.collect(&v, &mut recv, &mut drv);
+            e.hist.mul_vec_into(state, rhs);
+            stamp_rlc_sources(&e.drv_branches, stimulus, t, rhs);
+            e.a_lu.solve_into(rhs);
+            std::mem::swap(state, rhs);
+            collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
         }
-        Ok(self.wrap(recv, drv))
+    }
+
+    #[cfg(feature = "dense-oracle")]
+    fn run_dense_rc(
+        &self,
+        e: &DenseRcEngine,
+        stimulus: &Stimulus,
+        steps: usize,
+        scratch: &mut SimScratch,
+        recv: &mut [Vec<f64>],
+        drv: &mut [Vec<f64>],
+    ) {
+        let SimScratch { state, rhs } = scratch;
+        state.fill(0.0);
+        stamp_dense_rc_sources(e, stimulus, 0.0, state);
+        e.g_lu.solve_into(state);
+        collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
+        for k in 1..=steps {
+            let t = k as f64 * self.dt;
+            e.c_over_h.mul_vec_into(state, rhs);
+            stamp_dense_rc_sources(e, stimulus, t, rhs);
+            e.a_lu.solve_into(rhs);
+            std::mem::swap(state, rhs);
+            collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
+        }
+    }
+
+    #[cfg(feature = "dense-oracle")]
+    fn run_dense_rlc(
+        &self,
+        e: &DenseRlcEngine,
+        stimulus: &Stimulus,
+        steps: usize,
+        scratch: &mut SimScratch,
+        recv: &mut [Vec<f64>],
+        drv: &mut [Vec<f64>],
+    ) {
+        let SimScratch { state, rhs } = scratch;
+        state.fill(0.0);
+        stamp_rlc_sources(&e.drv_branches, stimulus, 0.0, state);
+        e.dc_lu.solve_into(state);
+        collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
+        for k in 1..=steps {
+            let t = k as f64 * self.dt;
+            e.hist.mul_vec_into(state, rhs);
+            stamp_rlc_sources(&e.drv_branches, stimulus, t, rhs);
+            e.a_lu.solve_into(rhs);
+            std::mem::swap(state, rhs);
+            collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
+        }
     }
 
     /// Convenience: lowers a [`VectorPair`] to a stimulus (edge at the
@@ -446,8 +725,61 @@ impl TransientSim {
         pair: &VectorPair,
         duration: f64,
     ) -> Result<BusWaveforms, InterconnectError> {
+        self.run_pair_with_scratch(pair, duration, &mut SimScratch::new())
+    }
+
+    /// As [`TransientSim::run_pair`], reusing caller-provided scratch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransientSim::run`].
+    pub fn run_pair_with_scratch(
+        &self,
+        pair: &VectorPair,
+        duration: f64,
+        scratch: &mut SimScratch,
+    ) -> Result<BusWaveforms, InterconnectError> {
         let stim = Stimulus::from_pair(&self.bus, pair, self.switch_at)?;
-        self.run(&stim, duration)
+        self.run_with_scratch(&stim, duration, scratch)
+    }
+}
+
+/// Adds the driver Norton terms to an RC right-hand side.
+fn stamp_rc_sources(e: &BandedRcEngine, stimulus: &Stimulus, t: f64, rhs: &mut [f64]) {
+    for (wire, (&node, &gd)) in e.drv_nodes.iter().zip(&e.g_drv).enumerate() {
+        rhs[node] += gd * stimulus.voltage(wire, t);
+    }
+}
+
+#[cfg(feature = "dense-oracle")]
+fn stamp_dense_rc_sources(e: &DenseRcEngine, stimulus: &Stimulus, t: f64, rhs: &mut [f64]) {
+    for (wire, (&node, &gd)) in e.drv_nodes.iter().zip(&e.g_drv).enumerate() {
+        rhs[node] += gd * stimulus.voltage(wire, t);
+    }
+}
+
+/// Adds the `−vs` source terms to the driver-branch rows of an
+/// augmented-MNA right-hand side (transient and DC alike).
+fn stamp_rlc_sources(drv_branches: &[usize], stimulus: &Stimulus, t: f64, rhs: &mut [f64]) {
+    for (wire, &row) in drv_branches.iter().enumerate() {
+        rhs[row] -= stimulus.voltage(wire, t);
+    }
+}
+
+/// Appends the per-wire receiver/driver node voltages of `state` to the
+/// waveform accumulators.
+fn collect(
+    recv_nodes: &[usize],
+    drv_nodes: &[usize],
+    state: &[f64],
+    recv: &mut [Vec<f64>],
+    drv: &mut [Vec<f64>],
+) {
+    for ((out, &node), (outd, &dnode)) in
+        recv.iter_mut().zip(recv_nodes).zip(drv.iter_mut().zip(drv_nodes))
+    {
+        out.push(state[node]);
+        outd.push(state[dnode]);
     }
 }
 
@@ -659,6 +991,48 @@ mod tests {
         assert_eq!(w.samples(), 1001);
         assert!((w.time_of(1000) - 1e-9).abs() < 1e-18);
         assert!((w.vdd() - bus.vdd()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_stable() {
+        // Reusing one scratch across runs (and across engine sizes)
+        // must not leak state between runs.
+        let mut scratch = SimScratch::new();
+        let big = small_bus(5);
+        let pair5 = VectorPair::from_strs("00000", "11011").unwrap();
+        let sim5 = TransientSim::new(&big, 2e-12).unwrap();
+        let fresh = sim5.run_pair(&pair5, 1e-9).unwrap();
+        let _ = sim5.run_pair_with_scratch(&pair5, 1e-9, &mut scratch).unwrap();
+        let small = small_bus(2);
+        let sim2 = TransientSim::new(&small, 2e-12).unwrap();
+        let pair2 = VectorPair::from_strs("00", "10").unwrap();
+        let _ = sim2.run_pair_with_scratch(&pair2, 1e-9, &mut scratch).unwrap();
+        let reused = sim5.run_pair_with_scratch(&pair5, 1e-9, &mut scratch).unwrap();
+        assert_eq!(fresh, reused, "scratch reuse changed results");
+    }
+
+    #[cfg(feature = "dense-oracle")]
+    #[test]
+    fn banded_matches_dense_oracle_rc_and_rlc() {
+        let pair = VectorPair::from_strs("000", "101").unwrap();
+        for bus in [
+            small_bus(3),
+            BusParams::dsm_bus(3).segments(4).l_per_mm(0.4e-9).lm_per_mm(0.1e-9).build().unwrap(),
+        ] {
+            let banded = TransientSim::new(&bus, 2e-12).unwrap();
+            assert_eq!(banded.backend(), SolverBackend::Banded);
+            let dense =
+                TransientSim::with_backend(&bus, 2e-12, DEFAULT_SWITCH_AT, SolverBackend::Dense)
+                    .unwrap();
+            assert_eq!(dense.backend(), SolverBackend::Dense);
+            let wb = banded.run_pair(&pair, 2e-9).unwrap();
+            let wd = dense.run_pair(&pair, 2e-9).unwrap();
+            for w in 0..3 {
+                for (a, b) in wb.wire(w).iter().zip(wd.wire(w)) {
+                    assert!((a - b).abs() < 1e-9, "wire {w}: {a} vs {b}");
+                }
+            }
+        }
     }
 
     // ------------------------- RLC path -------------------------

@@ -65,7 +65,7 @@ pub fn apply_variation(
         ("coupling", sigma.coupling),
         ("driver", sigma.driver),
     ] {
-        if s < 0.0 || s >= 1.0 / 3.0 {
+        if !(0.0..1.0 / 3.0).contains(&s) {
             return Err(InterconnectError::geometry(format!(
                 "{name} sigma must be in [0, 1/3), got {s}"
             )));

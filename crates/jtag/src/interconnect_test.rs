@@ -269,8 +269,8 @@ mod tests {
         let mut codes = std::collections::BTreeSet::new();
         for net in 0..nets {
             let code: Vec<Logic> = seq.iter().map(|p| p[net]).collect();
-            assert!(code.iter().any(|b| *b == Logic::One), "no all-zero code");
-            assert!(code.iter().any(|b| *b == Logic::Zero), "no all-one code");
+            assert!(code.contains(&Logic::One), "no all-zero code");
+            assert!(code.contains(&Logic::Zero), "no all-one code");
             assert!(codes.insert(code), "codes must be unique");
         }
     }

@@ -130,7 +130,11 @@ impl Logic {
     }
 
     /// Kleene NOT over the input-collapsed value.
+    ///
+    /// Deliberately an inherent method rather than `std::ops::Not`: the
+    /// three-valued semantics (X stays X) should be explicit at call sites.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Logic {
         match self.as_input() {
             Logic::Zero => Logic::One,

@@ -76,7 +76,7 @@ impl Trace {
     pub fn to_ascii(&self) -> String {
         let width = self.signals.keys().map(|k| k.len()).max().unwrap_or(0);
         let mut out = String::new();
-        for (name, _) in &self.signals {
+        for name in self.signals.keys() {
             let _ = write!(out, "{name:>width$} ");
             for t in 0..=self.horizon {
                 let c = match self.value_at(name, t) {

@@ -126,13 +126,13 @@ fn write_seq(
         }
         if let Some(step) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(step * (depth + 1)));
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
         }
         elem(out, i, depth + 1);
     }
     if let Some(step) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(step * depth));
+        out.extend(std::iter::repeat_n(' ', step * depth));
     }
     out.push(close);
 }

@@ -177,7 +177,7 @@ mod tests {
 
     #[test]
     fn jobs_may_borrow_caller_state() {
-        let base = vec![10usize, 20, 30];
+        let base = [10usize, 20, 30];
         let items = [0usize, 1, 2];
         let out = Pool::new(2).map(&items, |_, &i| base[i] + 1);
         assert_eq!(out, vec![11, 21, 31]);

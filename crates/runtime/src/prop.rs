@@ -29,7 +29,7 @@ use crate::rng::Rng64;
 pub const DEFAULT_CASES: usize = 256;
 
 /// Default harness seed; override with [`Runner::seed`] to replay.
-pub const DEFAULT_SEED: u64 = 0x5EED_0F_5EED;
+pub const DEFAULT_SEED: u64 = 0x005E_ED0F_5EED;
 
 /// Runs one property over many generated cases.
 #[derive(Debug, Clone)]

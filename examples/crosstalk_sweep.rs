@@ -16,7 +16,7 @@ use sint::core::soc::SocBuilder;
 use sint::interconnect::drive::VectorPair;
 use sint::interconnect::measure::glitch_amplitude;
 use sint::interconnect::params::BusParams;
-use sint::interconnect::solver::TransientSim;
+use sint::interconnect::solver::{SimScratch, TransientSim};
 use sint::interconnect::Defect;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,6 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:>8} {:>12} {:>10} {:>10}", "factor", "glitch (V)", "noise?", "skew?");
 
     let mut first_detect = None;
+    let mut scratch = SimScratch::new();
     for factor10 in 10..=80 {
         let factor = f64::from(factor10) / 10.0;
         if factor10 % 5 != 0 {
@@ -35,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Defect::CouplingBoost { wire: 2, factor }.apply(&mut bus)?;
         let sim = TransientSim::new(&bus, 2e-12)?;
         let pg = VectorPair::from_strs("00000", "11011").expect("static vectors");
-        let waves = sim.run_pair(&pg, 2e-9)?;
+        let waves = sim.run_pair_with_scratch(&pg, 2e-9, &mut scratch)?;
         let peak = glitch_amplitude(waves.wire(2), 0.0);
 
         // Full boundary-scan session.

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Performance trajectory: runs the solver / session / mafm benchmark
+# bins and records their JSON artifacts as BENCH_*.json at the repo
+# root, so successive commits accumulate comparable timing data.
+#
+# Knobs:
+#   SINT_THREADS   worker-pool width for campaign-style bins
+#                  (default: host parallelism)
+#
+# The bins also honour SINT_ARTIFACT_DIR directly; this script points
+# it at a scratch directory and renames the results into place.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+cargo build --release -p sint-bench
+
+for name in solver session mafm; do
+    SINT_ARTIFACT_DIR="$dir" cargo run --release -p sint-bench --bin "bench_$name"
+    mv "$dir/bench_$name.json" "BENCH_$name.json"
+    echo "wrote BENCH_$name.json"
+done

@@ -10,6 +10,7 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 cargo build --release --workspace
+cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
 
 echo "verify: OK"

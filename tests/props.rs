@@ -6,9 +6,11 @@
 
 use sint::core::mafm::{classify_pair, fault_pair, pgbsc_vector, IntegrityFault};
 use sint::core::nd::{NdThresholds, NoiseDetector};
-use sint::interconnect::drive::DriveLevel;
+use sint::interconnect::drive::{DriveLevel, VectorPair};
 use sint::interconnect::linalg::Matrix;
-use sint::interconnect::variation::SplitMix64;
+use sint::interconnect::params::BusParams;
+use sint::interconnect::solver::{SolverBackend, TransientSim, DEFAULT_SWITCH_AT};
+use sint::interconnect::variation::{apply_variation, SplitMix64, VariationSigma};
 use sint::jtag::state::TapState;
 use sint::jtag::svf::{mask_hex, scan_hex};
 use sint::logic::{BitVector, Logic};
@@ -290,6 +292,61 @@ fn splitmix_streams_are_seed_deterministic() {
     });
 }
 
+// ---------------- Banded vs dense solver engines ----------------
+
+#[test]
+fn banded_engine_matches_dense_oracle() {
+    // The banded segment-major fast path and the dense wire-major
+    // oracle solve the same MNA system in a different order: they must
+    // agree to well below any physically meaningful voltage on random
+    // buses — RC and RLC, with per-element process variation so no two
+    // cases share a matrix.
+    Runner::new("banded_matches_dense").cases(48).run(
+        |rng| {
+            let wires = gen::usize_in(rng, 2..17);
+            let segments = gen::usize_in(rng, 1..9);
+            let inductive = gen::bool_any(rng);
+            let seed = gen::u64_any(rng);
+            let levels: Vec<bool> = (0..2 * wires).map(|_| gen::bool_any(rng)).collect();
+            (wires, segments, inductive, seed, levels)
+        },
+        |(wires, segments, inductive, seed, levels)| {
+            let (w, s) = (*wires, *segments);
+            let mut params = BusParams::dsm_bus(w).segments(s);
+            if *inductive {
+                params = params.l_per_mm(0.4e-9).lm_per_mm(0.1e-9).rise_time(60e-12);
+            }
+            let mut bus = params.build().map_err(|e| e.to_string())?;
+            apply_variation(&mut bus, VariationSigma::typical(), *seed)
+                .map_err(|e| e.to_string())?;
+            let before = levels[..w].iter().map(|&b| DriveLevel::from(b)).collect();
+            let after = levels[w..].iter().map(|&b| DriveLevel::from(b)).collect();
+            let pair = VectorPair::new(before, after);
+            let dt = 4e-12;
+            let run = |backend: SolverBackend| -> Result<_, String> {
+                let sim = TransientSim::with_backend(&bus, dt, DEFAULT_SWITCH_AT, backend)
+                    .map_err(|e| e.to_string())?;
+                sim.run_pair(&pair, 0.8e-9).map_err(|e| e.to_string())
+            };
+            let banded = run(SolverBackend::Banded)?;
+            let dense = run(SolverBackend::Dense)?;
+            for wire in 0..w {
+                let pairs = banded
+                    .wire(wire)
+                    .iter()
+                    .zip(dense.wire(wire))
+                    .chain(banded.driver_end(wire).iter().zip(dense.driver_end(wire)));
+                for (a, b) in pairs {
+                    check((a - b).abs() <= 1e-9, || {
+                        format!("wire {wire} ({w}x{s}): banded {a} vs dense {b}")
+                    })?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
 // ---------------- Dense linear algebra ----------------
 
 #[test]
@@ -312,8 +369,15 @@ fn lu_solves_diagonally_dominant_systems() {
             }
             let x_true: Vec<f64> =
                 (0..n).map(|i| seed[(i * 7 + 3) % seed.len()] * 5.0).collect();
-            let b = m.mul_vec(&x_true);
-            let x = m.lu().unwrap().solve(&b);
+            let mut b = vec![0.0; n];
+            m.mul_vec_into(&x_true, &mut b);
+            check_eq(b.clone(), m.mul_vec(&x_true))?;
+            let lu = m.lu().unwrap();
+            let x = lu.solve(&b);
+            // The in-place solve must agree bit-for-bit (it IS the
+            // allocating path's kernel).
+            lu.solve_into(&mut b);
+            check_eq(b, x.clone())?;
             for (a, e) in x.iter().zip(&x_true) {
                 check((a - e).abs() < 1e-8, || format!("{a} vs {e}"))?;
             }
