@@ -88,7 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|_| Trial::defective(Defect::CouplingBoost { wire: 2, factor: 6.0 }))
         .chain((0..4).map(|_| Trial::control()))
         .collect();
-    let (stats, _) = campaign.run_parallel(&trials, threads)?;
+    let run = campaign.run_parallel(&trials, threads);
+    if let Some(failure) = run.failures.first() {
+        return Err(format!("campaign cross-check trial did not complete: {failure}").into());
+    }
+    let stats = run.stats;
     println!("\ncross-check via campaign API (gross 6x defect, {threads} threads): {stats}");
 
     println!("\nexpected shape: detection falls and false alarms rise as the band");

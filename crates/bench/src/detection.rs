@@ -220,7 +220,11 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepSummary, CoreError> {
         }
     }
 
-    let (_, outcomes) = campaign.run_parallel(&trials, config.threads)?;
+    let run = campaign.run_parallel(&trials, config.threads);
+    if let Some(failure) = run.failures.first() {
+        return Err(CoreError::config(format!("sweep trial did not complete: {failure}")));
+    }
+    let outcomes = run.outcomes;
 
     let (healthy_noise, healthy_skew) = match outcomes[0] {
         TrialOutcome::CleanPass => (false, false),

@@ -13,8 +13,22 @@ use sint_interconnect::defect::Defect;
 use sint_interconnect::params::BusParams;
 use sint_interconnect::variation::VariationSigma;
 use sint_runtime::json::{Json, ToJson};
-use sint_runtime::pool::Pool;
+use sint_runtime::pool::{panic_message, Pool};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Deliberate in-trial sabotage, for exercising the campaign engine's
+/// failure-isolation path under test. Production trials use
+/// [`TrialSabotage::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrialSabotage {
+    /// No sabotage: the trial runs normally.
+    #[default]
+    None,
+    /// The trial panics mid-execution, emulating an infrastructure bug
+    /// in the harness rather than a signal-integrity result.
+    Panic,
+}
 
 /// One campaign trial: a defect (or `None` for a healthy control) and
 /// the wire whose verdict decides the outcome.
@@ -22,19 +36,28 @@ use std::fmt;
 pub struct Trial {
     /// The injected defect; `None` runs a healthy control.
     pub defect: Option<Defect>,
+    /// Deliberate fault injection into the *harness* (not the bus).
+    pub sabotage: TrialSabotage,
 }
 
 impl Trial {
     /// A defect trial.
     #[must_use]
     pub fn defective(defect: Defect) -> Trial {
-        Trial { defect: Some(defect) }
+        Trial { defect: Some(defect), sabotage: TrialSabotage::None }
     }
 
     /// A healthy control trial.
     #[must_use]
     pub fn control() -> Trial {
-        Trial { defect: None }
+        Trial { defect: None, sabotage: TrialSabotage::None }
+    }
+
+    /// A trial that panics when run — the campaign engine must isolate
+    /// it and report a [`TrialFailure`] instead of crashing the batch.
+    #[must_use]
+    pub fn panicking() -> Trial {
+        Trial { defect: None, sabotage: TrialSabotage::Panic }
     }
 
     /// The wire whose verdict is judged (the defect's focus, or wire 0
@@ -61,6 +84,10 @@ pub enum TrialOutcome {
     CleanPass,
     /// Control trial: some wire flagged — a false positive.
     FalseAlarm,
+    /// The trial never produced a verdict: it panicked or returned an
+    /// error on every attempt. Details live in the run's
+    /// [`TrialFailure`] list.
+    Failed,
 }
 
 impl TrialOutcome {
@@ -82,6 +109,7 @@ impl ToJson for TrialOutcome {
             TrialOutcome::Missed => Json::obj([("kind", "missed".to_json())]),
             TrialOutcome::CleanPass => Json::obj([("kind", "clean_pass".to_json())]),
             TrialOutcome::FalseAlarm => Json::obj([("kind", "false_alarm".to_json())]),
+            TrialOutcome::Failed => Json::obj([("kind", "failed".to_json())]),
         }
     }
 }
@@ -97,6 +125,9 @@ pub struct CampaignStats {
     pub control_trials: usize,
     /// Control trials with any violation.
     pub false_alarms: usize,
+    /// Trials that produced no verdict (panic or error on every
+    /// attempt). Excluded from both rate denominators.
+    pub failed_trials: usize,
 }
 
 impl CampaignStats {
@@ -136,6 +167,7 @@ impl CampaignStats {
                     stats.control_trials += 1;
                     stats.false_alarms += 1;
                 }
+                TrialOutcome::Failed => stats.failed_trials += 1,
             }
         }
         stats
@@ -149,6 +181,7 @@ impl ToJson for CampaignStats {
             ("detected", self.detected.to_json()),
             ("control_trials", self.control_trials.to_json()),
             ("false_alarms", self.false_alarms.to_json()),
+            ("failed_trials", self.failed_trials.to_json()),
             ("detection_rate", self.detection_rate().to_json()),
             ("false_alarm_rate", self.false_alarm_rate().to_json()),
         ])
@@ -159,14 +192,92 @@ impl fmt::Display for CampaignStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}/{} detected ({:.0}%), {}/{} false alarms ({:.0}%)",
+            "{}/{} detected ({:.0}%), {}/{} false alarms ({:.0}%), {} failed",
             self.detected,
             self.defect_trials,
             100.0 * self.detection_rate(),
             self.false_alarms,
             self.control_trials,
-            100.0 * self.false_alarm_rate()
+            100.0 * self.false_alarm_rate(),
+            self.failed_trials
         )
+    }
+}
+
+/// Bounded retry for failed trials. Attempt 0 always uses the trial's
+/// base seed (its index), so retry-free runs are byte-identical to the
+/// historical engine; each further attempt perturbs the variation seed
+/// by `seed_stride` so a die-specific pathology is not replayed
+/// verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per trial (1 = no retry).
+    pub max_attempts: usize,
+    /// Seed perturbation added per retry attempt.
+    pub seed_stride: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, seed_stride: 0x9E37_79B9_7F4A_7C15 }
+    }
+}
+
+/// Why one trial produced no verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// Index of the trial in the batch.
+    pub index: usize,
+    /// Base variation seed of the trial (its index).
+    pub seed: u64,
+    /// Attempts made before giving up.
+    pub attempts: usize,
+    /// The last panic message or error rendering.
+    pub error: String,
+}
+
+impl fmt::Display for TrialFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trial {} (seed {}) failed after {} attempt(s): {}",
+            self.index, self.seed, self.attempts, self.error
+        )
+    }
+}
+
+impl ToJson for TrialFailure {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("index", self.index.to_json()),
+            ("seed", self.seed.to_json()),
+            ("attempts", self.attempts.to_json()),
+            ("error", self.error.to_json()),
+        ])
+    }
+}
+
+/// Everything a campaign batch produced: per-trial outcomes in input
+/// order (failed trials hold [`TrialOutcome::Failed`]), structured
+/// failure records, and the aggregate statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRun {
+    /// Aggregate statistics over `outcomes`.
+    pub stats: CampaignStats,
+    /// One outcome per input trial, in input order.
+    pub outcomes: Vec<TrialOutcome>,
+    /// Failure details for every [`TrialOutcome::Failed`], ordered by
+    /// trial index.
+    pub failures: Vec<TrialFailure>,
+}
+
+impl ToJson for CampaignRun {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("stats", self.stats.to_json()),
+            ("outcomes", Json::Array(self.outcomes.iter().map(ToJson::to_json).collect())),
+            ("failures", Json::Array(self.failures.iter().map(ToJson::to_json).collect())),
+        ])
     }
 }
 
@@ -177,6 +288,7 @@ pub struct Campaign {
     bus_params: BusParams,
     config: SessionConfig,
     variation: Option<(VariationSigma, u64)>,
+    retry: RetryPolicy,
 }
 
 impl Campaign {
@@ -188,6 +300,7 @@ impl Campaign {
             bus_params: BusParams::dsm_bus(wires),
             config: SessionConfig::method(ObservationMethod::Once),
             variation: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -213,6 +326,19 @@ impl Campaign {
         self
     }
 
+    /// Overrides the retry policy for failed trials (default: none).
+    #[must_use]
+    pub fn retry(mut self, policy: RetryPolicy) -> Campaign {
+        self.retry = policy;
+        self
+    }
+
+    /// The active retry policy.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
     /// Runs one trial.
     ///
     /// # Errors
@@ -227,7 +353,15 @@ impl Campaign {
     /// # Errors
     ///
     /// Propagates SoC build/session errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trial carries [`TrialSabotage::Panic`] — the
+    /// batch engines catch this and report a [`TrialFailure`].
     pub fn run_trial_seeded(&self, trial: Trial, seed_offset: u64) -> Result<TrialOutcome, CoreError> {
+        if trial.sabotage == TrialSabotage::Panic {
+            panic!("injected fault: sabotaged trial (TrialSabotage::Panic)");
+        }
         let mut builder = SocBuilder::new(self.wires).bus_params(self.bus_params.clone());
         if let Some((sigma, base)) = self.variation {
             builder = builder.with_variation(sigma, base.wrapping_add(seed_offset));
@@ -256,17 +390,39 @@ impl Campaign {
         })
     }
 
-    /// Runs a batch of trials serially and aggregates statistics.
+    /// Runs one trial with bounded, seed-perturbed retry per the
+    /// campaign's [`RetryPolicy`], isolating panics per attempt.
+    ///
+    /// Attempt 0 uses `base_seed` unchanged; attempt `a` uses
+    /// `base_seed + a * seed_stride` (wrapping), so a healthy trial is
+    /// byte-identical to the retry-free engine.
+    pub(crate) fn run_trial_attempts(
+        &self,
+        trial: Trial,
+        base_seed: u64,
+    ) -> Result<TrialOutcome, (usize, String)> {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut last_error = String::new();
+        for attempt in 0..max_attempts {
+            let seed =
+                base_seed.wrapping_add((attempt as u64).wrapping_mul(self.retry.seed_stride));
+            match catch_unwind(AssertUnwindSafe(|| self.run_trial_seeded(trial, seed))) {
+                Ok(Ok(outcome)) => return Ok(outcome),
+                Ok(Err(error)) => last_error = error.to_string(),
+                Err(payload) => last_error = panic_message(&*payload),
+            }
+        }
+        Err((max_attempts, last_error))
+    }
+
+    /// Runs a batch of trials serially.
     ///
     /// Equivalent to [`Campaign::run_parallel`] with one thread; the
     /// two produce bitwise-identical results because every trial's
     /// behaviour depends only on its index (variation seed offset),
     /// never on execution order.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first trial error.
-    pub fn run(&self, trials: &[Trial]) -> Result<(CampaignStats, Vec<TrialOutcome>), CoreError> {
+    #[must_use]
+    pub fn run(&self, trials: &[Trial]) -> CampaignRun {
         self.run_parallel(trials, 1)
     }
 
@@ -277,17 +433,39 @@ impl Campaign {
     /// summary is reproducible at any thread count — the determinism
     /// contract locked in by the workspace's campaign-determinism test.
     ///
-    /// # Errors
-    ///
-    /// Propagates the lowest-indexed trial error.
-    pub fn run_parallel(
-        &self,
-        trials: &[Trial],
-        threads: usize,
-    ) -> Result<(CampaignStats, Vec<TrialOutcome>), CoreError> {
-        let outcomes = Pool::new(threads)
-            .try_map(trials, |idx, trial| self.run_trial_seeded(*trial, idx as u64))?;
-        Ok((CampaignStats::tally(&outcomes), outcomes))
+    /// A trial that panics or errors is retried per the campaign's
+    /// [`RetryPolicy`] and, if every attempt fails, is reported as
+    /// [`TrialOutcome::Failed`] plus a [`TrialFailure`] record — one
+    /// broken trial never takes down its siblings or the batch.
+    #[must_use]
+    pub fn run_parallel(&self, trials: &[Trial], threads: usize) -> CampaignRun {
+        let results = Pool::new(threads)
+            .try_map(trials, |idx, trial| self.run_trial_attempts(*trial, idx as u64));
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut outcomes = Vec::with_capacity(results.len());
+        let mut failures = Vec::new();
+        for (index, result) in results.into_iter().enumerate() {
+            let seed = index as u64;
+            match result {
+                Ok(Ok(outcome)) => outcomes.push(outcome),
+                Ok(Err((attempts, error))) => {
+                    outcomes.push(TrialOutcome::Failed);
+                    failures.push(TrialFailure { index, seed, attempts, error });
+                }
+                // The per-attempt catch_unwind above is the first line
+                // of defence; the pool's own isolation is the backstop.
+                Err(panic) => {
+                    outcomes.push(TrialOutcome::Failed);
+                    failures.push(TrialFailure {
+                        index,
+                        seed,
+                        attempts: max_attempts,
+                        error: panic.message,
+                    });
+                }
+            }
+        }
+        CampaignRun { stats: CampaignStats::tally(&outcomes), outcomes, failures }
     }
 }
 
@@ -334,12 +512,15 @@ mod tests {
             Trial::defective(Defect::CouplingBoost { wire: 0, factor: 1.01 }),
             Trial::control(),
         ];
-        let (stats, outcomes) = campaign.run(&trials).unwrap();
-        assert_eq!(outcomes.len(), 4);
+        let run = campaign.run(&trials);
+        assert_eq!(run.outcomes.len(), 4);
+        assert!(run.failures.is_empty());
+        let stats = run.stats;
         assert_eq!(stats.defect_trials, 2);
         assert_eq!(stats.detected, 1);
         assert_eq!(stats.control_trials, 2);
         assert_eq!(stats.false_alarms, 0);
+        assert_eq!(stats.failed_trials, 0);
         assert!((stats.detection_rate() - 0.5).abs() < 1e-12);
         assert_eq!(stats.false_alarm_rate(), 0.0);
         let s = stats.to_string();
@@ -375,20 +556,80 @@ mod tests {
                 }
             })
             .collect();
-        let (serial_stats, serial_outcomes) = campaign.run(&trials).unwrap();
+        let serial = campaign.run(&trials);
         for threads in [2, 4] {
-            let (stats, outcomes) = campaign.run_parallel(&trials, threads).unwrap();
-            assert_eq!(stats, serial_stats, "{threads} threads");
-            assert_eq!(outcomes, serial_outcomes, "{threads} threads");
+            let parallel = campaign.run_parallel(&trials, threads);
+            assert_eq!(parallel, serial, "{threads} threads");
         }
     }
 
     #[test]
     fn stats_and_outcomes_serialise() {
-        let stats = CampaignStats { defect_trials: 2, detected: 1, control_trials: 1, false_alarms: 0 };
+        let stats = CampaignStats {
+            defect_trials: 2,
+            detected: 1,
+            control_trials: 1,
+            false_alarms: 0,
+            failed_trials: 0,
+        };
         let j = stats.to_json().render();
         assert!(j.contains("\"detection_rate\":0.5"), "{j}");
+        assert!(j.contains("\"failed_trials\":0"), "{j}");
         let o = TrialOutcome::Detected { noise: true, skew: false }.to_json().render();
         assert_eq!(o, r#"{"kind":"detected","noise":true,"skew":false}"#);
+        assert_eq!(TrialOutcome::Failed.to_json().render(), r#"{"kind":"failed"}"#);
+    }
+
+    #[test]
+    fn sabotaged_trials_fail_without_sinking_the_batch() {
+        let campaign = Campaign::new(3);
+        let trials = [
+            Trial::control(),
+            Trial::panicking(),
+            Trial::defective(Defect::CouplingBoost { wire: 1, factor: 6.0 }),
+        ];
+        for threads in [1usize, 4] {
+            let run = campaign.run_parallel(&trials, threads);
+            assert_eq!(run.outcomes[0], TrialOutcome::CleanPass, "{threads} threads");
+            assert_eq!(run.outcomes[1], TrialOutcome::Failed, "{threads} threads");
+            assert!(
+                matches!(run.outcomes[2], TrialOutcome::Detected { noise: true, .. }),
+                "{threads} threads: {:?}",
+                run.outcomes[2]
+            );
+            assert_eq!(run.stats.failed_trials, 1);
+            assert_eq!(run.failures.len(), 1);
+            let failure = &run.failures[0];
+            assert_eq!(failure.index, 1);
+            assert_eq!(failure.seed, 1);
+            assert_eq!(failure.attempts, 1);
+            assert!(failure.error.contains("injected fault"), "{}", failure.error);
+            assert!(!failure.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn retry_policy_bounds_attempts_and_perturbs_seeds() {
+        let policy = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+        let campaign = Campaign::new(3).retry(policy);
+        // A deterministic panic fails every attempt: the engine must
+        // stop at the bound and report the attempt count.
+        let run = campaign.run(&[Trial::panicking()]);
+        assert_eq!(run.failures[0].attempts, 3);
+        assert_eq!(run.stats.failed_trials, 1);
+        // A healthy trial under a retry policy is untouched: attempt 0
+        // uses the base seed, so the outcome matches the default engine.
+        let with_retry = campaign.run(&[Trial::control()]);
+        let without = Campaign::new(3).run(&[Trial::control()]);
+        assert_eq!(with_retry.outcomes, without.outcomes);
+    }
+
+    #[test]
+    fn failed_run_serialises_failures() {
+        let run = Campaign::new(3).run(&[Trial::panicking()]);
+        let j = run.to_json().render();
+        assert!(j.contains("\"failures\":["), "{j}");
+        assert!(j.contains("\"attempts\":1"), "{j}");
+        assert!(j.contains("injected fault"), "{j}");
     }
 }

@@ -1,0 +1,435 @@
+//! Campaign checkpointing: periodic snapshots and byte-identical
+//! resume.
+//!
+//! Long defect-injection campaigns are exactly the runs most likely to
+//! be interrupted — a killed CI job, a power cut on the test floor.
+//! [`Campaign::run_checkpointed`] snapshots finished trials every
+//! `snapshot_every` completions through a caller-supplied sink; feeding
+//! the last snapshot back in resumes the batch, re-running only the
+//! unfinished trials. Because every trial's behaviour is keyed to its
+//! index (its variation seed), the resumed summary is byte-identical to
+//! an uninterrupted run at any thread count.
+
+use crate::campaign::{
+    Campaign, CampaignRun, CampaignStats, Trial, TrialFailure, TrialOutcome,
+};
+use sint_runtime::json::{Json, JsonParseError, ToJson};
+use sint_runtime::pool::Pool;
+use std::fmt;
+
+/// Checkpoint format version emitted by [`CampaignCheckpoint::to_json`].
+const CHECKPOINT_VERSION: u64 = 1;
+
+/// Errors produced while decoding a checkpoint snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The snapshot is not valid JSON.
+    Json(JsonParseError),
+    /// The JSON is well-formed but not a checkpoint (wrong version,
+    /// missing field, wrong type).
+    Schema {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl CheckpointError {
+    fn schema(reason: impl Into<String>) -> CheckpointError {
+        CheckpointError::Schema { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Json(e) => write!(f, "checkpoint is not valid JSON: {e}"),
+            CheckpointError::Schema { reason } => {
+                write!(f, "checkpoint schema violation: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<JsonParseError> for CheckpointError {
+    fn from(e: JsonParseError) -> Self {
+        CheckpointError::Json(e)
+    }
+}
+
+/// One finished trial in a checkpoint, keyed by trial index *and* the
+/// seed that index implied — a snapshot taken against a different
+/// batch layout is rejected at lookup time, not replayed silently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointEntry {
+    /// Index of the trial in the batch.
+    pub index: usize,
+    /// Base variation seed the trial ran with (its index).
+    pub seed: u64,
+    /// The verdict ([`TrialOutcome::Failed`] when every attempt died).
+    pub outcome: TrialOutcome,
+    /// Failure details when `outcome` is [`TrialOutcome::Failed`].
+    pub failure: Option<TrialFailure>,
+}
+
+impl ToJson for CheckpointEntry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("index", self.index.to_json()),
+            ("seed", self.seed.to_json()),
+            ("outcome", self.outcome.to_json()),
+            ("failure", match &self.failure {
+                Some(f) => f.to_json(),
+                None => Json::Null,
+            }),
+        ])
+    }
+}
+
+/// Accumulated finished trials of one campaign batch, ordered by trial
+/// index.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignCheckpoint {
+    entries: Vec<CheckpointEntry>,
+}
+
+impl CampaignCheckpoint {
+    /// An empty checkpoint (a fresh, un-resumed run).
+    #[must_use]
+    pub fn new() -> CampaignCheckpoint {
+        CampaignCheckpoint::default()
+    }
+
+    /// Finished trials recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded entries, ordered by trial index.
+    #[must_use]
+    pub fn entries(&self) -> &[CheckpointEntry] {
+        &self.entries
+    }
+
+    /// The entry for trial `index`, provided it was recorded under the
+    /// same `seed` (otherwise the snapshot belongs to a different batch
+    /// layout and must not be reused).
+    #[must_use]
+    pub fn entry_for(&self, index: usize, seed: u64) -> Option<&CheckpointEntry> {
+        self.entries
+            .binary_search_by_key(&index, |e| e.index)
+            .ok()
+            .map(|pos| &self.entries[pos])
+            .filter(|e| e.seed == seed)
+    }
+
+    /// Records a finished trial, replacing any previous entry for the
+    /// same index.
+    pub fn record(&mut self, entry: CheckpointEntry) {
+        match self.entries.binary_search_by_key(&entry.index, |e| e.index) {
+            Ok(pos) => self.entries[pos] = entry,
+            Err(pos) => self.entries.insert(pos, entry),
+        }
+    }
+
+    /// Decodes a snapshot produced by [`CampaignCheckpoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Json`] for malformed JSON,
+    /// [`CheckpointError::Schema`] for a well-formed document that is
+    /// not a version-1 checkpoint.
+    pub fn parse(text: &str) -> Result<CampaignCheckpoint, CheckpointError> {
+        let root = Json::parse(text)?;
+        match root.get("version").and_then(Json::as_u64) {
+            Some(CHECKPOINT_VERSION) => {}
+            Some(v) => {
+                return Err(CheckpointError::schema(format!("unsupported version {v}")));
+            }
+            None => return Err(CheckpointError::schema("missing version")),
+        }
+        let entries = root
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| CheckpointError::schema("missing entries array"))?;
+        let mut checkpoint = CampaignCheckpoint::new();
+        for entry in entries {
+            checkpoint.record(parse_entry(entry)?);
+        }
+        Ok(checkpoint)
+    }
+}
+
+impl ToJson for CampaignCheckpoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("version", CHECKPOINT_VERSION.to_json()),
+            ("entries", Json::Array(self.entries.iter().map(ToJson::to_json).collect())),
+        ])
+    }
+}
+
+fn field_u64(entry: &Json, key: &str) -> Result<u64, CheckpointError> {
+    entry
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| CheckpointError::schema(format!("entry is missing numeric {key:?}")))
+}
+
+fn field_bool(obj: &Json, key: &str) -> Result<bool, CheckpointError> {
+    obj.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| CheckpointError::schema(format!("outcome is missing boolean {key:?}")))
+}
+
+fn parse_outcome(outcome: &Json) -> Result<TrialOutcome, CheckpointError> {
+    let kind = outcome
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| CheckpointError::schema("outcome is missing its kind"))?;
+    Ok(match kind {
+        "detected" => TrialOutcome::Detected {
+            noise: field_bool(outcome, "noise")?,
+            skew: field_bool(outcome, "skew")?,
+        },
+        "missed" => TrialOutcome::Missed,
+        "clean_pass" => TrialOutcome::CleanPass,
+        "false_alarm" => TrialOutcome::FalseAlarm,
+        "failed" => TrialOutcome::Failed,
+        other => {
+            return Err(CheckpointError::schema(format!("unknown outcome kind {other:?}")));
+        }
+    })
+}
+
+fn parse_entry(entry: &Json) -> Result<CheckpointEntry, CheckpointError> {
+    let index = field_u64(entry, "index")? as usize;
+    let seed = field_u64(entry, "seed")?;
+    let outcome = parse_outcome(
+        entry.get("outcome").ok_or_else(|| CheckpointError::schema("entry has no outcome"))?,
+    )?;
+    let failure = match entry.get("failure") {
+        None | Some(Json::Null) => None,
+        Some(f) => Some(TrialFailure {
+            index: field_u64(f, "index")? as usize,
+            seed: field_u64(f, "seed")?,
+            attempts: field_u64(f, "attempts")? as usize,
+            error: f
+                .get("error")
+                .and_then(Json::as_str)
+                .ok_or_else(|| CheckpointError::schema("failure is missing its error text"))?
+                .to_string(),
+        }),
+    };
+    Ok(CheckpointEntry { index, seed, outcome, failure })
+}
+
+impl Campaign {
+    /// Runs a batch with periodic checkpointing and resume.
+    ///
+    /// Trials already present in `checkpoint` (matched by index *and*
+    /// seed) are skipped; the rest run through the failure-isolating
+    /// engine in chunks of `snapshot_every`, and `sink` is invoked with
+    /// the updated checkpoint after each chunk — typically to persist
+    /// its [`ToJson`] rendering. The final [`CampaignRun`] is assembled
+    /// from the checkpoint in index order, so a resumed run is
+    /// byte-identical to an uninterrupted one at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint` claims an index at or beyond
+    /// `trials.len()` under a matching seed *and* internal bookkeeping
+    /// failed to record a trial — both indicate a checkpoint from a
+    /// different batch that slipped past the seed key.
+    pub fn run_checkpointed(
+        &self,
+        trials: &[Trial],
+        threads: usize,
+        checkpoint: &mut CampaignCheckpoint,
+        snapshot_every: usize,
+        mut sink: impl FnMut(&CampaignCheckpoint),
+    ) -> CampaignRun {
+        let pending: Vec<(usize, Trial)> = trials
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| checkpoint.entry_for(*i, *i as u64).is_none())
+            .map(|(i, t)| (i, *t))
+            .collect();
+        let pool = Pool::new(threads);
+        let max_attempts = self.retry_policy().max_attempts.max(1);
+        for batch in pending.chunks(snapshot_every.max(1)) {
+            let results = pool
+                .try_map(batch, |_, (index, trial)| self.run_trial_attempts(*trial, *index as u64));
+            for ((index, _), result) in batch.iter().zip(results) {
+                let seed = *index as u64;
+                let (outcome, failure) = match result {
+                    Ok(Ok(outcome)) => (outcome, None),
+                    Ok(Err((attempts, error))) => (
+                        TrialOutcome::Failed,
+                        Some(TrialFailure { index: *index, seed, attempts, error }),
+                    ),
+                    Err(panic) => (
+                        TrialOutcome::Failed,
+                        Some(TrialFailure {
+                            index: *index,
+                            seed,
+                            attempts: max_attempts,
+                            error: panic.message,
+                        }),
+                    ),
+                };
+                checkpoint.record(CheckpointEntry { index: *index, seed, outcome, failure });
+            }
+            sink(checkpoint);
+        }
+        let mut outcomes = Vec::with_capacity(trials.len());
+        let mut failures = Vec::new();
+        for index in 0..trials.len() {
+            let entry = checkpoint
+                .entry_for(index, index as u64)
+                .expect("every pending trial was just recorded");
+            outcomes.push(entry.outcome);
+            if let Some(failure) = &entry.failure {
+                failures.push(failure.clone());
+            }
+        }
+        CampaignRun { stats: CampaignStats::tally(&outcomes), outcomes, failures }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sint_interconnect::defect::Defect;
+
+    fn trials() -> Vec<Trial> {
+        vec![
+            Trial::control(),
+            Trial::defective(Defect::CouplingBoost { wire: 1, factor: 6.0 }),
+            Trial::panicking(),
+            Trial::defective(Defect::CouplingBoost { wire: 1, factor: 1.01 }),
+            Trial::control(),
+        ]
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut checkpoint = CampaignCheckpoint::new();
+        checkpoint.record(CheckpointEntry {
+            index: 0,
+            seed: 0,
+            outcome: TrialOutcome::Detected { noise: true, skew: false },
+            failure: None,
+        });
+        checkpoint.record(CheckpointEntry {
+            index: 2,
+            seed: 2,
+            outcome: TrialOutcome::Failed,
+            failure: Some(TrialFailure {
+                index: 2,
+                seed: 2,
+                attempts: 2,
+                error: "injected fault: sabotaged trial".into(),
+            }),
+        });
+        let rendered = checkpoint.to_json().render();
+        let parsed = CampaignCheckpoint::parse(&rendered).unwrap();
+        assert_eq!(parsed, checkpoint);
+        assert_eq!(parsed.to_json().render(), rendered, "re-rendering is stable");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_snapshots() {
+        assert!(matches!(
+            CampaignCheckpoint::parse("not json"),
+            Err(CheckpointError::Json(_))
+        ));
+        for bad in [
+            r#"{"entries":[]}"#,
+            r#"{"version":9,"entries":[]}"#,
+            r#"{"version":1}"#,
+            r#"{"version":1,"entries":[{"index":0}]}"#,
+            r#"{"version":1,"entries":[{"index":0,"seed":0,"outcome":{"kind":"nope"},"failure":null}]}"#,
+        ] {
+            assert!(
+                matches!(CampaignCheckpoint::parse(bad), Err(CheckpointError::Schema { .. })),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_mismatch_invalidates_entries() {
+        let mut checkpoint = CampaignCheckpoint::new();
+        checkpoint.record(CheckpointEntry {
+            index: 3,
+            seed: 3,
+            outcome: TrialOutcome::CleanPass,
+            failure: None,
+        });
+        assert!(checkpoint.entry_for(3, 3).is_some());
+        assert!(checkpoint.entry_for(3, 7).is_none(), "wrong seed must not match");
+        assert!(checkpoint.entry_for(1, 1).is_none());
+    }
+
+    #[test]
+    fn resumed_run_is_byte_identical_to_uninterrupted() {
+        let campaign = Campaign::new(3);
+        let trials = trials();
+
+        // Uninterrupted reference run.
+        let mut reference_ckpt = CampaignCheckpoint::new();
+        let reference =
+            campaign.run_checkpointed(&trials, 1, &mut reference_ckpt, 2, |_| {});
+
+        // Interrupted run: capture the snapshot after the first chunk,
+        // then abandon the rest (simulating a kill).
+        let mut first_snapshot = None;
+        let mut halted = CampaignCheckpoint::new();
+        let _ = campaign.run_checkpointed(&trials, 1, &mut halted, 2, |cp| {
+            if first_snapshot.is_none() {
+                first_snapshot = Some(cp.to_json().render());
+            }
+        });
+        let snapshot = first_snapshot.expect("at least one snapshot was taken");
+
+        // Resume from the persisted snapshot on a different thread
+        // count; only unfinished trials re-run.
+        let mut resumed_ckpt = CampaignCheckpoint::parse(&snapshot).unwrap();
+        assert_eq!(resumed_ckpt.len(), 2, "snapshot holds exactly the first chunk");
+        let mut snapshots_after_resume = 0usize;
+        let resumed = campaign.run_checkpointed(&trials, 4, &mut resumed_ckpt, 2, |_| {
+            snapshots_after_resume += 1;
+        });
+        assert_eq!(snapshots_after_resume, 2, "3 pending trials in chunks of 2");
+        assert_eq!(resumed.to_json().render(), reference.to_json().render());
+        assert_eq!(resumed.stats.failed_trials, 1);
+
+        // And the plain engine agrees with the checkpointed one.
+        let plain = campaign.run_parallel(&trials, 2);
+        assert_eq!(plain.to_json().render(), reference.to_json().render());
+    }
+
+    #[test]
+    fn fully_checkpointed_batch_runs_nothing() {
+        let campaign = Campaign::new(3);
+        let trials = vec![Trial::control(), Trial::control()];
+        let mut checkpoint = CampaignCheckpoint::new();
+        let first = campaign.run_checkpointed(&trials, 1, &mut checkpoint, 10, |_| {});
+        let mut sink_calls = 0usize;
+        let second = campaign.run_checkpointed(&trials, 1, &mut checkpoint, 10, |_| {
+            sink_calls += 1;
+        });
+        assert_eq!(sink_calls, 0, "nothing pending, nothing snapshotted");
+        assert_eq!(first, second);
+    }
+}

@@ -1,5 +1,6 @@
 //! Unified error type for the signal-integrity extension layer.
 
+use crate::infra::InfrastructureDiagnosis;
 use sint_interconnect::InterconnectError;
 use sint_jtag::JtagError;
 use sint_logic::LogicError;
@@ -27,10 +28,18 @@ pub enum CoreError {
     Interconnect(InterconnectError),
     /// Error bubbled up from the gate-level substrate.
     Logic(LogicError),
+    /// The scan infrastructure itself is faulty: the pre-session chain
+    /// self-check found anomalies, so no integrity verdict can be
+    /// trusted. Carries the structured diagnosis naming the faulty
+    /// link, cell or TAP state.
+    Infrastructure(InfrastructureDiagnosis),
 }
 
 impl CoreError {
-    pub(crate) fn config(reason: impl Into<String>) -> Self {
+    /// A [`CoreError::BadConfig`] with the given reason — the enum is
+    /// `#[non_exhaustive]`, so downstream crates construct
+    /// configuration errors through this instead of a struct literal.
+    pub fn config(reason: impl Into<String>) -> Self {
         CoreError::BadConfig { reason: reason.into() }
     }
 }
@@ -45,6 +54,7 @@ impl fmt::Display for CoreError {
             CoreError::Jtag(e) => write!(f, "jtag: {e}"),
             CoreError::Interconnect(e) => write!(f, "interconnect: {e}"),
             CoreError::Logic(e) => write!(f, "logic: {e}"),
+            CoreError::Infrastructure(d) => write!(f, "infrastructure: {d}"),
         }
     }
 }
@@ -102,6 +112,22 @@ mod tests {
         let e = CoreError::VictimOutOfRange { victim: 9, width: 5 };
         assert_eq!(e.to_string(), "victim wire 9 out of range for 5-wire bus");
         assert!(CoreError::config("zero wires").to_string().contains("zero wires"));
+    }
+
+    #[test]
+    fn infrastructure_variant_displays_diagnosis() {
+        use sint_jtag::integrity::{ChainAnomaly, ChainCheckReport};
+        let e = CoreError::Infrastructure(InfrastructureDiagnosis {
+            chain_cells: 4,
+            report: ChainCheckReport {
+                devices: 1,
+                anomalies: vec![ChainAnomaly::TdoSilent],
+                tck_cost: 10,
+            },
+        });
+        let text = e.to_string();
+        assert!(text.starts_with("infrastructure: "), "{text}");
+        assert!(text.contains("TDO"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Structured diagnosis of scan-infrastructure faults.
+//!
+//! An integrity session's verdicts are only as trustworthy as the scan
+//! chain that carries them: a stuck serial line or a wedged TAP
+//! corrupts every bit scanned out, and the resulting garbage can look
+//! exactly like a signal-integrity violation. [`Soc::check_infrastructure`]
+//! (see [`crate::soc`]) runs the ATE-style chain self-check of
+//! [`sint_jtag::integrity`] before any session and reports what it
+//! found here — so a broken *test apparatus* is named as such instead
+//! of being misblamed on the interconnect under test.
+//!
+//! [`Soc::check_infrastructure`]: crate::soc::Soc::check_infrastructure
+
+use sint_jtag::integrity::ChainCheckReport;
+use sint_runtime::json::{Json, ToJson};
+use std::fmt;
+
+/// What the pre-session chain self-check found on an unhealthy chain.
+///
+/// Carried inside [`crate::CoreError::Infrastructure`]: the session is
+/// refused, and every anomaly names the faulty link, cell or TAP state
+/// so the repair action targets the scan infrastructure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfrastructureDiagnosis {
+    /// Boundary cells on the chain the SoC expected to scan through.
+    pub chain_cells: usize,
+    /// The full self-check report, anomalies included.
+    pub report: ChainCheckReport,
+}
+
+impl fmt::Display for InfrastructureDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scan infrastructure unusable ({} chain cells): {}", self.chain_cells, self.report)
+    }
+}
+
+impl ToJson for InfrastructureDiagnosis {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("chain_cells", self.chain_cells.to_json()),
+            ("report", self.report.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sint_jtag::integrity::ChainAnomaly;
+
+    fn diagnosis() -> InfrastructureDiagnosis {
+        InfrastructureDiagnosis {
+            chain_cells: 8,
+            report: ChainCheckReport {
+                devices: 1,
+                anomalies: vec![ChainAnomaly::SerialStuck { level: false, bit: 3 }],
+                tck_cost: 42,
+            },
+        }
+    }
+
+    #[test]
+    fn display_names_the_fault() {
+        let text = diagnosis().to_string();
+        assert!(text.contains("scan infrastructure unusable"), "{text}");
+        assert!(text.contains("stuck"), "{text}");
+    }
+
+    #[test]
+    fn serialises_with_report() {
+        let j = diagnosis().to_json().render();
+        assert!(j.contains("\"chain_cells\":8"), "{j}");
+        assert!(j.contains("\"healthy\":false"), "{j}");
+        assert!(j.contains("serial_stuck"), "{j}");
+    }
+}

@@ -22,6 +22,11 @@
 //! * [`cost`] — the Table 7 NAND-unit area comparison.
 //! * [`diagnosis`] — fault-class and victim localisation from method
 //!   2/3 read-outs.
+//! * [`infra`] — structured diagnosis of scan-infrastructure faults
+//!   found by the pre-session chain self-check.
+//! * [`campaign`] / [`checkpoint`] — panic-isolated defect-injection
+//!   campaigns with bounded retry, periodic snapshots and
+//!   byte-identical resume.
 //!
 //! # Example
 //!
@@ -39,10 +44,12 @@
 //! ```
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod cost;
 pub mod describe;
 pub mod diagnosis;
 pub mod error;
+pub mod infra;
 pub mod instructions;
 pub mod mafm;
 pub mod nd;
@@ -53,7 +60,10 @@ pub mod session;
 pub mod soc;
 pub mod timing;
 
+pub use campaign::{Campaign, CampaignRun, CampaignStats, RetryPolicy, Trial, TrialOutcome};
+pub use checkpoint::CampaignCheckpoint;
 pub use error::CoreError;
+pub use infra::InfrastructureDiagnosis;
 pub use mafm::IntegrityFault;
 pub use obsc::Obsc;
 pub use pgbsc::Pgbsc;

@@ -11,6 +11,7 @@
 //! accounted for.
 
 use crate::error::CoreError;
+use crate::infra::InfrastructureDiagnosis;
 use crate::instructions::extended_instruction_set;
 use crate::mafm::{victim_select, IntegrityFault};
 use crate::nd::NdThresholds;
@@ -24,7 +25,7 @@ use sint_interconnect::defect::Defect;
 use sint_interconnect::drive::{DriveLevel, VectorPair};
 use sint_interconnect::measure::{propagation_delay, settled_value};
 use sint_interconnect::params::{Bus, BusParams};
-use sint_interconnect::solver::{SimScratch, TransientSim};
+use sint_interconnect::solver::{GuardrailEvent, GuardrailPolicy, SimScratch, TransientSim};
 use std::collections::HashMap;
 use std::sync::Arc;
 use sint_interconnect::variation::{apply_variation, VariationSigma};
@@ -32,6 +33,8 @@ use sint_jtag::bcell::{BoundaryCell, StandardBsc};
 use sint_jtag::chain::Chain;
 use sint_jtag::device::Device;
 use sint_jtag::driver::JtagDriver;
+use sint_jtag::fault::ScanFault;
+use sint_jtag::integrity::{check_chain, ChainCheckReport};
 use sint_logic::{BitVector, Logic};
 
 /// Builder for a [`Soc`].
@@ -44,6 +47,7 @@ pub struct SocBuilder {
     nd: Option<NdThresholds>,
     sd_window: Option<f64>,
     variation: Option<(VariationSigma, u64)>,
+    scan_fault: Option<ScanFault>,
 }
 
 impl SocBuilder {
@@ -59,6 +63,7 @@ impl SocBuilder {
             nd: None,
             sd_window: None,
             variation: None,
+            scan_fault: None,
         }
     }
 
@@ -130,17 +135,51 @@ impl SocBuilder {
         self
     }
 
+    /// Injects a fault into the scan infrastructure itself (not the
+    /// bus): a stuck serial link, a flipping bit, a wedged TAP, dropped
+    /// TCK edges. The pre-session self-check
+    /// ([`Soc::check_infrastructure`]) must catch it and refuse the
+    /// session rather than let corrupted scans masquerade as
+    /// signal-integrity verdicts.
+    #[must_use]
+    pub fn scan_fault(mut self, fault: ScanFault) -> Self {
+        self.scan_fault = Some(fault);
+        self
+    }
+
     /// Builds the SoC: injects defects, calibrates detectors against the
     /// *healthy* bus (the designer's delay budget, §2.2), constructs the
     /// boundary chain and resets the TAP.
     ///
     /// # Errors
     ///
-    /// [`CoreError::BadConfig`] for fewer than two wires or mismatched
-    /// bus width; substrate errors are propagated.
+    /// [`CoreError::BadConfig`] for fewer than two wires, mismatched
+    /// bus width, inverted or non-finite ND thresholds, or a
+    /// non-positive SD window; substrate errors are propagated.
     pub fn build(self) -> Result<Soc, CoreError> {
         if self.wires < 2 {
             return Err(CoreError::config("a coupled-bus SoC needs at least two wires"));
+        }
+        if let Some(nd) = &self.nd {
+            if !nd.v_low_max.is_finite()
+                || !nd.v_high_min.is_finite()
+                || !nd.overshoot_margin.is_finite()
+            {
+                return Err(CoreError::config("ND thresholds must be finite"));
+            }
+            if nd.v_low_max < 0.0 || nd.overshoot_margin < 0.0 {
+                return Err(CoreError::config("ND thresholds must be non-negative"));
+            }
+            if nd.v_low_max >= nd.v_high_min {
+                return Err(CoreError::config(
+                    "ND thresholds inverted: v_low_max must sit below v_high_min",
+                ));
+            }
+        }
+        if let Some(w) = self.sd_window {
+            if w <= 0.0 || !w.is_finite() {
+                return Err(CoreError::config("SD window must be positive and finite"));
+            }
         }
         let healthy = self.bus_params.clone().build()?;
         if healthy.wires() != self.wires {
@@ -196,10 +235,19 @@ impl SocBuilder {
         for _ in 0..self.extra_cells {
             device.push_cell(Box::new(StandardBsc::new()));
         }
-        let sim = Arc::new(TransientSim::new(&bus, dt)?);
-        let sim_key = (bus.fingerprint(), dt.to_bits());
+        // A defect-injected bus can push the nominal factorisation into
+        // singularity; the guarded constructor recovers where the policy
+        // allows and reports every action it took.
+        let (sim, guardrail_events) =
+            TransientSim::new_guarded(&bus, dt, GuardrailPolicy::default())?;
+        let sim = Arc::new(sim);
+        let sim_key = (bus.fingerprint(), sim.dt().to_bits());
         let sim_cache = HashMap::from([(sim_key, Arc::clone(&sim))]);
-        let mut driver = JtagDriver::new(Chain::single(device));
+        let mut chain = Chain::single(device);
+        if let Some(fault) = self.scan_fault {
+            chain.inject_fault(fault);
+        }
+        let mut driver = JtagDriver::new(chain);
         driver.reset();
 
         Ok(Soc {
@@ -208,6 +256,7 @@ impl SocBuilder {
             sim,
             sim_key,
             sim_cache,
+            guardrail_events,
             scratch: SimScratch::new(),
             wires: self.wires,
             extra_cells: self.extra_cells,
@@ -233,6 +282,9 @@ pub struct Soc {
     /// bits)` — a campaign that alternates session configs (or re-tests
     /// at the same dt) never refactors the same system twice.
     sim_cache: HashMap<(u64, u64), Arc<TransientSim>>,
+    /// Recovery actions the guarded solver constructor took at build
+    /// time (empty when the nominal factorisation succeeded).
+    guardrail_events: Vec<GuardrailEvent>,
     /// Reused solver scratch: keeps the per-pattern transient runs
     /// allocation-free in the timestep loop.
     scratch: SimScratch,
@@ -282,9 +334,49 @@ impl Soc {
         self.transients_run
     }
 
+    /// Recovery actions the guarded solver constructor took at build
+    /// time. Empty for a healthy configuration; a non-empty list means
+    /// the SoC runs on a degraded solver setup (halved dt or the dense
+    /// oracle) and results should be read with that in mind.
+    #[must_use]
+    pub fn guardrail_events(&self) -> &[GuardrailEvent] {
+        &self.guardrail_events
+    }
+
     /// The JTAG driver, for custom test plans.
     pub fn driver_mut(&mut self) -> &mut JtagDriver {
         &mut self.driver
+    }
+
+    /// Runs the ATE-style scan-chain self-check (reset probe, BYPASS
+    /// flush, IR capture read-back) and refuses further testing when
+    /// the chain is unhealthy.
+    ///
+    /// [`Soc::run_integrity_test`] calls this before every session, so
+    /// a faulty scan infrastructure is reported as
+    /// [`CoreError::Infrastructure`] — naming the stuck link, corrupted
+    /// cell or wedged TAP state — instead of corrupting detector
+    /// verdicts. SVF recording is suspended for the check's scans: the
+    /// recorded program stays exactly the session.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Infrastructure`] with the structured diagnosis when
+    /// the self-check finds anomalies; [`CoreError::Jtag`] if the chain
+    /// cannot be probed at all.
+    pub fn check_infrastructure(&mut self) -> Result<ChainCheckReport, CoreError> {
+        let recording = self.driver.suspend_recording();
+        let result = check_chain(&mut self.driver);
+        self.driver.restore_recording(recording);
+        let report = result?;
+        if report.healthy() {
+            Ok(report)
+        } else {
+            Err(CoreError::Infrastructure(InfrastructureDiagnosis {
+                chain_cells: self.chain_len(),
+                report,
+            }))
+        }
     }
 
     fn obsc_mut(&mut self, wire: usize) -> Result<&mut Obsc, CoreError> {
@@ -480,7 +572,9 @@ impl Soc {
     /// # Errors
     ///
     /// [`CoreError::BadConfig`] for a non-positive settle time or
-    /// timestep; substrate errors are propagated.
+    /// timestep; [`CoreError::Infrastructure`] when the pre-session
+    /// chain self-check finds the scan infrastructure faulty; substrate
+    /// errors are propagated.
     pub fn run_integrity_test(
         &mut self,
         config: &SessionConfig,
@@ -488,6 +582,7 @@ impl Soc {
         if config.settle_time <= 0.0 || config.dt <= 0.0 {
             return Err(CoreError::config("settle time and dt must be positive"));
         }
+        self.check_infrastructure()?;
         self.settle = config.settle_time;
         let key = (self.bus.fingerprint(), config.dt.to_bits());
         if self.sim_key != key {
@@ -594,6 +689,93 @@ mod tests {
         // Width mismatch between builder and explicit bus params.
         let err = SocBuilder::new(4).bus_params(BusParams::dsm_bus(3)).build();
         assert!(err.is_err());
+    }
+
+    fn bad_config_reason(result: Result<Soc, CoreError>) -> String {
+        match result {
+            Err(CoreError::BadConfig { reason }) => reason,
+            other => panic!("expected BadConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_widths() {
+        let reason = bad_config_reason(SocBuilder::new(0).build());
+        assert!(reason.contains("two wires"), "{reason}");
+        let reason = bad_config_reason(SocBuilder::new(1).build());
+        assert!(reason.contains("two wires"), "{reason}");
+    }
+
+    #[test]
+    fn builder_rejects_inverted_or_nonfinite_nd_thresholds() {
+        let inverted =
+            NdThresholds { v_low_max: 1.5, v_high_min: 0.3, overshoot_margin: 0.2 };
+        let reason = bad_config_reason(SocBuilder::new(3).nd_thresholds(inverted).build());
+        assert!(reason.contains("inverted"), "{reason}");
+
+        let nan = NdThresholds { v_low_max: f64::NAN, v_high_min: 1.4, overshoot_margin: 0.2 };
+        let reason = bad_config_reason(SocBuilder::new(3).nd_thresholds(nan).build());
+        assert!(reason.contains("finite"), "{reason}");
+
+        let negative =
+            NdThresholds { v_low_max: -0.1, v_high_min: 1.4, overshoot_margin: 0.2 };
+        let reason = bad_config_reason(SocBuilder::new(3).nd_thresholds(negative).build());
+        assert!(reason.contains("non-negative"), "{reason}");
+    }
+
+    #[test]
+    fn builder_rejects_bad_sd_windows() {
+        for bad in [0.0, -1e-9, f64::NAN, f64::INFINITY] {
+            let reason = bad_config_reason(SocBuilder::new(3).sd_window(bad).build());
+            assert!(reason.contains("SD window"), "{bad}: {reason}");
+        }
+    }
+
+    #[test]
+    fn healthy_soc_passes_infrastructure_check() {
+        let mut soc = healthy(3);
+        let report = soc.check_infrastructure().unwrap();
+        assert!(report.healthy());
+        assert_eq!(report.devices, 1);
+        assert!(soc.guardrail_events().is_empty(), "nominal build needs no recovery");
+    }
+
+    #[test]
+    fn scan_fault_refuses_the_session_with_a_diagnosis() {
+        use sint_jtag::fault::ScanFault;
+        let mut soc =
+            SocBuilder::new(3).scan_fault(ScanFault::StuckAtZero { link: 0 }).build().unwrap();
+        let err = soc
+            .run_integrity_test(&SessionConfig::method(ObservationMethod::Once))
+            .unwrap_err();
+        match err {
+            CoreError::Infrastructure(diag) => {
+                assert_eq!(diag.chain_cells, 6);
+                assert!(!diag.report.healthy());
+                assert!(!diag.report.anomalies.is_empty());
+            }
+            other => panic!("expected Infrastructure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infrastructure_check_does_not_pollute_svf_recordings() {
+        // The self-check runs inside the recorded session; its scans
+        // must be suspended so the SVF program is exactly the session:
+        // its statement count stays the session's own op count, and two
+        // identically built SoCs record identical programs.
+        let opts = sint_jtag::svf::SvfOptions::default();
+        let cfg = SessionConfig::method(ObservationMethod::Once);
+        let (report, svf) = healthy(3).run_integrity_test_with_svf(&cfg, &opts).unwrap();
+        let scans = svf.lines().filter(|l| l.starts_with("SDR") || l.starts_with("SIR")).count();
+        // Per half: 1 preload SIR+SDR, 1 G-SITEST SIR, 1 select SDR and
+        // (n-1) rotation SDRs; plus the final O-SITEST SIR + 2 SDRs.
+        // The self-check's own BYPASS scans must not appear on top.
+        let n = 3;
+        assert_eq!(scans, 2 * (2 + 1 + n) + 3, "self-check scans leaked into the SVF");
+        assert!(report.tck_used > 0);
+        let (_, svf_again) = healthy(3).run_integrity_test_with_svf(&cfg, &opts).unwrap();
+        assert_eq!(svf, svf_again);
     }
 
     #[test]

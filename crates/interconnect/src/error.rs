@@ -27,6 +27,19 @@ pub enum InterconnectError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The transient integrator produced a non-finite sample: the
+    /// discretised system blew up (NaN/Inf element values — e.g. an
+    /// extreme injected defect — or a pathological timestep). Detected
+    /// per step, so the offending trial fails fast instead of
+    /// propagating NaNs into detector verdicts.
+    Diverged {
+        /// Timestep index at which the first non-finite value appeared
+        /// (0 = the DC operating point).
+        step: usize,
+        /// Index of the first non-finite unknown (node voltage or, in
+        /// the augmented formulation, branch current).
+        unknown: usize,
+    },
 }
 
 impl InterconnectError {
@@ -53,6 +66,9 @@ impl fmt::Display for InterconnectError {
             }
             InterconnectError::BadTimeAxis { reason } => {
                 write!(f, "invalid time axis: {reason}")
+            }
+            InterconnectError::Diverged { step, unknown } => {
+                write!(f, "transient diverged at step {step} (unknown {unknown} non-finite)")
             }
         }
     }

@@ -62,4 +62,4 @@ pub use defect::Defect;
 pub use drive::{DriveLevel, VectorPair};
 pub use error::InterconnectError;
 pub use params::{Bus, BusParams};
-pub use solver::{BusWaveforms, TransientSim};
+pub use solver::{BusWaveforms, GuardrailEvent, GuardrailPolicy, TransientSim};

@@ -188,6 +188,57 @@ pub struct TransientSim {
     engine: Engine,
 }
 
+/// Recovery policy for [`TransientSim::new_guarded`]: how hard to try
+/// before giving up on a bus whose nominal factorisation is singular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardrailPolicy {
+    /// Maximum number of times the timestep may be halved when the
+    /// transient system `G + C/h` fails to factor.
+    pub max_dt_halvings: u32,
+    /// Whether to fall back to the dense oracle (at the original
+    /// timestep) once dt-halving is exhausted. Only effective when the
+    /// `dense-oracle` feature is compiled in; otherwise this rung of
+    /// the ladder is skipped.
+    pub dense_fallback: bool,
+}
+
+impl Default for GuardrailPolicy {
+    fn default() -> GuardrailPolicy {
+        GuardrailPolicy { max_dt_halvings: 2, dense_fallback: true }
+    }
+}
+
+/// One recovery action taken by [`TransientSim::new_guarded`]. The
+/// returned event list is the audit trail: an empty list means the
+/// nominal configuration factored first try.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GuardrailEvent {
+    /// The timestep was halved after a singular factorisation.
+    DtHalved {
+        /// Timestep that failed to factor (s).
+        from: f64,
+        /// Timestep tried next (s).
+        to: f64,
+    },
+    /// The dense oracle was engaged at the original timestep after
+    /// dt-halving was exhausted.
+    DenseFallback,
+}
+
+impl std::fmt::Display for GuardrailEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuardrailEvent::DtHalved { from, to } => {
+                write!(f, "timestep halved {from:.3e} s -> {to:.3e} s after singular factorisation")
+            }
+            GuardrailEvent::DenseFallback => {
+                write!(f, "dense-oracle fallback engaged at the original timestep")
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Banded assembly (segment-major ordering)
 // ---------------------------------------------------------------------
@@ -514,6 +565,55 @@ impl TransientSim {
         Ok(TransientSim { bus: bus.clone(), dt, switch_at, engine })
     }
 
+    /// As [`TransientSim::new`], but with a bounded recovery ladder for
+    /// singular factorisations: the timestep is halved up to
+    /// `policy.max_dt_halvings` times, and if the banded path still
+    /// fails the dense oracle is tried once at the original timestep
+    /// (when compiled in and `policy.dense_fallback` is set). Every
+    /// action taken is reported as a [`GuardrailEvent`] so callers can
+    /// surface the degraded configuration instead of silently running
+    /// with a different dt.
+    ///
+    /// # Errors
+    ///
+    /// Non-singular construction errors (bad time axis, bad geometry)
+    /// propagate unchanged — the ladder only answers
+    /// [`InterconnectError::SingularMatrix`], which is returned once
+    /// every rung the policy allows has been tried.
+    pub fn new_guarded(
+        bus: &Bus,
+        dt: f64,
+        policy: GuardrailPolicy,
+    ) -> Result<(TransientSim, Vec<GuardrailEvent>), InterconnectError> {
+        let mut events = Vec::new();
+        let mut current_dt = dt;
+        match Self::new(bus, dt) {
+            Ok(sim) => return Ok((sim, events)),
+            Err(InterconnectError::SingularMatrix) => {}
+            Err(other) => return Err(other),
+        }
+        for _ in 0..policy.max_dt_halvings {
+            let next_dt = current_dt / 2.0;
+            events.push(GuardrailEvent::DtHalved { from: current_dt, to: next_dt });
+            current_dt = next_dt;
+            match Self::new(bus, current_dt) {
+                Ok(sim) => return Ok((sim, events)),
+                Err(InterconnectError::SingularMatrix) => {}
+                Err(other) => return Err(other),
+            }
+        }
+        #[cfg(feature = "dense-oracle")]
+        if policy.dense_fallback {
+            events.push(GuardrailEvent::DenseFallback);
+            match Self::with_backend(bus, dt, DEFAULT_SWITCH_AT, SolverBackend::Dense) {
+                Ok(sim) => return Ok((sim, events)),
+                Err(InterconnectError::SingularMatrix) => {}
+                Err(other) => return Err(other),
+            }
+        }
+        Err(InterconnectError::SingularMatrix)
+    }
+
     /// The timestep (s).
     #[must_use]
     pub fn dt(&self) -> f64 {
@@ -594,15 +694,15 @@ impl TransientSim {
         let mut recv = vec![Vec::with_capacity(steps + 1); w];
         let mut drv = vec![Vec::with_capacity(steps + 1); w];
         match &self.engine {
-            Engine::BandedRc(e) => self.run_banded_rc(e, stimulus, steps, scratch, &mut recv, &mut drv),
+            Engine::BandedRc(e) => self.run_banded_rc(e, stimulus, steps, scratch, &mut recv, &mut drv)?,
             Engine::BandedRlc(e) => {
-                self.run_banded_rlc(e, stimulus, steps, scratch, &mut recv, &mut drv);
+                self.run_banded_rlc(e, stimulus, steps, scratch, &mut recv, &mut drv)?;
             }
             #[cfg(feature = "dense-oracle")]
-            Engine::DenseRc(e) => self.run_dense_rc(e, stimulus, steps, scratch, &mut recv, &mut drv),
+            Engine::DenseRc(e) => self.run_dense_rc(e, stimulus, steps, scratch, &mut recv, &mut drv)?,
             #[cfg(feature = "dense-oracle")]
             Engine::DenseRlc(e) => {
-                self.run_dense_rlc(e, stimulus, steps, scratch, &mut recv, &mut drv);
+                self.run_dense_rlc(e, stimulus, steps, scratch, &mut recv, &mut drv)?;
             }
         }
         Ok(BusWaveforms {
@@ -622,12 +722,13 @@ impl TransientSim {
         scratch: &mut SimScratch,
         recv: &mut [Vec<f64>],
         drv: &mut [Vec<f64>],
-    ) {
+    ) -> Result<(), InterconnectError> {
         let SimScratch { state, rhs } = scratch;
         // DC operating point of the initial source values.
         state.fill(0.0);
         stamp_rc_sources(e, stimulus, 0.0, state);
         e.g_lu.solve_into(state);
+        check_finite(state, 0)?;
         collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
         for k in 1..=steps {
             let t = k as f64 * self.dt;
@@ -635,8 +736,10 @@ impl TransientSim {
             stamp_rc_sources(e, stimulus, t, rhs);
             e.a_lu.solve_into(rhs);
             std::mem::swap(state, rhs);
+            check_finite(state, k)?;
             collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
         }
+        Ok(())
     }
 
     fn run_banded_rlc(
@@ -647,12 +750,13 @@ impl TransientSim {
         scratch: &mut SimScratch,
         recv: &mut [Vec<f64>],
         drv: &mut [Vec<f64>],
-    ) {
+    ) -> Result<(), InterconnectError> {
         let SimScratch { state, rhs } = scratch;
         // DC operating point: inductors short, capacitors open.
         state.fill(0.0);
         stamp_rlc_sources(&e.drv_branches, stimulus, 0.0, state);
         e.dc_lu.solve_into(state);
+        check_finite(state, 0)?;
         collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
         for k in 1..=steps {
             let t = k as f64 * self.dt;
@@ -660,8 +764,10 @@ impl TransientSim {
             stamp_rlc_sources(&e.drv_branches, stimulus, t, rhs);
             e.a_lu.solve_into(rhs);
             std::mem::swap(state, rhs);
+            check_finite(state, k)?;
             collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
         }
+        Ok(())
     }
 
     #[cfg(feature = "dense-oracle")]
@@ -673,11 +779,12 @@ impl TransientSim {
         scratch: &mut SimScratch,
         recv: &mut [Vec<f64>],
         drv: &mut [Vec<f64>],
-    ) {
+    ) -> Result<(), InterconnectError> {
         let SimScratch { state, rhs } = scratch;
         state.fill(0.0);
         stamp_dense_rc_sources(e, stimulus, 0.0, state);
         e.g_lu.solve_into(state);
+        check_finite(state, 0)?;
         collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
         for k in 1..=steps {
             let t = k as f64 * self.dt;
@@ -685,8 +792,10 @@ impl TransientSim {
             stamp_dense_rc_sources(e, stimulus, t, rhs);
             e.a_lu.solve_into(rhs);
             std::mem::swap(state, rhs);
+            check_finite(state, k)?;
             collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
         }
+        Ok(())
     }
 
     #[cfg(feature = "dense-oracle")]
@@ -698,11 +807,12 @@ impl TransientSim {
         scratch: &mut SimScratch,
         recv: &mut [Vec<f64>],
         drv: &mut [Vec<f64>],
-    ) {
+    ) -> Result<(), InterconnectError> {
         let SimScratch { state, rhs } = scratch;
         state.fill(0.0);
         stamp_rlc_sources(&e.drv_branches, stimulus, 0.0, state);
         e.dc_lu.solve_into(state);
+        check_finite(state, 0)?;
         collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
         for k in 1..=steps {
             let t = k as f64 * self.dt;
@@ -710,8 +820,10 @@ impl TransientSim {
             stamp_rlc_sources(&e.drv_branches, stimulus, t, rhs);
             e.a_lu.solve_into(rhs);
             std::mem::swap(state, rhs);
+            check_finite(state, k)?;
             collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
         }
+        Ok(())
     }
 
     /// Convenience: lowers a [`VectorPair`] to a stimulus (edge at the
@@ -763,6 +875,15 @@ fn stamp_dense_rc_sources(e: &DenseRcEngine, stimulus: &Stimulus, t: f64, rhs: &
 fn stamp_rlc_sources(drv_branches: &[usize], stimulus: &Stimulus, t: f64, rhs: &mut [f64]) {
     for (wire, &row) in drv_branches.iter().enumerate() {
         rhs[row] -= stimulus.voltage(wire, t);
+    }
+}
+
+/// Fails the run with [`InterconnectError::Diverged`] if any unknown
+/// went non-finite at `step` (0 = the DC operating point).
+fn check_finite(state: &[f64], step: usize) -> Result<(), InterconnectError> {
+    match state.iter().position(|v| !v.is_finite()) {
+        None => Ok(()),
+        Some(unknown) => Err(InterconnectError::Diverged { step, unknown }),
     }
 }
 
@@ -1146,5 +1267,62 @@ mod tests {
         let waves = sim.run_pair(&pair, 2e-9).unwrap();
         let peak = waves.wire(1).iter().cloned().fold(f64::MIN, f64::max);
         assert!(peak > 0.05, "coupling must still glitch the victim: {peak}");
+    }
+
+    #[test]
+    fn non_finite_state_is_reported_as_diverged() {
+        assert_eq!(check_finite(&[0.0, 1.5, -2.0], 3), Ok(()));
+        assert_eq!(
+            check_finite(&[0.0, f64::NAN, f64::INFINITY], 7),
+            Err(InterconnectError::Diverged { step: 7, unknown: 1 })
+        );
+        assert_eq!(
+            check_finite(&[f64::NEG_INFINITY], 0),
+            Err(InterconnectError::Diverged { step: 0, unknown: 0 })
+        );
+    }
+
+    #[test]
+    fn blown_up_transient_fails_fast_instead_of_collecting_nans() {
+        // A pathological coupling boost combined with a degenerate
+        // timestep overflows `C/h` to infinity. Partial-pivot LU only
+        // rejects underflowing pivots, so the broken system factors
+        // "successfully" — the per-step finiteness check is what stops
+        // NaNs from reaching detector verdicts.
+        let mut bus = small_bus(3);
+        crate::defect::Defect::CouplingBoost { wire: 1, factor: 1e300 }.apply(&mut bus).unwrap();
+        let dt = 1e-300;
+        let sim = TransientSim::new(&bus, dt).unwrap();
+        let pair = VectorPair::from_strs("000", "010").unwrap();
+        match sim.run_pair(&pair, 4.0 * dt) {
+            Err(InterconnectError::Diverged { step, .. }) => {
+                assert!(step <= 4, "divergence flagged promptly, got step {step}");
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_constructor_is_silent_on_healthy_buses() {
+        let bus = small_bus(3);
+        let (sim, events) =
+            TransientSim::new_guarded(&bus, 2e-12, GuardrailPolicy::default()).unwrap();
+        assert!(events.is_empty(), "healthy bus must not trigger recovery: {events:?}");
+        assert_eq!(sim.dt(), 2e-12);
+        assert_eq!(sim.backend(), SolverBackend::Banded);
+    }
+
+    #[test]
+    fn guarded_constructor_propagates_non_singular_errors() {
+        let bus = small_bus(2);
+        let err = TransientSim::new_guarded(&bus, -1.0, GuardrailPolicy::default()).unwrap_err();
+        assert!(matches!(err, InterconnectError::BadTimeAxis { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn guardrail_events_render() {
+        let e = GuardrailEvent::DtHalved { from: 2e-12, to: 1e-12 };
+        assert!(e.to_string().contains("halved"));
+        assert!(GuardrailEvent::DenseFallback.to_string().contains("dense-oracle"));
     }
 }

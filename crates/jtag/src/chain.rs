@@ -3,14 +3,39 @@
 
 use crate::device::Device;
 use crate::error::JtagError;
+use crate::fault::ScanFault;
 use crate::state::TapState;
 use sint_logic::Logic;
 
 /// A serial chain of JTAG devices. `devices[0]` is nearest TDI.
-#[derive(Debug, Default)]
+///
+/// A [`ScanFault`] may be injected to model broken infrastructure; see
+/// [`Chain::inject_fault`] and [`crate::integrity::check_chain`].
+#[derive(Debug)]
 pub struct Chain {
     devices: Vec<Device>,
     tck: u64,
+    /// Injected infrastructure fault, if any.
+    fault: Option<ScanFault>,
+    /// Bits that crossed the faulty link so far (BitFlip phase).
+    fault_bits: u64,
+    /// Whether a StuckTap fault has reached its state and latched.
+    fault_latched: bool,
+    /// TDO value of the previous step — what a dropped TCK re-reads.
+    last_tdo: Logic,
+}
+
+impl Default for Chain {
+    fn default() -> Self {
+        Chain {
+            devices: Vec::new(),
+            tck: 0,
+            fault: None,
+            fault_bits: 0,
+            fault_latched: false,
+            last_tdo: Logic::Z,
+        }
+    }
 }
 
 impl Chain {
@@ -93,15 +118,91 @@ impl Chain {
         self.devices.iter().map(|d| d.instruction_set().ir_width()).sum()
     }
 
+    /// Injects an infrastructure fault (replacing any previous one) and
+    /// resets the fault's internal phase, so injection is a clean
+    /// starting point for a deterministic corruption trace.
+    pub fn inject_fault(&mut self, fault: ScanFault) {
+        self.fault = Some(fault);
+        self.fault_bits = 0;
+        self.fault_latched = false;
+    }
+
+    /// Removes any injected fault (the hardware is "repaired"; TAP
+    /// state is left wherever the fault put it).
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+        self.fault_bits = 0;
+        self.fault_latched = false;
+    }
+
+    /// The currently injected fault, if any.
+    #[must_use]
+    pub fn fault(&self) -> Option<ScanFault> {
+        self.fault
+    }
+
     /// One TCK across the whole chain; TDI ripples through every device
-    /// toward the board TDO.
+    /// toward the board TDO. An injected [`ScanFault`] corrupts this
+    /// path exactly as the broken hardware would.
     pub fn step(&mut self, tms: bool, tdi: Logic) -> Logic {
         self.tck += 1;
-        let mut bit = tdi;
-        for dev in &mut self.devices {
-            bit = dev.step(tms, bit);
+        let fault = self.fault;
+
+        // Clock faults: the host counts the cycle but the devices never
+        // see the edge, so TDO holds its previous value.
+        if let Some(ScanFault::DroppedTck { period }) = fault {
+            if self.tck.is_multiple_of(period.max(1)) {
+                return self.last_tdo;
+            }
         }
+
+        // Control faults: once the TAP reaches the wedged state it
+        // either re-enters it forever (self-looping states get their
+        // TMS forced) or its state clock freezes entirely.
+        let mut tms = tms;
+        if let Some(ScanFault::StuckTap { state }) = fault {
+            if self.state() == state {
+                self.fault_latched = true;
+            }
+            if self.fault_latched {
+                if state.next(false) == state {
+                    tms = false;
+                } else if state.next(true) == state {
+                    tms = true;
+                } else {
+                    return self.last_tdo;
+                }
+            }
+        }
+
+        // Serial-path faults corrupt the bit between link endpoints.
+        let mut seen = self.fault_bits;
+        let mut bit = corrupt_link(fault, 0, tdi, &mut seen);
+        for (k, dev) in self.devices.iter_mut().enumerate() {
+            bit = dev.step(tms, bit);
+            bit = corrupt_link(fault, k + 1, bit, &mut seen);
+        }
+        self.fault_bits = seen;
+        self.last_tdo = bit;
         bit
+    }
+}
+
+/// Applies any serial-path corruption of `fault` at `link` to `bit`;
+/// `seen` counts the bits that crossed the faulty link (BitFlip phase).
+fn corrupt_link(fault: Option<ScanFault>, link: usize, bit: Logic, seen: &mut u64) -> Logic {
+    match fault {
+        Some(ScanFault::StuckAtZero { link: l }) if l == link => Logic::Zero,
+        Some(ScanFault::StuckAtOne { link: l }) if l == link => Logic::One,
+        Some(ScanFault::BitFlip { link: l, period }) if l == link => {
+            *seen += 1;
+            if seen.is_multiple_of(period.max(1)) {
+                bit.not()
+            } else {
+                bit
+            }
+        }
+        _ => bit,
     }
 }
 
@@ -195,5 +296,72 @@ mod tests {
         to_idle(&mut c);
         assert_eq!(c.tck(), 6);
         assert_eq!(c.device(0).unwrap().tck(), 6);
+    }
+
+    /// Navigates into Shift-DR and shifts `bits`, returning TDO bits.
+    fn shift_dr(c: &mut Chain, bits: &[Logic]) -> Vec<Logic> {
+        c.step(true, Logic::Zero);
+        c.step(false, Logic::Zero);
+        c.step(false, Logic::Zero); // capture; → Shift-DR
+        bits.iter().map(|&b| c.step(false, b)).collect()
+    }
+
+    #[test]
+    fn stuck_at_faults_pin_the_serial_line() {
+        for (fault, level) in [
+            (ScanFault::StuckAtZero { link: 1 }, Logic::Zero),
+            (ScanFault::StuckAtOne { link: 1 }, Logic::One),
+        ] {
+            let mut c = Chain::single(dev("a", 1));
+            to_idle(&mut c);
+            c.inject_fault(fault);
+            assert_eq!(c.fault(), Some(fault));
+            // Link 1 of a single-device chain is the board TDO: every
+            // shifted bit reads the stuck level.
+            let out = shift_dr(&mut c, &[Logic::One, Logic::Zero, Logic::One]);
+            assert!(out.iter().all(|&b| b == level), "{fault}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_inverts_every_period_th_bit() {
+        let mut c = Chain::single(dev("a", 1));
+        to_idle(&mut c);
+        // Flip every 2nd bit through the TDI-side link, starting now.
+        c.inject_fault(ScanFault::BitFlip { link: 0, period: 2 });
+        // 3 navigation TCKs advance the phase (bits 1..3); the shifted
+        // zeros then cross the link as bits 4.. — even ones invert.
+        let out = shift_dr(&mut c, &[Logic::Zero; 6]);
+        // Bypass delays by one: out[i+1] is the (possibly flipped)
+        // input bit i. Bits 4 and 6 of the link stream flip.
+        assert_eq!(out[1], Logic::One, "{out:?}");
+        assert_eq!(out[2], Logic::Zero, "{out:?}");
+        assert_eq!(out[3], Logic::One, "{out:?}");
+    }
+
+    #[test]
+    fn stuck_tap_latches_in_self_looping_state() {
+        let mut c = Chain::single(dev("a", 1));
+        to_idle(&mut c);
+        c.inject_fault(ScanFault::StuckTap { state: TapState::RunTestIdle });
+        // Attempts to leave Run-Test/Idle are ignored.
+        c.step(true, Logic::Zero);
+        c.step(true, Logic::Zero);
+        assert_eq!(c.state(), TapState::RunTestIdle);
+    }
+
+    #[test]
+    fn dropped_tck_skips_the_devices() {
+        let mut c = Chain::single(dev("a", 1));
+        c.inject_fault(ScanFault::DroppedTck { period: 2 });
+        for _ in 0..5 {
+            c.step(true, Logic::Zero);
+        }
+        c.step(false, Logic::Zero);
+        // Host counted 6 TCKs but the device only saw half of them.
+        assert_eq!(c.tck(), 6);
+        assert_eq!(c.device(0).unwrap().tck(), 3);
+        c.clear_fault();
+        assert_eq!(c.fault(), None);
     }
 }

@@ -47,6 +47,9 @@ pub enum JtagError {
         /// Provided number of bits.
         got: usize,
     },
+    /// An operation that needs at least one device was attempted on an
+    /// empty chain.
+    EmptyChain,
 }
 
 impl fmt::Display for JtagError {
@@ -69,6 +72,9 @@ impl fmt::Display for JtagError {
             }
             JtagError::ScanWidth { expected, got } => {
                 write!(f, "scan data is {got} bits, register expects {expected}")
+            }
+            JtagError::EmptyChain => {
+                write!(f, "operation requires a non-empty scan chain")
             }
         }
     }

@@ -1,0 +1,158 @@
+//! Injectable scan-infrastructure faults.
+//!
+//! The paper's whole premise is that the DfT machinery (scan chain,
+//! TAP, detector cells) reliably reports interconnect SI faults — but a
+//! stuck chain bit or a wedged TAP controller silently corrupts every
+//! verdict. Real ATE flows therefore qualify the test machinery before
+//! trusting it. This module models the classic infrastructure failure
+//! modes as a [`ScanFault`] that can be injected into a
+//! [`crate::chain::Chain`]; the chain-integrity self-check in
+//! [`crate::integrity`] must catch every one of them *before* an
+//! integrity session runs, so an infrastructure fault is never
+//! misreported as an interconnect fault.
+//!
+//! ## Link numbering
+//!
+//! Serial faults name a *link*: the TDI→TDO segment of the serial path
+//! they corrupt. Link `0` is board TDI → device 0, link `k` is device
+//! `k-1` → device `k`, and link `len` is the last device → board TDO.
+
+use crate::state::TapState;
+use sint_runtime::json::{Json, ToJson};
+use std::fmt;
+
+/// One injectable scan-infrastructure fault.
+///
+/// Faults are deliberately deterministic (no RNG): the same TCK
+/// sequence against the same fault always observes the same corruption,
+/// so the self-check's diagnosis is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScanFault {
+    /// The serial line at `link` reads constant 0 (solder short to
+    /// ground, dead output driver).
+    StuckAtZero {
+        /// Corrupted serial link (see module docs for numbering).
+        link: usize,
+    },
+    /// The serial line at `link` reads constant 1 (short to Vdd).
+    StuckAtOne {
+        /// Corrupted serial link.
+        link: usize,
+    },
+    /// Every `period`-th bit crossing `link` is inverted — a marginal
+    /// flip-flop that intermittently drops its value. Counted per TCK
+    /// through the link, so the corruption pattern is deterministic.
+    BitFlip {
+        /// Corrupted serial link.
+        link: usize,
+        /// Invert one bit out of every `period` (clamped to ≥ 1).
+        period: u64,
+    },
+    /// The TAP controller latches up the first time it reaches `state`
+    /// and never leaves: in a self-looping state the fault forces the
+    /// TMS value that re-enters it; otherwise the state clock freezes.
+    StuckTap {
+        /// State the controller wedges in.
+        state: TapState,
+    },
+    /// Every `period`-th TCK edge is lost before reaching the devices
+    /// (clock-tree glitch): the host counts the cycle, the chain never
+    /// sees it, and TDO holds its previous value.
+    DroppedTck {
+        /// Drop one edge out of every `period` (clamped to ≥ 1).
+        period: u64,
+    },
+}
+
+impl ScanFault {
+    /// Stable machine-readable tag for reports.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScanFault::StuckAtZero { .. } => "stuck_at_zero",
+            ScanFault::StuckAtOne { .. } => "stuck_at_one",
+            ScanFault::BitFlip { .. } => "bit_flip",
+            ScanFault::StuckTap { .. } => "stuck_tap",
+            ScanFault::DroppedTck { .. } => "dropped_tck",
+        }
+    }
+}
+
+impl fmt::Display for ScanFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanFault::StuckAtZero { link } => write!(f, "serial link {link} stuck at 0"),
+            ScanFault::StuckAtOne { link } => write!(f, "serial link {link} stuck at 1"),
+            ScanFault::BitFlip { link, period } => {
+                write!(f, "serial link {link} flips every {period}th bit")
+            }
+            ScanFault::StuckTap { state } => write!(f, "TAP stuck in {state}"),
+            ScanFault::DroppedTck { period } => {
+                write!(f, "every {period}th TCK edge dropped")
+            }
+        }
+    }
+}
+
+impl ToJson for ScanFault {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj([("kind", self.kind().to_json())]);
+        match self {
+            ScanFault::StuckAtZero { link } | ScanFault::StuckAtOne { link } => {
+                j.push("link", link.to_json());
+            }
+            ScanFault::BitFlip { link, period } => {
+                j.push("link", link.to_json());
+                j.push("period", period.to_json());
+            }
+            ScanFault::StuckTap { state } => {
+                j.push("state", state.to_string().to_json());
+            }
+            ScanFault::DroppedTck { period } => {
+                j.push("period", period.to_json());
+            }
+        }
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        let faults = [
+            (ScanFault::StuckAtZero { link: 0 }, "stuck_at_zero", "serial link 0 stuck at 0"),
+            (ScanFault::StuckAtOne { link: 3 }, "stuck_at_one", "serial link 3 stuck at 1"),
+            (
+                ScanFault::BitFlip { link: 1, period: 5 },
+                "bit_flip",
+                "serial link 1 flips every 5th bit",
+            ),
+            (
+                ScanFault::StuckTap { state: TapState::ShiftDr },
+                "stuck_tap",
+                "TAP stuck in Shift-DR",
+            ),
+            (
+                ScanFault::DroppedTck { period: 7 },
+                "dropped_tck",
+                "every 7th TCK edge dropped",
+            ),
+        ];
+        for (fault, kind, display) in faults {
+            assert_eq!(fault.kind(), kind);
+            assert_eq!(fault.to_string(), display);
+        }
+    }
+
+    #[test]
+    fn serialises_with_kind_and_fields() {
+        let j = ScanFault::BitFlip { link: 2, period: 3 }.to_json().render();
+        assert_eq!(j, r#"{"kind":"bit_flip","link":2,"period":3}"#);
+        let j = ScanFault::StuckTap { state: TapState::TestLogicReset }.to_json().render();
+        assert_eq!(j, r#"{"kind":"stuck_tap","state":"Test-Logic-Reset"}"#);
+    }
+}

@@ -1,0 +1,453 @@
+//! Pre-session chain-integrity self-check.
+//!
+//! Before an SI integrity session can be trusted, the scan
+//! infrastructure itself must be qualified — a stuck serial bit or a
+//! wedged TAP silently corrupts every verdict. [`check_chain`] runs the
+//! classic ATE qualification sequence against a [`JtagDriver`]:
+//!
+//! 1. **Reset probe** — hard TAP reset, then verify the controller
+//!    actually landed in Run-Test/Idle.
+//! 2. **BYPASS flush** — after reset every device selects its 1-bit
+//!    bypass register, so the selected DR is exactly `len` bits; a
+//!    known aperiodic pattern shifted through must come back delayed by
+//!    exactly `len` TCKs with the leading captured zeros intact. This
+//!    exposes stuck-at lines (constant TDO), flipped bits (isolated
+//!    mismatches), dropped clock edges (stream deletions) and
+//!    wrong-length chains (wrong latency).
+//! 3. **IR capture readback** — an IR scan of all-BYPASS opcodes must
+//!    return every device's mandatory `…01` Capture-IR pattern, pinning
+//!    faults to a device when the DR path alone cannot.
+//!
+//! After *every* operation the TAP must be back in Run-Test/Idle —
+//! which is how control faults that latch mid-scan (a TAP stuck in
+//! Shift-DR or Shift-IR) are caught.
+//!
+//! The result is a structured [`ChainCheckReport`] naming each anomaly
+//! down to the bit or device, so the caller can report an
+//! *infrastructure* fault instead of misblaming the interconnect.
+
+use crate::driver::JtagDriver;
+use crate::error::JtagError;
+use crate::state::TapState;
+use sint_logic::{BitVector, Logic};
+use sint_runtime::json::{Json, ToJson};
+use std::fmt;
+
+/// One structural anomaly found by [`check_chain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChainAnomaly {
+    /// The TAP was not in Run-Test/Idle after an operation that must
+    /// end there — the controller is unresponsive or wedged.
+    TapUnresponsive {
+        /// Which check phase observed it (`"reset"`, `"bypass-flush"`,
+        /// `"ir-scan"`).
+        phase: &'static str,
+        /// Where the TAP actually was.
+        observed: TapState,
+    },
+    /// The BYPASS flush returned no driven bits at all: TDO is dead
+    /// (or the TAP never entered Shift-DR, so TDO stayed tri-stated).
+    TdoSilent,
+    /// Every driven TDO bit of the flush read the same level although
+    /// the expected stream has both — a stuck serial line.
+    SerialStuck {
+        /// The constant level observed (`true` = stuck at 1).
+        level: bool,
+        /// First flush bit whose expected value differs from `level`.
+        bit: usize,
+    },
+    /// The flush pattern came back delayed by the wrong number of bits:
+    /// the chain does not have the expected number of bypass stages.
+    ChainLengthMismatch {
+        /// Bypass stages the board expects (devices on the chain).
+        expected: usize,
+        /// Latency actually observed, when one fit the stream at all.
+        observed: Option<usize>,
+    },
+    /// The flush stream had isolated corrupt bits (correct latency,
+    /// wrong values): an intermittent flip or dropped-edge deletion.
+    ShiftPathCorrupt {
+        /// First flush bit that mismatched.
+        bit: usize,
+    },
+    /// A device's mandatory `…01` Capture-IR pattern read back wrong —
+    /// pins the fault to that device's IR segment.
+    IrCaptureMismatch {
+        /// Device index (0 = nearest TDI).
+        device: usize,
+        /// Expected capture bits, LSB-first scan order.
+        expected: String,
+        /// Observed capture bits, LSB-first scan order.
+        observed: String,
+    },
+}
+
+impl fmt::Display for ChainAnomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainAnomaly::TapUnresponsive { phase, observed } => {
+                write!(f, "TAP unresponsive after {phase}: landed in {observed}")
+            }
+            ChainAnomaly::TdoSilent => write!(f, "TDO never driven during BYPASS flush"),
+            ChainAnomaly::SerialStuck { level, bit } => {
+                write!(f, "serial path stuck at {} (first bad bit {bit})", u8::from(*level))
+            }
+            ChainAnomaly::ChainLengthMismatch { expected, observed } => match observed {
+                Some(got) => write!(f, "chain length {got}, expected {expected}"),
+                None => write!(f, "no bypass latency fits the flush (expected {expected})"),
+            },
+            ChainAnomaly::ShiftPathCorrupt { bit } => {
+                write!(f, "shift path corrupt: first bad flush bit {bit}")
+            }
+            ChainAnomaly::IrCaptureMismatch { device, expected, observed } => {
+                write!(f, "device {device} IR capture read {observed:?}, expected {expected:?}")
+            }
+        }
+    }
+}
+
+impl ToJson for ChainAnomaly {
+    fn to_json(&self) -> Json {
+        match self {
+            ChainAnomaly::TapUnresponsive { phase, observed } => Json::obj([
+                ("kind", "tap_unresponsive".to_json()),
+                ("phase", (*phase).to_json()),
+                ("observed", observed.to_string().to_json()),
+            ]),
+            ChainAnomaly::TdoSilent => Json::obj([("kind", "tdo_silent".to_json())]),
+            ChainAnomaly::SerialStuck { level, bit } => Json::obj([
+                ("kind", "serial_stuck".to_json()),
+                ("level", level.to_json()),
+                ("bit", bit.to_json()),
+            ]),
+            ChainAnomaly::ChainLengthMismatch { expected, observed } => Json::obj([
+                ("kind", "chain_length_mismatch".to_json()),
+                ("expected", expected.to_json()),
+                ("observed", observed.to_json()),
+            ]),
+            ChainAnomaly::ShiftPathCorrupt { bit } => Json::obj([
+                ("kind", "shift_path_corrupt".to_json()),
+                ("bit", bit.to_json()),
+            ]),
+            ChainAnomaly::IrCaptureMismatch { device, expected, observed } => Json::obj([
+                ("kind", "ir_capture_mismatch".to_json()),
+                ("device", device.to_json()),
+                ("expected", expected.to_json()),
+                ("observed", observed.to_json()),
+            ]),
+        }
+    }
+}
+
+/// Structured result of [`check_chain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainCheckReport {
+    /// Devices on the chain under check.
+    pub devices: usize,
+    /// Every anomaly found, in detection order (empty = healthy).
+    pub anomalies: Vec<ChainAnomaly>,
+    /// TCKs the check spent (excluded from session cost accounting).
+    pub tck_cost: u64,
+}
+
+impl ChainCheckReport {
+    /// Whether the infrastructure passed every probe.
+    #[must_use]
+    pub fn healthy(&self) -> bool {
+        self.anomalies.is_empty()
+    }
+}
+
+impl fmt::Display for ChainCheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.healthy() {
+            write!(f, "chain self-check: healthy ({} devices, {} TCKs)", self.devices, self.tck_cost)
+        } else {
+            write!(f, "chain self-check FAILED ({} devices): ", self.devices)?;
+            for (i, a) in self.anomalies.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl ToJson for ChainCheckReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("devices", self.devices.to_json()),
+            ("healthy", self.healthy().to_json()),
+            ("tck_cost", self.tck_cost.to_json()),
+            ("anomalies", self.anomalies.to_json()),
+        ])
+    }
+}
+
+/// An aperiodic probe pattern (top bit of a Weyl sequence): both levels
+/// in every short window, no repetition period for latency aliasing.
+fn flush_pattern(len: usize) -> Vec<Logic> {
+    (0..len as u64)
+        .map(|i| {
+            let hi = i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 63;
+            Logic::from(hi == 1)
+        })
+        .collect()
+}
+
+/// Runs the full chain-integrity check. See the module docs for the
+/// sequence. Costs O(chain length) TCKs; the caller decides whether
+/// those count toward session totals (the `Soc` excludes them).
+///
+/// # Errors
+///
+/// [`JtagError::EmptyChain`] when the chain has no devices; scan-layer
+/// errors from the probe operations themselves. A *fault* found by the
+/// check is not an `Err` — it is reported in the returned
+/// [`ChainCheckReport`].
+pub fn check_chain(driver: &mut JtagDriver) -> Result<ChainCheckReport, JtagError> {
+    let devices = driver.chain().len();
+    if devices == 0 {
+        return Err(JtagError::EmptyChain);
+    }
+    let start_tck = driver.tck();
+    let mut anomalies = Vec::new();
+    let report = |anomalies: Vec<ChainAnomaly>, driver: &JtagDriver| ChainCheckReport {
+        devices,
+        anomalies,
+        tck_cost: driver.tck() - start_tck,
+    };
+
+    // Phase 1: reset probe. A TAP that cannot reach Run-Test/Idle is
+    // unusable; nothing further can be trusted.
+    driver.reset();
+    if driver.state() != TapState::RunTestIdle {
+        anomalies.push(ChainAnomaly::TapUnresponsive {
+            phase: "reset",
+            observed: driver.state(),
+        });
+        return Ok(report(anomalies, driver));
+    }
+
+    // Phase 2: BYPASS flush. Post-reset every IR holds BYPASS, so the
+    // serial path is `devices` one-bit stages capturing 0.
+    let probe_len = 16usize.max(2 * devices);
+    let pattern = flush_pattern(probe_len);
+    let tdi: BitVector = pattern.iter().copied().chain(std::iter::repeat_n(Logic::Zero, devices)).collect();
+    let out = driver.shift_dr_bits(&tdi)?;
+    if driver.state() != TapState::RunTestIdle {
+        anomalies.push(ChainAnomaly::TapUnresponsive {
+            phase: "bypass-flush",
+            observed: driver.state(),
+        });
+        return Ok(report(anomalies, driver));
+    }
+    let expected: Vec<Logic> = std::iter::repeat_n(Logic::Zero, devices)
+        .chain(pattern.iter().copied())
+        .take(out.len())
+        .collect();
+    analyse_flush(devices, &pattern, &expected, &out, &mut anomalies);
+
+    // Phase 3: IR capture readback. Shift all-BYPASS opcodes (leaves
+    // the chain in the state the reset put it in) and compare each
+    // device's mandatory ...01 capture pattern.
+    let mut ir_bits = BitVector::new();
+    for idx in (0..devices).rev() {
+        let set = driver.chain().device(idx)?.instruction_set();
+        match set.by_name("BYPASS") {
+            Some(inst) => ir_bits.extend(inst.opcode.iter()),
+            // The standard reserves all-ones for BYPASS even when the
+            // set does not name it.
+            None => ir_bits.extend(std::iter::repeat_n(Logic::One, set.ir_width())),
+        }
+    }
+    let ir_out = driver.scan_ir(&ir_bits)?;
+    if driver.state() != TapState::RunTestIdle {
+        anomalies.push(ChainAnomaly::TapUnresponsive {
+            phase: "ir-scan",
+            observed: driver.state(),
+        });
+        return Ok(report(anomalies, driver));
+    }
+    let mut cursor = 0;
+    for idx in (0..devices).rev() {
+        let width = driver.chain().device(idx)?.instruction_set().ir_width();
+        let capture = BitVector::from_u64(0b01, width);
+        let observed: Vec<Logic> = (cursor..cursor + width).filter_map(|i| ir_out.get(i)).collect();
+        cursor += width;
+        if observed.len() != width || capture.iter().zip(observed.iter()).any(|(e, o)| e != *o) {
+            anomalies.push(ChainAnomaly::IrCaptureMismatch {
+                device: idx,
+                expected: capture.iter().map(Logic::to_char).collect(),
+                observed: observed.iter().map(|l| l.to_char()).collect(),
+            });
+        }
+    }
+
+    Ok(report(anomalies, driver))
+}
+
+/// Classifies a corrupt BYPASS flush: dead TDO, stuck level, wrong
+/// latency, or isolated corruption.
+fn analyse_flush(
+    devices: usize,
+    pattern: &[Logic],
+    expected: &[Logic],
+    out: &BitVector,
+    anomalies: &mut Vec<ChainAnomaly>,
+) {
+    let observed: Vec<Logic> = out.iter().collect();
+    let mismatch = observed
+        .iter()
+        .zip(expected.iter())
+        .position(|(o, e)| o != e);
+    let Some(first_bad) = mismatch else {
+        return; // byte-perfect flush
+    };
+
+    if !observed.iter().any(|l| l.is_binary()) {
+        anomalies.push(ChainAnomaly::TdoSilent);
+        return;
+    }
+
+    // Constant level across every driven bit, while the expectation has
+    // both levels → a stuck serial line.
+    let driven: Vec<Logic> = observed.iter().copied().filter(|l| l.is_binary()).collect();
+    if let Some(&level) = driven.first() {
+        if driven.iter().all(|&l| l == level) {
+            let stuck = level == Logic::One;
+            if let Some(bit) = expected.iter().position(|&e| e.is_binary() && e != level) {
+                anomalies.push(ChainAnomaly::SerialStuck { level: stuck, bit });
+                return;
+            }
+        }
+    }
+
+    // Latency correlation: the smallest delay at which the pattern
+    // fully reappears (at least 8 overlapping bits). A healthy chain
+    // yields `devices`; a different value is a length mismatch; none at
+    // all means the stream itself is corrupt.
+    let latency = (0..observed.len().saturating_sub(8)).find(|&d| {
+        pattern
+            .iter()
+            .take(observed.len() - d)
+            .enumerate()
+            .all(|(j, &p)| observed[d + j] == p)
+    });
+    match latency {
+        Some(d) if d == devices => {
+            // Pattern is intact at the right delay; the damage is in
+            // the leading capture bits.
+            anomalies.push(ChainAnomaly::ShiftPathCorrupt { bit: first_bad });
+        }
+        Some(d) => {
+            anomalies.push(ChainAnomaly::ChainLengthMismatch { expected: devices, observed: Some(d) });
+        }
+        None => {
+            anomalies.push(ChainAnomaly::ShiftPathCorrupt { bit: first_bad });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcell::StandardBsc;
+    use crate::chain::Chain;
+    use crate::device::Device;
+    use crate::fault::ScanFault;
+    use crate::instruction::InstructionSet;
+
+    fn driver(devices: usize, cells: usize) -> JtagDriver {
+        let mut c = Chain::new();
+        for i in 0..devices {
+            let mut d = Device::new(format!("u{i}"), InstructionSet::standard_1149_1());
+            for _ in 0..cells {
+                d.push_cell(Box::new(StandardBsc::new()));
+            }
+            c.push(d);
+        }
+        JtagDriver::new(c)
+    }
+
+    #[test]
+    fn healthy_chains_pass() {
+        for devices in [1, 2, 3] {
+            let mut drv = driver(devices, 2);
+            let report = check_chain(&mut drv).unwrap();
+            assert!(report.healthy(), "{devices} devices: {report}");
+            assert_eq!(report.devices, devices);
+            assert!(report.tck_cost > 0);
+        }
+    }
+
+    #[test]
+    fn empty_chain_is_an_error() {
+        let mut drv = JtagDriver::new(Chain::new());
+        assert!(matches!(check_chain(&mut drv), Err(JtagError::EmptyChain)));
+    }
+
+    #[test]
+    fn stuck_serial_line_is_named() {
+        let mut drv = driver(2, 1);
+        drv.inject_fault(ScanFault::StuckAtOne { link: 2 });
+        let report = check_chain(&mut drv).unwrap();
+        assert!(
+            report
+                .anomalies
+                .iter()
+                .any(|a| matches!(a, ChainAnomaly::SerialStuck { level: true, .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn bit_flip_reads_as_corrupt_shift_path() {
+        let mut drv = driver(1, 1);
+        drv.inject_fault(ScanFault::BitFlip { link: 0, period: 5 });
+        let report = check_chain(&mut drv).unwrap();
+        assert!(
+            report.anomalies.iter().any(|a| matches!(
+                a,
+                ChainAnomaly::ShiftPathCorrupt { .. } | ChainAnomaly::ChainLengthMismatch { .. }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn stuck_tap_states_reported_as_unresponsive() {
+        for state in [
+            TapState::TestLogicReset,
+            TapState::RunTestIdle,
+            TapState::ShiftDr,
+            TapState::ShiftIr,
+        ] {
+            let mut drv = driver(2, 1);
+            drv.reset();
+            drv.inject_fault(ScanFault::StuckTap { state });
+            let report = check_chain(&mut drv).unwrap();
+            assert!(!report.healthy(), "{state}: {report}");
+        }
+    }
+
+    #[test]
+    fn dropped_tck_detected() {
+        let mut drv = driver(1, 1);
+        drv.inject_fault(ScanFault::DroppedTck { period: 7 });
+        let report = check_chain(&mut drv).unwrap();
+        assert!(!report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn report_serialises() {
+        let mut drv = driver(1, 1);
+        let report = check_chain(&mut drv).unwrap();
+        let j = report.to_json().render();
+        assert!(j.contains("\"healthy\":true"), "{j}");
+        assert!(j.contains("\"anomalies\":[]"), "{j}");
+    }
+}

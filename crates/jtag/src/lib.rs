@@ -20,6 +20,12 @@
 //! * [`driver`] — the host/ATE side: reset, IR/DR scans, Update-DR pulse
 //!   trains, with every TCK counted (the measurement behind the paper's
 //!   test-time tables).
+//! * [`fault`] — injectable scan-infrastructure faults
+//!   ([`fault::ScanFault`]): stuck serial lines, flipping bits, wedged
+//!   TAP controllers, dropped TCK edges.
+//! * [`integrity`] — the pre-session chain-integrity self-check
+//!   ([`integrity::check_chain`]) that catches every injectable fault
+//!   before a session can misblame the interconnect.
 //!
 //! # Example
 //!
@@ -55,7 +61,9 @@ pub mod chain;
 pub mod device;
 pub mod driver;
 pub mod error;
+pub mod fault;
 pub mod instruction;
+pub mod integrity;
 pub mod interconnect_test;
 pub mod register;
 pub mod state;
@@ -66,6 +74,8 @@ pub use chain::Chain;
 pub use device::Device;
 pub use driver::JtagDriver;
 pub use error::JtagError;
+pub use fault::ScanFault;
+pub use integrity::{check_chain, ChainAnomaly, ChainCheckReport};
 pub use instruction::{DrTarget, Instruction, InstructionRegister, InstructionSet};
 pub use register::{BypassRegister, IdcodeRegister};
 pub use state::TapState;

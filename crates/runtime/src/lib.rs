@@ -16,7 +16,9 @@
 //!   escaping-correct, round-trip-faithful emitter for reports and
 //!   artifacts.
 //! - [`pool`] — a scoped-thread worker pool ([`pool::Pool`]) whose
-//!   [`pool::Pool::map`] preserves input ordering deterministically.
+//!   [`pool::Pool::map`] preserves input ordering deterministically and
+//!   whose [`pool::Pool::try_map`] isolates per-job panics
+//!   ([`pool::JobPanic`]) without losing sibling results.
 //! - [`prop`] — a seeded mini property-test harness ([`prop::Runner`])
 //!   with failing-seed reporting.
 //! - [`bench`] — a warmup/iterate micro-benchmark harness
@@ -36,7 +38,7 @@ pub mod prop;
 pub mod rng;
 
 pub use bench::{Bench, BenchResult};
-pub use json::{Json, ToJson};
-pub use pool::Pool;
+pub use json::{Json, JsonParseError, ToJson};
+pub use pool::{JobPanic, Pool};
 pub use prop::Runner;
 pub use rng::Rng64;

@@ -1,22 +1,70 @@
-//! Scoped-thread worker pool with deterministic result ordering.
+//! Scoped-thread worker pool with deterministic result ordering and
+//! per-job panic isolation.
 //!
 //! Defect-injection campaigns solve thousands of independent per-die
-//! transients; this pool fans them out across cores. Two properties
-//! make it safe for reproducible experiments:
+//! transients; this pool fans them out across cores. Three properties
+//! make it safe for reproducible, long-running experiments:
 //!
-//! 1. **Deterministic ordering** — [`Pool::map`] returns results in
-//!    input order regardless of which worker finished first, so a
-//!    campaign summary is byte-identical at any thread count.
+//! 1. **Deterministic ordering** — [`Pool::map`] and [`Pool::try_map`]
+//!    return results in input order regardless of which worker finished
+//!    first, so a campaign summary is byte-identical at any thread
+//!    count.
 //! 2. **Borrow-friendly** — built on [`std::thread::scope`], so jobs
 //!    may borrow from the caller's stack (the campaign, the bus
 //!    parameters) without `Arc` plumbing.
+//! 3. **Panic isolation** — every job runs under
+//!    [`std::panic::catch_unwind`]. A panicking job becomes an
+//!    `Err(JobPanic)` in its own slot of [`Pool::try_map`]'s output;
+//!    every other job still runs to completion and keeps its result.
+//!    (Before this contract existed, one panicking job dropped its
+//!    channel sender, the scope unwound, and every in-flight result of
+//!    the batch was lost.)
 //!
 //! Work distribution is a shared atomic cursor (cheap dynamic load
 //! balancing — long and short dies interleave freely); results come
 //! back over an mpsc channel tagged with their input index.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// A job that panicked inside [`Pool::try_map`].
+///
+/// Carries the input index of the job (stable across thread counts)
+/// and the stringified panic payload, so campaign reports can name the
+/// failing trial deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Input index of the panicking job.
+    pub index: usize,
+    /// Stringified panic payload (see [`panic_message`]).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Renders a panic payload (from [`std::panic::catch_unwind`]) as text.
+///
+/// `panic!("...")` payloads are `&str` or `String`; anything else (a
+/// custom `panic_any` value) falls back to a fixed marker so the result
+/// stays deterministic.
+#[must_use]
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A fixed-width worker pool configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +97,43 @@ impl Pool {
     ///
     /// With one thread (or one item) the work runs inline on the
     /// calling thread — no spawn overhead, identical results.
+    ///
+    /// This is the infallible wrapper over [`Pool::try_map`]: if any
+    /// job panics, every job still runs to completion, and then the
+    /// panic of the **lowest-indexed** failing job is re-raised on the
+    /// calling thread (deterministic regardless of scheduling).
+    /// Callers that must survive panicking jobs use [`Pool::try_map`]
+    /// directly.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the lowest-indexed job panic, if any.
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        for result in self.try_map(items, f) {
+            match result {
+                Ok(value) => out.push(value),
+                Err(p) => panic!("{p}"),
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every item, in parallel, isolating panics: slot
+    /// `i` of the output is `Ok(result)` if job `i` returned, or
+    /// `Err(JobPanic)` if it panicked — in input order either way.
+    ///
+    /// A panicking job never disturbs its siblings: each job runs under
+    /// [`std::panic::catch_unwind`], so all `items.len()` jobs execute
+    /// exactly once and every non-panicking result is retained. The
+    /// output is byte-identical at any thread count (the panic payloads
+    /// are stringified, which makes them comparable and serialisable).
+    pub fn try_map<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, JobPanic>>
     where
         T: Sync,
         R: Send,
@@ -57,11 +141,11 @@ impl Pool {
     {
         let workers = self.threads.min(items.len());
         if workers <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return items.iter().enumerate().map(|(i, t)| run_job(&f, i, t)).collect();
         }
 
         let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let (tx, rx) = mpsc::channel::<(usize, Result<R, JobPanic>)>();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
@@ -70,56 +154,46 @@ impl Pool {
                 scope.spawn(move || loop {
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(idx) else { break };
-                    // A worker that panics drops its channel sender; the
-                    // panic is re-raised when the scope joins.
-                    let result = f(idx, item);
+                    // catch_unwind inside the worker: the scope only
+                    // ever joins cleanly, so no in-flight result is
+                    // ever lost to a sibling's panic.
+                    let result = run_job(f, idx, item);
                     if tx.send((idx, result)).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
-            let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            let mut slots: Vec<Option<Result<R, JobPanic>>> =
+                (0..items.len()).map(|_| None).collect();
             for (idx, result) in rx {
                 slots[idx] = Some(result);
             }
             slots
                 .into_iter()
-                .map(|s| s.expect("every index produced exactly one result"))
+                .enumerate()
+                .map(|(index, slot)| {
+                    // Unreachable with the catch_unwind contract above;
+                    // degrade to a structured error rather than panic.
+                    slot.unwrap_or_else(|| {
+                        Err(JobPanic {
+                            index,
+                            message: "worker lost before producing a result".to_string(),
+                        })
+                    })
+                })
                 .collect()
         })
     }
+}
 
-    /// Like [`Pool::map`] but for fallible jobs: returns the first
-    /// error **by input index** (not completion time), so error
-    /// reporting is deterministic too.
-    ///
-    /// # Errors
-    ///
-    /// The error of the lowest-indexed failing item.
-    pub fn try_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
-    where
-        T: Sync,
-        R: Send,
-        E: Send,
-        F: Fn(usize, &T) -> Result<R, E> + Sync,
-    {
-        let mut first_err: Option<E> = None;
-        let mut out = Vec::with_capacity(items.len());
-        for r in self.map(items, f) {
-            match r {
-                Ok(v) => out.push(v),
-                Err(e) => {
-                    first_err = first_err.or(Some(e));
-                    break;
-                }
-            }
-        }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(out),
-        }
-    }
+/// Runs one job under `catch_unwind`, mapping a panic to [`JobPanic`].
+fn run_job<T, R, F>(f: &F, index: usize, item: &T) -> Result<R, JobPanic>
+where
+    F: Fn(usize, &T) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| f(index, item)))
+        .map_err(|payload| JobPanic { index, message: panic_message(payload.as_ref()) })
 }
 
 #[cfg(test)]
@@ -161,18 +235,65 @@ mod tests {
     }
 
     #[test]
-    fn try_map_reports_lowest_index_error() {
+    fn try_map_isolates_panics_and_keeps_sibling_results() {
         let items: Vec<usize> = (0..40).collect();
-        let r = Pool::new(4).try_map(&items, |_, &x| {
-            if x == 5 || x == 31 {
-                Err(format!("bad {x}"))
-            } else {
-                Ok(x)
+        for threads in [1, 4] {
+            let out = Pool::new(threads).try_map(&items, |_, &x| {
+                if x == 5 || x == 31 {
+                    panic!("boom {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), 40, "{threads} threads");
+            for (i, slot) in out.iter().enumerate() {
+                match (i, slot) {
+                    (5 | 31, Err(p)) => {
+                        assert_eq!(p.index, i);
+                        assert_eq!(p.message, format!("boom {i}"));
+                    }
+                    (5 | 31, Ok(_)) => panic!("job {i} should have panicked"),
+                    (_, Ok(v)) => assert_eq!(*v, i * 2, "sibling result survived"),
+                    (_, Err(p)) => panic!("job {i} unexpectedly failed: {p}"),
+                }
             }
-        });
-        assert_eq!(r.unwrap_err(), "bad 5");
-        let ok = Pool::new(4).try_map(&items[6..31], |_, &x| Ok::<_, String>(x));
-        assert_eq!(ok.unwrap(), items[6..31].to_vec());
+        }
+    }
+
+    #[test]
+    fn try_map_output_identical_across_thread_counts() {
+        let items: Vec<usize> = (0..30).collect();
+        let job = |_: usize, &x: &usize| {
+            if x % 9 == 0 {
+                panic!("bad {x}");
+            }
+            x + 1
+        };
+        let serial = Pool::new(1).try_map(&items, job);
+        let parallel = Pool::new(4).try_map(&items, job);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn map_repanics_with_lowest_index_panic() {
+        let items: Vec<usize> = (0..20).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            Pool::new(4).map(&items, |_, &x| {
+                if x == 7 || x == 3 {
+                    panic!("kaboom {x}");
+                }
+                x
+            })
+        }));
+        let message = panic_message(caught.unwrap_err().as_ref());
+        assert_eq!(message, "job 3 panicked: kaboom 3");
+    }
+
+    #[test]
+    fn panic_message_handles_both_string_flavours() {
+        let static_str = catch_unwind(|| panic!("plain")).unwrap_err();
+        assert_eq!(panic_message(static_str.as_ref()), "plain");
+        let formatted = catch_unwind(|| panic!("value {}", 3)).unwrap_err();
+        assert_eq!(panic_message(formatted.as_ref()), "value 3");
     }
 
     #[test]

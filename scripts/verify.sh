@@ -13,4 +13,36 @@ cargo build --release --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
 
+# Unwrap hygiene on the fault-injection substrate: the jtag and runtime
+# library paths must stay free of .unwrap()/.expect() so injected faults
+# surface as typed errors, never as harness panics.
+cargo clippy -p sint-jtag -p sint-runtime --lib -- -D warnings -D clippy::unwrap_used
+
+# Campaign kill/resume determinism: run the checkpointed campaign to
+# completion, run it again but kill it halfway, resume from the
+# snapshot, and require the two summaries to be byte-identical — across
+# different thread counts, with 10% of trials deliberately broken.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+SINT_THREADS=1 target/release/campaign_resume \
+    "$tmp/ref_ckpt.json" "$tmp/ref_summary.json"
+
+status=0
+SINT_THREADS=4 target/release/campaign_resume \
+    "$tmp/ckpt.json" "$tmp/summary.json" --halt-after 10 || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "verify: FAIL — halted run exited $status, expected 3" >&2
+    exit 1
+fi
+
+SINT_THREADS=4 target/release/campaign_resume \
+    "$tmp/ckpt.json" "$tmp/summary.json"
+
+if ! cmp "$tmp/ref_summary.json" "$tmp/summary.json"; then
+    echo "verify: FAIL — resumed summary differs from uninterrupted run" >&2
+    exit 1
+fi
+echo "campaign resume: summaries byte-identical"
+
 echo "verify: OK"
