@@ -10,8 +10,18 @@
 //! re-running only unfinished trials. The final summary JSON is
 //! byte-identical to an uninterrupted run at any `SINT_THREADS`.
 //!
+//! With `--deadline-ms N` the campaign runs deadline-bounded: every
+//! trial gets an `N`-millisecond budget and one control is swapped for
+//! a wedged trial (a solve that cannot finish inside any deadline). At
+//! `N = 0` the deadline has already expired when the first solver
+//! cancellation poll runs, so every solver-bound trial sheds at the
+//! same deterministic step — which makes the kill/resume byte-identity
+//! contract checkable for shed records too: the checkpoint must
+//! round-trip `TrialShed` entries exactly.
+//!
 //! ```text
-//! campaign_resume <checkpoint.json> <summary.json> [--halt-after N]
+//! campaign_resume <checkpoint.json> <summary.json> \
+//!     [--halt-after N] [--deadline-ms N]
 //! ```
 //!
 //! Exit codes: 0 = campaign complete, 2 = usage/IO error, 3 = halted
@@ -30,10 +40,13 @@ const SNAPSHOT_EVERY: usize = 5;
 /// The fixed batch: healthy controls, detectable and borderline
 /// defects, plus two deliberately broken trials (indices 3 and 17 by
 /// the `% 10` pattern below — one harness panic, one solver blow-up).
-fn trials() -> Vec<Trial> {
+/// In deadline mode, index 5 becomes a wedged trial that can only end
+/// by shedding at its deadline.
+fn trials(wedged: bool) -> Vec<Trial> {
     (0..TRIALS)
         .map(|i| match i % 10 {
             3 => Trial::panicking(),
+            5 if wedged && i == 5 => Trial::wedged(),
             7 => Trial::defective(Defect::CouplingBoost { wire: 1, factor: 1e308 }),
             k if k % 2 == 0 => Trial::control(),
             _ => Trial::defective(Defect::CouplingBoost { wire: 1, factor: 6.0 }),
@@ -45,11 +58,13 @@ struct Args {
     checkpoint_path: String,
     summary_path: String,
     halt_after: Option<usize>,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut halt_after = None;
+    let mut deadline_ms = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         if arg == "--halt-after" {
@@ -58,19 +73,29 @@ fn parse_args() -> Result<Args, String> {
                 .parse::<usize>()
                 .map_err(|_| format!("--halt-after wants a number, got {value:?}"))?;
             halt_after = Some(count);
+        } else if arg == "--deadline-ms" {
+            let value = argv.next().ok_or("--deadline-ms needs a millisecond count")?;
+            let ms = value
+                .parse::<u64>()
+                .map_err(|_| format!("--deadline-ms wants a number, got {value:?}"))?;
+            deadline_ms = Some(ms);
         } else {
             positional.push(arg);
         }
     }
     if positional.len() != 2 {
-        return Err("usage: campaign_resume <checkpoint.json> <summary.json> [--halt-after N]"
-            .to_string());
+        return Err(
+            "usage: campaign_resume <checkpoint.json> <summary.json> \
+             [--halt-after N] [--deadline-ms N]"
+                .to_string(),
+        );
     }
     let mut positional = positional.into_iter();
     Ok(Args {
         checkpoint_path: positional.next().unwrap_or_default(),
         summary_path: positional.next().unwrap_or_default(),
         halt_after,
+        deadline_ms,
     })
 }
 
@@ -91,9 +116,12 @@ fn run() -> Result<ExitCode, String> {
     // the summary anyway).
     std::panic::set_hook(Box::new(|_| {}));
 
-    let campaign =
+    let mut campaign =
         Campaign::new(3).retry(RetryPolicy { max_attempts: 2, ..RetryPolicy::default() });
-    let batch = trials();
+    if let Some(ms) = args.deadline_ms {
+        campaign = campaign.deadline(std::time::Duration::from_millis(ms));
+    }
+    let batch = trials(args.deadline_ms.is_some());
     let checkpoint_path = args.checkpoint_path.clone();
     let halt_after = args.halt_after;
     let run = campaign.run_checkpointed(&batch, threads, &mut checkpoint, SNAPSHOT_EVERY, |cp| {

@@ -1,0 +1,163 @@
+//! **Tool** — degraded-mode policy matrix, used by `scripts/verify.sh`.
+//!
+//! Injects every [`ScanFault`] variant into an 8-wire SoC and runs the
+//! integrity session under both [`ChainPolicy`] arms, asserting the
+//! documented contract:
+//!
+//! * `Strict` refuses every damaged chain with a typed error.
+//! * `Degrade` accepts exactly the fault class it can localize — a
+//!   [`ScanFault::BoundaryStuck`] break — and attaches a
+//!   `CoverageReport` plus the full concession trail to the report;
+//!   every other fault (serial links, TAP, TCK) is refused with a
+//!   typed error, never a silent partial result.
+//!
+//! The matrix cases run on a `SINT_THREADS`-wide worker pool and the
+//! summary JSON (including the complete degraded-session report) is
+//! written to the given path, so `verify.sh` can byte-compare runs at
+//! different thread counts: parallelism must not perturb a degraded
+//! session's output in any way.
+//!
+//! ```text
+//! degraded_matrix <summary.json>
+//! ```
+//!
+//! Exit codes: 0 = matrix matches the contract, 1 = contract violated,
+//! 2 = usage/IO error.
+
+use sint_bench::threads_from_env;
+use sint_core::degrade::ChainPolicy;
+use sint_core::session::{ObservationMethod, SessionConfig};
+use sint_core::soc::SocBuilder;
+use sint_core::CoreError;
+use sint_jtag::fault::ScanFault;
+use sint_jtag::state::TapState;
+use sint_runtime::json::{Json, ToJson};
+use sint_runtime::pool::Pool;
+use std::process::ExitCode;
+
+const WIDTH: usize = 8;
+const MIN_COVERAGE: f64 = 0.5;
+
+/// One concrete fault per `ScanFault` variant. Only the boundary break
+/// is degradable; everything else corrupts the serial path itself.
+fn matrix() -> Vec<(&'static str, ScanFault, bool)> {
+    vec![
+        ("stuck_at_zero", ScanFault::StuckAtZero { link: 0 }, false),
+        ("stuck_at_one", ScanFault::StuckAtOne { link: 1 }, false),
+        ("bit_flip", ScanFault::BitFlip { link: 0, period: 5 }, false),
+        ("stuck_tap", ScanFault::StuckTap { state: TapState::ShiftDr }, false),
+        ("dropped_tck", ScanFault::DroppedTck { period: 7 }, false),
+        (
+            "boundary_stuck",
+            ScanFault::BoundaryStuck { device: 0, cell: 6, level: false },
+            true,
+        ),
+    ]
+}
+
+fn run_policy(fault: ScanFault, policy: ChainPolicy) -> Result<Json, String> {
+    let mut soc = SocBuilder::new(WIDTH)
+        .scan_fault(fault)
+        .chain_policy(policy)
+        .build()
+        .map_err(|e| format!("build failed: {e}"))?;
+    match soc.run_integrity_test(&SessionConfig::method(ObservationMethod::Once)) {
+        Ok(report) => Ok(Json::obj([
+            ("accepted", true.to_json()),
+            ("report", report.to_json()),
+        ])),
+        Err(e) => Ok(Json::obj([
+            ("accepted", false.to_json()),
+            ("error_kind", error_kind(&e).to_json()),
+            ("error", e.to_string().to_json()),
+        ])),
+    }
+}
+
+fn error_kind(e: &CoreError) -> &'static str {
+    match e {
+        CoreError::Infrastructure(_) => "infrastructure",
+        CoreError::InsufficientCoverage { .. } => "insufficient_coverage",
+        _ => "other",
+    }
+}
+
+/// Checks one matrix row against the contract; returns the row's JSON.
+fn run_case(name: &str, fault: ScanFault, degradable: bool) -> Result<Json, String> {
+    let strict = run_policy(fault, ChainPolicy::Strict)?;
+    let degrade = run_policy(fault, ChainPolicy::Degrade { min_coverage: MIN_COVERAGE })?;
+
+    let accepted = |j: &Json| matches!(j, Json::Object(p) if p.iter().any(
+        |(k, v)| k == "accepted" && *v == Json::Bool(true)));
+    if accepted(&strict) {
+        return Err(format!("{name}: Strict accepted a damaged chain"));
+    }
+    if accepted(&degrade) != degradable {
+        return Err(format!(
+            "{name}: Degrade {} but the fault is {}",
+            if degradable { "refused" } else { "accepted" },
+            if degradable { "localizable" } else { "not localizable" },
+        ));
+    }
+    if degradable {
+        let rendered = degrade.render();
+        for key in ["\"degradation\"", "\"coverage\"", "\"covered\"", "\"events\""] {
+            if !rendered.contains(key) {
+                return Err(format!("{name}: degraded report lacks {key}"));
+            }
+        }
+    }
+    Ok(Json::obj([
+        ("fault", name.to_json()),
+        ("strict", strict),
+        ("degrade", degrade),
+    ]))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut argv = std::env::args().skip(1);
+    let (Some(out_path), None) = (argv.next(), argv.next()) else {
+        return Err("usage: degraded_matrix <summary.json>".to_string());
+    };
+
+    let threads = threads_from_env();
+    let cases = matrix();
+    let results = Pool::new(threads).try_map(&cases, |_, &(name, fault, degradable)| {
+        run_case(name, fault, degradable)
+    });
+
+    let mut rows = Vec::new();
+    for ((name, ..), result) in cases.iter().zip(results) {
+        match result {
+            Ok(Ok(row)) => rows.push(row),
+            Ok(Err(violation)) => {
+                eprintln!("degraded_matrix: FAIL — {violation}");
+                return Ok(ExitCode::from(1));
+            }
+            Err(panic) => {
+                eprintln!("degraded_matrix: FAIL — case {name} panicked: {panic}");
+                return Ok(ExitCode::from(1));
+            }
+        }
+    }
+
+    let summary = Json::obj([
+        ("width", WIDTH.to_json()),
+        ("min_coverage", MIN_COVERAGE.to_json()),
+        ("cases", Json::arr(rows)),
+    ]);
+    std::fs::write(&out_path, format!("{}\n", summary.render_pretty()))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!("degraded_matrix: {} cases, {threads} threads: contract holds", cases.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("degraded_matrix: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

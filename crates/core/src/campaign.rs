@@ -12,10 +12,12 @@ use crate::soc::SocBuilder;
 use sint_interconnect::defect::Defect;
 use sint_interconnect::params::BusParams;
 use sint_interconnect::variation::VariationSigma;
+use sint_runtime::cancel::CancelToken;
 use sint_runtime::json::{Json, ToJson};
 use sint_runtime::pool::{panic_message, Pool};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 /// Deliberate in-trial sabotage, for exercising the campaign engine's
 /// failure-isolation path under test. Production trials use
@@ -28,6 +30,12 @@ pub enum TrialSabotage {
     /// The trial panics mid-execution, emulating an infrastructure bug
     /// in the harness rather than a signal-integrity result.
     Panic,
+    /// The trial wedges: it runs a real session whose settle time is
+    /// inflated a thousandfold, so a single transient takes far longer
+    /// than any sane trial deadline. Requires the campaign to carry a
+    /// [`Campaign::deadline`] — without one the trial refuses with
+    /// [`CoreError::BadConfig`] instead of hanging the batch.
+    Wedge,
 }
 
 /// One campaign trial: a defect (or `None` for a healthy control) and
@@ -60,6 +68,14 @@ impl Trial {
         Trial { defect: None, sabotage: TrialSabotage::Panic }
     }
 
+    /// A trial that wedges in the solver — the campaign's per-trial
+    /// deadline must cut it loose as a [`TrialShed`] instead of letting
+    /// it stall the batch.
+    #[must_use]
+    pub fn wedged() -> Trial {
+        Trial { defect: None, sabotage: TrialSabotage::Wedge }
+    }
+
     /// The wire whose verdict is judged (the defect's focus, or wire 0
     /// for controls).
     #[must_use]
@@ -88,6 +104,10 @@ pub enum TrialOutcome {
     /// error on every attempt. Details live in the run's
     /// [`TrialFailure`] list.
     Failed,
+    /// The trial was shed — abandoned at its deadline or never started
+    /// because the campaign budget ran out. Not a verdict and not a
+    /// harness failure; details live in the run's [`TrialShed`] list.
+    Shed,
 }
 
 impl TrialOutcome {
@@ -110,6 +130,7 @@ impl ToJson for TrialOutcome {
             TrialOutcome::CleanPass => Json::obj([("kind", "clean_pass".to_json())]),
             TrialOutcome::FalseAlarm => Json::obj([("kind", "false_alarm".to_json())]),
             TrialOutcome::Failed => Json::obj([("kind", "failed".to_json())]),
+            TrialOutcome::Shed => Json::obj([("kind", "shed".to_json())]),
         }
     }
 }
@@ -128,6 +149,10 @@ pub struct CampaignStats {
     /// Trials that produced no verdict (panic or error on every
     /// attempt). Excluded from both rate denominators.
     pub failed_trials: usize,
+    /// Trials shed by a deadline or the campaign budget. Excluded from
+    /// both rate denominators: an abandoned trial says nothing about
+    /// detection.
+    pub shed_trials: usize,
 }
 
 impl CampaignStats {
@@ -168,6 +193,7 @@ impl CampaignStats {
                     stats.false_alarms += 1;
                 }
                 TrialOutcome::Failed => stats.failed_trials += 1,
+                TrialOutcome::Shed => stats.shed_trials += 1,
             }
         }
         stats
@@ -182,6 +208,7 @@ impl ToJson for CampaignStats {
             ("control_trials", self.control_trials.to_json()),
             ("false_alarms", self.false_alarms.to_json()),
             ("failed_trials", self.failed_trials.to_json()),
+            ("shed_trials", self.shed_trials.to_json()),
             ("detection_rate", self.detection_rate().to_json()),
             ("false_alarm_rate", self.false_alarm_rate().to_json()),
         ])
@@ -192,14 +219,15 @@ impl fmt::Display for CampaignStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}/{} detected ({:.0}%), {}/{} false alarms ({:.0}%), {} failed",
+            "{}/{} detected ({:.0}%), {}/{} false alarms ({:.0}%), {} failed, {} shed",
             self.detected,
             self.defect_trials,
             100.0 * self.detection_rate(),
             self.false_alarms,
             self.control_trials,
             100.0 * self.false_alarm_rate(),
-            self.failed_trials
+            self.failed_trials,
+            self.shed_trials
         )
     }
 }
@@ -257,9 +285,89 @@ impl ToJson for TrialFailure {
     }
 }
 
+/// Why one trial was abandoned without a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The trial's own wall-clock deadline fired mid-solve; the solver
+    /// stopped cooperatively at its next cancellation check.
+    Deadline {
+        /// Solver timestep at which the cancellation was observed.
+        step: usize,
+    },
+    /// The campaign budget was exhausted before the trial started.
+    Budget,
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::Deadline { step } => {
+                write!(f, "deadline exceeded (cancelled at solver step {step})")
+            }
+            ShedReason::Budget => f.write_str("campaign budget exhausted before start"),
+        }
+    }
+}
+
+impl ToJson for ShedReason {
+    fn to_json(&self) -> Json {
+        match self {
+            ShedReason::Deadline { step } => Json::obj([
+                ("kind", "deadline".to_json()),
+                ("step", step.to_json()),
+            ]),
+            ShedReason::Budget => Json::obj([("kind", "budget".to_json())]),
+        }
+    }
+}
+
+/// One trial the campaign gave up on: deadline-cancelled mid-run or
+/// never started for lack of budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialShed {
+    /// Index of the trial in the batch.
+    pub index: usize,
+    /// Base variation seed of the trial (its index).
+    pub seed: u64,
+    /// Why the trial was shed.
+    pub reason: ShedReason,
+}
+
+impl fmt::Display for TrialShed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trial {} (seed {}) shed: {}", self.index, self.seed, self.reason)
+    }
+}
+
+impl ToJson for TrialShed {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("index", self.index.to_json()),
+            ("seed", self.seed.to_json()),
+            ("reason", self.reason.to_json()),
+        ])
+    }
+}
+
+/// How one trial attempt sequence ended without a verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TrialAbort {
+    /// Every attempt panicked or errored.
+    Failed {
+        /// Attempts made before giving up.
+        attempts: usize,
+        /// The last panic message or error rendering.
+        error: String,
+    },
+    /// The trial was abandoned by a deadline or never started for lack
+    /// of budget. Never retried: a deadline overrun would only repeat.
+    Shed(ShedReason),
+}
+
 /// Everything a campaign batch produced: per-trial outcomes in input
-/// order (failed trials hold [`TrialOutcome::Failed`]), structured
-/// failure records, and the aggregate statistics.
+/// order (failed trials hold [`TrialOutcome::Failed`], shed trials
+/// [`TrialOutcome::Shed`]), structured failure and shed records, and
+/// the aggregate statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignRun {
     /// Aggregate statistics over `outcomes`.
@@ -269,6 +377,9 @@ pub struct CampaignRun {
     /// Failure details for every [`TrialOutcome::Failed`], ordered by
     /// trial index.
     pub failures: Vec<TrialFailure>,
+    /// Shed details for every [`TrialOutcome::Shed`], ordered by trial
+    /// index.
+    pub shed: Vec<TrialShed>,
 }
 
 impl ToJson for CampaignRun {
@@ -277,6 +388,7 @@ impl ToJson for CampaignRun {
             ("stats", self.stats.to_json()),
             ("outcomes", Json::Array(self.outcomes.iter().map(ToJson::to_json).collect())),
             ("failures", Json::Array(self.failures.iter().map(ToJson::to_json).collect())),
+            ("shed", Json::Array(self.shed.iter().map(ToJson::to_json).collect())),
         ])
     }
 }
@@ -289,6 +401,8 @@ pub struct Campaign {
     config: SessionConfig,
     variation: Option<(VariationSigma, u64)>,
     retry: RetryPolicy,
+    deadline: Option<Duration>,
+    budget: Option<Duration>,
 }
 
 impl Campaign {
@@ -301,6 +415,8 @@ impl Campaign {
             config: SessionConfig::method(ObservationMethod::Once),
             variation: None,
             retry: RetryPolicy::default(),
+            deadline: None,
+            budget: None,
         }
     }
 
@@ -339,6 +455,39 @@ impl Campaign {
         self.retry
     }
 
+    /// Gives every trial a wall-clock deadline: a cancellation token
+    /// with this budget is installed on the trial's SoC, the solver
+    /// polls it between timesteps, and an overrun trial is recorded as
+    /// [`TrialShed`] with [`ShedReason::Deadline`] — never retried, and
+    /// never allowed to stall its siblings.
+    #[must_use]
+    pub fn deadline(mut self, per_trial: Duration) -> Campaign {
+        self.deadline = Some(per_trial);
+        self
+    }
+
+    /// The per-trial deadline, if any.
+    #[must_use]
+    pub fn trial_deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Bounds the whole batch's wall-clock: once the budget expires,
+    /// trials that have not started are shed with
+    /// [`ShedReason::Budget`] instead of being dispatched. Trials
+    /// already in flight run to completion (or to their own deadline).
+    #[must_use]
+    pub fn budget(mut self, total: Duration) -> Campaign {
+        self.budget = Some(total);
+        self
+    }
+
+    /// The campaign wall-clock budget, if any.
+    #[must_use]
+    pub fn campaign_budget(&self) -> Option<Duration> {
+        self.budget
+    }
+
     /// Runs one trial.
     ///
     /// # Errors
@@ -362,6 +511,18 @@ impl Campaign {
         if trial.sabotage == TrialSabotage::Panic {
             panic!("injected fault: sabotaged trial (TrialSabotage::Panic)");
         }
+        let config = match trial.sabotage {
+            TrialSabotage::Wedge => {
+                if self.deadline.is_none() {
+                    return Err(CoreError::config(
+                        "a wedged trial needs a per-trial deadline to escape; \
+                         set Campaign::deadline",
+                    ));
+                }
+                SessionConfig { settle_time: self.config.settle_time * 1000.0, ..self.config }
+            }
+            _ => self.config,
+        };
         let mut builder = SocBuilder::new(self.wires).bus_params(self.bus_params.clone());
         if let Some((sigma, base)) = self.variation {
             builder = builder.with_variation(sigma, base.wrapping_add(seed_offset));
@@ -370,7 +531,10 @@ impl Campaign {
             builder = builder.defect(defect);
         }
         let mut soc = builder.build()?;
-        let report = soc.run_integrity_test(&self.config)?;
+        if let Some(per_trial) = self.deadline {
+            soc.set_cancel_token(Some(CancelToken::with_deadline(per_trial)));
+        }
+        let report = soc.run_integrity_test(&config)?;
         Ok(match trial.defect {
             Some(_) => {
                 let v = report.wire(trial.judged_wire());
@@ -400,7 +564,13 @@ impl Campaign {
         &self,
         trial: Trial,
         base_seed: u64,
-    ) -> Result<TrialOutcome, (usize, String)> {
+        budget: Option<&CancelToken>,
+    ) -> Result<TrialOutcome, TrialAbort> {
+        if let Some(token) = budget {
+            if token.poll_deadline() || token.is_cancelled() {
+                return Err(TrialAbort::Shed(ShedReason::Budget));
+            }
+        }
         let max_attempts = self.retry.max_attempts.max(1);
         let mut last_error = String::new();
         for attempt in 0..max_attempts {
@@ -408,11 +578,16 @@ impl Campaign {
                 base_seed.wrapping_add((attempt as u64).wrapping_mul(self.retry.seed_stride));
             match catch_unwind(AssertUnwindSafe(|| self.run_trial_seeded(trial, seed))) {
                 Ok(Ok(outcome)) => return Ok(outcome),
+                // A deadline overrun is shed, never retried: re-running
+                // the same trial against the same clock only repeats.
+                Ok(Err(CoreError::DeadlineExceeded { step })) => {
+                    return Err(TrialAbort::Shed(ShedReason::Deadline { step }));
+                }
                 Ok(Err(error)) => last_error = error.to_string(),
                 Err(payload) => last_error = panic_message(&*payload),
             }
         }
-        Err((max_attempts, last_error))
+        Err(TrialAbort::Failed { attempts: max_attempts, error: last_error })
     }
 
     /// Runs a batch of trials serially.
@@ -439,18 +614,25 @@ impl Campaign {
     /// broken trial never takes down its siblings or the batch.
     #[must_use]
     pub fn run_parallel(&self, trials: &[Trial], threads: usize) -> CampaignRun {
-        let results = Pool::new(threads)
-            .try_map(trials, |idx, trial| self.run_trial_attempts(*trial, idx as u64));
+        let budget_token = self.budget.map(CancelToken::with_deadline);
+        let results = Pool::new(threads).try_map(trials, |idx, trial| {
+            self.run_trial_attempts(*trial, idx as u64, budget_token.as_ref())
+        });
         let max_attempts = self.retry.max_attempts.max(1);
         let mut outcomes = Vec::with_capacity(results.len());
         let mut failures = Vec::new();
+        let mut shed = Vec::new();
         for (index, result) in results.into_iter().enumerate() {
             let seed = index as u64;
             match result {
                 Ok(Ok(outcome)) => outcomes.push(outcome),
-                Ok(Err((attempts, error))) => {
+                Ok(Err(TrialAbort::Failed { attempts, error })) => {
                     outcomes.push(TrialOutcome::Failed);
                     failures.push(TrialFailure { index, seed, attempts, error });
+                }
+                Ok(Err(TrialAbort::Shed(reason))) => {
+                    outcomes.push(TrialOutcome::Shed);
+                    shed.push(TrialShed { index, seed, reason });
                 }
                 // The per-attempt catch_unwind above is the first line
                 // of defence; the pool's own isolation is the backstop.
@@ -465,7 +647,7 @@ impl Campaign {
                 }
             }
         }
-        CampaignRun { stats: CampaignStats::tally(&outcomes), outcomes, failures }
+        CampaignRun { stats: CampaignStats::tally(&outcomes), outcomes, failures, shed }
     }
 }
 
@@ -571,13 +753,17 @@ mod tests {
             control_trials: 1,
             false_alarms: 0,
             failed_trials: 0,
+            shed_trials: 0,
         };
         let j = stats.to_json().render();
         assert!(j.contains("\"detection_rate\":0.5"), "{j}");
         assert!(j.contains("\"failed_trials\":0"), "{j}");
+        assert!(j.contains("\"shed_trials\":0"), "{j}");
         let o = TrialOutcome::Detected { noise: true, skew: false }.to_json().render();
         assert_eq!(o, r#"{"kind":"detected","noise":true,"skew":false}"#);
         assert_eq!(TrialOutcome::Failed.to_json().render(), r#"{"kind":"failed"}"#);
+        assert_eq!(TrialOutcome::Shed.to_json().render(), r#"{"kind":"shed"}"#);
+        assert!(!TrialOutcome::Shed.is_good());
     }
 
     #[test]
@@ -631,5 +817,86 @@ mod tests {
         assert!(j.contains("\"failures\":["), "{j}");
         assert!(j.contains("\"attempts\":1"), "{j}");
         assert!(j.contains("injected fault"), "{j}");
+        assert!(j.contains("\"shed\":[]"), "{j}");
+    }
+
+    #[test]
+    fn wedged_trial_is_shed_at_its_deadline_without_stalling_siblings() {
+        // A quarter second is an eternity for a healthy 3-wire session
+        // but far too short for the wedge's thousandfold settle window.
+        let campaign = Campaign::new(3).deadline(Duration::from_millis(250));
+        let trials = [
+            Trial::control(),
+            Trial::wedged(),
+            Trial::defective(Defect::CouplingBoost { wire: 1, factor: 6.0 }),
+        ];
+        let run = campaign.run(&trials);
+        assert_eq!(run.outcomes[0], TrialOutcome::CleanPass);
+        assert_eq!(run.outcomes[1], TrialOutcome::Shed);
+        assert!(matches!(run.outcomes[2], TrialOutcome::Detected { .. }));
+        assert_eq!(run.shed.len(), 1);
+        let shed = &run.shed[0];
+        assert_eq!((shed.index, shed.seed), (1, 1));
+        assert!(
+            matches!(shed.reason, ShedReason::Deadline { .. }),
+            "wedge must die by deadline: {:?}",
+            shed.reason
+        );
+        assert!(shed.to_string().contains("deadline"), "{shed}");
+        // Shed trials stay out of the rate denominators.
+        assert_eq!(run.stats.shed_trials, 1);
+        assert_eq!(run.stats.defect_trials, 1);
+        assert_eq!(run.stats.control_trials, 1);
+        assert_eq!(run.stats.failed_trials, 0);
+        assert!(run.stats.to_string().contains("1 shed"), "{}", run.stats);
+    }
+
+    #[test]
+    fn wedged_trial_without_a_deadline_refuses_instead_of_hanging() {
+        let run = Campaign::new(3).run(&[Trial::wedged()]);
+        assert_eq!(run.outcomes[0], TrialOutcome::Failed);
+        assert!(run.failures[0].error.contains("deadline"), "{}", run.failures[0].error);
+    }
+
+    #[test]
+    fn exhausted_budget_sheds_unstarted_trials() {
+        // A zero budget is already expired when the batch starts: every
+        // trial is shed before dispatch, deterministically.
+        let campaign = Campaign::new(3).budget(Duration::ZERO);
+        let trials = [
+            Trial::control(),
+            Trial::defective(Defect::CouplingBoost { wire: 1, factor: 6.0 }),
+        ];
+        for threads in [1usize, 4] {
+            let run = campaign.run_parallel(&trials, threads);
+            assert!(
+                run.outcomes.iter().all(|o| *o == TrialOutcome::Shed),
+                "{threads} threads: {:?}",
+                run.outcomes
+            );
+            assert_eq!(run.shed.len(), 2, "{threads} threads");
+            assert!(run
+                .shed
+                .iter()
+                .all(|s| s.reason == ShedReason::Budget));
+            assert_eq!(run.stats.shed_trials, 2);
+            // No verdicts, so the rates fall back to their vacuous
+            // defaults instead of claiming misses or false alarms.
+            assert_eq!(run.stats.detection_rate(), 1.0);
+            assert_eq!(run.stats.false_alarm_rate(), 0.0);
+        }
+    }
+
+    #[test]
+    fn generous_deadline_leaves_summaries_untouched() {
+        // The determinism contract: adding a deadline no trial hits
+        // must not change a single byte of the summary.
+        let trials = [
+            Trial::control(),
+            Trial::defective(Defect::CouplingBoost { wire: 1, factor: 6.0 }),
+        ];
+        let plain = Campaign::new(3).run(&trials);
+        let bounded = Campaign::new(3).deadline(Duration::from_secs(600)).run(&trials);
+        assert_eq!(plain.to_json().render(), bounded.to_json().render());
     }
 }

@@ -11,14 +11,19 @@
 //! an uninterrupted run at any thread count.
 
 use crate::campaign::{
-    Campaign, CampaignRun, CampaignStats, Trial, TrialFailure, TrialOutcome,
+    Campaign, CampaignRun, CampaignStats, ShedReason, Trial, TrialAbort, TrialFailure,
+    TrialOutcome, TrialShed,
 };
+use sint_runtime::cancel::CancelToken;
 use sint_runtime::json::{Json, JsonParseError, ToJson};
 use sint_runtime::pool::Pool;
 use std::fmt;
 
 /// Checkpoint format version emitted by [`CampaignCheckpoint::to_json`].
-const CHECKPOINT_VERSION: u64 = 1;
+/// Version 2 added shed records ([`TrialOutcome::Shed`] plus the
+/// `shed` field); version-1 snapshots predate deadline support and are
+/// rejected rather than silently resumed without their shed state.
+const CHECKPOINT_VERSION: u64 = 2;
 
 /// Errors produced while decoding a checkpoint snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,10 +73,16 @@ pub struct CheckpointEntry {
     pub index: usize,
     /// Base variation seed the trial ran with (its index).
     pub seed: u64,
-    /// The verdict ([`TrialOutcome::Failed`] when every attempt died).
+    /// The verdict ([`TrialOutcome::Failed`] when every attempt died,
+    /// [`TrialOutcome::Shed`] when a deadline or the budget cut it).
     pub outcome: TrialOutcome,
     /// Failure details when `outcome` is [`TrialOutcome::Failed`].
     pub failure: Option<TrialFailure>,
+    /// Shed details when `outcome` is [`TrialOutcome::Shed`]. Recorded
+    /// so a resumed summary stays byte-identical to an uninterrupted
+    /// one; drop the entry from the snapshot to re-run a shed trial
+    /// under a fresh budget.
+    pub shed: Option<TrialShed>,
 }
 
 impl ToJson for CheckpointEntry {
@@ -82,6 +93,10 @@ impl ToJson for CheckpointEntry {
             ("outcome", self.outcome.to_json()),
             ("failure", match &self.failure {
                 Some(f) => f.to_json(),
+                None => Json::Null,
+            }),
+            ("shed", match &self.shed {
+                Some(s) => s.to_json(),
                 None => Json::Null,
             }),
         ])
@@ -205,10 +220,23 @@ fn parse_outcome(outcome: &Json) -> Result<TrialOutcome, CheckpointError> {
         "clean_pass" => TrialOutcome::CleanPass,
         "false_alarm" => TrialOutcome::FalseAlarm,
         "failed" => TrialOutcome::Failed,
+        "shed" => TrialOutcome::Shed,
         other => {
             return Err(CheckpointError::schema(format!("unknown outcome kind {other:?}")));
         }
     })
+}
+
+fn parse_shed_reason(reason: &Json) -> Result<ShedReason, CheckpointError> {
+    let kind = reason
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| CheckpointError::schema("shed reason is missing its kind"))?;
+    match kind {
+        "deadline" => Ok(ShedReason::Deadline { step: field_u64(reason, "step")? as usize }),
+        "budget" => Ok(ShedReason::Budget),
+        other => Err(CheckpointError::schema(format!("unknown shed reason {other:?}"))),
+    }
 }
 
 fn parse_entry(entry: &Json) -> Result<CheckpointEntry, CheckpointError> {
@@ -230,7 +258,18 @@ fn parse_entry(entry: &Json) -> Result<CheckpointEntry, CheckpointError> {
                 .to_string(),
         }),
     };
-    Ok(CheckpointEntry { index, seed, outcome, failure })
+    let shed = match entry.get("shed") {
+        None | Some(Json::Null) => None,
+        Some(s) => Some(TrialShed {
+            index: field_u64(s, "index")? as usize,
+            seed: field_u64(s, "seed")?,
+            reason: parse_shed_reason(
+                s.get("reason")
+                    .ok_or_else(|| CheckpointError::schema("shed record has no reason"))?,
+            )?,
+        }),
+    };
+    Ok(CheckpointEntry { index, seed, outcome, failure, shed })
 }
 
 impl Campaign {
@@ -266,16 +305,24 @@ impl Campaign {
             .collect();
         let pool = Pool::new(threads);
         let max_attempts = self.retry_policy().max_attempts.max(1);
+        let budget_token = self.campaign_budget().map(CancelToken::with_deadline);
         for batch in pending.chunks(snapshot_every.max(1)) {
-            let results = pool
-                .try_map(batch, |_, (index, trial)| self.run_trial_attempts(*trial, *index as u64));
+            let results = pool.try_map(batch, |_, (index, trial)| {
+                self.run_trial_attempts(*trial, *index as u64, budget_token.as_ref())
+            });
             for ((index, _), result) in batch.iter().zip(results) {
                 let seed = *index as u64;
-                let (outcome, failure) = match result {
-                    Ok(Ok(outcome)) => (outcome, None),
-                    Ok(Err((attempts, error))) => (
+                let (outcome, failure, shed) = match result {
+                    Ok(Ok(outcome)) => (outcome, None, None),
+                    Ok(Err(TrialAbort::Failed { attempts, error })) => (
                         TrialOutcome::Failed,
                         Some(TrialFailure { index: *index, seed, attempts, error }),
+                        None,
+                    ),
+                    Ok(Err(TrialAbort::Shed(reason))) => (
+                        TrialOutcome::Shed,
+                        None,
+                        Some(TrialShed { index: *index, seed, reason }),
                     ),
                     Err(panic) => (
                         TrialOutcome::Failed,
@@ -285,14 +332,16 @@ impl Campaign {
                             attempts: max_attempts,
                             error: panic.message,
                         }),
+                        None,
                     ),
                 };
-                checkpoint.record(CheckpointEntry { index: *index, seed, outcome, failure });
+                checkpoint.record(CheckpointEntry { index: *index, seed, outcome, failure, shed });
             }
             sink(checkpoint);
         }
         let mut outcomes = Vec::with_capacity(trials.len());
         let mut failures = Vec::new();
+        let mut shed = Vec::new();
         for index in 0..trials.len() {
             let entry = checkpoint
                 .entry_for(index, index as u64)
@@ -301,8 +350,11 @@ impl Campaign {
             if let Some(failure) = &entry.failure {
                 failures.push(failure.clone());
             }
+            if let Some(record) = entry.shed {
+                shed.push(record);
+            }
         }
-        CampaignRun { stats: CampaignStats::tally(&outcomes), outcomes, failures }
+        CampaignRun { stats: CampaignStats::tally(&outcomes), outcomes, failures, shed }
     }
 }
 
@@ -329,6 +381,7 @@ mod tests {
             seed: 0,
             outcome: TrialOutcome::Detected { noise: true, skew: false },
             failure: None,
+            shed: None,
         });
         checkpoint.record(CheckpointEntry {
             index: 2,
@@ -340,8 +393,28 @@ mod tests {
                 attempts: 2,
                 error: "injected fault: sabotaged trial".into(),
             }),
+            shed: None,
+        });
+        checkpoint.record(CheckpointEntry {
+            index: 3,
+            seed: 3,
+            outcome: TrialOutcome::Shed,
+            failure: None,
+            shed: Some(TrialShed {
+                index: 3,
+                seed: 3,
+                reason: ShedReason::Deadline { step: 64 },
+            }),
+        });
+        checkpoint.record(CheckpointEntry {
+            index: 4,
+            seed: 4,
+            outcome: TrialOutcome::Shed,
+            failure: None,
+            shed: Some(TrialShed { index: 4, seed: 4, reason: ShedReason::Budget }),
         });
         let rendered = checkpoint.to_json().render();
+        assert!(rendered.contains(r#""version":2"#), "{rendered}");
         let parsed = CampaignCheckpoint::parse(&rendered).unwrap();
         assert_eq!(parsed, checkpoint);
         assert_eq!(parsed.to_json().render(), rendered, "re-rendering is stable");
@@ -356,15 +429,29 @@ mod tests {
         for bad in [
             r#"{"entries":[]}"#,
             r#"{"version":9,"entries":[]}"#,
-            r#"{"version":1}"#,
-            r#"{"version":1,"entries":[{"index":0}]}"#,
-            r#"{"version":1,"entries":[{"index":0,"seed":0,"outcome":{"kind":"nope"},"failure":null}]}"#,
+            r#"{"version":1,"entries":[]}"#,
+            r#"{"version":2}"#,
+            r#"{"version":2,"entries":[{"index":0}]}"#,
+            r#"{"version":2,"entries":[{"index":0,"seed":0,"outcome":{"kind":"nope"},"failure":null}]}"#,
+            r#"{"version":2,"entries":[{"index":0,"seed":0,"outcome":{"kind":"shed"},"failure":null,"shed":{"index":0,"seed":0,"reason":{"kind":"nope"}}}]}"#,
         ] {
             assert!(
                 matches!(CampaignCheckpoint::parse(bad), Err(CheckpointError::Schema { .. })),
                 "{bad}"
             );
         }
+    }
+
+    #[test]
+    fn version_mismatch_converts_to_a_typed_core_error() {
+        use crate::error::CoreError;
+        // A pre-deadline (version 1) snapshot must be refused with a
+        // typed error the caller can branch on, not replayed silently.
+        let err = CampaignCheckpoint::parse(r#"{"version":1,"entries":[]}"#).unwrap_err();
+        let core: CoreError = err.into();
+        assert!(matches!(core, CoreError::Checkpoint(CheckpointError::Schema { .. })), "{core:?}");
+        let text = core.to_string();
+        assert!(text.contains("unsupported version 1"), "{text}");
     }
 
     #[test]
@@ -375,6 +462,7 @@ mod tests {
             seed: 3,
             outcome: TrialOutcome::CleanPass,
             failure: None,
+            shed: None,
         });
         assert!(checkpoint.entry_for(3, 3).is_some());
         assert!(checkpoint.entry_for(3, 7).is_none(), "wrong seed must not match");

@@ -33,6 +33,31 @@ pub enum CoreError {
     /// trusted. Carries the structured diagnosis naming the faulty
     /// link, cell or TAP state.
     Infrastructure(InfrastructureDiagnosis),
+    /// A degraded plan was asked to use a quarantined wire as a victim.
+    WireQuarantined {
+        /// The quarantined wire index.
+        wire: usize,
+    },
+    /// A `Degrade` session cannot meet its configured minimum fault
+    /// coverage: after quarantining, too few MA faults stay testable.
+    InsufficientCoverage {
+        /// MA faults still testable after quarantine.
+        covered: usize,
+        /// MA faults a healthy session would test (`6·width`).
+        total: usize,
+        /// The configured floor, as a fraction of `total`.
+        min_coverage: f64,
+    },
+    /// A trial's wall-clock deadline (or an explicit cancellation)
+    /// fired while the solver was running; the trial was abandoned
+    /// cooperatively at the next check interval.
+    DeadlineExceeded {
+        /// Solver timestep at which the cancellation was observed.
+        step: usize,
+    },
+    /// A campaign checkpoint file could not be used (unsupported
+    /// version, malformed JSON or schema).
+    Checkpoint(crate::checkpoint::CheckpointError),
 }
 
 impl CoreError {
@@ -55,6 +80,20 @@ impl fmt::Display for CoreError {
             CoreError::Interconnect(e) => write!(f, "interconnect: {e}"),
             CoreError::Logic(e) => write!(f, "logic: {e}"),
             CoreError::Infrastructure(d) => write!(f, "infrastructure: {d}"),
+            CoreError::WireQuarantined { wire } => {
+                write!(f, "wire {wire} is quarantined and cannot be a victim")
+            }
+            CoreError::InsufficientCoverage { covered, total, min_coverage } => {
+                write!(
+                    f,
+                    "degraded coverage {covered}/{total} below required {:.0}%",
+                    min_coverage * 100.0
+                )
+            }
+            CoreError::DeadlineExceeded { step } => {
+                write!(f, "trial deadline exceeded (cancelled at solver step {step})")
+            }
+            CoreError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -88,6 +127,13 @@ impl From<InterconnectError> for CoreError {
 impl From<LogicError> for CoreError {
     fn from(e: LogicError) -> Self {
         CoreError::Logic(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<crate::checkpoint::CheckpointError> for CoreError {
+    fn from(e: crate::checkpoint::CheckpointError) -> Self {
+        CoreError::Checkpoint(e)
     }
 }
 

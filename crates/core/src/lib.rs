@@ -24,6 +24,8 @@
 //!   2/3 read-outs.
 //! * [`infra`] — structured diagnosis of scan-infrastructure faults
 //!   found by the pre-session chain self-check.
+//! * [`degrade`] — graceful degradation: fault-localized quarantine,
+//!   re-planned partial sessions and the typed concession trail.
 //! * [`campaign`] / [`checkpoint`] — panic-isolated defect-injection
 //!   campaigns with bounded retry, periodic snapshots and
 //!   byte-identical resume.
@@ -46,6 +48,7 @@
 pub mod campaign;
 pub mod checkpoint;
 pub mod cost;
+pub mod degrade;
 pub mod describe;
 pub mod diagnosis;
 pub mod error;
@@ -60,11 +63,15 @@ pub mod session;
 pub mod soc;
 pub mod timing;
 
-pub use campaign::{Campaign, CampaignRun, CampaignStats, RetryPolicy, Trial, TrialOutcome};
+pub use campaign::{
+    Campaign, CampaignRun, CampaignStats, RetryPolicy, ShedReason, Trial, TrialOutcome,
+    TrialShed,
+};
 pub use checkpoint::CampaignCheckpoint;
+pub use degrade::{ChainPolicy, DegradationEvent, DegradedOutcome};
 pub use error::CoreError;
 pub use infra::InfrastructureDiagnosis;
-pub use mafm::IntegrityFault;
+pub use mafm::{CoverageReport, IntegrityFault};
 pub use obsc::Obsc;
 pub use pgbsc::Pgbsc;
 pub use session::{IntegrityReport, ObservationMethod, SessionConfig};

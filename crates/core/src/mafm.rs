@@ -23,7 +23,9 @@
 
 use crate::error::CoreError;
 use sint_interconnect::drive::{DriveLevel, VectorPair};
+use sint_jtag::QuarantineSet;
 use sint_logic::BitVector;
+use sint_runtime::json::{Json, ToJson};
 use std::fmt;
 
 /// One of the six MA integrity faults.
@@ -299,6 +301,309 @@ pub fn conventional_vector_count(width: usize) -> usize {
     12 * width
 }
 
+/// The quiescent level quarantined wires are parked at in every vector
+/// of a degraded plan: they never switch, so they contribute no
+/// aggressor coupling and their (untrustworthy) drive cells are never
+/// relied on to toggle.
+pub const QUARANTINE_PARK: DriveLevel = DriveLevel::Low;
+
+fn require_degradable(width: usize, quarantine: &QuarantineSet) -> Result<(), CoreError> {
+    if quarantine.wires() != width {
+        return Err(CoreError::config(format!(
+            "quarantine describes {} wires, bus has {width}",
+            quarantine.wires()
+        )));
+    }
+    if quarantine.healthy_count() < 2 {
+        return Err(CoreError::config(
+            "degraded MA model needs at least two healthy wires",
+        ));
+    }
+    Ok(())
+}
+
+fn degraded_vector_for(
+    width: usize,
+    victim: usize,
+    victim_level: DriveLevel,
+    aggr: DriveLevel,
+    quarantine: &QuarantineSet,
+) -> Vec<DriveLevel> {
+    (0..width)
+        .map(|w| {
+            if quarantine.is_quarantined(w) {
+                QUARANTINE_PARK
+            } else if w == victim {
+                victim_level
+            } else {
+                aggr
+            }
+        })
+        .collect()
+}
+
+/// The degraded two-vector stimulus exciting `fault` on `victim` when
+/// the quarantined wires are parked at [`QUARANTINE_PARK`]: healthy
+/// aggressors switch as in [`fault_pair`], quarantined wires hold.
+///
+/// # Errors
+///
+/// [`CoreError::WireQuarantined`] when `victim` is quarantined,
+/// [`CoreError::VictimOutOfRange`] / [`CoreError::BadConfig`] as for
+/// [`fault_pair`] (fewer than two *healthy* wires is a config error).
+pub fn degraded_fault_pair(
+    width: usize,
+    victim: usize,
+    fault: IntegrityFault,
+    quarantine: &QuarantineSet,
+) -> Result<VectorPair, CoreError> {
+    require_degradable(width, quarantine)?;
+    if victim >= width {
+        return Err(CoreError::VictimOutOfRange { victim, width });
+    }
+    if quarantine.is_quarantined(victim) {
+        return Err(CoreError::WireQuarantined { wire: victim });
+    }
+    let before = degraded_vector_for(
+        width,
+        victim,
+        fault.victim_before(),
+        fault.aggressor_before(),
+        quarantine,
+    );
+    let after = degraded_vector_for(
+        width,
+        victim,
+        fault.victim_after(),
+        fault.aggressor_after(),
+        quarantine,
+    );
+    Ok(VectorPair::new(before, after))
+}
+
+/// [`classify_pair`] over the healthy wire subset: quarantined wires
+/// must *hold* (they are parked, not driven as aggressors) and their
+/// level is ignored; aggressor agreement and switching are required
+/// only of healthy non-victim wires. `None` for a quarantined victim.
+#[must_use]
+pub fn classify_pair_masked(
+    pair: &VectorPair,
+    victim: usize,
+    quarantine: &QuarantineSet,
+) -> Option<IntegrityFault> {
+    let width = pair.width();
+    if victim >= width || quarantine.wires() != width || quarantine.is_quarantined(victim) {
+        return None;
+    }
+    let mut aggr_before = None;
+    for w in (0..width).filter(|&w| w != victim) {
+        if quarantine.is_quarantined(w) {
+            if pair.switches(w) {
+                return None; // parked wires must stay parked
+            }
+            continue;
+        }
+        match aggr_before {
+            None => aggr_before = Some(pair.before(w)),
+            Some(level) if level == pair.before(w) => {}
+            _ => return None,
+        }
+        if !pair.switches(w) {
+            return None;
+        }
+    }
+    let aggr_before = aggr_before?;
+    IntegrityFault::ALL.into_iter().find(|f| {
+        f.victim_before() == pair.before(victim)
+            && f.victim_after() == pair.after(victim)
+            && f.aggressor_before() == aggr_before
+    })
+}
+
+/// The conventional campaign restricted to healthy victims: `6` pairs
+/// per healthy wire, quarantined wires parked in every vector.
+///
+/// # Errors
+///
+/// As for [`degraded_fault_pair`].
+pub fn degraded_conventional_schedule(
+    width: usize,
+    quarantine: &QuarantineSet,
+) -> Result<Vec<ScheduledPattern>, CoreError> {
+    require_degradable(width, quarantine)?;
+    let healthy = quarantine.healthy_wires();
+    let mut out = Vec::with_capacity(healthy.len() * IntegrityFault::ALL.len());
+    for &victim in &healthy {
+        for fault in IntegrityFault::ALL {
+            out.push(ScheduledPattern {
+                victim,
+                fault,
+                pair: degraded_fault_pair(width, victim, fault, quarantine)?,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// [`pgbsc_vector`] with quarantined wires parked: healthy aggressors
+/// toggle every update, the victim every second update, quarantined
+/// wires hold [`QUARANTINE_PARK`] throughout.
+#[must_use]
+pub fn degraded_pgbsc_vector(
+    width: usize,
+    victim: usize,
+    initial: DriveLevel,
+    updates: usize,
+    quarantine: &QuarantineSet,
+) -> Vec<DriveLevel> {
+    pgbsc_vector(width, victim, initial, updates)
+        .into_iter()
+        .enumerate()
+        .map(|(w, level)| if quarantine.is_quarantined(w) { QUARANTINE_PARK } else { level })
+        .collect()
+}
+
+/// [`pgbsc_sequence`] over the healthy wire subset: same three
+/// transitions and covered faults per healthy victim, with quarantined
+/// wires parked in every vector.
+///
+/// # Errors
+///
+/// As for [`degraded_fault_pair`].
+pub fn degraded_pgbsc_sequence(
+    width: usize,
+    victim: usize,
+    initial: DriveLevel,
+    quarantine: &QuarantineSet,
+) -> Result<Vec<ScheduledPattern>, CoreError> {
+    require_degradable(width, quarantine)?;
+    if victim >= width {
+        return Err(CoreError::VictimOutOfRange { victim, width });
+    }
+    if quarantine.is_quarantined(victim) {
+        return Err(CoreError::WireQuarantined { wire: victim });
+    }
+    let mut out = Vec::with_capacity(3);
+    for k in 0..3 {
+        let before = degraded_pgbsc_vector(width, victim, initial, k, quarantine);
+        let after = degraded_pgbsc_vector(width, victim, initial, k + 1, quarantine);
+        let pair = VectorPair::new(before, after);
+        let fault = classify_pair_masked(&pair, victim, quarantine)
+            .expect("degraded pgbsc transitions are masked MA patterns by construction");
+        out.push(ScheduledPattern { victim, fault, pair });
+    }
+    Ok(out)
+}
+
+/// Which of the `6·width` MA faults stay testable under a quarantine:
+/// every fault whose victim is healthy survives (the aggressor set
+/// shrinks but stays non-empty); every fault on a quarantined victim is
+/// lost. With fewer than two healthy wires nothing is testable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Bus width (total wires).
+    pub width: usize,
+    /// Quarantined wire indices, ascending.
+    pub quarantined: Vec<usize>,
+    /// Faults still testable, `(victim, fault)`, victim-major order.
+    pub covered: Vec<(usize, IntegrityFault)>,
+    /// Faults no longer testable, `(victim, fault)`, victim-major order.
+    pub lost: Vec<(usize, IntegrityFault)>,
+}
+
+impl CoverageReport {
+    /// Computes the report for a quarantine over a `width`-wire bus.
+    /// The quarantine must describe exactly `width` wires.
+    #[must_use]
+    pub fn for_quarantine(width: usize, quarantine: &QuarantineSet) -> CoverageReport {
+        let degradable = quarantine.wires() == width && quarantine.healthy_count() >= 2;
+        let mut covered = Vec::new();
+        let mut lost = Vec::new();
+        for victim in 0..width {
+            let testable = degradable && !quarantine.is_quarantined(victim);
+            for fault in IntegrityFault::ALL {
+                if testable {
+                    covered.push((victim, fault));
+                } else {
+                    lost.push((victim, fault));
+                }
+            }
+        }
+        CoverageReport { width, quarantined: quarantine.quarantined_wires(), covered, lost }
+    }
+
+    /// MA faults a healthy session would test: `6·width`.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        IntegrityFault::ALL.len() * self.width
+    }
+
+    /// Faults still testable.
+    #[must_use]
+    pub fn covered_count(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Faults lost to the quarantine.
+    #[must_use]
+    pub fn lost_count(&self) -> usize {
+        self.lost.len()
+    }
+
+    /// Covered fraction of the full fault list, in `[0, 1]`.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.covered_count() as f64 / self.total() as f64
+    }
+
+    /// Whether the report meets a `min_coverage` floor (fraction).
+    #[must_use]
+    pub fn meets(&self, min_coverage: f64) -> bool {
+        self.coverage() >= min_coverage
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "coverage {}/{} MA faults ({} wires quarantined)",
+            self.covered_count(),
+            self.total(),
+            self.quarantined.len()
+        )
+    }
+}
+
+impl ToJson for CoverageReport {
+    fn to_json(&self) -> Json {
+        let fault_list = |faults: &[(usize, IntegrityFault)]| {
+            Json::Array(
+                faults
+                    .iter()
+                    .map(|(victim, fault)| {
+                        Json::obj([
+                            ("victim", victim.to_json()),
+                            ("fault", fault.to_string().to_json()),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        Json::obj([
+            ("width", self.width.to_json()),
+            ("total_faults", self.total().to_json()),
+            ("covered", self.covered_count().to_json()),
+            ("lost", self.lost_count().to_json()),
+            ("quarantined", self.quarantined.to_json()),
+            ("lost_faults", fault_list(&self.lost)),
+        ])
+    }
+}
+
 /// Number of scanned initial values the PGBSC campaign needs: always 2,
 /// independent of width — the paper's headline reduction.
 #[must_use]
@@ -462,5 +767,106 @@ mod tests {
     fn display_names() {
         assert_eq!(IntegrityFault::Pg.to_string(), "Pg");
         assert_eq!(IntegrityFault::NgBar.to_string(), "N̄g");
+    }
+
+    #[test]
+    fn degraded_pair_parks_quarantined_wires() {
+        let q = QuarantineSet::from_quarantined(5, [4]);
+        let p = degraded_fault_pair(5, 2, IntegrityFault::Pg, &q).unwrap();
+        // Fig 3 Pg with wire 4 parked low: 00000 -> 11010.
+        assert_eq!(p.to_string(), "00000 -> 11010");
+        assert!(!p.switches(4));
+        assert_eq!(classify_pair_masked(&p, 2, &q), Some(IntegrityFault::Pg));
+        // The unmasked classifier rejects it (wire 4 does not switch)…
+        assert_eq!(classify_pair(&p, 2), None);
+        // …and the quarantined wire cannot be a victim.
+        assert!(matches!(
+            degraded_fault_pair(5, 4, IntegrityFault::Pg, &q),
+            Err(CoreError::WireQuarantined { wire: 4 })
+        ));
+    }
+
+    #[test]
+    fn degraded_schedule_covers_exactly_the_healthy_victims() {
+        let q = QuarantineSet::from_quarantined(4, [1]);
+        let sched = degraded_conventional_schedule(4, &q).unwrap();
+        assert_eq!(sched.len(), 18, "6 faults x 3 healthy victims");
+        assert!(sched.iter().all(|s| s.victim != 1));
+        for s in &sched {
+            assert_eq!(classify_pair_masked(&s.pair, s.victim, &q), Some(s.fault));
+            assert!(!s.pair.switches(1), "parked wire toggled in {}", s.pair);
+        }
+    }
+
+    #[test]
+    fn degraded_pgbsc_sequence_matches_healthy_fault_order() {
+        let q = QuarantineSet::from_quarantined(5, [0]);
+        for initial in [DriveLevel::Low, DriveLevel::High] {
+            let seq = degraded_pgbsc_sequence(5, 2, initial, &q).unwrap();
+            let faults: Vec<_> = seq.iter().map(|s| s.fault).collect();
+            assert_eq!(faults, IntegrityFault::covered_by_initial(initial).to_vec());
+            for s in &seq {
+                assert!(!s.pair.switches(0));
+            }
+        }
+        assert!(matches!(
+            degraded_pgbsc_sequence(5, 0, DriveLevel::Low, &q),
+            Err(CoreError::WireQuarantined { wire: 0 })
+        ));
+    }
+
+    #[test]
+    fn degraded_with_clear_quarantine_reduces_to_healthy_plan() {
+        let q = QuarantineSet::none(4);
+        assert_eq!(
+            degraded_conventional_schedule(4, &q).unwrap(),
+            conventional_schedule(4).unwrap()
+        );
+        assert_eq!(
+            degraded_pgbsc_sequence(4, 1, DriveLevel::Low, &q).unwrap(),
+            pgbsc_sequence(4, 1, DriveLevel::Low).unwrap()
+        );
+    }
+
+    #[test]
+    fn degraded_needs_two_healthy_wires() {
+        let q = QuarantineSet::from_quarantined(3, [0, 1]);
+        assert!(degraded_conventional_schedule(3, &q).is_err());
+        assert!(degraded_fault_pair(3, 2, IntegrityFault::Pg, &q).is_err());
+        // Mismatched quarantine width is a config error.
+        let wrong = QuarantineSet::none(5);
+        assert!(degraded_conventional_schedule(3, &wrong).is_err());
+    }
+
+    #[test]
+    fn coverage_report_counts_six_per_healthy_wire() {
+        let q = QuarantineSet::from_quarantined(8, [7]);
+        let report = CoverageReport::for_quarantine(8, &q);
+        assert_eq!(report.total(), 48);
+        assert_eq!(report.covered_count(), 42);
+        assert_eq!(report.lost_count(), 6);
+        assert!(report.lost.iter().all(|&(v, _)| v == 7));
+        assert!(report.meets(0.8));
+        assert!(!report.meets(0.9));
+        assert_eq!(report.to_string(), "coverage 42/48 MA faults (1 wires quarantined)");
+
+        let clear = CoverageReport::for_quarantine(8, &QuarantineSet::none(8));
+        assert_eq!(clear.covered_count(), 48);
+        assert!(clear.meets(1.0));
+
+        // Fewer than two healthy wires → nothing testable.
+        let gone = CoverageReport::for_quarantine(3, &QuarantineSet::from_quarantined(3, [0, 1]));
+        assert_eq!(gone.covered_count(), 0);
+        assert_eq!(gone.lost_count(), 18);
+    }
+
+    #[test]
+    fn coverage_report_serialises() {
+        let q = QuarantineSet::from_quarantined(3, [2]);
+        let j = CoverageReport::for_quarantine(3, &q).to_json().render();
+        assert!(j.contains(r#""total_faults":18"#), "{j}");
+        assert!(j.contains(r#""covered":12"#), "{j}");
+        assert!(j.contains(r#""quarantined":[2]"#), "{j}");
+        assert!(j.contains(r#""victim":2"#), "{j}");
     }
 }

@@ -15,6 +15,7 @@
 //!
 //! The actual execution lives in [`crate::soc::Soc::run_integrity_test`].
 
+use crate::degrade::DegradedOutcome;
 use crate::mafm::IntegrityFault;
 use sint_interconnect::drive::DriveLevel;
 use sint_runtime::json::{Json, ToJson};
@@ -169,6 +170,11 @@ pub struct IntegrityReport {
     pub tck_used: u64,
     /// Number of pattern transitions applied to the interconnect.
     pub patterns_applied: usize,
+    /// Present when the session ran degraded (see
+    /// [`crate::degrade::ChainPolicy::Degrade`]): the quarantine, the
+    /// surviving coverage and every concession made. `None` for a
+    /// session on a healthy chain.
+    degradation: Option<DegradedOutcome>,
 }
 
 impl IntegrityReport {
@@ -193,7 +199,28 @@ impl IntegrityReport {
         let verdicts = (0..wires)
             .map(|w| WireVerdict { noise: last.nd[w], skew: last.sd[w] })
             .collect();
-        IntegrityReport { method, wires: verdicts, readouts, tck_used, patterns_applied }
+        IntegrityReport {
+            method,
+            wires: verdicts,
+            readouts,
+            tck_used,
+            patterns_applied,
+            degradation: None,
+        }
+    }
+
+    /// Attaches a degraded-session outcome (builder-style; used by the
+    /// `Soc` when a `Degrade` policy ran a partial session).
+    #[must_use]
+    pub fn with_degradation(mut self, outcome: DegradedOutcome) -> IntegrityReport {
+        self.degradation = Some(outcome);
+        self
+    }
+
+    /// The degradation record, when the session ran on a damaged chain.
+    #[must_use]
+    pub fn degradation(&self) -> Option<&DegradedOutcome> {
+        self.degradation.as_ref()
     }
 
     /// The observation method used.
@@ -238,14 +265,20 @@ impl IntegrityReport {
 
 impl ToJson for IntegrityReport {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut j = Json::obj([
             ("method", self.method.to_json()),
             ("wires", self.wires.to_json()),
             ("readouts", self.readouts.to_json()),
             ("tck_used", self.tck_used.to_json()),
             ("patterns_applied", self.patterns_applied.to_json()),
             ("any_violation", self.any_violation().to_json()),
-        ])
+        ]);
+        // Healthy sessions serialise exactly as before; the key only
+        // appears when there is something to disclose.
+        if let Some(outcome) = &self.degradation {
+            j.push("degradation", outcome.to_json());
+        }
+        j
     }
 }
 

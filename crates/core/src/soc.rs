@@ -10,10 +10,11 @@
 //! propagates all the way to bits scanned out of TDO, with every TCK
 //! accounted for.
 
+use crate::degrade::{ChainPolicy, DegradationEvent, DegradedOutcome};
 use crate::error::CoreError;
 use crate::infra::InfrastructureDiagnosis;
 use crate::instructions::extended_instruction_set;
-use crate::mafm::{victim_select, IntegrityFault};
+use crate::mafm::{victim_select, CoverageReport, IntegrityFault, QUARANTINE_PARK};
 use crate::nd::NdThresholds;
 use crate::obsc::Obsc;
 use crate::pgbsc::Pgbsc;
@@ -23,6 +24,7 @@ use crate::session::{
 };
 use sint_interconnect::defect::Defect;
 use sint_interconnect::drive::{DriveLevel, VectorPair};
+use sint_interconnect::error::InterconnectError;
 use sint_interconnect::measure::{propagation_delay, settled_value};
 use sint_interconnect::params::{Bus, BusParams};
 use sint_interconnect::solver::{GuardrailEvent, GuardrailPolicy, SimScratch, TransientSim};
@@ -33,9 +35,14 @@ use sint_jtag::bcell::{BoundaryCell, StandardBsc};
 use sint_jtag::chain::Chain;
 use sint_jtag::device::Device;
 use sint_jtag::driver::JtagDriver;
+use sint_jtag::error::JtagError;
 use sint_jtag::fault::ScanFault;
-use sint_jtag::integrity::{check_chain, ChainCheckReport};
+use sint_jtag::integrity::{
+    check_boundary, check_chain, localize_boundary_fault, ChainAnomaly, ChainCheckReport,
+    FaultLocalization, QuarantineSet,
+};
 use sint_logic::{BitVector, Logic};
+use sint_runtime::cancel::CancelToken;
 
 /// Builder for a [`Soc`].
 #[derive(Debug, Clone)]
@@ -48,6 +55,7 @@ pub struct SocBuilder {
     sd_window: Option<f64>,
     variation: Option<(VariationSigma, u64)>,
     scan_fault: Option<ScanFault>,
+    chain_policy: ChainPolicy,
 }
 
 impl SocBuilder {
@@ -64,6 +72,7 @@ impl SocBuilder {
             sd_window: None,
             variation: None,
             scan_fault: None,
+            chain_policy: ChainPolicy::default(),
         }
     }
 
@@ -144,6 +153,17 @@ impl SocBuilder {
     #[must_use]
     pub fn scan_fault(mut self, fault: ScanFault) -> Self {
         self.scan_fault = Some(fault);
+        self
+    }
+
+    /// Sets what a session does when the pre-session self-check finds
+    /// the chain damaged (default: [`ChainPolicy::Strict`], the refuse
+    /// behaviour). Under [`ChainPolicy::Degrade`] a localizable
+    /// boundary break is quarantined and a partial session runs over
+    /// the healthy wires — see [`crate::degrade`].
+    #[must_use]
+    pub fn chain_policy(mut self, policy: ChainPolicy) -> Self {
+        self.chain_policy = policy;
         self
     }
 
@@ -264,6 +284,10 @@ impl SocBuilder {
             settle,
             transients_run: 0,
             patterns_applied: 0,
+            policy: self.chain_policy,
+            quarantine: None,
+            degradation_events: Vec::new(),
+            cancel: None,
         })
     }
 }
@@ -295,6 +319,18 @@ pub struct Soc {
     settle: f64,
     transients_run: usize,
     patterns_applied: usize,
+    /// What to do when the self-check finds the chain damaged.
+    policy: ChainPolicy,
+    /// Active quarantine while a degraded session runs: these wires'
+    /// drives are parked at [`QUARANTINE_PARK`] in the bus model.
+    quarantine: Option<QuarantineSet>,
+    /// Concessions the most recent degraded session made (empty after
+    /// a healthy session), parallel to `guardrail_events`.
+    degradation_events: Vec<DegradationEvent>,
+    /// Cooperative cancellation: checked inside every solver timestep
+    /// loop; an expired deadline surfaces as
+    /// [`CoreError::DeadlineExceeded`].
+    cancel: Option<CancelToken>,
 }
 
 impl Soc {
@@ -348,6 +384,35 @@ impl Soc {
         &mut self.driver
     }
 
+    /// The configured chain-damage policy.
+    #[must_use]
+    pub fn chain_policy(&self) -> ChainPolicy {
+        self.policy
+    }
+
+    /// Concessions the most recent degraded session made, in order.
+    /// Empty after a healthy session (and before any session). The
+    /// same trail is attached to the session's report via
+    /// [`IntegrityReport::degradation`].
+    #[must_use]
+    pub fn degradation_events(&self) -> &[DegradationEvent] {
+        &self.degradation_events
+    }
+
+    /// Installs (or clears) a cancellation token. The solver polls it
+    /// every few timesteps; once it fires — explicitly or via its
+    /// wall-clock deadline — the in-flight transient stops and the
+    /// session fails with [`CoreError::DeadlineExceeded`].
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The installed cancellation token, if any.
+    #[must_use]
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
     /// Runs the ATE-style scan-chain self-check (reset probe, BYPASS
     /// flush, IR capture read-back) and refuses further testing when
     /// the chain is unhealthy.
@@ -365,10 +430,7 @@ impl Soc {
     /// the self-check finds anomalies; [`CoreError::Jtag`] if the chain
     /// cannot be probed at all.
     pub fn check_infrastructure(&mut self) -> Result<ChainCheckReport, CoreError> {
-        let recording = self.driver.suspend_recording();
-        let result = check_chain(&mut self.driver);
-        self.driver.restore_recording(recording);
-        let report = result?;
+        let report = self.qualify_chain()?;
         if report.healthy() {
             Ok(report)
         } else {
@@ -377,6 +439,44 @@ impl Soc {
                 report,
             }))
         }
+    }
+
+    /// Runs the full qualification sequence — BYPASS-path self-check,
+    /// then (only when that passes) the boundary-path probe — and
+    /// returns the merged report without applying any policy. SVF
+    /// recording is suspended throughout.
+    fn qualify_chain(&mut self) -> Result<ChainCheckReport, CoreError> {
+        let recording = self.driver.suspend_recording();
+        let result = check_chain(&mut self.driver).and_then(|mut report| {
+            if report.healthy() {
+                let boundary = check_boundary(&mut self.driver)?;
+                report.anomalies.extend(boundary.anomalies);
+                report.tck_cost += boundary.tck_cost;
+            }
+            Ok(report)
+        });
+        self.driver.restore_recording(recording);
+        Ok(result?)
+    }
+
+    /// Points `self.sim` at the factored solver for this session's
+    /// `dt` (factoring and caching it on first sight) and adopts the
+    /// session's settle time.
+    fn select_sim(&mut self, config: &SessionConfig) -> Result<(), CoreError> {
+        self.settle = config.settle_time;
+        let key = (self.bus.fingerprint(), config.dt.to_bits());
+        if self.sim_key != key {
+            self.sim = match self.sim_cache.get(&key) {
+                Some(sim) => Arc::clone(sim),
+                None => {
+                    let sim = Arc::new(TransientSim::new(&self.bus, config.dt)?);
+                    self.sim_cache.insert(key, Arc::clone(&sim));
+                    sim
+                }
+            };
+            self.sim_key = key;
+        }
+        Ok(())
     }
 
     fn obsc_mut(&mut self, wire: usize) -> Result<&mut Obsc, CoreError> {
@@ -422,6 +522,13 @@ impl Soc {
         let ctrl = self.driver.chain().device(0)?.cell_control();
         let mut new = Vec::with_capacity(self.wires);
         for i in 0..self.wires {
+            // A quarantined wire's PGBSC sits behind the broken shift
+            // segment: whatever it holds is scan fill, not a planned
+            // pattern. Model its driver parked at the quiescent level.
+            if self.quarantine.as_ref().is_some_and(|q| q.is_quarantined(i)) {
+                new.push(QUARANTINE_PARK);
+                continue;
+            }
             let out = self.driver.chain().device(0)?.boundary().cell(i)?.output(&ctrl);
             match out.to_bool() {
                 Some(b) => new.push(DriveLevel::from(b)),
@@ -444,7 +551,18 @@ impl Soc {
             return Ok(());
         }
         let pair = VectorPair::new(prev, new.clone());
-        let waves = self.sim.run_pair_with_scratch(&pair, self.settle, &mut self.scratch)?;
+        let waves = match self.sim.run_pair_cancellable(
+            &pair,
+            self.settle,
+            &mut self.scratch,
+            self.cancel.as_ref(),
+        ) {
+            Ok(waves) => waves,
+            Err(InterconnectError::Cancelled { step }) => {
+                return Err(CoreError::DeadlineExceeded { step });
+            }
+            Err(e) => return Err(e.into()),
+        };
         self.transients_run += 1;
         self.patterns_applied += 1;
         let vdd = self.bus.vdd();
@@ -582,20 +700,13 @@ impl Soc {
         if config.settle_time <= 0.0 || config.dt <= 0.0 {
             return Err(CoreError::config("settle time and dt must be positive"));
         }
-        self.check_infrastructure()?;
-        self.settle = config.settle_time;
-        let key = (self.bus.fingerprint(), config.dt.to_bits());
-        if self.sim_key != key {
-            self.sim = match self.sim_cache.get(&key) {
-                Some(sim) => Arc::clone(sim),
-                None => {
-                    let sim = Arc::new(TransientSim::new(&self.bus, config.dt)?);
-                    self.sim_cache.insert(key, Arc::clone(&sim));
-                    sim
-                }
-            };
-            self.sim_key = key;
+        self.quarantine = None;
+        self.degradation_events.clear();
+        let qualification = self.qualify_chain()?;
+        if !qualification.healthy() {
+            return self.run_degraded(config, qualification);
         }
+        self.select_sim(config)?;
         self.driver.reset();
         self.clear_detectors()?;
         self.patterns_applied = 0;
@@ -671,12 +782,238 @@ impl Soc {
         }
         Ok(())
     }
+
+    /// The damaged-chain path of [`Soc::run_integrity_test`]: applies
+    /// [`ChainPolicy`], localizes the break, quarantines the affected
+    /// wires and — when enough coverage survives — runs the partial
+    /// session, attaching the full [`DegradedOutcome`] to the report.
+    fn run_degraded(
+        &mut self,
+        config: &SessionConfig,
+        qualification: ChainCheckReport,
+    ) -> Result<IntegrityReport, CoreError> {
+        let min_coverage = match self.policy {
+            ChainPolicy::Strict => {
+                return Err(CoreError::Infrastructure(InfrastructureDiagnosis {
+                    chain_cells: self.chain_len(),
+                    report: qualification,
+                }));
+            }
+            ChainPolicy::Degrade { min_coverage } => min_coverage,
+        };
+        // Only a boundary-path break is localizable: every other fault
+        // class (stuck serial link, bit flips, a wedged TAP, dropped
+        // TCK edges) corrupts the BYPASS path the walking-one probe
+        // itself travels, so no degraded verdict could be trusted.
+        if !qualification
+            .anomalies
+            .iter()
+            .all(|a| matches!(a, ChainAnomaly::BoundaryPathStuck { .. }))
+        {
+            return Err(CoreError::InsufficientCoverage {
+                covered: 0,
+                total: IntegrityFault::ALL.len() * self.wires,
+                min_coverage,
+            });
+        }
+        let localization = self.localize_break()?;
+        let mut events: Vec<DegradationEvent> = qualification
+            .anomalies
+            .iter()
+            .cloned()
+            .map(|anomaly| DegradationEvent::AnomalyDetected { anomaly })
+            .collect();
+        events.push(DegradationEvent::BreakLocalized {
+            segment: localization.segment,
+            probe_tcks: localization.tck_cost,
+        });
+        for wire in localization.quarantine.quarantined_wires() {
+            events.push(DegradationEvent::WireQuarantined { wire });
+            events.push(DegradationEvent::AggressorParked { wire });
+            events.push(DegradationEvent::VerdictMasked { wire });
+        }
+        let coverage = CoverageReport::for_quarantine(self.wires, &localization.quarantine);
+        if localization.quarantine.healthy_count() < 2 || !coverage.meets(min_coverage) {
+            // Keep the trail: the caller can see what was found and
+            // how much coverage the break would have cost.
+            self.degradation_events = events;
+            return Err(CoreError::InsufficientCoverage {
+                covered: coverage.covered_count(),
+                total: coverage.total(),
+                min_coverage,
+            });
+        }
+        self.quarantine = Some(localization.quarantine.clone());
+        self.degradation_events = events.clone();
+        let report = self.run_degraded_session(config)?;
+        Ok(report.with_degradation(DegradedOutcome { localization, coverage, events }))
+    }
+
+    /// Runs the walking-one probe (see
+    /// [`sint_jtag::integrity::localize_boundary_fault`]) under EXTEST
+    /// with SVF recording suspended: each pass drives a one-hot word
+    /// from the PGBSCs, loops the driven levels back into the OBSCs at
+    /// DC, and reads the capture back through the damaged chain.
+    fn localize_break(&mut self) -> Result<FaultLocalization, CoreError> {
+        let wires = self.wires;
+        let chain_len = self.chain_len();
+        let recording = self.driver.suspend_recording();
+        let result = (|| -> Result<FaultLocalization, JtagError> {
+            self.driver.reset();
+            self.driver.load_instruction("EXTEST")?;
+            localize_boundary_fault(&mut self.driver, wires, |driver, target| {
+                probe_pass(driver, wires, chain_len, target)
+            })
+        })();
+        self.driver.restore_recording(recording);
+        Ok(result?)
+    }
+
+    /// The partial session over the healthy wires: the same two-half
+    /// PGBSC campaign as the healthy path, except that only healthy
+    /// wires take the victim role — and because the survivors may be
+    /// non-contiguous, every round scans the full victim-select word
+    /// instead of riding the 1-bit rotation.
+    fn run_degraded_session(
+        &mut self,
+        config: &SessionConfig,
+    ) -> Result<IntegrityReport, CoreError> {
+        self.select_sim(config)?;
+        self.driver.reset();
+        self.clear_detectors()?;
+        self.patterns_applied = 0;
+        let victims = match &self.quarantine {
+            Some(q) => q.healthy_wires(),
+            None => (0..self.wires).collect(),
+        };
+        let tck_start = self.driver.tck();
+
+        let mut readouts = Vec::new();
+        for initial in [DriveLevel::Low, DriveLevel::High] {
+            self.driver.load_instruction("SAMPLE/PRELOAD")?;
+            let word = self.uniform_word(initial);
+            self.driver.scan_dr(&word)?;
+            self.apply_bus_state()?;
+            self.driver.load_instruction("G-SITEST")?;
+            self.apply_bus_state()?;
+            for (round, &victim) in victims.iter().enumerate() {
+                let word = self.victim_select_word(victim)?;
+                self.driver.scan_dr(&word)?;
+                self.apply_bus_state()?;
+                let last_victim = round == victims.len() - 1;
+                self.degraded_readout(config, initial, victim, 0, last_victim, &mut readouts)?;
+                for p in 1..3usize {
+                    self.driver.pulse_update_dr(1)?;
+                    self.apply_bus_state()?;
+                    self.degraded_readout(config, initial, victim, p, last_victim, &mut readouts)?;
+                }
+            }
+            if config.method == ObservationMethod::PerInitialValue {
+                readouts.push(self.masked_readout(ReadoutPoint::AfterInitialValue(initial))?);
+            }
+        }
+        if config.method == ObservationMethod::Once {
+            readouts.push(self.masked_readout(ReadoutPoint::Final)?);
+        }
+
+        let tck_used = self.driver.tck() - tck_start;
+        Ok(IntegrityReport::new(
+            config.method,
+            self.wires,
+            readouts,
+            tck_used,
+            self.patterns_applied,
+        ))
+    }
+
+    /// A read-out with quarantined wires' verdict bits forced clear:
+    /// their scan-outs cross (or their detectors sit behind) the broken
+    /// segment, so whatever arrives cannot be trusted either way.
+    fn masked_readout(&mut self, point: ReadoutPoint) -> Result<ReadoutRecord, CoreError> {
+        let mut record = self.readout(point)?;
+        if let Some(q) = &self.quarantine {
+            for w in 0..self.wires {
+                if q.is_quarantined(w) {
+                    record.nd[w] = false;
+                    record.sd[w] = false;
+                }
+            }
+        }
+        Ok(record)
+    }
+
+    /// Per-pattern read-out for the degraded loop: like
+    /// [`Soc::per_pattern_readout`] but masked, and "last pattern of
+    /// the half" means the last *healthy* victim's third pattern.
+    fn degraded_readout(
+        &mut self,
+        config: &SessionConfig,
+        initial: DriveLevel,
+        victim: usize,
+        pattern_index: usize,
+        last_victim: bool,
+        readouts: &mut Vec<ReadoutRecord>,
+    ) -> Result<(), CoreError> {
+        if config.method != ObservationMethod::PerPattern {
+            return Ok(());
+        }
+        let fault = IntegrityFault::covered_by_initial(initial)[pattern_index];
+        readouts
+            .push(self.masked_readout(ReadoutPoint::AfterPattern { initial, victim, fault })?);
+        let last_of_half = last_victim && pattern_index == 2;
+        if !last_of_half {
+            self.resume(victim)?;
+        }
+        Ok(())
+    }
+}
+
+/// One walking-one probe pass over the DC loop PGBSC → pin → OBSC.
+///
+/// Scans a word driving only `target` high (all-low for the `None`
+/// baseline); EXTEST's trailing Update-DR puts it on the pins. The
+/// driven level of each wire is then copied into the receiving OBSC's
+/// parallel input — the settled DC value; the analog bus is not the
+/// suspect here, the serial chain is — and a zero scan captures and
+/// shifts the observations out. Both the stimulus and the observation
+/// scans cross the damaged chain, so a break reveals itself as wires
+/// that cannot echo their one back.
+fn probe_pass(
+    driver: &mut JtagDriver,
+    wires: usize,
+    chain_len: usize,
+    target: Option<usize>,
+) -> Result<Vec<bool>, JtagError> {
+    let mut values = vec![Logic::Zero; chain_len];
+    if let Some(w) = target {
+        values[w] = Logic::One;
+    }
+    let word: BitVector = values.iter().rev().copied().collect();
+    driver.scan_dr(&word)?;
+    let ctrl = driver.chain().device(0)?.cell_control();
+    let mut driven = Vec::with_capacity(wires);
+    for w in 0..wires {
+        driven.push(driver.chain().device(0)?.boundary().cell(w)?.output(&ctrl));
+    }
+    for (w, level) in driven.into_iter().enumerate() {
+        driver
+            .chain_mut()
+            .device_mut(0)?
+            .boundary_mut()
+            .cell_mut(wires + w)?
+            .set_parallel_input(level);
+    }
+    let out = driver.scan_dr(&BitVector::zeros(chain_len))?;
+    Ok((0..wires)
+        .map(|w| out.get(chain_len - 1 - (wires + w)) == Some(Logic::One))
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::timing::{method_total_tcks, pgbsc_generation_tcks, ChainGeometry};
+    use sint_runtime::ToJson;
 
     fn healthy(n: usize) -> Soc {
         SocBuilder::new(n).build().unwrap()
@@ -901,6 +1238,189 @@ mod tests {
         soc.run_integrity_test(&fine).unwrap();
         assert!(Arc::ptr_eq(&fine_sim, &soc.sim), "fine-dt solver came from cache");
         assert_eq!(soc.sim_cache.len(), 2, "exactly one factorisation per distinct dt");
+    }
+
+    #[test]
+    fn healthy_session_attaches_no_degradation() {
+        let mut soc = healthy(3);
+        let report =
+            soc.run_integrity_test(&SessionConfig::method(ObservationMethod::Once)).unwrap();
+        assert!(report.degradation().is_none());
+        assert!(soc.degradation_events().is_empty());
+        assert!(!report.to_json().render().contains("degradation"));
+    }
+
+    #[test]
+    fn degraded_session_quarantines_the_broken_wire_and_reports_coverage() {
+        // The acceptance scenario: an 8-wire bus whose boundary shift
+        // path breaks after PGBSC cell 6 (stuck at 0). Wire 7's PGBSC
+        // is uncontrollable; everything else survives. A Degrade
+        // session must quarantine wire 7, cover 42 of the 48 MA faults
+        // and surface every concession.
+        let mut soc = SocBuilder::new(8)
+            .scan_fault(ScanFault::BoundaryStuck { device: 0, cell: 6, level: false })
+            .chain_policy(ChainPolicy::Degrade { min_coverage: 0.8 })
+            .build()
+            .unwrap();
+        let report =
+            soc.run_integrity_test(&SessionConfig::method(ObservationMethod::Once)).unwrap();
+        let outcome = report.degradation().expect("degraded session attaches its outcome");
+        assert_eq!(outcome.quarantine().quarantined_wires(), vec![7]);
+        assert_eq!(outcome.localization.segment, Some(6));
+        assert_eq!(outcome.coverage.covered_count(), 42);
+        assert_eq!(outcome.coverage.total(), 48);
+        assert_eq!(outcome.coverage.lost_count(), 6);
+        let kinds: Vec<&str> = outcome.events.iter().map(|e| e.kind()).collect();
+        for kind in [
+            "anomaly_detected",
+            "break_localized",
+            "wire_quarantined",
+            "aggressor_parked",
+            "verdict_masked",
+        ] {
+            assert!(kinds.contains(&kind), "{kind} missing from {kinds:?}");
+        }
+        assert_eq!(soc.degradation_events(), &outcome.events[..]);
+        assert!(!report.any_violation(), "healthy wires on a healthy bus stay clean: {report}");
+        for r in &report.readouts {
+            assert!(!r.nd[7] && !r.sd[7], "quarantined wire's verdicts must be masked");
+        }
+        let j = report.to_json().render();
+        assert!(j.contains(r#""degradation""#), "{j}");
+        assert!(j.contains(r#""coverage""#), "{j}");
+    }
+
+    #[test]
+    fn degraded_session_still_finds_defects_on_healthy_wires() {
+        // Quarantining wire 7 must not blind the session to a real bus
+        // defect among the survivors.
+        let mut soc = SocBuilder::new(8)
+            .coupling_defect(2, 6.0)
+            .scan_fault(ScanFault::BoundaryStuck { device: 0, cell: 6, level: false })
+            .chain_policy(ChainPolicy::Degrade { min_coverage: 0.8 })
+            .build()
+            .unwrap();
+        let report =
+            soc.run_integrity_test(&SessionConfig::method(ObservationMethod::Once)).unwrap();
+        assert!(report.degradation().is_some());
+        assert!(report.wire(2).noise, "defect on a healthy wire must still latch: {report}");
+    }
+
+    #[test]
+    fn strict_policy_refuses_a_boundary_break() {
+        let mut soc = SocBuilder::new(4)
+            .scan_fault(ScanFault::BoundaryStuck { device: 0, cell: 2, level: true })
+            .build()
+            .unwrap();
+        let err = soc
+            .run_integrity_test(&SessionConfig::method(ObservationMethod::Once))
+            .unwrap_err();
+        match err {
+            CoreError::Infrastructure(diag) => {
+                assert!(diag
+                    .report
+                    .anomalies
+                    .iter()
+                    .any(|a| matches!(a, ChainAnomaly::BoundaryPathStuck { .. })));
+            }
+            other => panic!("expected Infrastructure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degrade_cannot_rescue_a_serial_link_fault() {
+        // A stuck serial link corrupts the very path the localization
+        // probe travels: even the laxest Degrade policy must refuse.
+        let mut soc = SocBuilder::new(3)
+            .scan_fault(ScanFault::StuckAtZero { link: 0 })
+            .chain_policy(ChainPolicy::Degrade { min_coverage: 0.0 })
+            .build()
+            .unwrap();
+        let err = soc
+            .run_integrity_test(&SessionConfig::method(ObservationMethod::Once))
+            .unwrap_err();
+        match err {
+            CoreError::InsufficientCoverage { covered, total, .. } => {
+                assert_eq!(covered, 0);
+                assert_eq!(total, 18);
+            }
+            other => panic!("expected InsufficientCoverage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coverage_floor_refuses_a_deep_break() {
+        // Break after PGBSC cell 0 of a 4-wire bus: only wire 0
+        // survives — below the two-wire minimum regardless of policy.
+        let mut soc = SocBuilder::new(4)
+            .scan_fault(ScanFault::BoundaryStuck { device: 0, cell: 0, level: false })
+            .chain_policy(ChainPolicy::Degrade { min_coverage: 0.0 })
+            .build()
+            .unwrap();
+        let err = soc
+            .run_integrity_test(&SessionConfig::method(ObservationMethod::Once))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InsufficientCoverage { .. }), "{err:?}");
+        // The trail still documents what the probe found.
+        assert!(!soc.degradation_events().is_empty());
+
+        // A floor above the surviving 42/48 also refuses.
+        let mut soc = SocBuilder::new(8)
+            .scan_fault(ScanFault::BoundaryStuck { device: 0, cell: 6, level: false })
+            .chain_policy(ChainPolicy::Degrade { min_coverage: 0.9 })
+            .build()
+            .unwrap();
+        let err = soc
+            .run_integrity_test(&SessionConfig::method(ObservationMethod::Once))
+            .unwrap_err();
+        match err {
+            CoreError::InsufficientCoverage { covered, total, min_coverage } => {
+                assert_eq!((covered, total), (42, 48));
+                assert!((min_coverage - 0.9).abs() < 1e-12);
+            }
+            other => panic!("expected InsufficientCoverage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_per_pattern_session_attributes_to_healthy_victims_only() {
+        let mut soc = SocBuilder::new(4)
+            .scan_fault(ScanFault::BoundaryStuck { device: 0, cell: 2, level: false })
+            .chain_policy(ChainPolicy::Degrade { min_coverage: 0.5 })
+            .build()
+            .unwrap();
+        let report = soc
+            .run_integrity_test(&SessionConfig::method(ObservationMethod::PerPattern))
+            .unwrap();
+        let outcome = report.degradation().unwrap();
+        assert_eq!(outcome.quarantine().quarantined_wires(), vec![3]);
+        // 2 halves x 3 healthy victims x 3 patterns.
+        assert_eq!(report.readouts.len(), 18);
+        for r in &report.readouts {
+            match r.point {
+                ReadoutPoint::AfterPattern { victim, .. } => {
+                    assert_ne!(victim, 3, "quarantined wire must never take the victim role")
+                }
+                other => panic!("unexpected read-out point {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn precancelled_token_aborts_with_deadline_error() {
+        let mut soc = healthy(3);
+        let token = CancelToken::new();
+        token.cancel();
+        soc.set_cancel_token(Some(token));
+        let err = soc
+            .run_integrity_test(&SessionConfig::method(ObservationMethod::Once))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DeadlineExceeded { .. }), "{err:?}");
+        // Clearing the token restores normal operation on the same SoC.
+        soc.set_cancel_token(None);
+        let report =
+            soc.run_integrity_test(&SessionConfig::method(ObservationMethod::Once)).unwrap();
+        assert!(!report.any_violation());
     }
 
     #[test]

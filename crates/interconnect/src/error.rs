@@ -40,6 +40,13 @@ pub enum InterconnectError {
         /// the augmented formulation, branch current).
         unknown: usize,
     },
+    /// The run's cancellation token fired (explicit cancel or expired
+    /// wall-clock deadline). The transient stopped cooperatively at the
+    /// next check interval; no waveform is produced.
+    Cancelled {
+        /// Timestep index at which the cancellation was observed.
+        step: usize,
+    },
 }
 
 impl InterconnectError {
@@ -69,6 +76,9 @@ impl fmt::Display for InterconnectError {
             }
             InterconnectError::Diverged { step, unknown } => {
                 write!(f, "transient diverged at step {step} (unknown {unknown} non-finite)")
+            }
+            InterconnectError::Cancelled { step } => {
+                write!(f, "transient cancelled at step {step} (token fired)")
             }
         }
     }

@@ -172,13 +172,17 @@ impl BoundaryCell for StandardBsc {
 #[derive(Debug, Default)]
 pub struct BoundaryRegister {
     cells: Vec<Box<dyn BoundaryCell + Send>>,
+    /// Injected intra-register shift-path fault: the serial segment
+    /// leaving cell `.0` reads the constant level `.1` (see
+    /// [`crate::fault::ScanFault::BoundaryStuck`]).
+    stuck: Option<(usize, Logic)>,
 }
 
 impl BoundaryRegister {
     /// An empty register.
     #[must_use]
     pub fn new() -> Self {
-        BoundaryRegister { cells: Vec::new() }
+        BoundaryRegister::default()
     }
 
     /// Appends a cell on the TDO end and returns its index.
@@ -234,13 +238,38 @@ impl BoundaryRegister {
         }
     }
 
-    /// One Shift-DR clock across the whole register; returns TDO.
+    /// One Shift-DR clock across the whole register; returns TDO. An
+    /// injected stuck segment forces the bit leaving the named cell to
+    /// its constant level, exactly where the broken wire sits.
     pub fn shift(&mut self, tdi: Logic, ctrl: &CellControl) -> Logic {
         let mut bit = tdi;
-        for c in &mut self.cells {
+        for (i, c) in self.cells.iter_mut().enumerate() {
             bit = c.shift(bit, ctrl);
+            if let Some((cell, level)) = self.stuck {
+                if cell == i {
+                    bit = level;
+                }
+            }
         }
         bit
+    }
+
+    /// Injects a stuck shift segment: the serial line leaving cell
+    /// `cell` reads the constant `level` on every subsequent shift
+    /// (replacing any previous segment fault).
+    pub fn inject_stuck_segment(&mut self, cell: usize, level: Logic) {
+        self.stuck = Some((cell, level));
+    }
+
+    /// Removes any injected stuck segment (the wire is "repaired").
+    pub fn clear_stuck_segment(&mut self) {
+        self.stuck = None;
+    }
+
+    /// The injected stuck segment, if any.
+    #[must_use]
+    pub fn stuck_segment(&self) -> Option<(usize, Logic)> {
+        self.stuck
     }
 
     /// Update-DR across the whole register.
@@ -339,6 +368,32 @@ mod tests {
         assert!(reg.cell(0).is_ok());
         assert!(matches!(reg.cell(1), Err(JtagError::CellOutOfRange { index: 1, len: 1 })));
         assert!(reg.cell_mut(2).is_err());
+    }
+
+    #[test]
+    fn stuck_segment_swallows_upstream_cells_and_fills_downstream() {
+        let mut reg = BoundaryRegister::new();
+        for _ in 0..4 {
+            reg.push(Box::new(StandardBsc::new()));
+        }
+        // Break the segment leaving cell 1: cells 2 and 3 only ever
+        // receive the stuck level; cells 0 and 1 still load from TDI.
+        reg.inject_stuck_segment(1, Logic::Zero);
+        assert_eq!(reg.stuck_segment(), Some((1, Logic::Zero)));
+        let ctrl = plain_ctrl();
+        for _ in 0..4 {
+            reg.shift(Logic::One, &ctrl);
+        }
+        assert_eq!(reg.cell(0).unwrap().scan_bit(), Logic::One, "TDI side still controllable");
+        assert_eq!(reg.cell(1).unwrap().scan_bit(), Logic::One);
+        assert_eq!(reg.cell(2).unwrap().scan_bit(), Logic::Zero, "downstream fill is stuck");
+        assert_eq!(reg.cell(3).unwrap().scan_bit(), Logic::Zero);
+        // Scan-out: cells at or before the break never reach TDO.
+        reg.clear_stuck_segment();
+        assert_eq!(reg.stuck_segment(), None);
+        reg.inject_stuck_segment(3, Logic::One);
+        let out: Vec<Logic> = (0..4).map(|_| reg.shift(Logic::Zero, &ctrl)).collect();
+        assert!(out.iter().all(|&b| b == Logic::One), "TDO reads the stuck level: {out:?}");
     }
 
     #[test]

@@ -121,7 +121,21 @@ impl Chain {
     /// Injects an infrastructure fault (replacing any previous one) and
     /// resets the fault's internal phase, so injection is a clean
     /// starting point for a deterministic corruption trace.
+    ///
+    /// A [`ScanFault::BoundaryStuck`] is routed into the named device's
+    /// boundary register (a nonexistent device index leaves every
+    /// register intact — the fault is still recorded, and corrupts
+    /// nothing, like a break on an unpopulated board site).
     pub fn inject_fault(&mut self, fault: ScanFault) {
+        for dev in &mut self.devices {
+            dev.boundary_mut().clear_stuck_segment();
+        }
+        if let ScanFault::BoundaryStuck { device, cell, level } = fault {
+            if let Some(dev) = self.devices.get_mut(device) {
+                let level = if level { Logic::One } else { Logic::Zero };
+                dev.boundary_mut().inject_stuck_segment(cell, level);
+            }
+        }
         self.fault = Some(fault);
         self.fault_bits = 0;
         self.fault_latched = false;
@@ -130,6 +144,9 @@ impl Chain {
     /// Removes any injected fault (the hardware is "repaired"; TAP
     /// state is left wherever the fault put it).
     pub fn clear_fault(&mut self) {
+        for dev in &mut self.devices {
+            dev.boundary_mut().clear_stuck_segment();
+        }
         self.fault = None;
         self.fault_bits = 0;
         self.fault_latched = false;
@@ -337,6 +354,24 @@ mod tests {
         assert_eq!(out[1], Logic::One, "{out:?}");
         assert_eq!(out[2], Logic::Zero, "{out:?}");
         assert_eq!(out[3], Logic::One, "{out:?}");
+    }
+
+    #[test]
+    fn boundary_stuck_routes_into_the_device_and_spares_bypass() {
+        let mut c = Chain::single(dev("a", 3));
+        to_idle(&mut c);
+        c.inject_fault(ScanFault::BoundaryStuck { device: 0, cell: 0, level: true });
+        assert_eq!(c.device(0).unwrap().boundary().stuck_segment(), Some((0, Logic::One)));
+        // The BYPASS register never crosses the broken segment: a DR
+        // scan with BYPASS selected comes back clean (delayed by one,
+        // capturing 0) — which is exactly why the serial self-check
+        // cannot see this fault class.
+        let out = shift_dr(&mut c, &[Logic::One, Logic::Zero, Logic::One]);
+        assert_eq!(out[0], Logic::Zero, "bypass captures 0");
+        assert_eq!(out[1], Logic::One);
+        assert_eq!(out[2], Logic::Zero);
+        c.clear_fault();
+        assert_eq!(c.device(0).unwrap().boundary().stuck_segment(), None);
     }
 
     #[test]

@@ -63,6 +63,22 @@ pub enum ScanFault {
         /// Drop one edge out of every `period` (clamped to ≥ 1).
         period: u64,
     },
+    /// A shift-path segment *inside* a device's boundary register is
+    /// stuck: the serial line leaving boundary cell `cell` of device
+    /// `device` reads a constant level. Cells `0..=cell` keep their
+    /// scan-in path but their scan-out is swallowed (unobservable);
+    /// cells `cell+1..` scan out fine but can only ever be filled with
+    /// the stuck level (uncontrollable). Unlike the link-level faults,
+    /// this one is invisible to BYPASS-path probing — only a
+    /// boundary-register scan crosses the broken segment.
+    BoundaryStuck {
+        /// Device whose boundary register is broken.
+        device: usize,
+        /// Boundary-cell index whose output segment is stuck.
+        cell: usize,
+        /// The constant level the segment reads (false = 0, true = 1).
+        level: bool,
+    },
 }
 
 impl ScanFault {
@@ -75,6 +91,7 @@ impl ScanFault {
             ScanFault::BitFlip { .. } => "bit_flip",
             ScanFault::StuckTap { .. } => "stuck_tap",
             ScanFault::DroppedTck { .. } => "dropped_tck",
+            ScanFault::BoundaryStuck { .. } => "boundary_stuck",
         }
     }
 }
@@ -90,6 +107,13 @@ impl fmt::Display for ScanFault {
             ScanFault::StuckTap { state } => write!(f, "TAP stuck in {state}"),
             ScanFault::DroppedTck { period } => {
                 write!(f, "every {period}th TCK edge dropped")
+            }
+            ScanFault::BoundaryStuck { device, cell, level } => {
+                write!(
+                    f,
+                    "boundary segment after cell {cell} of device {device} stuck at {}",
+                    u8::from(*level)
+                )
             }
         }
     }
@@ -111,6 +135,11 @@ impl ToJson for ScanFault {
             }
             ScanFault::DroppedTck { period } => {
                 j.push("period", period.to_json());
+            }
+            ScanFault::BoundaryStuck { device, cell, level } => {
+                j.push("device", device.to_json());
+                j.push("cell", cell.to_json());
+                j.push("level", u64::from(*level).to_json());
             }
         }
         j
@@ -141,6 +170,11 @@ mod tests {
                 "dropped_tck",
                 "every 7th TCK edge dropped",
             ),
+            (
+                ScanFault::BoundaryStuck { device: 0, cell: 6, level: false },
+                "boundary_stuck",
+                "boundary segment after cell 6 of device 0 stuck at 0",
+            ),
         ];
         for (fault, kind, display) in faults {
             assert_eq!(fault.kind(), kind);
@@ -154,5 +188,7 @@ mod tests {
         assert_eq!(j, r#"{"kind":"bit_flip","link":2,"period":3}"#);
         let j = ScanFault::StuckTap { state: TapState::TestLogicReset }.to_json().render();
         assert_eq!(j, r#"{"kind":"stuck_tap","state":"Test-Logic-Reset"}"#);
+        let j = ScanFault::BoundaryStuck { device: 0, cell: 6, level: true }.to_json().render();
+        assert_eq!(j, r#"{"kind":"boundary_stuck","device":0,"cell":6,"level":1}"#);
     }
 }

@@ -81,6 +81,17 @@ pub enum ChainAnomaly {
         /// Observed capture bits, LSB-first scan order.
         observed: String,
     },
+    /// The boundary-register shift path returned a constant level while
+    /// the probe pattern has both — a stuck segment *inside* the
+    /// boundary path. Invisible to the BYPASS flush (the bypass
+    /// register bypasses the boundary cells), so only
+    /// [`check_boundary`] can see it.
+    BoundaryPathStuck {
+        /// The constant level observed (`true` = stuck at 1).
+        level: bool,
+        /// First pattern bit whose expected value differs from `level`.
+        bit: usize,
+    },
 }
 
 impl fmt::Display for ChainAnomaly {
@@ -102,6 +113,13 @@ impl fmt::Display for ChainAnomaly {
             }
             ChainAnomaly::IrCaptureMismatch { device, expected, observed } => {
                 write!(f, "device {device} IR capture read {observed:?}, expected {expected:?}")
+            }
+            ChainAnomaly::BoundaryPathStuck { level, bit } => {
+                write!(
+                    f,
+                    "boundary shift path stuck at {} (first bad pattern bit {bit})",
+                    u8::from(*level)
+                )
             }
         }
     }
@@ -135,6 +153,11 @@ impl ToJson for ChainAnomaly {
                 ("device", device.to_json()),
                 ("expected", expected.to_json()),
                 ("observed", observed.to_json()),
+            ]),
+            ChainAnomaly::BoundaryPathStuck { level, bit } => Json::obj([
+                ("kind", "boundary_path_stuck".to_json()),
+                ("level", level.to_json()),
+                ("bit", bit.to_json()),
             ]),
         }
     }
@@ -288,6 +311,299 @@ pub fn check_chain(driver: &mut JtagDriver) -> Result<ChainCheckReport, JtagErro
     }
 
     Ok(report(anomalies, driver))
+}
+
+/// Qualifies the *boundary* shift path, which the BYPASS flush of
+/// [`check_chain`] never exercises: a stuck segment between two
+/// boundary cells (e.g. [`crate::fault::ScanFault::BoundaryStuck`]) is
+/// invisible to bypass probing because the 1-bit bypass register sits
+/// on its own serial path.
+///
+/// Loads `SAMPLE/PRELOAD` on every device (non-invasive: pins are not
+/// driven) and shifts an aperiodic pattern through the concatenated
+/// boundary registers. The leading `cells` bits out are captured pin
+/// values (unknowable here) and are ignored; the pattern must then
+/// reappear verbatim. A constant level instead is reported as
+/// [`ChainAnomaly::BoundaryPathStuck`]; other damage as
+/// [`ChainAnomaly::ShiftPathCorrupt`].
+///
+/// Leaves `SAMPLE/PRELOAD` loaded and the scrubbed pattern in the
+/// boundary flip-flops; callers are expected to reset / preload before
+/// the session proper (the `Soc` does).
+///
+/// # Errors
+///
+/// [`JtagError::EmptyChain`] when the chain has no devices;
+/// [`JtagError::UnknownInstruction`] when a device lacks
+/// `SAMPLE/PRELOAD`; scan-layer errors from the probe operations. A
+/// *fault* found by the check is reported in the
+/// [`ChainCheckReport`], not as an `Err`.
+pub fn check_boundary(driver: &mut JtagDriver) -> Result<ChainCheckReport, JtagError> {
+    let devices = driver.chain().len();
+    if devices == 0 {
+        return Err(JtagError::EmptyChain);
+    }
+    let start_tck = driver.tck();
+    let mut anomalies = Vec::new();
+
+    driver.load_instruction("SAMPLE/PRELOAD")?;
+    if driver.state() != TapState::RunTestIdle {
+        anomalies.push(ChainAnomaly::TapUnresponsive {
+            phase: "boundary-select",
+            observed: driver.state(),
+        });
+        return Ok(ChainCheckReport { devices, anomalies, tck_cost: driver.tck() - start_tck });
+    }
+
+    let cells = driver.chain().selected_dr_len();
+    let probe_len = 16usize.max(2 * cells);
+    let pattern = flush_pattern(probe_len);
+    let tdi: BitVector = pattern
+        .iter()
+        .copied()
+        .chain(std::iter::repeat_n(Logic::Zero, cells))
+        .collect();
+    let out = driver.shift_dr_bits(&tdi)?;
+    if driver.state() != TapState::RunTestIdle {
+        anomalies.push(ChainAnomaly::TapUnresponsive {
+            phase: "boundary-flush",
+            observed: driver.state(),
+        });
+        return Ok(ChainCheckReport { devices, anomalies, tck_cost: driver.tck() - start_tck });
+    }
+
+    // Only the delayed pattern window is predictable: the first `cells`
+    // bits are whatever Capture-DR sampled off the pins.
+    let window: Vec<Logic> = out.iter().skip(cells).collect();
+    let mismatch = window.iter().zip(pattern.iter()).position(|(o, e)| o != e);
+    if let Some(first_bad) = mismatch {
+        let driven: Vec<Logic> = window.iter().copied().filter(|l| l.is_binary()).collect();
+        let stuck_level = driven.first().copied().filter(|&lv| driven.iter().all(|&l| l == lv));
+        match stuck_level {
+            Some(level) if pattern.iter().any(|&p| p.is_binary() && p != level) => {
+                anomalies.push(ChainAnomaly::BoundaryPathStuck {
+                    level: level == Logic::One,
+                    bit: first_bad,
+                });
+            }
+            _ => anomalies.push(ChainAnomaly::ShiftPathCorrupt { bit: first_bad }),
+        }
+    }
+
+    Ok(ChainCheckReport { devices, anomalies, tck_cost: driver.tck() - start_tck })
+}
+
+/// The wires an integrity session must treat as untestable after a
+/// boundary fault was localized: quarantined wires are excluded as
+/// victims and parked at a quiescent drive as aggressors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineSet {
+    /// `mask[w]` = wire `w` is quarantined.
+    mask: Vec<bool>,
+}
+
+impl QuarantineSet {
+    /// A clear set: every one of `wires` wires is healthy.
+    #[must_use]
+    pub fn none(wires: usize) -> Self {
+        QuarantineSet { mask: vec![false; wires] }
+    }
+
+    /// A full quarantine: no wire is testable.
+    #[must_use]
+    pub fn all(wires: usize) -> Self {
+        QuarantineSet { mask: vec![true; wires] }
+    }
+
+    /// Builds a set quarantining exactly the listed wires (out-of-range
+    /// indices are ignored).
+    #[must_use]
+    pub fn from_quarantined(wires: usize, quarantined: impl IntoIterator<Item = usize>) -> Self {
+        let mut mask = vec![false; wires];
+        for w in quarantined {
+            if let Some(slot) = mask.get_mut(w) {
+                *slot = true;
+            }
+        }
+        QuarantineSet { mask }
+    }
+
+    /// Total wires the set describes.
+    #[must_use]
+    pub fn wires(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// Whether `wire` is quarantined. Out-of-range wires are reported
+    /// quarantined (conservative).
+    #[must_use]
+    pub fn is_quarantined(&self, wire: usize) -> bool {
+        self.mask.get(wire).copied().unwrap_or(true)
+    }
+
+    /// Whether no wire is quarantined.
+    #[must_use]
+    pub fn is_clear(&self) -> bool {
+        !self.mask.iter().any(|&q| q)
+    }
+
+    /// Number of healthy (non-quarantined) wires.
+    #[must_use]
+    pub fn healthy_count(&self) -> usize {
+        self.mask.iter().filter(|&&q| !q).count()
+    }
+
+    /// Indices of healthy wires, ascending.
+    #[must_use]
+    pub fn healthy_wires(&self) -> Vec<usize> {
+        (0..self.mask.len()).filter(|&w| !self.mask[w]).collect()
+    }
+
+    /// Indices of quarantined wires, ascending.
+    #[must_use]
+    pub fn quarantined_wires(&self) -> Vec<usize> {
+        (0..self.mask.len()).filter(|&w| self.mask[w]).collect()
+    }
+}
+
+impl fmt::Display for QuarantineSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clear() {
+            write!(f, "no wires quarantined ({} healthy)", self.wires())
+        } else {
+            write!(
+                f,
+                "wires {:?} quarantined ({} of {} healthy)",
+                self.quarantined_wires(),
+                self.healthy_count(),
+                self.wires()
+            )
+        }
+    }
+}
+
+impl ToJson for QuarantineSet {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("wires", self.wires().to_json()),
+            ("healthy", self.healthy_count().to_json()),
+            ("quarantined", self.quarantined_wires().to_json()),
+        ])
+    }
+}
+
+/// Result of [`localize_boundary_fault`]: which wires the walking-one
+/// probe could still drive *and* observe, the chain cell whose outgoing
+/// shift segment is implicated (when the response set is consistent
+/// with a single break), and the quarantine that follows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultLocalization {
+    /// `responding[w]` = wire `w` passed the walking-one round trip.
+    pub responding: Vec<bool>,
+    /// Chain-position of the boundary cell whose *outgoing* shift
+    /// segment is broken, under the SI chain layout (PGBSC cell `w` at
+    /// position `w`, observation cell `w` at position `wires + w`).
+    /// `None` when every wire responds (no boundary break reaches the
+    /// probe) or when the responses do not fit a single break.
+    pub segment: Option<usize>,
+    /// Wires the degraded session must exclude.
+    pub quarantine: QuarantineSet,
+    /// TCKs the probe spent (excluded from session cost accounting).
+    pub tck_cost: u64,
+}
+
+impl ToJson for FaultLocalization {
+    fn to_json(&self) -> Json {
+        let responding: Vec<usize> =
+            (0..self.responding.len()).filter(|&w| self.responding[w]).collect();
+        Json::obj([
+            ("responding", responding.to_json()),
+            ("segment", self.segment.to_json()),
+            ("quarantine", self.quarantine.to_json()),
+            ("tck_cost", self.tck_cost.to_json()),
+        ])
+    }
+}
+
+/// Localizes a boundary shift-path break by walking a one across the
+/// bus and reading back which wires still complete the full
+/// drive → interconnect → capture → scan-out loop.
+///
+/// The probe itself is supplied by the caller because it needs the
+/// SoC's pattern-generation chain layout and an interconnect model:
+/// `probe(driver, None)` must run a baseline pass with every wire
+/// parked at 0 and return the per-wire readback; `probe(driver,
+/// Some(w))` must drive a one on wire `w` alone and return the same.
+/// Wire `w` *responds* when the walking-one pass reads it as 1 and the
+/// baseline read it as 0 — i.e. its drive cell is still controllable
+/// and its observation cell still observable through the broken chain.
+///
+/// The response set is then mapped to a quarantine under the
+/// single-break assumption and the SI chain layout (drive cells at
+/// positions `0..wires`, observation cells at `wires..2*wires`):
+///
+/// * every wire responds → clear quarantine (`segment = None`);
+/// * a prefix `{0..=j}` responds → the segment leaving drive cell `j`
+///   is broken; wires `j+1..` are uncontrollable and quarantined;
+/// * a suffix `{j..}` responds → the segment leaving observation cell
+///   `wires + j - 1` is broken; wires `0..j` are unobservable and
+///   quarantined;
+/// * no wire or a non-contiguous set responds → the break cannot be
+///   attributed to one segment; every wire is quarantined
+///   (conservative, `segment = None`).
+///
+/// # Errors
+///
+/// Whatever the caller's probe reports (scan-layer [`JtagError`]s).
+pub fn localize_boundary_fault<F>(
+    driver: &mut JtagDriver,
+    wires: usize,
+    mut probe: F,
+) -> Result<FaultLocalization, JtagError>
+where
+    F: FnMut(&mut JtagDriver, Option<usize>) -> Result<Vec<bool>, JtagError>,
+{
+    let start_tck = driver.tck();
+    let baseline = probe(driver, None)?;
+    let mut responding = vec![false; wires];
+    for (w, slot) in responding.iter_mut().enumerate() {
+        let read = probe(driver, Some(w))?;
+        *slot = read.get(w).copied().unwrap_or(false)
+            && !baseline.get(w).copied().unwrap_or(true);
+    }
+    let (segment, quarantine) = map_responses(&responding);
+    Ok(FaultLocalization { responding, segment, quarantine, tck_cost: driver.tck() - start_tck })
+}
+
+/// Maps a walking-one response set to the implicated chain segment and
+/// quarantine (see [`localize_boundary_fault`] for the rules).
+fn map_responses(responding: &[bool]) -> (Option<usize>, QuarantineSet) {
+    let wires = responding.len();
+    let count = responding.iter().filter(|&&r| r).count();
+    if count == wires {
+        return (None, QuarantineSet::none(wires));
+    }
+    if count == 0 {
+        return (None, QuarantineSet::all(wires));
+    }
+    let first = responding.iter().position(|&r| r).unwrap_or(0);
+    let last = responding.iter().rposition(|&r| r).unwrap_or(0);
+    if last + 1 - first != count {
+        // Non-contiguous: not a single break.
+        return (None, QuarantineSet::all(wires));
+    }
+    if first == 0 {
+        // Prefix {0..=last}: break leaves drive cell `last`; everything
+        // further from TDI is uncontrollable.
+        (Some(last), QuarantineSet::from_quarantined(wires, last + 1..wires))
+    } else if last == wires - 1 {
+        // Suffix {first..}: break leaves observation cell
+        // `wires + first - 1`; wires before it are unobservable.
+        (Some(wires + first - 1), QuarantineSet::from_quarantined(wires, 0..first))
+    } else {
+        // An interior island cannot come from one break.
+        (None, QuarantineSet::all(wires))
+    }
 }
 
 /// Classifies a corrupt BYPASS flush: dead TDO, stuck level, wrong
@@ -449,5 +765,177 @@ mod tests {
         let j = report.to_json().render();
         assert!(j.contains("\"healthy\":true"), "{j}");
         assert!(j.contains("\"anomalies\":[]"), "{j}");
+    }
+
+    #[test]
+    fn healthy_boundary_path_passes() {
+        let mut drv = driver(2, 3);
+        drv.reset();
+        let report = check_boundary(&mut drv).unwrap();
+        assert!(report.healthy(), "{report}");
+        assert!(report.tck_cost > 0);
+    }
+
+    #[test]
+    fn boundary_stuck_is_invisible_to_bypass_but_caught_by_boundary_check() {
+        for level in [false, true] {
+            let mut drv = driver(1, 4);
+            drv.inject_fault(ScanFault::BoundaryStuck { device: 0, cell: 1, level });
+            let bypass = check_chain(&mut drv).unwrap();
+            assert!(bypass.healthy(), "BYPASS flush must not see a boundary fault: {bypass}");
+            let report = check_boundary(&mut drv).unwrap();
+            assert!(
+                report
+                    .anomalies
+                    .iter()
+                    .any(|a| *a == ChainAnomaly::BoundaryPathStuck { level, bit: 0 }
+                        || matches!(a, ChainAnomaly::BoundaryPathStuck { .. })),
+                "{report}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_anomaly_serialises() {
+        let a = ChainAnomaly::BoundaryPathStuck { level: true, bit: 3 };
+        assert_eq!(a.to_json().render(), r#"{"kind":"boundary_path_stuck","level":true,"bit":3}"#);
+        assert_eq!(a.to_string(), "boundary shift path stuck at 1 (first bad pattern bit 3)");
+    }
+
+    /// Synthetic probe: simulates a break leaving chain cell `broken`
+    /// under the SI layout (drive cells 0..wires, observation cells
+    /// wires..2*wires). Wire w responds iff its drive cell is at or
+    /// before the break AND its observation cell is after it.
+    fn synthetic_probe(
+        wires: usize,
+        broken: usize,
+    ) -> impl FnMut(&mut JtagDriver, Option<usize>) -> Result<Vec<bool>, JtagError> {
+        move |_drv, target| {
+            let mut read = vec![false; wires];
+            if let Some(w) = target {
+                let controllable = w <= broken;
+                let observable = wires + w > broken;
+                read[w] = controllable && observable;
+            }
+            Ok(read)
+        }
+    }
+
+    #[test]
+    fn walking_one_prefix_break_quarantines_far_wires() {
+        // 8 wires, break after drive cell 6: wire 7 uncontrollable.
+        let mut drv = driver(1, 1);
+        let loc = localize_boundary_fault(&mut drv, 8, synthetic_probe(8, 6)).unwrap();
+        assert_eq!(loc.segment, Some(6));
+        assert_eq!(loc.quarantine.quarantined_wires(), vec![7]);
+        assert_eq!(loc.quarantine.healthy_count(), 7);
+        assert!(loc.quarantine.is_quarantined(7));
+        assert!(!loc.quarantine.is_quarantined(0));
+    }
+
+    #[test]
+    fn walking_one_suffix_break_quarantines_near_wires() {
+        // 8 wires, break after observation cell 8+1=9: wires 0..=1
+        // unobservable.
+        let mut drv = driver(1, 1);
+        let loc = localize_boundary_fault(&mut drv, 8, synthetic_probe(8, 9)).unwrap();
+        assert_eq!(loc.segment, Some(9));
+        assert_eq!(loc.quarantine.quarantined_wires(), vec![0, 1]);
+        assert_eq!(loc.quarantine.healthy_wires(), vec![2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn walking_one_healthy_bus_clears_quarantine() {
+        let mut drv = driver(1, 1);
+        let loc = localize_boundary_fault(&mut drv, 4, |_d, target| {
+            let mut read = vec![false; 4];
+            if let Some(w) = target {
+                read[w] = true; // every wire round-trips
+            }
+            Ok(read)
+        })
+        .unwrap();
+        assert_eq!(loc.segment, None);
+        assert!(loc.quarantine.is_clear());
+    }
+
+    #[test]
+    fn walking_one_break_after_last_cell_swallows_all_observations() {
+        // The segment leaving the last observation cell feeds TDO:
+        // nothing scans out, so everything is quarantined.
+        let mut drv = driver(1, 1);
+        let loc = localize_boundary_fault(&mut drv, 4, synthetic_probe(4, 7)).unwrap();
+        assert_eq!(loc.segment, None);
+        assert_eq!(loc.quarantine.healthy_count(), 0);
+    }
+
+    #[test]
+    fn walking_one_silent_bus_quarantines_everything() {
+        let mut drv = driver(1, 1);
+        let loc =
+            localize_boundary_fault(&mut drv, 4, |_d, _t| Ok(vec![false; 4])).unwrap();
+        assert_eq!(loc.segment, None);
+        assert_eq!(loc.quarantine.healthy_count(), 0);
+        assert_eq!(loc.quarantine.quarantined_wires(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn walking_one_scattered_responses_quarantine_everything() {
+        let mut drv = driver(1, 1);
+        let loc = localize_boundary_fault(&mut drv, 5, |_d, target| {
+            let mut read = vec![false; 5];
+            if let Some(w) = target {
+                read[w] = w == 0 || w == 3; // non-contiguous island
+            }
+            Ok(read)
+        })
+        .unwrap();
+        assert_eq!(loc.segment, None);
+        assert_eq!(loc.quarantine.healthy_count(), 0);
+    }
+
+    #[test]
+    fn walking_one_demands_baseline_zero() {
+        // A wire that reads 1 even in the baseline pass (stuck bus
+        // line, not a chain break) must not count as responding.
+        let mut drv = driver(1, 1);
+        let loc = localize_boundary_fault(&mut drv, 3, |_d, target| {
+            let mut read = vec![false; 3];
+            read[1] = true; // wire 1 always high
+            if let Some(w) = target {
+                read[w] = true;
+            }
+            Ok(read)
+        })
+        .unwrap();
+        assert!(!loc.responding[1]);
+        assert!(loc.responding[0] && loc.responding[2]);
+    }
+
+    #[test]
+    fn quarantine_set_serialises() {
+        let q = QuarantineSet::from_quarantined(8, [7]);
+        assert_eq!(q.to_json().render(), r#"{"wires":8,"healthy":7,"quarantined":[7]}"#);
+        assert_eq!(q.to_string(), "wires [7] quarantined (7 of 8 healthy)");
+        assert_eq!(QuarantineSet::none(3).to_string(), "no wires quarantined (3 healthy)");
+        let loc = FaultLocalization {
+            responding: vec![true, false],
+            segment: Some(0),
+            quarantine: QuarantineSet::from_quarantined(2, [1]),
+            tck_cost: 42,
+        };
+        let j = loc.to_json().render();
+        assert!(j.contains(r#""responding":[0]"#), "{j}");
+        assert!(j.contains(r#""segment":0"#), "{j}");
+        assert!(j.contains(r#""tck_cost":42"#), "{j}");
+    }
+
+    #[test]
+    fn quarantine_out_of_range_is_conservative() {
+        let q = QuarantineSet::none(2);
+        assert!(!q.is_quarantined(1));
+        assert!(q.is_quarantined(2));
+        let ignored = QuarantineSet::from_quarantined(2, [5]);
+        assert!(ignored.is_clear());
     }
 }

@@ -24,8 +24,12 @@
 //!   ([`fault::ScanFault`]): stuck serial lines, flipping bits, wedged
 //!   TAP controllers, dropped TCK edges.
 //! * [`integrity`] — the pre-session chain-integrity self-check
-//!   ([`integrity::check_chain`]) that catches every injectable fault
-//!   before a session can misblame the interconnect.
+//!   ([`integrity::check_chain`] plus the boundary-path probe
+//!   [`integrity::check_boundary`]) that catches every injectable fault
+//!   before a session can misblame the interconnect, and the
+//!   walking-one localization probe
+//!   ([`integrity::localize_boundary_fault`]) that maps a boundary
+//!   break to a [`integrity::QuarantineSet`] of untestable wires.
 //!
 //! # Example
 //!
@@ -75,7 +79,10 @@ pub use device::Device;
 pub use driver::JtagDriver;
 pub use error::JtagError;
 pub use fault::ScanFault;
-pub use integrity::{check_chain, ChainAnomaly, ChainCheckReport};
+pub use integrity::{
+    check_boundary, check_chain, localize_boundary_fault, ChainAnomaly, ChainCheckReport,
+    FaultLocalization, QuarantineSet,
+};
 pub use instruction::{DrTarget, Instruction, InstructionRegister, InstructionSet};
 pub use register::{BypassRegister, IdcodeRegister};
 pub use state::TapState;

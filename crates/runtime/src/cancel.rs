@@ -1,0 +1,148 @@
+//! Cooperative cancellation with optional wall-clock deadlines.
+//!
+//! Long campaigns must never hang on a single wedged solve: every
+//! compute loop in the workspace (solver timesteps, campaign trial
+//! dispatch) periodically polls a shared [`CancelToken`] and bails out
+//! with a typed error when it fires. The token is deliberately tiny —
+//! one `Arc<AtomicBool>` plus an optional deadline instant — so a poll
+//! on the solver hot loop costs one relaxed atomic load, and the
+//! wall-clock comparison ([`CancelToken::poll_deadline`]) is only paid
+//! at the caller's chosen check interval.
+//!
+//! Two ways a token fires:
+//!
+//! 1. **Explicit** — any clone calls [`CancelToken::cancel`]; every
+//!    other clone observes it on its next poll.
+//! 2. **Deadline** — a token built with [`CancelToken::with_deadline`]
+//!    latches itself cancelled the first time
+//!    [`CancelToken::poll_deadline`] runs past the deadline. The latch
+//!    makes the answer sticky: once a token has fired it stays fired,
+//!    so racing observers cannot disagree about whether a run was cut
+//!    short.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cheap, clonable cancellation flag with an optional deadline.
+///
+/// Clones share state: cancelling one cancels all. The default token
+/// ([`CancelToken::new`]) has no deadline and never fires on its own.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh token with no deadline; fires only via
+    /// [`CancelToken::cancel`].
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that self-cancels once `budget` of wall-clock time has
+    /// elapsed (measured from this call) — checked lazily by
+    /// [`CancelToken::poll_deadline`].
+    #[must_use]
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken::at(Instant::now() + budget)
+    }
+
+    /// A token that self-cancels once `deadline` has passed.
+    #[must_use]
+    pub fn at(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: Some(deadline) }),
+        }
+    }
+
+    /// Fires the token; every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired. One relaxed atomic load — cheap
+    /// enough for the innermost solver loop. Does **not** consult the
+    /// wall clock; use [`CancelToken::poll_deadline`] at a coarser
+    /// interval for that.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Checks the deadline (when one is set), latching the token
+    /// cancelled if it has passed. Returns whether the token has fired,
+    /// from any cause. This is the per-check-interval call: one
+    /// `Instant::now()` comparison on top of the atomic load.
+    #[must_use]
+    pub fn poll_deadline(&self) -> bool {
+        if self.is_cancelled() {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The configured deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(!token.poll_deadline(), "no deadline, no self-cancel");
+        assert!(token.deadline().is_none());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(token.poll_deadline());
+    }
+
+    #[test]
+    fn expired_deadline_latches_on_poll() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        // The wall-clock comparison only happens at poll time.
+        assert!(token.poll_deadline());
+        assert!(token.is_cancelled(), "deadline expiry is latched");
+    }
+
+    #[test]
+    fn distant_deadline_does_not_fire() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!token.poll_deadline());
+        assert!(!token.is_cancelled());
+        assert!(token.deadline().is_some());
+    }
+
+    #[test]
+    fn explicit_cancel_beats_distant_deadline() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        token.cancel();
+        assert!(token.poll_deadline());
+    }
+}

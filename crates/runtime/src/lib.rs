@@ -23,6 +23,9 @@
 //!   with failing-seed reporting.
 //! - [`bench`] — a warmup/iterate micro-benchmark harness
 //!   ([`bench::Bench`]) reporting median and p95 with JSON output.
+//! - [`cancel`] — a shared cancellation flag with optional wall-clock
+//!   deadline ([`cancel::CancelToken`]) so no compute loop can wedge a
+//!   campaign forever.
 //!
 //! The policy this crate enforces: **no `sint` crate may declare an
 //! external dependency.** `scripts/verify.sh` builds with
@@ -32,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod cancel;
 pub mod json;
 pub mod pool;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{Bench, BenchResult};
+pub use cancel::CancelToken;
 pub use json::{Json, JsonParseError, ToJson};
 pub use pool::{JobPanic, Pool};
 pub use prop::Runner;

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Performance trajectory: runs the solver / session / mafm benchmark
-# bins and records their JSON artifacts as BENCH_*.json at the repo
-# root, so successive commits accumulate comparable timing data.
+# Performance trajectory: runs the solver / session / mafm / robustness
+# benchmark bins and records their JSON artifacts as BENCH_*.json at
+# the repo root, so successive commits accumulate comparable timing
+# data.
 #
 # Knobs:
 #   SINT_THREADS   worker-pool width for campaign-style bins
@@ -20,7 +21,7 @@ trap 'rm -rf "$dir"' EXIT
 
 cargo build --release -p sint-bench
 
-for name in solver session mafm; do
+for name in solver session mafm robustness; do
     SINT_ARTIFACT_DIR="$dir" cargo run --release -p sint-bench --bin "bench_$name"
     mv "$dir/bench_$name.json" "BENCH_$name.json"
     echo "wrote BENCH_$name.json"

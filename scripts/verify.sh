@@ -45,4 +45,45 @@ if ! cmp "$tmp/ref_summary.json" "$tmp/summary.json"; then
 fi
 echo "campaign resume: summaries byte-identical"
 
+# Degraded-mode matrix: every ScanFault variant under both ChainPolicy
+# arms — Strict must refuse any damaged chain, Degrade must accept
+# exactly the localizable boundary break (with a CoverageReport and
+# concession trail) and refuse the rest with typed errors. The matrix
+# runs on the worker pool, so the summary JSON must be byte-identical
+# across thread counts.
+SINT_THREADS=1 target/release/degraded_matrix "$tmp/matrix_t1.json"
+SINT_THREADS=8 target/release/degraded_matrix "$tmp/matrix_t8.json"
+if ! cmp "$tmp/matrix_t1.json" "$tmp/matrix_t8.json"; then
+    echo "verify: FAIL — degraded-session JSON differs across thread counts" >&2
+    exit 1
+fi
+echo "degraded matrix: contract holds, byte-identical at 1 and 8 threads"
+
+# Kill-under-deadline resume determinism: with a zero per-trial
+# deadline every solver-bound trial (including the wedged one) sheds at
+# the first cancellation poll, so the shed records are deterministic —
+# kill the run halfway, resume from the snapshot, and require the
+# summary (shed steps and all) to match the uninterrupted run byte for
+# byte across thread counts.
+SINT_THREADS=1 target/release/campaign_resume \
+    "$tmp/shed_ref_ckpt.json" "$tmp/shed_ref_summary.json" --deadline-ms 0
+
+status=0
+SINT_THREADS=4 target/release/campaign_resume \
+    "$tmp/shed_ckpt.json" "$tmp/shed_summary.json" \
+    --deadline-ms 0 --halt-after 10 || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "verify: FAIL — halted deadline run exited $status, expected 3" >&2
+    exit 1
+fi
+
+SINT_THREADS=4 target/release/campaign_resume \
+    "$tmp/shed_ckpt.json" "$tmp/shed_summary.json" --deadline-ms 0
+
+if ! cmp "$tmp/shed_ref_summary.json" "$tmp/shed_summary.json"; then
+    echo "verify: FAIL — resumed deadline summary differs from uninterrupted run" >&2
+    exit 1
+fi
+echo "deadline shed resume: summaries byte-identical"
+
 echo "verify: OK"

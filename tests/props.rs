@@ -4,13 +4,17 @@
 //! Each `#[test]` wraps one property; a failure panics with the harness
 //! seed, case index, and generated input so it can be replayed exactly.
 
-use sint::core::mafm::{classify_pair, fault_pair, pgbsc_vector, IntegrityFault};
+use sint::core::mafm::{
+    classify_pair, classify_pair_masked, degraded_conventional_schedule, degraded_pgbsc_sequence,
+    fault_pair, pgbsc_vector, CoverageReport, IntegrityFault,
+};
 use sint::core::nd::{NdThresholds, NoiseDetector};
 use sint::interconnect::drive::{DriveLevel, VectorPair};
 use sint::interconnect::linalg::Matrix;
 use sint::interconnect::params::BusParams;
 use sint::interconnect::solver::{SolverBackend, TransientSim, DEFAULT_SWITCH_AT};
 use sint::interconnect::variation::{apply_variation, SplitMix64, VariationSigma};
+use sint::jtag::integrity::QuarantineSet;
 use sint::jtag::state::TapState;
 use sint::jtag::svf::{mask_hex, scan_hex};
 use sint::logic::{BitVector, Logic};
@@ -221,6 +225,67 @@ fn pgbsc_aggressors_always_toggle() {
             Ok(())
         },
     );
+}
+
+// ---------------- Degraded MA planning ----------------
+
+#[test]
+fn degraded_schedules_cover_the_same_faults_for_every_mask() {
+    // Exhaustive, not sampled: for every bus width 3..=8 and every
+    // quarantine mask over its wires, the degraded conventional
+    // schedule and the degraded PGBSC sequences must classify back to
+    // the identical covered-fault set, and that set must be exactly
+    // the 6-per-healthy-victim block the CoverageReport promises.
+    use std::collections::BTreeSet;
+    for width in 3..=8usize {
+        for mask in 0u32..(1 << width) {
+            let quarantined: Vec<usize> =
+                (0..width).filter(|&w| mask >> w & 1 == 1).collect();
+            let q = QuarantineSet::from_quarantined(width, quarantined.iter().copied());
+            if q.healthy_count() < 2 {
+                // Fewer than two survivors: no aggressor set exists, so
+                // every planner must refuse rather than emit a plan.
+                assert!(
+                    degraded_conventional_schedule(width, &q).is_err(),
+                    "width {width} mask {mask:#b}: undegradable mask accepted"
+                );
+                continue;
+            }
+            let mut conventional = BTreeSet::new();
+            for p in degraded_conventional_schedule(width, &q).unwrap() {
+                let fault = classify_pair_masked(&p.pair, p.victim, &q)
+                    .unwrap_or_else(|| panic!("width {width} mask {mask:#b}: unclassifiable"));
+                assert_eq!(fault, p.fault, "width {width} mask {mask:#b}");
+                conventional.insert((p.victim, fault));
+            }
+            let mut pgbsc = BTreeSet::new();
+            for victim in q.healthy_wires() {
+                for initial in [DriveLevel::Low, DriveLevel::High] {
+                    for p in degraded_pgbsc_sequence(width, victim, initial, &q).unwrap() {
+                        let fault = classify_pair_masked(&p.pair, p.victim, &q)
+                            .unwrap_or_else(|| {
+                                panic!("width {width} mask {mask:#b}: unclassifiable")
+                            });
+                        assert_eq!(fault, p.fault, "width {width} mask {mask:#b}");
+                        pgbsc.insert((p.victim, fault));
+                    }
+                }
+            }
+            assert_eq!(conventional, pgbsc, "width {width} mask {mask:#b}: plans disagree");
+            let report = CoverageReport::for_quarantine(width, &q);
+            assert_eq!(report.total(), 6 * width, "width {width} mask {mask:#b}");
+            assert_eq!(
+                report.covered_count(),
+                6 * q.healthy_count(),
+                "width {width} mask {mask:#b}"
+            );
+            assert_eq!(
+                conventional.len(),
+                report.covered_count(),
+                "width {width} mask {mask:#b}: plan size vs coverage report"
+            );
+        }
+    }
 }
 
 // ---------------- Noise detector ----------------
