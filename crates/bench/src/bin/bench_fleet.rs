@@ -1,0 +1,93 @@
+//! Bench: the sharded test-floor engine.
+//!
+//! Two questions, answered with numbers in `BENCH_fleet.json`:
+//!
+//! 1. **Does work-stealing pay?** A 200-board floor is timed serial,
+//!    sharded without imbalance, and sharded with a deliberately
+//!    unbalanced shard layout (`shards(2)` at 8 threads — without
+//!    stealing, six workers would idle). The stealing speedup over the
+//!    serial run is the headline number.
+//! 2. **Does the acceptance floor hold?** The ISSUE's 1000-board floor
+//!    runs once serial and once sharded; the artifact records the wall
+//!    time, the trial throughput, and that the merged summaries were
+//!    **byte-identical** — the determinism invariant measured, not just
+//!    unit-tested. The run streams through `NullSink`, so the resident
+//!    set stays flat no matter the trial count.
+//!
+//! Honours `SINT_THREADS` for the sharded rows.
+
+use sint_bench::{emit_artifact, threads_from_env};
+use sint_fleet::{ClientSpec, FleetEngine, FloorSpec, NullSink};
+use sint_runtime::bench::{black_box, Bench};
+use sint_runtime::json::{Json, ToJson};
+use std::time::Duration;
+use std::time::Instant;
+
+fn floor(boards: usize) -> FloorSpec {
+    FloorSpec::new(boards)
+        .trials_per_board(3)
+        .seed(0xF1EE_7BE4)
+        .with_clients(vec![
+            ClientSpec::new("assembly"),
+            ClientSpec::new("qualification"),
+            ClientSpec::with_budget("burst", Duration::ZERO),
+        ])
+}
+
+fn main() {
+    let threads = threads_from_env();
+    let mut b = Bench::new("fleet").samples(3).warmup(Duration::from_millis(0));
+
+    // 1. Scheduling comparison on a 200-board floor.
+    let engine = FleetEngine::new(floor(200)).expect("static floor spec");
+    b.measure("floor_200x3/serial", || {
+        black_box(engine.run(1, &NullSink));
+    });
+    b.measure(&format!("floor_200x3/stealing/{threads}t"), || {
+        black_box(engine.run(threads, &NullSink));
+    });
+    // Two shards across all workers: the worst static imbalance. Only
+    // stealing keeps the other workers busy, so this row staying close
+    // to the balanced one is the `map_stealing` payoff.
+    let skewed = FleetEngine::new(floor(200)).expect("static floor spec").shards(2);
+    b.measure(&format!("floor_200x3/two_shards/{threads}t"), || {
+        black_box(skewed.run(threads, &NullSink));
+    });
+
+    // 2. The acceptance floor: 1000 boards, bounded memory, determinism
+    // measured serial-vs-sharded.
+    let engine = FleetEngine::new(floor(1000)).expect("static floor spec");
+    let t0 = Instant::now();
+    let serial = engine.run(1, &NullSink);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let sharded = engine.run(threads, &NullSink);
+    let sharded_secs = t0.elapsed().as_secs_f64();
+    let identical = serial.to_json().render() == sharded.to_json().render();
+    assert!(identical, "sharded summary diverged from the serial run");
+
+    let trials = 1000 * 3;
+    print!("{}", b.table());
+    println!(
+        "floor_1000x3: serial {serial_secs:.2}s, {threads} threads {sharded_secs:.2}s \
+         ({:.0} trials/s), summaries byte-identical: {identical}",
+        trials as f64 / sharded_secs
+    );
+
+    let mut json = b.json();
+    json.push(
+        "floor_1000x3",
+        Json::obj([
+            ("boards", 1000u64.to_json()),
+            ("trials", (trials as u64).to_json()),
+            ("threads", threads.to_json()),
+            ("serial_secs", serial_secs.to_json()),
+            ("sharded_secs", sharded_secs.to_json()),
+            ("sharded_trials_per_sec", (trials as f64 / sharded_secs).to_json()),
+            ("speedup", (serial_secs / sharded_secs).to_json()),
+            ("shed_trials", serial.totals.shed_trials.to_json()),
+            ("summaries_byte_identical", identical.to_json()),
+        ]),
+    );
+    emit_artifact("bench_fleet", &json);
+}

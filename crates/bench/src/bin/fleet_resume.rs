@@ -1,0 +1,176 @@
+//! **Tool** — fleet-floor driver with kill/resume support, used by
+//! `scripts/verify.sh` to prove the fleet determinism and resume
+//! contracts end to end.
+//!
+//! Runs a fixed 1000-board floor (3 trials per board, 3 clients — one
+//! of which, `burst`, carries a zero admission budget and therefore
+//! sheds every one of its trials deterministically), snapshotting the
+//! board-granular [`FleetCheckpoint`] to disk every 100 finished
+//! boards. With `--halt-after N` the process exits with code 3 as soon
+//! as N boards are checkpointed — simulating a kill — and a later
+//! invocation without the flag resumes from the snapshot, re-running
+//! only unfinished boards. The merged summary JSON is byte-identical
+//! to an uninterrupted run at any `SINT_THREADS`: that byte-identity
+//! *is* the `fleet_determinism` gate.
+//!
+//! With `--records <path>` every trial streams a JSONL record through
+//! the incremental artifact emitter as it finishes — the bounded-memory
+//! result path (the tool never holds a `Vec` of trial outcomes either
+//! way; the merged summary is folded from per-board counters).
+//!
+//! ```text
+//! fleet_resume <checkpoint.json> <summary.json> \
+//!     [--halt-after N] [--records <records.jsonl>]
+//! ```
+//!
+//! Exit codes: 0 = floor complete, 2 = usage/IO error, 3 = halted
+//! deliberately at the `--halt-after` threshold.
+
+use sint_bench::threads_from_env;
+use sint_fleet::{
+    ClientSpec, FleetCheckpoint, FleetEngine, FloorSpec, JsonlSink, NullSink, RecordSink,
+};
+use sint_runtime::json::ToJson;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const BOARDS: usize = 1000;
+const TRIALS_PER_BOARD: usize = 3;
+const SNAPSHOT_EVERY: usize = 100;
+
+/// The fixed floor: 1000 boards dealt round-robin to three clients.
+/// `burst`'s zero budget makes admission control part of the
+/// determinism contract — its ~1000 shed trials must survive
+/// kill/resume and thread-count changes byte-for-byte.
+fn floor() -> FloorSpec {
+    FloorSpec::new(BOARDS)
+        .trials_per_board(TRIALS_PER_BOARD)
+        .seed(0xF1EE_7F10)
+        .with_clients(vec![
+            ClientSpec::new("assembly"),
+            ClientSpec::new("qualification"),
+            ClientSpec::with_budget("burst", Duration::ZERO),
+        ])
+}
+
+struct Args {
+    checkpoint_path: String,
+    summary_path: String,
+    halt_after: Option<usize>,
+    records_path: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut halt_after = None;
+    let mut records_path = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--halt-after" {
+            let value = argv.next().ok_or("--halt-after needs a board count")?;
+            let count = value
+                .parse::<usize>()
+                .map_err(|_| format!("--halt-after wants a number, got {value:?}"))?;
+            halt_after = Some(count);
+        } else if arg == "--records" {
+            records_path = Some(argv.next().ok_or("--records needs a file path")?);
+        } else {
+            positional.push(arg);
+        }
+    }
+    if positional.len() != 2 {
+        return Err(
+            "usage: fleet_resume <checkpoint.json> <summary.json> \
+             [--halt-after N] [--records <records.jsonl>]"
+                .to_string(),
+        );
+    }
+    let mut positional = positional.into_iter();
+    Ok(Args {
+        checkpoint_path: positional.next().unwrap_or_default(),
+        summary_path: positional.next().unwrap_or_default(),
+        halt_after,
+        records_path,
+    })
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let threads = threads_from_env();
+
+    // Resume from an existing snapshot, or start fresh.
+    let mut checkpoint = match std::fs::read_to_string(&args.checkpoint_path) {
+        Ok(text) => FleetCheckpoint::parse(&text)
+            .map_err(|e| format!("bad checkpoint {}: {e}", args.checkpoint_path))?,
+        Err(_) => FleetCheckpoint::new(),
+    };
+    let resumed_from = checkpoint.len();
+
+    let engine = FleetEngine::new(floor()).map_err(|e| format!("bad floor spec: {e}"))?;
+
+    // The streaming sink: an incremental JSONL artifact when requested,
+    // otherwise the null sink (the summary never needs the records).
+    let records = match &args.records_path {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create records file {path}: {e}"))?;
+            Some(JsonlSink::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let sink: &dyn RecordSink = match &records {
+        Some(sink) => sink,
+        None => &NullSink,
+    };
+
+    let checkpoint_path = args.checkpoint_path.clone();
+    let halt_after = args.halt_after;
+    let summary =
+        engine.run_checkpointed(threads, &mut checkpoint, SNAPSHOT_EVERY, sink, |cp| {
+            let rendered = cp.to_json().render();
+            if let Err(e) = std::fs::write(&checkpoint_path, format!("{rendered}\n")) {
+                eprintln!("fleet_resume: cannot write checkpoint: {e}");
+                std::process::exit(2);
+            }
+            if let Some(limit) = halt_after {
+                if cp.len() >= limit {
+                    eprintln!(
+                        "fleet_resume: halting deliberately with {} / {} boards checkpointed",
+                        cp.len(),
+                        BOARDS
+                    );
+                    std::process::exit(3);
+                }
+            }
+        });
+
+    if let Some(sink) = records {
+        use std::io::Write;
+        let (mut writer, lines) = sink.finish().map_err(|e| format!("record stream: {e}"))?;
+        writer.flush().map_err(|e| format!("cannot flush records file: {e}"))?;
+        eprintln!("fleet_resume: streamed {lines} trial records");
+    }
+
+    let rendered = summary.to_json().render_pretty();
+    std::fs::write(&args.summary_path, format!("{rendered}\n"))
+        .map_err(|e| format!("cannot write summary {}: {e}", args.summary_path))?;
+    eprintln!(
+        "fleet_resume: {} boards ({} resumed from checkpoint), {} threads, {} shed of {} trials",
+        BOARDS,
+        resumed_from,
+        threads,
+        summary.totals.shed_trials,
+        BOARDS * TRIALS_PER_BOARD,
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("fleet_resume: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -181,22 +181,42 @@ impl CampaignStats {
     pub fn tally(outcomes: &[TrialOutcome]) -> CampaignStats {
         let mut stats = CampaignStats::default();
         for outcome in outcomes {
-            match outcome {
-                TrialOutcome::Detected { .. } => {
-                    stats.defect_trials += 1;
-                    stats.detected += 1;
-                }
-                TrialOutcome::Missed => stats.defect_trials += 1,
-                TrialOutcome::CleanPass => stats.control_trials += 1,
-                TrialOutcome::FalseAlarm => {
-                    stats.control_trials += 1;
-                    stats.false_alarms += 1;
-                }
-                TrialOutcome::Failed => stats.failed_trials += 1,
-                TrialOutcome::Shed => stats.shed_trials += 1,
-            }
+            stats.accumulate(*outcome);
         }
         stats
+    }
+
+    /// Folds one more outcome into the statistics — the streaming
+    /// counterpart of [`CampaignStats::tally`], so a million-trial run
+    /// never needs the outcome vector in memory.
+    pub fn accumulate(&mut self, outcome: TrialOutcome) {
+        match outcome {
+            TrialOutcome::Detected { .. } => {
+                self.defect_trials += 1;
+                self.detected += 1;
+            }
+            TrialOutcome::Missed => self.defect_trials += 1,
+            TrialOutcome::CleanPass => self.control_trials += 1,
+            TrialOutcome::FalseAlarm => {
+                self.control_trials += 1;
+                self.false_alarms += 1;
+            }
+            TrialOutcome::Failed => self.failed_trials += 1,
+            TrialOutcome::Shed => self.shed_trials += 1,
+        }
+    }
+
+    /// Adds another batch's counters into this one. Pure counter
+    /// addition, so merging per-board statistics in any fixed order
+    /// (the fleet engine merges in board-id order) reproduces the
+    /// serial tally exactly.
+    pub fn merge(&mut self, other: &CampaignStats) {
+        self.defect_trials += other.defect_trials;
+        self.detected += other.detected;
+        self.control_trials += other.control_trials;
+        self.false_alarms += other.false_alarms;
+        self.failed_trials += other.failed_trials;
+        self.shed_trials += other.shed_trials;
     }
 }
 

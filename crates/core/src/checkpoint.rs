@@ -85,6 +85,20 @@ pub struct CheckpointEntry {
     pub shed: Option<TrialShed>,
 }
 
+impl CheckpointEntry {
+    /// Decodes one entry from its [`ToJson`] rendering — the public
+    /// inverse used by streaming consumers (the fleet's incremental
+    /// JSONL artifacts embed checkpoint-v2 entries verbatim, and replay
+    /// tooling parses them back through this).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Schema`] when the JSON is not an entry.
+    pub fn from_json(json: &Json) -> Result<CheckpointEntry, CheckpointError> {
+        parse_entry(json)
+    }
+}
+
 impl ToJson for CheckpointEntry {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -273,6 +287,58 @@ fn parse_entry(entry: &Json) -> Result<CheckpointEntry, CheckpointError> {
 }
 
 impl Campaign {
+    /// Runs a batch serially with **constant memory**, pushing one
+    /// checkpoint-v2 record per trial through `emit` instead of
+    /// accumulating a `Vec<TrialOutcome>`.
+    ///
+    /// This is the fleet engine's per-board path: records stream out
+    /// incrementally (to a JSONL artifact, a channel, a tally — the
+    /// sink's choice) while only the running [`CampaignStats`] counters
+    /// stay resident, so a million-trial run holds a few dozen bytes of
+    /// state. Every record is keyed by trial index and seed exactly as
+    /// [`Campaign::run_checkpointed`] would record it, and outcomes are
+    /// derived from the same index-keyed seeds as
+    /// [`Campaign::run_parallel`], so the streamed records and the
+    /// in-memory run agree byte for byte.
+    ///
+    /// `budget` layers admission control on top of the campaign's own
+    /// configuration: when the token (typically a per-client child of a
+    /// fleet-wide [`CancelToken`]) has fired, every remaining trial is
+    /// shed with [`ShedReason::Budget`] before it starts. When `budget`
+    /// is `None`, the campaign's own [`Campaign::budget`] (if any)
+    /// applies, measured from this call.
+    pub fn run_streaming(
+        &self,
+        trials: &[Trial],
+        budget: Option<&CancelToken>,
+        mut emit: impl FnMut(&CheckpointEntry),
+    ) -> CampaignStats {
+        let own = if budget.is_none() {
+            self.campaign_budget().map(CancelToken::with_deadline)
+        } else {
+            None
+        };
+        let budget = budget.or(own.as_ref());
+        let mut stats = CampaignStats::default();
+        for (index, trial) in trials.iter().enumerate() {
+            let seed = index as u64;
+            let (outcome, failure, shed) = match self.run_trial_attempts(*trial, seed, budget) {
+                Ok(outcome) => (outcome, None, None),
+                Err(TrialAbort::Failed { attempts, error }) => (
+                    TrialOutcome::Failed,
+                    Some(TrialFailure { index, seed, attempts, error }),
+                    None,
+                ),
+                Err(TrialAbort::Shed(reason)) => {
+                    (TrialOutcome::Shed, None, Some(TrialShed { index, seed, reason }))
+                }
+            };
+            stats.accumulate(outcome);
+            emit(&CheckpointEntry { index, seed, outcome, failure, shed });
+        }
+        stats
+    }
+
     /// Runs a batch with periodic checkpointing and resume.
     ///
     /// Trials already present in `checkpoint` (matched by index *and*
@@ -505,6 +571,68 @@ mod tests {
         // And the plain engine agrees with the checkpointed one.
         let plain = campaign.run_parallel(&trials, 2);
         assert_eq!(plain.to_json().render(), reference.to_json().render());
+    }
+
+    #[test]
+    fn streamed_records_match_the_in_memory_engine() {
+        let campaign = Campaign::new(3);
+        let batch = trials();
+        let mut streamed: Vec<CheckpointEntry> = Vec::new();
+        let stats = campaign.run_streaming(&batch, None, |entry| streamed.push(entry.clone()));
+
+        // Same outcomes, failures and stats as the in-memory engine.
+        let reference = campaign.run(&batch);
+        assert_eq!(stats, reference.stats);
+        let outcomes: Vec<_> = streamed.iter().map(|e| e.outcome).collect();
+        assert_eq!(outcomes, reference.outcomes);
+        let failures: Vec<_> = streamed.iter().filter_map(|e| e.failure.clone()).collect();
+        assert_eq!(failures, reference.failures);
+
+        // Record shapes are checkpoint-v2 entries byte for byte: a
+        // checkpoint built from the stream round-trips identically to
+        // one recorded by run_checkpointed.
+        let mut from_stream = CampaignCheckpoint::new();
+        for entry in &streamed {
+            from_stream.record(entry.clone());
+        }
+        let mut recorded = CampaignCheckpoint::new();
+        let _ = campaign.run_checkpointed(&batch, 1, &mut recorded, 2, |_| {});
+        assert_eq!(from_stream.to_json().render(), recorded.to_json().render());
+    }
+
+    #[test]
+    fn streamed_budget_token_sheds_everything_once_fired() {
+        use sint_runtime::cancel::CancelToken;
+        let campaign = Campaign::new(3);
+        let batch = trials();
+        let fleet = CancelToken::new();
+        let client = fleet.child_with_deadline(std::time::Duration::ZERO);
+        let mut entries = 0usize;
+        let stats = campaign.run_streaming(&batch, Some(&client), |entry| {
+            assert_eq!(entry.outcome, TrialOutcome::Shed);
+            assert!(matches!(
+                entry.shed,
+                Some(TrialShed { reason: ShedReason::Budget, .. })
+            ));
+            entries += 1;
+        });
+        assert_eq!(entries, batch.len());
+        assert_eq!(stats.shed_trials, batch.len());
+        assert!(!fleet.is_cancelled(), "client overrun never fires the fleet token");
+    }
+
+    #[test]
+    fn entry_from_json_round_trips() {
+        let entry = CheckpointEntry {
+            index: 5,
+            seed: 5,
+            outcome: TrialOutcome::Shed,
+            failure: None,
+            shed: Some(TrialShed { index: 5, seed: 5, reason: ShedReason::Deadline { step: 9 } }),
+        };
+        let parsed = CheckpointEntry::from_json(&entry.to_json()).unwrap();
+        assert_eq!(parsed, entry);
+        assert!(CheckpointEntry::from_json(&sint_runtime::json::Json::Null).is_err());
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Board-granular fleet checkpoints.
+//!
+//! A fleet run snapshots one [`BoardEntry`] per finished board — its
+//! id, seed, owning client and campaign counters — into a versioned
+//! JSON document. Feeding the last snapshot back into
+//! [`crate::engine::FleetEngine::run_checkpointed`] re-runs only the
+//! unfinished boards; because each board is a pure function of its id,
+//! the resumed merged summary is byte-identical to an uninterrupted
+//! run. Entries are keyed by id *and* seed, so a snapshot taken
+//! against a different floor layout is rejected at lookup time rather
+//! than replayed silently.
+
+use crate::engine::BoardSummary;
+use crate::error::FleetError;
+use sint_core::campaign::CampaignStats;
+use sint_runtime::json::{Json, ToJson};
+
+/// Fleet checkpoint format version.
+const FLEET_CHECKPOINT_VERSION: u64 = 1;
+
+/// One finished board in a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardEntry {
+    /// The board's floor position.
+    pub board: usize,
+    /// The board's derived seed (must match on resume).
+    pub seed: u64,
+    /// Index of the owning client.
+    pub client: usize,
+    /// The board's campaign counters.
+    pub stats: CampaignStats,
+    /// The panic message when the board's harness crashed.
+    pub crashed: Option<String>,
+}
+
+impl BoardEntry {
+    /// The checkpoint form of a finished board's summary.
+    #[must_use]
+    pub fn from_summary(summary: &BoardSummary) -> BoardEntry {
+        BoardEntry {
+            board: summary.board,
+            seed: summary.seed,
+            client: summary.client,
+            stats: summary.stats,
+            crashed: summary.crashed.clone(),
+        }
+    }
+}
+
+impl ToJson for BoardEntry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("board", self.board.to_json()),
+            ("seed", self.seed.to_json()),
+            ("client", self.client.to_json()),
+            ("stats", self.stats.to_json()),
+            ("crashed", match &self.crashed {
+                Some(m) => m.to_json(),
+                None => Json::Null,
+            }),
+        ])
+    }
+}
+
+/// Accumulated finished boards of one fleet run, ordered by board id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetCheckpoint {
+    entries: Vec<BoardEntry>,
+}
+
+impl FleetCheckpoint {
+    /// An empty checkpoint (a fresh, un-resumed run).
+    #[must_use]
+    pub fn new() -> FleetCheckpoint {
+        FleetCheckpoint::default()
+    }
+
+    /// Finished boards recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded entries, ordered by board id.
+    #[must_use]
+    pub fn entries(&self) -> &[BoardEntry] {
+        &self.entries
+    }
+
+    /// The entry for `board`, provided it was recorded under the same
+    /// `seed` (otherwise the snapshot belongs to a different floor and
+    /// must not be reused).
+    #[must_use]
+    pub fn entry_for(&self, board: usize, seed: u64) -> Option<&BoardEntry> {
+        self.entries
+            .binary_search_by_key(&board, |e| e.board)
+            .ok()
+            .map(|pos| &self.entries[pos])
+            .filter(|e| e.seed == seed)
+    }
+
+    /// Records a finished board, replacing any previous entry for the
+    /// same id.
+    pub fn record(&mut self, entry: BoardEntry) {
+        match self.entries.binary_search_by_key(&entry.board, |e| e.board) {
+            Ok(pos) => self.entries[pos] = entry,
+            Err(pos) => self.entries.insert(pos, entry),
+        }
+    }
+
+    /// Decodes a snapshot produced by [`FleetCheckpoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Json`] for malformed JSON, [`FleetError::Schema`]
+    /// for a well-formed document that is not a version-1 fleet
+    /// checkpoint.
+    pub fn parse(text: &str) -> Result<FleetCheckpoint, FleetError> {
+        let root = Json::parse(text)?;
+        match root.get("version").and_then(Json::as_u64) {
+            Some(FLEET_CHECKPOINT_VERSION) => {}
+            Some(v) => {
+                return Err(FleetError::schema(format!(
+                    "unsupported fleet checkpoint version {v}"
+                )));
+            }
+            None => return Err(FleetError::schema("missing version")),
+        }
+        let entries = root
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| FleetError::schema("missing entries array"))?;
+        let mut checkpoint = FleetCheckpoint::new();
+        for entry in entries {
+            checkpoint.record(parse_board_entry(entry)?);
+        }
+        Ok(checkpoint)
+    }
+}
+
+impl ToJson for FleetCheckpoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("version", FLEET_CHECKPOINT_VERSION.to_json()),
+            ("entries", Json::Array(self.entries.iter().map(ToJson::to_json).collect())),
+        ])
+    }
+}
+
+fn field_u64(obj: &Json, key: &str) -> Result<u64, FleetError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| FleetError::schema(format!("entry is missing numeric {key:?}")))
+}
+
+/// Decodes [`CampaignStats`] counters from their [`ToJson`] rendering.
+/// The derived rate fields are ignored: they re-derive on render, so
+/// the round trip stays byte-identical.
+pub(crate) fn parse_stats(json: &Json) -> Result<CampaignStats, FleetError> {
+    Ok(CampaignStats {
+        defect_trials: field_u64(json, "defect_trials")? as usize,
+        detected: field_u64(json, "detected")? as usize,
+        control_trials: field_u64(json, "control_trials")? as usize,
+        false_alarms: field_u64(json, "false_alarms")? as usize,
+        failed_trials: field_u64(json, "failed_trials")? as usize,
+        shed_trials: field_u64(json, "shed_trials")? as usize,
+    })
+}
+
+fn parse_board_entry(entry: &Json) -> Result<BoardEntry, FleetError> {
+    let stats = entry
+        .get("stats")
+        .ok_or_else(|| FleetError::schema("entry has no stats"))
+        .and_then(parse_stats)?;
+    let crashed = match entry.get("crashed") {
+        None | Some(Json::Null) => None,
+        Some(m) => Some(
+            m.as_str()
+                .ok_or_else(|| FleetError::schema("crashed must be a string or null"))?
+                .to_string(),
+        ),
+    };
+    Ok(BoardEntry {
+        board: field_u64(entry, "board")? as usize,
+        seed: field_u64(entry, "seed")?,
+        client: field_u64(entry, "client")? as usize,
+        stats,
+        crashed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(board: usize) -> BoardEntry {
+        BoardEntry {
+            board,
+            seed: board as u64 * 7 + 1,
+            client: board % 2,
+            stats: CampaignStats {
+                defect_trials: 3,
+                detected: 2,
+                control_trials: 1,
+                false_alarms: 0,
+                failed_trials: 0,
+                shed_trials: 1,
+            },
+            crashed: if board == 2 { Some("injected".into()) } else { None },
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut checkpoint = FleetCheckpoint::new();
+        for board in [3, 0, 2] {
+            checkpoint.record(entry(board));
+        }
+        assert_eq!(checkpoint.entries()[0].board, 0, "entries kept sorted");
+        let rendered = checkpoint.to_json().render();
+        assert!(rendered.contains(r#""version":1"#), "{rendered}");
+        let parsed = FleetCheckpoint::parse(&rendered).unwrap();
+        assert_eq!(parsed, checkpoint);
+        assert_eq!(parsed.to_json().render(), rendered, "re-rendering is stable");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_snapshots() {
+        assert!(matches!(FleetCheckpoint::parse("nope"), Err(FleetError::Json(_))));
+        for bad in [
+            r#"{"entries":[]}"#,
+            r#"{"version":9,"entries":[]}"#,
+            r#"{"version":1}"#,
+            r#"{"version":1,"entries":[{"board":0}]}"#,
+            r#"{"version":1,"entries":[{"board":0,"seed":0,"client":0,"stats":{},"crashed":null}]}"#,
+            r#"{"version":1,"entries":[{"board":0,"seed":0,"client":0,"stats":{"defect_trials":0,"detected":0,"control_trials":0,"false_alarms":0,"failed_trials":0,"shed_trials":0},"crashed":5}]}"#,
+        ] {
+            assert!(
+                matches!(FleetCheckpoint::parse(bad), Err(FleetError::Schema { .. })),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_mismatch_invalidates_entries() {
+        let mut checkpoint = FleetCheckpoint::new();
+        checkpoint.record(entry(4));
+        assert!(checkpoint.entry_for(4, 29).is_some());
+        assert!(checkpoint.entry_for(4, 30).is_none(), "wrong seed must not match");
+        assert!(checkpoint.entry_for(5, 36).is_none());
+    }
+}

@@ -1,0 +1,371 @@
+//! The sharded floor engine.
+//!
+//! Boards are dealt round-robin into shards and executed by
+//! `Pool::try_map_stealing`: a worker drains its home shard, then
+//! steals boards from whichever shard has the most left, so one slow
+//! board never serializes its shard. Each board runs its campaign
+//! serially through `Campaign::run_streaming`, pushing per-trial
+//! checkpoint-v2 records into the caller's [`RecordSink`] as they
+//! finish; only the board's [`CampaignStats`] counters come back to the
+//! scheduler. The merged [`FleetSummary`] folds those counters in
+//! board-id order — the order is fixed and the counters commute, so the
+//! summary is byte-identical at any thread or shard count.
+
+use crate::checkpoint::{BoardEntry, FleetCheckpoint};
+use crate::error::FleetError;
+use crate::record::RecordSink;
+use crate::spec::{BoardSpec, FloorSpec};
+use sint_core::campaign::CampaignStats;
+use sint_runtime::cancel::CancelToken;
+use sint_runtime::json::{Json, ToJson};
+use sint_runtime::pool::Pool;
+use std::time::Duration;
+
+/// What one board's campaign produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardSummary {
+    /// The board's floor position.
+    pub board: usize,
+    /// Index of the owning client.
+    pub client: usize,
+    /// The board's derived seed (checkpoint key, with `board`).
+    pub seed: u64,
+    /// Aggregate trial statistics (zeroed when the board crashed).
+    pub stats: CampaignStats,
+    /// The panic message when the board's harness crashed outright —
+    /// the scheduler's backstop; trial-level panics are already
+    /// isolated inside the campaign and show up as `failed_trials`.
+    pub crashed: Option<String>,
+}
+
+impl ToJson for BoardSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("board", self.board.to_json()),
+            ("client", self.client.to_json()),
+            ("seed", self.seed.to_json()),
+            ("stats", self.stats.to_json()),
+            ("crashed", match &self.crashed {
+                Some(m) => m.to_json(),
+                None => Json::Null,
+            }),
+        ])
+    }
+}
+
+/// One client's slice of the merged summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientSummary {
+    /// The client's display name.
+    pub name: String,
+    /// Boards the client owned.
+    pub boards: usize,
+    /// Counters merged over the client's boards, in board-id order.
+    pub stats: CampaignStats,
+}
+
+impl ToJson for ClientSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("boards", self.boards.to_json()),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
+/// The merged result of a fleet run: per-client and floor-wide
+/// counters. Deliberately tiny — the per-trial record stream is the
+/// full-resolution result; this is the invariant-bearing digest that
+/// `verify.sh` byte-compares across thread counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Boards on the floor.
+    pub boards: usize,
+    /// Boards whose harness crashed outright.
+    pub crashed_boards: usize,
+    /// Per-client summaries, in roster order.
+    pub clients: Vec<ClientSummary>,
+    /// Counters merged over every board.
+    pub totals: CampaignStats,
+}
+
+impl ToJson for FleetSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("boards", self.boards.to_json()),
+            ("crashed_boards", self.crashed_boards.to_json()),
+            ("clients", Json::Array(self.clients.iter().map(ToJson::to_json).collect())),
+            ("totals", self.totals.to_json()),
+        ])
+    }
+}
+
+/// The long-running floor engine: a validated [`FloorSpec`] plus
+/// fleet-level scheduling knobs.
+#[derive(Debug, Clone)]
+pub struct FleetEngine {
+    spec: FloorSpec,
+    deadline: Option<Duration>,
+    shards: usize,
+}
+
+impl FleetEngine {
+    /// Wraps a validated spec.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::BadSpec`] when the floor description is unusable.
+    pub fn new(spec: FloorSpec) -> Result<FleetEngine, FleetError> {
+        spec.validate()?;
+        Ok(FleetEngine { spec, deadline: None, shards: 0 })
+    }
+
+    /// Bounds the whole fleet run: the deadline token is the parent of
+    /// every client's admission token, so when it fires every client
+    /// sheds its remaining trials.
+    #[must_use]
+    pub fn deadline(mut self, total: Duration) -> FleetEngine {
+        self.deadline = Some(total);
+        self
+    }
+
+    /// Overrides the shard count (default: one shard per worker).
+    /// Purely a scheduling knob — the merged summary is invariant.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> FleetEngine {
+        self.shards = shards;
+        self
+    }
+
+    /// The floor this engine runs.
+    #[must_use]
+    pub fn spec(&self) -> &FloorSpec {
+        &self.spec
+    }
+
+    /// Runs the whole floor across `threads` workers, streaming every
+    /// trial record into `sink`.
+    #[must_use]
+    pub fn run(&self, threads: usize, sink: &dyn RecordSink) -> FleetSummary {
+        let mut checkpoint = FleetCheckpoint::new();
+        self.run_checkpointed(threads, &mut checkpoint, usize::MAX, sink, |_| {})
+    }
+
+    /// Runs the floor with board-granular checkpointing and resume.
+    ///
+    /// Boards already in `checkpoint` (matched by id *and* seed) are
+    /// skipped — their counters are folded straight into the summary
+    /// and their trial records do **not** re-stream. The rest run
+    /// shard-scheduled in chunks of `snapshot_every` boards, with
+    /// `snap` invoked after each chunk (typically to persist the
+    /// checkpoint's JSON). Because boards are pure functions of their
+    /// id, the resumed merged summary is byte-identical to an
+    /// uninterrupted run at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint` claims a board the floor does not have
+    /// under a matching seed *and* bookkeeping failed to record one —
+    /// both mean a checkpoint from a different floor slipped past the
+    /// seed key.
+    pub fn run_checkpointed(
+        &self,
+        threads: usize,
+        checkpoint: &mut FleetCheckpoint,
+        snapshot_every: usize,
+        sink: &dyn RecordSink,
+        mut snap: impl FnMut(&FleetCheckpoint),
+    ) -> FleetSummary {
+        // Admission tokens are created once, up front: a client budget
+        // spans the whole run, and every client token is a child of the
+        // fleet deadline token (when one is set) so fleet-wide
+        // cancellation reaches every trial poll.
+        let fleet_token = self.deadline.map(CancelToken::with_deadline);
+        let client_tokens: Vec<Option<CancelToken>> = self
+            .spec
+            .clients()
+            .iter()
+            .map(|client| match (&fleet_token, client.budget) {
+                (None, None) => None,
+                (Some(fleet), None) => Some(fleet.child()),
+                (None, Some(budget)) => Some(CancelToken::with_deadline(budget)),
+                (Some(fleet), Some(budget)) => Some(fleet.child_with_deadline(budget)),
+            })
+            .collect();
+
+        let pending: Vec<BoardSpec> = (0..self.spec.boards())
+            .map(|id| self.spec.board(id))
+            .filter(|b| checkpoint.entry_for(b.id, b.seed).is_none())
+            .collect();
+        let pool = Pool::new(threads);
+        let shard_count = if self.shards == 0 { pool.threads() } else { self.shards };
+        let campaign = self.spec.campaign();
+
+        for chunk in pending.chunks(snapshot_every.max(1)) {
+            let lanes = shard_count.max(1);
+            let mut shards: Vec<Vec<BoardSpec>> = vec![Vec::new(); lanes];
+            for (position, board) in chunk.iter().enumerate() {
+                shards[position % lanes].push(*board);
+            }
+            let results = pool.try_map_stealing(&shards, |_, _, board| {
+                let client = &self.spec.clients()[board.client];
+                let trials = self.spec.trials(board);
+                let stats = campaign.run_streaming(
+                    &trials,
+                    client_tokens[board.client].as_ref(),
+                    |entry| sink.record(board, &client.name, entry),
+                );
+                let summary = BoardSummary {
+                    board: board.id,
+                    client: board.client,
+                    seed: board.seed,
+                    stats,
+                    crashed: None,
+                };
+                sink.board_done(&summary);
+                summary
+            });
+            for (shard, outcomes) in shards.iter().zip(results) {
+                for (board, result) in shard.iter().zip(outcomes) {
+                    let summary = match result {
+                        Ok(summary) => summary,
+                        Err(panic) => {
+                            let summary = BoardSummary {
+                                board: board.id,
+                                client: board.client,
+                                seed: board.seed,
+                                stats: CampaignStats::default(),
+                                crashed: Some(panic.message),
+                            };
+                            sink.board_done(&summary);
+                            summary
+                        }
+                    };
+                    checkpoint.record(BoardEntry::from_summary(&summary));
+                }
+            }
+            snap(checkpoint);
+        }
+        self.summarize(checkpoint)
+    }
+
+    /// Folds the checkpoint's per-board counters into the merged
+    /// summary, in board-id order.
+    fn summarize(&self, checkpoint: &FleetCheckpoint) -> FleetSummary {
+        let mut clients: Vec<ClientSummary> = self
+            .spec
+            .clients()
+            .iter()
+            .map(|c| ClientSummary {
+                name: c.name.clone(),
+                boards: 0,
+                stats: CampaignStats::default(),
+            })
+            .collect();
+        let mut totals = CampaignStats::default();
+        let mut crashed_boards = 0usize;
+        for id in 0..self.spec.boards() {
+            let board = self.spec.board(id);
+            let entry = checkpoint
+                .entry_for(board.id, board.seed)
+                .expect("every pending board was just recorded");
+            let client = &mut clients[entry.client];
+            client.boards += 1;
+            client.stats.merge(&entry.stats);
+            totals.merge(&entry.stats);
+            if entry.crashed.is_some() {
+                crashed_boards += 1;
+            }
+        }
+        FleetSummary { boards: self.spec.boards(), crashed_boards, clients, totals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::NullSink;
+    use crate::spec::ClientSpec;
+
+    fn small_floor() -> FloorSpec {
+        FloorSpec::new(12)
+            .trials_per_board(2)
+            .with_clients(vec![ClientSpec::new("a"), ClientSpec::new("b")])
+    }
+
+    #[test]
+    fn merged_summary_is_thread_count_invariant() {
+        let engine = FleetEngine::new(small_floor()).unwrap();
+        let serial = engine.run(1, &NullSink);
+        for threads in [2, 4, 8] {
+            let sharded = engine.run(threads, &NullSink);
+            assert_eq!(
+                sharded.to_json().render(),
+                serial.to_json().render(),
+                "{threads} threads"
+            );
+        }
+        assert_eq!(serial.boards, 12);
+        assert_eq!(serial.crashed_boards, 0);
+        assert_eq!(serial.clients.len(), 2);
+        assert_eq!(serial.clients[0].boards, 6);
+        let mut refold = CampaignStats::default();
+        for c in &serial.clients {
+            refold.merge(&c.stats);
+        }
+        assert_eq!(refold, serial.totals, "client slices partition the totals");
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_summary() {
+        let engine = FleetEngine::new(small_floor()).unwrap();
+        let reference = engine.run(4, &NullSink);
+        for shards in [1, 3, 7] {
+            let engine = FleetEngine::new(small_floor()).unwrap().shards(shards);
+            assert_eq!(engine.run(4, &NullSink), reference, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn expired_fleet_deadline_sheds_every_trial() {
+        let engine =
+            FleetEngine::new(small_floor()).unwrap().deadline(Duration::ZERO);
+        let summary = engine.run(4, &NullSink);
+        assert_eq!(summary.totals.shed_trials, 12 * 2);
+        assert_eq!(summary.totals.defect_trials + summary.totals.control_trials, 0);
+        assert_eq!(summary.crashed_boards, 0);
+    }
+
+    #[test]
+    fn bad_spec_is_refused_at_construction() {
+        assert!(matches!(
+            FleetEngine::new(FloorSpec::new(0)),
+            Err(FleetError::BadSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn kill_resume_summary_is_byte_identical() {
+        let engine = FleetEngine::new(small_floor()).unwrap();
+        let mut reference_ckpt = FleetCheckpoint::new();
+        let reference =
+            engine.run_checkpointed(2, &mut reference_ckpt, 4, &NullSink, |_| {});
+
+        // Capture the first snapshot, abandon the rest (a kill), then
+        // resume from the persisted text on a different thread count.
+        let mut first = None;
+        let mut halted = FleetCheckpoint::new();
+        let _ = engine.run_checkpointed(1, &mut halted, 4, &NullSink, |cp| {
+            if first.is_none() {
+                first = Some(cp.to_json().render());
+            }
+        });
+        let snapshot = first.expect("at least one snapshot");
+        let mut resumed_ckpt = FleetCheckpoint::parse(&snapshot).unwrap();
+        assert_eq!(resumed_ckpt.len(), 4, "snapshot holds the first chunk");
+        let resumed =
+            engine.run_checkpointed(8, &mut resumed_ckpt, 4, &NullSink, |_| {});
+        assert_eq!(resumed.to_json().render(), reference.to_json().render());
+    }
+}

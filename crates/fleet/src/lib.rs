@@ -1,0 +1,57 @@
+//! # sint-fleet
+//!
+//! The test-floor orchestration layer of the `sint` workspace: where
+//! `sint_core::campaign::Campaign` runs one batch of trials over one
+//! SoC, this crate runs a **floor** — thousands of independent boards,
+//! each its own SoC plus maximum-aggressor campaign — as a long-lived
+//! service-shaped engine:
+//!
+//! - [`spec`] — the deterministic floor description: board count,
+//!   per-board trial mixes derived from forked RNG substreams, and the
+//!   client roster ([`ClientSpec`]) with optional wall-clock budgets.
+//! - [`engine`] — [`FleetEngine`], a sharded scheduler on
+//!   `sint_runtime::pool::Pool::try_map_stealing`: boards are dealt
+//!   round-robin into shards, workers drain their home shard and then
+//!   steal from the fullest one, so a single slow board never
+//!   serializes its shard. Panics crash one board, not the floor.
+//! - **Admission control** — every client's boards run under a child of
+//!   the fleet-wide [`sint_runtime::cancel::CancelToken`]: a client
+//!   that exhausts its budget sheds its own remaining trials
+//!   (checkpoint-v2 `Shed`/`Budget` records) while in-budget clients
+//!   proceed byte-identically to running alone.
+//! - [`record`] — the streaming result path: per-trial checkpoint-v2
+//!   records ([`sint_core::checkpoint::CheckpointEntry`]) flow through
+//!   a [`RecordSink`] as they finish — to an incremental JSONL artifact
+//!   ([`JsonlSink`]), a channel, or a tally — so a million-trial floor
+//!   holds per-board counters only, never a `Vec` of outcomes.
+//!   [`replay_summary`] folds a concatenated artifact back into the
+//!   merged [`FleetSummary`] for end-to-end verification.
+//! - [`stream`] — the pull-based consumer face: [`FleetEngine::stream`]
+//!   returns an iterator of [`FleetEvent`]s over a bounded channel
+//!   (backpressure, constant memory).
+//! - [`checkpoint`] — board-granular kill/resume: per-board summaries
+//!   snapshot into a versioned [`FleetCheckpoint`]; a resumed floor's
+//!   merged summary is byte-identical to an uninterrupted run.
+//!
+//! **Determinism invariant** (locked by `scripts/verify.sh`'s
+//! `fleet_determinism` gate): every board's behaviour is a pure
+//! function of its id — its seed, trial mix and campaign are derived
+//! from the floor spec, never from scheduling — and the merged summary
+//! folds per-board counters in board-id order, so a sharded run at any
+//! `SINT_THREADS` is byte-identical to the serial run.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod engine;
+pub mod error;
+pub mod record;
+pub mod spec;
+pub mod stream;
+
+pub use checkpoint::{BoardEntry, FleetCheckpoint};
+pub use engine::{BoardSummary, ClientSummary, FleetEngine, FleetSummary};
+pub use error::FleetError;
+pub use record::{replay_summary, trial_record, JsonlSink, NullSink, RecordSink};
+pub use spec::{BoardSpec, ClientSpec, FloorSpec};
+pub use stream::{FleetEvent, FleetStream};

@@ -1,0 +1,274 @@
+//! The streaming result path.
+//!
+//! A fleet run never builds a `Vec` of trial outcomes: each board's
+//! campaign pushes checkpoint-v2 entries through a [`RecordSink`] the
+//! moment they finish. [`JsonlSink`] turns that into an **incremental
+//! JSON artifact** — one self-describing record per line, written as
+//! produced, so a million-trial floor costs one line of buffering.
+//! Lines from different boards interleave in scheduling order, but
+//! every line carries its board id and trial index, so
+//! [`replay_summary`] can fold a concatenated artifact back into the
+//! merged [`FleetSummary`] deterministically — the golden test locks
+//! replay-equals-in-memory.
+
+use crate::engine::{BoardSummary, ClientSummary, FleetSummary};
+use crate::error::FleetError;
+use crate::spec::BoardSpec;
+use sint_core::campaign::CampaignStats;
+use sint_core::checkpoint::CheckpointEntry;
+use sint_runtime::json::{Json, ToJson};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Record format version emitted by [`trial_record`].
+const RECORD_VERSION: u64 = 1;
+
+/// Where streamed results go. Implementations must be callable from
+/// any worker thread; calls for *different* boards may interleave, but
+/// one board's records always arrive in trial order from one thread.
+pub trait RecordSink: Sync {
+    /// One finished trial of `board`, owned by the client named
+    /// `client`, as a checkpoint-v2 entry.
+    fn record(&self, board: &BoardSpec, client: &str, entry: &CheckpointEntry);
+
+    /// A board finished (or crashed — see [`BoardSummary::crashed`]).
+    /// Default: ignored.
+    fn board_done(&self, summary: &BoardSummary) {
+        let _ = summary;
+    }
+}
+
+/// Discards everything — for runs where only the merged summary
+/// matters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl RecordSink for NullSink {
+    fn record(&self, _board: &BoardSpec, _client: &str, _entry: &CheckpointEntry) {}
+}
+
+/// The self-describing JSON form of one streamed trial record.
+#[must_use]
+pub fn trial_record(board: &BoardSpec, client: &str, entry: &CheckpointEntry) -> Json {
+    Json::obj([
+        ("v", RECORD_VERSION.to_json()),
+        ("board", board.id.to_json()),
+        ("client", board.client.to_json()),
+        ("client_name", client.to_json()),
+        ("entry", entry.to_json()),
+    ])
+}
+
+/// Streams one compact JSON record per line into any writer — the
+/// incremental artifact emitter. Thread-safe (a mutex serialises
+/// lines); write failures are latched rather than panicking mid-floor
+/// and surface from [`JsonlSink::finish`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    inner: Mutex<SinkState<W>>,
+}
+
+#[derive(Debug)]
+struct SinkState<W> {
+    writer: W,
+    lines: u64,
+    error: Option<String>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer (a `File`, a `Vec<u8>`, a `BufWriter`…).
+    #[must_use]
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink { inner: Mutex::new(SinkState { writer, lines: 0, error: None }) }
+    }
+
+    /// Finishes the stream, returning the writer and the line count.
+    ///
+    /// # Errors
+    ///
+    /// The first write error encountered while streaming, rendered as
+    /// text (the record that hit it and all later ones were dropped).
+    pub fn finish(self) -> Result<(W, u64), FleetError> {
+        match self.inner.into_inner() {
+            Ok(state) => match state.error {
+                None => Ok((state.writer, state.lines)),
+                Some(error) => Err(FleetError::schema(format!("record stream failed: {error}"))),
+            },
+            Err(_) => Err(FleetError::schema("record stream poisoned by a panic")),
+        }
+    }
+}
+
+impl<W: Write + Send> RecordSink for JsonlSink<W> {
+    fn record(&self, board: &BoardSpec, client: &str, entry: &CheckpointEntry) {
+        let line = trial_record(board, client, entry).render();
+        if let Ok(mut state) = self.inner.lock() {
+            if state.error.is_some() {
+                return;
+            }
+            match writeln!(state.writer, "{line}") {
+                Ok(()) => state.lines += 1,
+                Err(e) => state.error = Some(e.to_string()),
+            }
+        }
+    }
+}
+
+/// Folds a concatenated JSONL record artifact back into the merged
+/// [`FleetSummary`] — the verification path proving the incremental
+/// artifact carries the same information as the in-memory run.
+///
+/// Replay sees only boards that streamed at least one record, and no
+/// crash markers travel through trial records, so it reconstructs the
+/// summary of a floor where **every board completed** (with
+/// `trials_per_board >= 1`) — exactly the shape the golden test runs.
+/// Client roster order is recovered from the records' client indices.
+///
+/// # Errors
+///
+/// [`FleetError::Json`] / [`FleetError::Schema`] / [`FleetError::Entry`]
+/// when a line is not a version-1 trial record.
+pub fn replay_summary(text: &str) -> Result<FleetSummary, FleetError> {
+    let mut boards: BTreeMap<usize, (usize, CampaignStats)> = BTreeMap::new();
+    let mut client_names: BTreeMap<usize, String> = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let record = Json::parse(line)?;
+        match record.get("v").and_then(Json::as_u64) {
+            Some(RECORD_VERSION) => {}
+            Some(v) => {
+                return Err(FleetError::schema(format!("unsupported record version {v}")));
+            }
+            None => return Err(FleetError::schema("record is missing its version")),
+        }
+        let board = record
+            .get("board")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| FleetError::schema("record is missing its board id"))?
+            as usize;
+        let client = record
+            .get("client")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| FleetError::schema("record is missing its client index"))?
+            as usize;
+        let name = record
+            .get("client_name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| FleetError::schema("record is missing its client name"))?;
+        let entry = CheckpointEntry::from_json(
+            record.get("entry").ok_or_else(|| FleetError::schema("record has no entry"))?,
+        )?;
+        client_names.entry(client).or_insert_with(|| name.to_string());
+        let slot = boards.entry(board).or_insert((client, CampaignStats::default()));
+        if slot.0 != client {
+            return Err(FleetError::schema(format!(
+                "board {board} appears under two clients ({} and {client})",
+                slot.0
+            )));
+        }
+        slot.1.accumulate(entry.outcome);
+    }
+    // Client indices must form a contiguous roster to reconstruct
+    // admission order.
+    let roster = client_names.len();
+    if client_names.keys().next_back().is_some_and(|&max| max + 1 != roster) {
+        return Err(FleetError::schema("client indices are not contiguous"));
+    }
+    let mut clients: Vec<ClientSummary> = (0..roster)
+        .map(|index| ClientSummary {
+            name: client_names.remove(&index).unwrap_or_default(),
+            boards: 0,
+            stats: CampaignStats::default(),
+        })
+        .collect();
+    let mut totals = CampaignStats::default();
+    for (client, stats) in boards.values() {
+        clients[*client].boards += 1;
+        clients[*client].stats.merge(stats);
+        totals.merge(stats);
+    }
+    Ok(FleetSummary { boards: boards.len(), crashed_boards: 0, clients, totals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sint_core::campaign::TrialOutcome;
+
+    fn sample_entry(index: usize, outcome: TrialOutcome) -> CheckpointEntry {
+        CheckpointEntry { index, seed: index as u64, outcome, failure: None, shed: None }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_parseable_line_per_record() {
+        let sink = JsonlSink::new(Vec::new());
+        let board = BoardSpec { id: 7, client: 1, seed: 42 };
+        sink.record(&board, "acme", &sample_entry(0, TrialOutcome::CleanPass));
+        sink.record(&board, "acme", &sample_entry(1, TrialOutcome::Missed));
+        let (bytes, lines) = sink.finish().unwrap();
+        assert_eq!(lines, 2);
+        let text = String::from_utf8(bytes).unwrap();
+        for line in text.lines() {
+            let json = Json::parse(line).unwrap();
+            assert_eq!(json.get("board").and_then(Json::as_u64), Some(7));
+            assert_eq!(json.get("client_name").and_then(Json::as_str), Some("acme"));
+            CheckpointEntry::from_json(json.get("entry").unwrap()).unwrap();
+        }
+    }
+
+    #[test]
+    fn replay_rejects_malformed_streams() {
+        assert!(matches!(replay_summary("not json"), Err(FleetError::Json(_))));
+        for bad in [
+            r#"{"board":0}"#,
+            r#"{"v":9,"board":0,"client":0,"client_name":"x","entry":{}}"#,
+            r#"{"v":1,"client":0,"client_name":"x","entry":{}}"#,
+            r#"{"v":1,"board":0,"client":0,"client_name":"x"}"#,
+        ] {
+            assert!(
+                matches!(replay_summary(bad), Err(FleetError::Schema { .. })),
+                "{bad}"
+            );
+        }
+        // A record whose entry is not a checkpoint entry.
+        let bad = r#"{"v":1,"board":0,"client":0,"client_name":"x","entry":{"index":0}}"#;
+        assert!(matches!(replay_summary(bad), Err(FleetError::Entry(_))));
+    }
+
+    #[test]
+    fn replay_detects_board_client_conflicts() {
+        let a = trial_record(
+            &BoardSpec { id: 0, client: 0, seed: 1 },
+            "a",
+            &sample_entry(0, TrialOutcome::CleanPass),
+        )
+        .render();
+        let b = trial_record(
+            &BoardSpec { id: 0, client: 1, seed: 1 },
+            "b",
+            &sample_entry(1, TrialOutcome::CleanPass),
+        )
+        .render();
+        let text = format!("{a}\n{b}\n");
+        assert!(matches!(replay_summary(&text), Err(FleetError::Schema { .. })));
+    }
+
+    #[test]
+    fn replay_handles_blank_lines_and_interleaving() {
+        let b0 = BoardSpec { id: 0, client: 0, seed: 1 };
+        let b1 = BoardSpec { id: 1, client: 1, seed: 2 };
+        let lines = [
+            trial_record(&b1, "b", &sample_entry(0, TrialOutcome::FalseAlarm)).render(),
+            String::new(),
+            trial_record(&b0, "a", &sample_entry(0, TrialOutcome::CleanPass)).render(),
+            trial_record(&b1, "b", &sample_entry(1, TrialOutcome::Detected { noise: true, skew: false }))
+                .render(),
+        ];
+        let summary = replay_summary(&lines.join("\n")).unwrap();
+        assert_eq!(summary.boards, 2);
+        assert_eq!(summary.clients.len(), 2);
+        assert_eq!(summary.clients[0].name, "a");
+        assert_eq!(summary.clients[1].stats.false_alarms, 1);
+        assert_eq!(summary.totals.detected, 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Admission-control satellite test: a client that exhausts its budget
+//! has **its own** trials shed, while a concurrent in-budget client's
+//! summary is byte-identical to what it gets with an unconstrained
+//! sibling — overrun does not starve the neighbours.
+
+use sint_core::campaign::TrialOutcome;
+use sint_fleet::{ClientSpec, FleetEngine, FleetEvent, FloorSpec, NullSink};
+use sint_runtime::json::ToJson;
+use std::time::Duration;
+
+const BOARDS: usize = 8;
+
+/// `hog` owns the even boards, `steady` the odd ones. A zero budget
+/// fires deterministically before the first trial, so the shed pattern
+/// is reproducible at any thread count.
+fn floor(hog_budget: Option<Duration>) -> FloorSpec {
+    let hog = match hog_budget {
+        Some(budget) => ClientSpec::with_budget("hog", budget),
+        None => ClientSpec::new("hog"),
+    };
+    FloorSpec::new(BOARDS)
+        .trials_per_board(3)
+        .seed(0xAD317)
+        .with_clients(vec![hog, ClientSpec::new("steady")])
+}
+
+#[test]
+fn over_budget_client_sheds_while_its_neighbour_is_untouched() {
+    let constrained = FleetEngine::new(floor(Some(Duration::ZERO)))
+        .unwrap()
+        .run(4, &NullSink);
+    let unconstrained = FleetEngine::new(floor(None)).unwrap().run(4, &NullSink);
+
+    // The hog lost every one of its trials to admission control…
+    let hog = &constrained.clients[0];
+    assert_eq!(hog.name, "hog");
+    assert_eq!(hog.boards, BOARDS / 2);
+    assert_eq!(hog.stats.shed_trials, (BOARDS / 2) * 3);
+    assert_eq!(hog.stats.defect_trials, 0);
+    assert_eq!(hog.stats.control_trials, 0);
+    assert_eq!(hog.stats.failed_trials, 0);
+
+    // …while the in-budget client's summary is byte-identical to the
+    // one it gets when the hog runs unconstrained.
+    let steady = &constrained.clients[1];
+    let steady_alone = &unconstrained.clients[1];
+    assert_eq!(steady.name, "steady");
+    assert_eq!(steady.stats.shed_trials, 0);
+    assert_eq!(
+        steady.to_json().render(),
+        steady_alone.to_json().render(),
+        "in-budget client is unaffected by the sibling's overrun"
+    );
+}
+
+#[test]
+fn shed_records_carry_the_budget_reason_and_only_hit_the_hog() {
+    let engine = FleetEngine::new(floor(Some(Duration::ZERO))).unwrap();
+    let mut hog_trials = 0usize;
+    for event in engine.stream(4, 16) {
+        let FleetEvent::Trial { board, client, entry } = event else { continue };
+        if client == "hog" {
+            hog_trials += 1;
+            assert!(board.id % 2 == 0, "hog owns the even boards");
+            assert!(
+                matches!(entry.outcome, TrialOutcome::Shed),
+                "hog trial {} on board {} should be shed, got {:?}",
+                entry.index,
+                board.id,
+                entry.outcome
+            );
+            assert!(entry.shed.is_some(), "shed records explain themselves");
+        } else {
+            assert!(
+                !matches!(entry.outcome, TrialOutcome::Shed),
+                "steady client must never be shed"
+            );
+        }
+    }
+    assert_eq!(hog_trials, (BOARDS / 2) * 3);
+}
+
+#[test]
+fn budgeted_run_is_thread_count_invariant() {
+    // Shedding is part of the determinism contract: a zero-budget
+    // client sheds identically at every thread count.
+    let serial = FleetEngine::new(floor(Some(Duration::ZERO)))
+        .unwrap()
+        .run(1, &NullSink);
+    for threads in [2, 8] {
+        let sharded = FleetEngine::new(floor(Some(Duration::ZERO)))
+            .unwrap()
+            .run(threads, &NullSink);
+        assert_eq!(
+            serial.to_json().render(),
+            sharded.to_json().render(),
+            "threads={threads}"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Golden test for the streaming emitter: the incremental JSONL
+//! artifact, concatenated, parses with `sint_runtime::json` and folds
+//! back into the **same merged summary** as the in-memory path — so
+//! the constant-memory stream provably carries the full result.
+
+use sint_fleet::{
+    replay_summary, ClientSpec, FleetEngine, FloorSpec, JsonlSink, NullSink,
+};
+use sint_runtime::json::{Json, ToJson};
+
+fn floor() -> FloorSpec {
+    FloorSpec::new(10)
+        .trials_per_board(3)
+        .seed(0xF10E)
+        .with_clients(vec![ClientSpec::new("acme"), ClientSpec::new("initech")])
+}
+
+#[test]
+fn concatenated_jsonl_artifact_round_trips_to_the_in_memory_summary() {
+    // Stream the floor through the incremental emitter at a thread
+    // count that interleaves boards' lines.
+    let engine = FleetEngine::new(floor()).unwrap();
+    let sink = JsonlSink::new(Vec::new());
+    let in_memory = engine.run(4, &sink);
+    let (bytes, lines) = sink.finish().unwrap();
+    assert_eq!(lines as usize, 10 * 3, "one line per trial");
+    let text = String::from_utf8(bytes).unwrap();
+
+    // Every line is standalone JSON for the workspace parser.
+    for line in text.lines() {
+        let record = Json::parse(line).expect("each record line parses");
+        assert_eq!(record.get("v").and_then(Json::as_u64), Some(1));
+    }
+
+    // Replaying the concatenated artifact reproduces the merged
+    // summary byte for byte.
+    let replayed = replay_summary(&text).unwrap();
+    assert_eq!(replayed.to_json().render(), in_memory.to_json().render());
+}
+
+#[test]
+fn artifact_is_insensitive_to_scheduling() {
+    // The line *order* may differ across thread counts, but the folded
+    // summary may not — and it must also match a serial run's.
+    let serial_sink = JsonlSink::new(Vec::new());
+    let serial_summary = FleetEngine::new(floor()).unwrap().run(1, &serial_sink);
+    let (serial_bytes, _) = serial_sink.finish().unwrap();
+
+    let sharded_sink = JsonlSink::new(Vec::new());
+    let sharded_summary = FleetEngine::new(floor()).unwrap().run(8, &sharded_sink);
+    let (sharded_bytes, _) = sharded_sink.finish().unwrap();
+
+    let serial_replay = replay_summary(&String::from_utf8(serial_bytes).unwrap()).unwrap();
+    let sharded_replay = replay_summary(&String::from_utf8(sharded_bytes).unwrap()).unwrap();
+    assert_eq!(serial_summary.to_json().render(), sharded_summary.to_json().render());
+    assert_eq!(serial_replay.to_json().render(), sharded_replay.to_json().render());
+    assert_eq!(serial_replay.to_json().render(), serial_summary.to_json().render());
+}
+
+#[test]
+fn summary_totals_are_the_client_slices_merged() {
+    let summary = FleetEngine::new(floor()).unwrap().run(2, &NullSink);
+    let mut refold = sint_core::campaign::CampaignStats::default();
+    for client in &summary.clients {
+        refold.merge(&client.stats);
+    }
+    assert_eq!(refold, summary.totals);
+    assert_eq!(summary.clients.iter().map(|c| c.boards).sum::<usize>(), summary.boards);
+}

@@ -19,6 +19,14 @@
 //!    makes the answer sticky: once a token has fired it stays fired,
 //!    so racing observers cannot disagree about whether a run was cut
 //!    short.
+//!
+//! Tokens also form a **hierarchy**: [`CancelToken::child`] and
+//! [`CancelToken::child_with_deadline`] derive tokens that fire when
+//! their parent fires (cancellation and deadlines both propagate
+//! downward) but whose own cancellation never touches the parent or
+//! their siblings. A fleet engine hands every client a child of the
+//! fleet-wide token: cancelling the fleet stops every client, an
+//! overrunning client's budget firing stops only that client.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -37,6 +45,33 @@ pub struct CancelToken {
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// Upward link of the token hierarchy: a child observes its
+    /// ancestors' flags and deadlines, never the other way around.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    /// Whether this token or any ancestor has its flag set. Walks the
+    /// (short) parent chain with relaxed loads only — no clock reads.
+    fn flag_fired(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+            || self.parent.as_deref().is_some_and(Inner::flag_fired)
+    }
+
+    /// Checks flags and deadlines up the chain, latching whichever
+    /// level's deadline has passed. Returns whether anything fired.
+    fn poll(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.cancelled.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        self.parent.as_deref().is_some_and(Inner::poll)
+    }
 }
 
 impl CancelToken {
@@ -59,40 +94,67 @@ impl CancelToken {
     #[must_use]
     pub fn at(deadline: Instant) -> CancelToken {
         CancelToken {
-            inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: Some(deadline) }),
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+                parent: None,
+            }),
         }
     }
 
-    /// Fires the token; every clone observes the cancellation.
+    /// A child token: fires when this token fires (cancellation and
+    /// deadline both propagate down), but cancelling the child leaves
+    /// this token and every sibling untouched.
+    #[must_use]
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// A child token with its own wall-clock budget (measured from this
+    /// call): fires when either the budget runs out **or** any ancestor
+    /// fires — whichever comes first. This is the admission-control
+    /// shape: the fleet holds the parent, each client gets a budgeted
+    /// child, and an overrunning client sheds only its own work.
+    #[must_use]
+    pub fn child_with_deadline(&self, budget: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// Fires the token; every clone and every descendant observes the
+    /// cancellation. Ancestors are unaffected.
     pub fn cancel(&self) {
         self.inner.cancelled.store(true, Ordering::Relaxed);
     }
 
-    /// Whether the token has fired. One relaxed atomic load — cheap
-    /// enough for the innermost solver loop. Does **not** consult the
-    /// wall clock; use [`CancelToken::poll_deadline`] at a coarser
-    /// interval for that.
+    /// Whether the token (or any ancestor) has fired. Relaxed atomic
+    /// loads over the short parent chain — cheap enough for the
+    /// innermost solver loop. Does **not** consult the wall clock; use
+    /// [`CancelToken::poll_deadline`] at a coarser interval for that.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::Relaxed)
+        self.inner.flag_fired()
     }
 
-    /// Checks the deadline (when one is set), latching the token
-    /// cancelled if it has passed. Returns whether the token has fired,
-    /// from any cause. This is the per-check-interval call: one
-    /// `Instant::now()` comparison on top of the atomic load.
+    /// Checks the deadline of this token and every ancestor (where
+    /// set), latching whichever level has passed its deadline. Returns
+    /// whether the token has fired, from any cause. This is the
+    /// per-check-interval call: at most one `Instant::now()` comparison
+    /// per hierarchy level on top of the atomic loads.
     #[must_use]
     pub fn poll_deadline(&self) -> bool {
-        if self.is_cancelled() {
-            return true;
-        }
-        match self.inner.deadline {
-            Some(deadline) if Instant::now() >= deadline => {
-                self.cancel();
-                true
-            }
-            _ => false,
-        }
+        self.inner.poll()
     }
 
     /// The configured deadline, if any.
@@ -144,5 +206,48 @@ mod tests {
         let token = CancelToken::with_deadline(Duration::from_secs(3600));
         token.cancel();
         assert!(token.poll_deadline());
+    }
+
+    #[test]
+    fn parent_cancellation_reaches_children() {
+        let fleet = CancelToken::new();
+        let client = fleet.child();
+        let trial = client.child();
+        assert!(!trial.is_cancelled());
+        fleet.cancel();
+        assert!(client.is_cancelled(), "child observes parent flag");
+        assert!(trial.is_cancelled(), "grandchild observes ancestor flag");
+        assert!(trial.poll_deadline());
+    }
+
+    #[test]
+    fn child_cancellation_never_escapes_upward_or_sideways() {
+        let fleet = CancelToken::new();
+        let overrunner = fleet.child();
+        let sibling = fleet.child();
+        overrunner.cancel();
+        assert!(overrunner.is_cancelled());
+        assert!(!fleet.is_cancelled(), "parent unaffected");
+        assert!(!sibling.is_cancelled(), "sibling unaffected");
+        assert!(!sibling.poll_deadline());
+    }
+
+    #[test]
+    fn child_budget_latches_independently() {
+        let fleet = CancelToken::new();
+        let client = fleet.child_with_deadline(Duration::ZERO);
+        assert!(client.poll_deadline(), "expired child budget fires");
+        assert!(client.is_cancelled());
+        assert!(!fleet.is_cancelled(), "budget overrun stays with the child");
+    }
+
+    #[test]
+    fn parent_deadline_fires_child_polls() {
+        let fleet = CancelToken::with_deadline(Duration::ZERO);
+        let client = fleet.child_with_deadline(Duration::from_secs(3600));
+        // The child's own budget is distant, but the parent's deadline
+        // has already passed — the child's poll must observe it.
+        assert!(client.poll_deadline());
+        assert!(client.is_cancelled(), "parent deadline propagates to child");
     }
 }

@@ -1,0 +1,69 @@
+//! A small test floor, consumed as a pull-based stream.
+//!
+//! ```text
+//! cargo run --release --example fleet_floor
+//! ```
+//!
+//! Spins up a 24-board floor shared by three clients — one of which
+//! (`burst`) has already blown its admission budget, so every one of
+//! its trials is shed while its neighbours run untouched — and drains
+//! the run through [`FleetEngine::stream`]: a plain iterator over a
+//! **bounded** channel, so the example's memory footprint is a handful
+//! of in-flight records no matter how big the floor gets. The final
+//! event carries the merged summary, which is byte-identical at any
+//! thread count.
+
+use sint::fleet::{ClientSpec, FleetEngine, FleetEvent, FloorSpec};
+use sint::runtime::json::ToJson;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let floor = FloorSpec::new(24)
+        .wires(3)
+        .trials_per_board(4)
+        .seed(0xF1007)
+        .with_clients(vec![
+            ClientSpec::new("assembly"),
+            ClientSpec::new("qualification"),
+            ClientSpec::with_budget("burst", Duration::ZERO),
+        ]);
+    let engine = FleetEngine::new(floor)?;
+
+    // A tiny channel bound: workers block once the consumer is 8
+    // records behind — that bound is the whole memory story.
+    let mut shed = 0usize;
+    let mut done = None;
+    for event in engine.stream(4, 8) {
+        match event {
+            FleetEvent::Trial { board, client, entry } => {
+                if entry.shed.is_some() {
+                    shed += 1;
+                }
+                println!(
+                    "trial  board {:>2} ({client:>13}) #{}: {:?}",
+                    board.id, entry.index, entry.outcome
+                );
+            }
+            FleetEvent::Board(summary) => {
+                println!(
+                    "board  {:>2} done: {} trials, {} shed",
+                    summary.board,
+                    summary.stats.defect_trials
+                        + summary.stats.control_trials
+                        + summary.stats.shed_trials
+                        + summary.stats.failed_trials,
+                    summary.stats.shed_trials
+                );
+            }
+            FleetEvent::Done(summary) => done = Some(summary),
+        }
+    }
+
+    let summary = done.expect("the stream always ends with the summary");
+    println!("\nmerged summary:\n{}", summary.to_json().render_pretty());
+    println!("\n{} trials shed by admission control (all owned by `burst`)", shed);
+    assert_eq!(summary.clients[2].stats.shed_trials, shed);
+    assert_eq!(summary.clients[0].stats.shed_trials, 0);
+    assert_eq!(summary.clients[1].stats.shed_trials, 0);
+    Ok(())
+}

@@ -86,4 +86,39 @@ if ! cmp "$tmp/shed_ref_summary.json" "$tmp/shed_summary.json"; then
 fi
 echo "deadline shed resume: summaries byte-identical"
 
+# Fleet determinism: a 1000-board sharded floor (three clients, one
+# with a blown admission budget shedding every trial) must fold to a
+# merged summary byte-identical between a serial run and a
+# work-stealing 8-thread run.
+SINT_THREADS=1 target/release/fleet_resume \
+    "$tmp/fleet_ref_ckpt.json" "$tmp/fleet_ref_summary.json"
+SINT_THREADS=8 target/release/fleet_resume \
+    "$tmp/fleet_t8_ckpt.json" "$tmp/fleet_t8_summary.json"
+if ! cmp "$tmp/fleet_ref_summary.json" "$tmp/fleet_t8_summary.json"; then
+    echo "verify: FAIL — fleet summary differs between 1 and 8 threads" >&2
+    exit 1
+fi
+echo "fleet determinism: merged summary byte-identical at 1 and 8 threads"
+
+# Fleet kill/resume: kill the floor after 300 boards are checkpointed,
+# resume from the snapshot on a different thread count, and require the
+# merged summary to match the uninterrupted serial reference byte for
+# byte — board-granular resume must re-run only unfinished boards.
+status=0
+SINT_THREADS=4 target/release/fleet_resume \
+    "$tmp/fleet_ckpt.json" "$tmp/fleet_summary.json" --halt-after 300 || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "verify: FAIL — halted fleet run exited $status, expected 3" >&2
+    exit 1
+fi
+
+SINT_THREADS=8 target/release/fleet_resume \
+    "$tmp/fleet_ckpt.json" "$tmp/fleet_summary.json"
+
+if ! cmp "$tmp/fleet_ref_summary.json" "$tmp/fleet_summary.json"; then
+    echo "verify: FAIL — resumed fleet summary differs from uninterrupted run" >&2
+    exit 1
+fi
+echo "fleet resume: summaries byte-identical"
+
 echo "verify: OK"

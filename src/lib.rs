@@ -16,6 +16,8 @@
 //!   ([`sint_interconnect`]).
 //! * [`jtag`] — IEEE 1149.1 boundary scan ([`sint_jtag`]).
 //! * [`core`] — the paper's signal-integrity extension ([`sint_core`]).
+//! * [`fleet`] — sharded test-floor orchestration with streaming
+//!   results and per-client admission control ([`sint_fleet`]).
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@
 //! ```
 
 pub use sint_core as core;
+pub use sint_fleet as fleet;
 pub use sint_interconnect as interconnect;
 pub use sint_jtag as jtag;
 pub use sint_logic as logic;
