@@ -12,8 +12,11 @@
 use sint_bench::emit_artifact;
 use sint_interconnect::drive::VectorPair;
 use sint_interconnect::params::BusParams;
-use sint_interconnect::solver::{SimScratch, SolverBackend, TransientSim, DEFAULT_SWITCH_AT};
+use sint_interconnect::solver::{
+    PanelScratch, SimScratch, SolverBackend, TransientSim, DEFAULT_SWITCH_AT,
+};
 use sint_runtime::bench::{black_box, Bench};
+use sint_runtime::json::{Json, ToJson};
 
 const BACKENDS: [(&str, SolverBackend); 2] =
     [("banded", SolverBackend::Banded), ("dense", SolverBackend::Dense)];
@@ -66,6 +69,42 @@ fn main() {
         });
     }
 
+    // Multi-RHS panel sweep on the acceptance geometry (16 wires x
+    // 8 segments): one panel run per iteration, so per-pattern cost is
+    // median/k. `looped8` is the same 8 patterns through the scalar
+    // path — the baseline the batched campaign path replaces.
+    let mut panel_median = [0.0f64; 4];
+    let looped8_median;
+    {
+        let bus = BusParams::dsm_bus(16).build().unwrap();
+        let s = sim(&bus, SolverBackend::Banded);
+        let pairs: Vec<VectorPair> = (0..16)
+            .map(|c| {
+                let before = "0".repeat(16);
+                let mut after = "1".repeat(16);
+                after.replace_range(c % 16..c % 16 + 1, "0");
+                VectorPair::from_strs(&before, &after).expect("static vectors")
+            })
+            .collect();
+        let mut panel = PanelScratch::new();
+        for (slot, k) in [1usize, 4, 8, 16].into_iter().enumerate() {
+            let batch = &pairs[..k];
+            let r = b.measure(&format!("panel_2ns/k{k}/16"), || {
+                black_box(
+                    s.run_pairs_cancellable(black_box(batch), 2e-9, &mut panel, None).unwrap(),
+                );
+            });
+            panel_median[slot] = r.median_ns;
+        }
+        let mut scratch = SimScratch::new();
+        let r = b.measure("panel_2ns/looped8/16", || {
+            for pair in &pairs[..8] {
+                black_box(s.run_pair_with_scratch(black_box(pair), 2e-9, &mut scratch).unwrap());
+            }
+        });
+        looped8_median = r.median_ns;
+    }
+
     for (tag, backend) in BACKENDS {
         for segments in [2usize, 4, 8, 16] {
             let bus = BusParams::dsm_bus(5).segments(segments).build().unwrap();
@@ -78,5 +117,27 @@ fn main() {
     }
 
     print!("{}", b.table());
-    emit_artifact("bench_solver", &b.json());
+
+    // Per-pattern speedups for the panel sweep: k-wide panel cost is
+    // median/k, so speedup over k=1 is (k1 * k) / kN. `batched_vs_looped`
+    // compares the k=8 panel against 8 scalar runs of the same patterns.
+    let [k1, k4, k8, k16] = panel_median;
+    let panel_batching = Json::obj([
+        ("geometry", "16x8".to_json()),
+        ("k1_median_ns", k1.to_json()),
+        ("k4_median_ns", k4.to_json()),
+        ("k8_median_ns", k8.to_json()),
+        ("k16_median_ns", k16.to_json()),
+        ("looped8_median_ns", looped8_median.to_json()),
+        ("speedup_k4_vs_k1", (k1 * 4.0 / k4).to_json()),
+        ("speedup_k8_vs_k1", (k1 * 8.0 / k8).to_json()),
+        ("speedup_k16_vs_k1", (k1 * 16.0 / k16).to_json()),
+        ("batched_vs_looped", (looped8_median / k8).to_json()),
+    ]);
+    let artifact = Json::obj([
+        ("suite", "solver".to_json()),
+        ("results", b.results().to_json()),
+        ("panel_batching", panel_batching),
+    ]);
+    emit_artifact("bench_solver", &artifact);
 }

@@ -423,6 +423,7 @@ pub struct Campaign {
     retry: RetryPolicy,
     deadline: Option<Duration>,
     budget: Option<Duration>,
+    panel_width: Option<usize>,
 }
 
 impl Campaign {
@@ -437,7 +438,17 @@ impl Campaign {
             retry: RetryPolicy::default(),
             deadline: None,
             budget: None,
+            panel_width: None,
         }
+    }
+
+    /// Overrides every trial SoC's pattern-batching width (see
+    /// [`SocBuilder::panel_width`]); width 1 forces the scalar
+    /// single-RHS oracle path. Default: the SoC's own default.
+    #[must_use]
+    pub fn panel_width(mut self, width: usize) -> Campaign {
+        self.panel_width = Some(width);
+        self
     }
 
     /// Overrides the bus parameters (e.g. a process corner).
@@ -544,6 +555,9 @@ impl Campaign {
             _ => self.config,
         };
         let mut builder = SocBuilder::new(self.wires).bus_params(self.bus_params.clone());
+        if let Some(width) = self.panel_width {
+            builder = builder.panel_width(width);
+        }
         if let Some((sigma, base)) = self.variation {
             builder = builder.with_variation(sigma, base.wrapping_add(seed_offset));
         }

@@ -210,10 +210,29 @@ pub struct ScheduledPattern {
 ///
 /// [`CoreError::BadConfig`] for a bus of fewer than two wires.
 pub fn conventional_schedule(width: usize) -> Result<Vec<ScheduledPattern>, CoreError> {
+    if width < 2 {
+        return Err(CoreError::config("MA model needs at least two wires"));
+    }
+    // Per-fault aggressor templates, built once and reused across every
+    // victim: scheduling one pattern is then two vector memcpys plus a
+    // single-element victim patch, instead of the branchy per-element
+    // rebuild `fault_pair` does — the allocation-and-branch churn
+    // behind the min-vs-median spread in `mafm/conventional_schedule`.
+    let templates = IntegrityFault::ALL.map(|fault| {
+        (fault, vec![fault.aggressor_before(); width], vec![fault.aggressor_after(); width])
+    });
     let mut out = Vec::with_capacity(width * IntegrityFault::ALL.len());
     for victim in 0..width {
-        for fault in IntegrityFault::ALL {
-            out.push(ScheduledPattern { victim, fault, pair: fault_pair(width, victim, fault)? });
+        for (fault, before_t, after_t) in &templates {
+            let mut before = before_t.clone();
+            before[victim] = fault.victim_before();
+            let mut after = after_t.clone();
+            after[victim] = fault.victim_after();
+            out.push(ScheduledPattern {
+                victim,
+                fault: *fault,
+                pair: VectorPair::new(before, after),
+            });
         }
     }
     Ok(out)
@@ -432,13 +451,27 @@ pub fn degraded_conventional_schedule(
 ) -> Result<Vec<ScheduledPattern>, CoreError> {
     require_degradable(width, quarantine)?;
     let healthy = quarantine.healthy_wires();
+    // Same template flattening as `conventional_schedule`: park the
+    // quarantined wires once per fault, then patch only the victim.
+    let templates = IntegrityFault::ALL.map(|fault| {
+        let park = |aggr: DriveLevel| -> Vec<DriveLevel> {
+            (0..width)
+                .map(|w| if quarantine.is_quarantined(w) { QUARANTINE_PARK } else { aggr })
+                .collect()
+        };
+        (fault, park(fault.aggressor_before()), park(fault.aggressor_after()))
+    });
     let mut out = Vec::with_capacity(healthy.len() * IntegrityFault::ALL.len());
     for &victim in &healthy {
-        for fault in IntegrityFault::ALL {
+        for (fault, before_t, after_t) in &templates {
+            let mut before = before_t.clone();
+            before[victim] = fault.victim_before();
+            let mut after = after_t.clone();
+            after[victim] = fault.victim_after();
             out.push(ScheduledPattern {
                 victim,
-                fault,
-                pair: degraded_fault_pair(width, victim, fault, quarantine)?,
+                fault: *fault,
+                pair: VectorPair::new(before, after),
             });
         }
     }
@@ -868,5 +901,35 @@ mod tests {
         assert!(j.contains(r#""covered":12"#), "{j}");
         assert!(j.contains(r#""quarantined":[2]"#), "{j}");
         assert!(j.contains(r#""victim":2"#), "{j}");
+    }
+
+    #[test]
+    fn flattened_schedules_match_per_pair_construction() {
+        // The template-based builders must emit exactly what building
+        // each pair individually yields, entry for entry.
+        for width in [2usize, 3, 5, 8] {
+            let sched = conventional_schedule(width).unwrap();
+            assert_eq!(sched.len(), IntegrityFault::ALL.len() * width);
+            let mut it = sched.iter();
+            for victim in 0..width {
+                for fault in IntegrityFault::ALL {
+                    let got = it.next().unwrap();
+                    assert_eq!(got.victim, victim);
+                    assert_eq!(got.fault, fault);
+                    assert_eq!(got.pair, fault_pair(width, victim, fault).unwrap());
+                }
+            }
+        }
+        let q = QuarantineSet::from_quarantined(6, [2, 5]);
+        let sched = degraded_conventional_schedule(6, &q).unwrap();
+        let mut it = sched.iter();
+        for victim in [0usize, 1, 3, 4] {
+            for fault in IntegrityFault::ALL {
+                let got = it.next().unwrap();
+                assert_eq!((got.victim, got.fault), (victim, fault));
+                assert_eq!(got.pair, degraded_fault_pair(6, victim, fault, &q).unwrap());
+            }
+        }
+        assert!(it.next().is_none());
     }
 }

@@ -27,9 +27,11 @@ use sint_interconnect::drive::{DriveLevel, VectorPair};
 use sint_interconnect::error::InterconnectError;
 use sint_interconnect::measure::{propagation_delay, settled_value};
 use sint_interconnect::params::{Bus, BusParams};
-use sint_interconnect::solver::{GuardrailEvent, GuardrailPolicy, SimScratch, TransientSim};
+use sint_interconnect::solver::{
+    GuardrailEvent, GuardrailPolicy, PanelScratch, SimScratch, TransientSim,
+};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use sint_interconnect::variation::{apply_variation, VariationSigma};
 use sint_jtag::bcell::{BoundaryCell, StandardBsc};
 use sint_jtag::chain::Chain;
@@ -56,6 +58,8 @@ pub struct SocBuilder {
     variation: Option<(VariationSigma, u64)>,
     scan_fault: Option<ScanFault>,
     chain_policy: ChainPolicy,
+    panel_width: usize,
+    solver_cache: Option<SolverCache>,
 }
 
 impl SocBuilder {
@@ -73,7 +77,33 @@ impl SocBuilder {
             variation: None,
             scan_fault: None,
             chain_policy: ChainPolicy::default(),
+            panel_width: DEFAULT_PANEL_WIDTH,
+            solver_cache: None,
         }
+    }
+
+    /// Sets how many queued patterns one batched transient advances
+    /// together (default [`DEFAULT_PANEL_WIDTH`]). Width 1 disables
+    /// batching entirely: every pattern runs through the scalar
+    /// single-RHS solver at Update-DR time — the correctness oracle the
+    /// batched path is byte-compared against in `verify.sh`.
+    #[must_use]
+    pub fn panel_width(mut self, width: usize) -> Self {
+        self.panel_width = width.max(1);
+        self
+    }
+
+    /// Attaches a shared [`SolverCache`]: when this SoC's bus differs
+    /// from the cache's seeded baseline only in coupling capacitance (a
+    /// severity or corner sweep point), the solver is derived from the
+    /// cached factors by a low-rank update instead of refactorising.
+    /// Opt-in because the derived waveforms agree with fresh factors
+    /// numerically (≤ 1e-12), not bitwise — byte-determinism contracts
+    /// must not attach a cache.
+    #[must_use]
+    pub fn solver_cache(mut self, cache: SolverCache) -> Self {
+        self.solver_cache = Some(cache);
+        self
     }
 
     /// Adds `m` standard boundary cells to the chain (the paper's other
@@ -255,12 +285,20 @@ impl SocBuilder {
         for _ in 0..self.extra_cells {
             device.push_cell(Box::new(StandardBsc::new()));
         }
-        // A defect-injected bus can push the nominal factorisation into
+        // A sweep-shared cache may already hold factors this bus can be
+        // derived from by a low-rank update; otherwise factor fresh. A
+        // defect-injected bus can push the nominal factorisation into
         // singularity; the guarded constructor recovers where the policy
         // allows and reports every action it took.
-        let (sim, guardrail_events) =
-            TransientSim::new_guarded(&bus, dt, GuardrailPolicy::default())?;
-        let sim = Arc::new(sim);
+        let cached = self.solver_cache.as_ref().and_then(|c| c.for_bus(&bus, dt));
+        let (sim, guardrail_events) = match cached {
+            Some(sim) => (sim, Vec::new()),
+            None => {
+                let (sim, events) =
+                    TransientSim::new_guarded(&bus, dt, GuardrailPolicy::default())?;
+                (Arc::new(sim), events)
+            }
+        };
         let sim_key = (bus.fingerprint(), sim.dt().to_bits());
         let sim_cache = HashMap::from([(sim_key, Arc::clone(&sim))]);
         let mut chain = Chain::single(device);
@@ -278,6 +316,9 @@ impl SocBuilder {
             sim_cache,
             guardrail_events,
             scratch: SimScratch::new(),
+            panel_scratch: PanelScratch::new(),
+            pending: Vec::new(),
+            panel_width: self.panel_width,
             wires: self.wires,
             extra_cells: self.extra_cells,
             prev: None,
@@ -289,6 +330,92 @@ impl SocBuilder {
             degradation_events: Vec::new(),
             cancel: None,
         })
+    }
+}
+
+/// Default [`SocBuilder::panel_width`]: how many deferred patterns one
+/// batched multi-RHS transient advances together. Eight fills the
+/// widest hand-unrolled solver kernel exactly.
+pub const DEFAULT_PANEL_WIDTH: usize = 8;
+
+/// A pattern whose Update-DR has been applied digitally but whose bus
+/// transient is still queued for the next batched solve.
+#[derive(Debug, Clone)]
+struct PendingPattern {
+    pair: VectorPair,
+    /// Detector-enable (CE) sampled when the pattern was applied.
+    ce: bool,
+}
+
+/// A factorisation cache shared across the SoCs of a severity or corner
+/// sweep: seed it with one baseline solver, and every subsequently
+/// built SoC whose bus differs from the baseline only in coupling
+/// capacitance derives its solver from the seeded factors by a
+/// Sherman–Morrison–Woodbury low-rank update (see
+/// [`TransientSim::try_rank_update`]) instead of refactorising, keyed
+/// by the delta fingerprint.
+///
+/// The base is seeded explicitly — never first-writer-wins — so sweep
+/// results do not depend on trial scheduling. Derived solvers agree
+/// with fresh factorisations numerically (≤ 1e-12 on waveforms) but not
+/// bitwise; attach a cache only where that tolerance is acceptable.
+#[derive(Debug, Clone, Default)]
+pub struct SolverCache {
+    inner: Arc<Mutex<SolverCacheInner>>,
+}
+
+#[derive(Debug, Default)]
+struct SolverCacheInner {
+    base: Option<Arc<TransientSim>>,
+    derived: HashMap<u64, Arc<TransientSim>>,
+}
+
+impl SolverCache {
+    /// An empty cache; until seeded, every lookup misses.
+    #[must_use]
+    pub fn new() -> SolverCache {
+        SolverCache::default()
+    }
+
+    /// Installs the baseline solver the sweep's deltas are applied to,
+    /// clearing any previously derived factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    pub fn seed(&self, sim: Arc<TransientSim>) {
+        let mut inner = self.inner.lock().expect("solver cache poisoned");
+        inner.base = Some(sim);
+        inner.derived.clear();
+    }
+
+    /// Number of derived (low-rank-updated) solvers held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    #[must_use]
+    pub fn derived_count(&self) -> usize {
+        self.inner.lock().expect("solver cache poisoned").derived.len()
+    }
+
+    /// The solver for `bus` at `dt`, derived from the seeded baseline
+    /// when the delta qualifies for a low-rank update; `None` on any
+    /// miss (no baseline, different `dt`, or a delta that requires a
+    /// fresh factorisation).
+    fn for_bus(&self, bus: &Bus, dt: f64) -> Option<Arc<TransientSim>> {
+        let mut inner = self.inner.lock().expect("solver cache poisoned");
+        let base = inner.base.as_ref()?;
+        if base.dt() != dt {
+            return None;
+        }
+        let fp = base.update_fingerprint(bus)?;
+        if let Some(hit) = inner.derived.get(&fp) {
+            return Some(Arc::clone(hit));
+        }
+        let derived = Arc::new(base.try_rank_update(bus)?);
+        inner.derived.insert(fp, Arc::clone(&derived));
+        Some(derived)
     }
 }
 
@@ -312,6 +439,15 @@ pub struct Soc {
     /// Reused solver scratch: keeps the per-pattern transient runs
     /// allocation-free in the timestep loop.
     scratch: SimScratch,
+    /// Reused multi-RHS scratch for the batched pattern path.
+    panel_scratch: PanelScratch,
+    /// Patterns whose Update-DR has happened digitally but whose
+    /// transient has not run yet: the bus response is deferred until a
+    /// read-out (or a full panel) forces it, then solved as one
+    /// multi-RHS batch. Invariant: always empty at session boundaries.
+    pending: Vec<PendingPattern>,
+    /// Max pending patterns per batched solve; 1 = scalar oracle path.
+    panel_width: usize,
     wires: usize,
     extra_cells: usize,
     /// Last defined vector driven onto the bus.
@@ -382,6 +518,26 @@ impl Soc {
     /// The JTAG driver, for custom test plans.
     pub fn driver_mut(&mut self) -> &mut JtagDriver {
         &mut self.driver
+    }
+
+    /// The active factored solver — shareable, e.g. as a
+    /// [`SolverCache`] baseline for a severity sweep.
+    #[must_use]
+    pub fn transient_sim(&self) -> Arc<TransientSim> {
+        Arc::clone(&self.sim)
+    }
+
+    /// Whether the active solver runs on low-rank-updated factors (a
+    /// [`SolverCache`] hit) rather than a direct factorisation.
+    #[must_use]
+    pub fn solver_is_rank_updated(&self) -> bool {
+        self.sim.is_rank_updated()
+    }
+
+    /// The configured batching width (1 = scalar per-pattern solves).
+    #[must_use]
+    pub fn panel_width(&self) -> usize {
+        self.panel_width
     }
 
     /// The configured chain-damage policy.
@@ -551,10 +707,62 @@ impl Soc {
             return Ok(());
         }
         let pair = VectorPair::new(prev, new.clone());
-        let waves = match self.sim.run_pair_cancellable(
-            &pair,
+        let ce = ctrl.ce;
+        if self.panel_width <= 1 {
+            // Scalar oracle path: one single-RHS transient per pattern,
+            // at Update-DR time.
+            let sim = Arc::clone(&self.sim);
+            let waves = match sim.run_pair_cancellable(
+                &pair,
+                self.settle,
+                &mut self.scratch,
+                self.cancel.as_ref(),
+            ) {
+                Ok(waves) => waves,
+                Err(InterconnectError::Cancelled { step }) => {
+                    return Err(CoreError::DeadlineExceeded { step });
+                }
+                Err(e) => return Err(e.into()),
+            };
+            self.transients_run += 1;
+            self.patterns_applied += 1;
+            let dt = waves.dt();
+            let switch_at = sim.switch_at();
+            for w in 0..self.wires {
+                self.observe_wire(w, waves.wire(w), &pair, ce, dt, switch_at)?;
+            }
+        } else {
+            // Batched path: the pattern is digitally applied now, its
+            // transient deferred to the next panel flush. Detector
+            // state is only observable through a read-out, and every
+            // read-out flushes first, so the deferral is invisible.
+            self.patterns_applied += 1;
+            self.pending.push(PendingPattern { pair, ce });
+            if self.pending.len() >= self.panel_width {
+                self.flush_pending()?;
+            }
+        }
+        self.prev = Some(new);
+        Ok(())
+    }
+
+    /// Solves every queued pattern as one multi-RHS panel transient and
+    /// feeds the detectors in application order. The panel path is
+    /// bitwise identical to the scalar oracle for finite systems (and
+    /// replays sequentially through it otherwise), so flushing at
+    /// read-out boundaries observes exactly what per-pattern scalar
+    /// runs would have.
+    fn flush_pending(&mut self) -> Result<(), CoreError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let pairs: Vec<VectorPair> = pending.iter().map(|p| p.pair.clone()).collect();
+        let sim = Arc::clone(&self.sim);
+        let waves = match sim.run_pairs_cancellable(
+            &pairs,
             self.settle,
-            &mut self.scratch,
+            &mut self.panel_scratch,
             self.cancel.as_ref(),
         ) {
             Ok(waves) => waves,
@@ -563,26 +771,40 @@ impl Soc {
             }
             Err(e) => return Err(e.into()),
         };
-        self.transients_run += 1;
-        self.patterns_applied += 1;
-        let vdd = self.bus.vdd();
+        self.transients_run += pending.len();
         let dt = waves.dt();
-        let switch_at = self.sim.switch_at();
-        let ce = ctrl.ce;
-        for w in 0..self.wires {
-            let wave: Vec<f64> = waves.wire(w).to_vec();
-            let switched = pair.switches(w);
-            let final_level = pair.after(w);
-            let settled = settled_value(&wave, 0.1);
-            let obsc = self.obsc_mut(w)?;
-            obsc.set_detectors_enabled(ce);
-            obsc.nd_mut().observe(&wave, dt, vdd);
-            if switched {
-                obsc.sd_mut().observe(&wave, dt, vdd, final_level, switch_at);
+        let switch_at = sim.switch_at();
+        for (c, p) in pending.iter().enumerate() {
+            for w in 0..self.wires {
+                self.observe_wire(w, waves.wire(c, w), &p.pair, p.ce, dt, switch_at)?;
             }
-            obsc.set_parallel_input(Logic::from(settled > vdd / 2.0));
         }
-        self.prev = Some(new);
+        Ok(())
+    }
+
+    /// Feeds one wire's waveform into its OBSC: detector observations
+    /// (ND always, SD when the wire switched) and the settled parallel
+    /// input.
+    fn observe_wire(
+        &mut self,
+        w: usize,
+        wave: &[f64],
+        pair: &VectorPair,
+        ce: bool,
+        dt: f64,
+        switch_at: f64,
+    ) -> Result<(), CoreError> {
+        let vdd = self.bus.vdd();
+        let switched = pair.switches(w);
+        let final_level = pair.after(w);
+        let settled = settled_value(wave, 0.1);
+        let obsc = self.obsc_mut(w)?;
+        obsc.set_detectors_enabled(ce);
+        obsc.nd_mut().observe(wave, dt, vdd);
+        if switched {
+            obsc.sd_mut().observe(wave, dt, vdd, final_level, switch_at);
+        }
+        obsc.set_parallel_input(Logic::from(settled > vdd / 2.0));
         Ok(())
     }
 
@@ -598,6 +820,9 @@ impl Soc {
     /// flip-flops, then (ND̄/SD having toggled on Update-DR) the SD
     /// flip-flops.
     fn readout(&mut self, point: ReadoutPoint) -> Result<ReadoutRecord, CoreError> {
+        // The scanned flip-flops must reflect every pattern applied so
+        // far: force any deferred transients through now.
+        self.flush_pending()?;
         self.driver.load_instruction("O-SITEST")?;
         let zeros = BitVector::zeros(self.chain_len());
         let nd_out = self.driver.scan_dr(&zeros)?;
@@ -655,6 +880,7 @@ impl Soc {
                 self.apply_bus_state()?;
             }
         }
+        self.flush_pending()?;
         Ok((self.driver.tck() - tck_start, self.patterns_applied))
     }
 
@@ -677,7 +903,15 @@ impl Soc {
     }
 
     /// Clears every detector flip-flop (start of a session).
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors are propagated.
     pub fn clear_detectors(&mut self) -> Result<(), CoreError> {
+        // Deferred patterns precede the clear in application order:
+        // their observations are made (and wiped) exactly as the
+        // scalar path would have.
+        self.flush_pending()?;
         for w in 0..self.wires {
             self.obsc_mut(w)?.clear_detectors();
         }
@@ -750,6 +984,7 @@ impl Soc {
         if config.method == ObservationMethod::Once {
             readouts.push(self.readout(ReadoutPoint::Final)?);
         }
+        self.flush_pending()?;
 
         let tck_used = self.driver.tck() - tck_start;
         Ok(IntegrityReport::new(
@@ -915,6 +1150,7 @@ impl Soc {
         if config.method == ObservationMethod::Once {
             readouts.push(self.masked_readout(ReadoutPoint::Final)?);
         }
+        self.flush_pending()?;
 
         let tck_used = self.driver.tck() - tck_start;
         Ok(IntegrityReport::new(
@@ -1421,6 +1657,119 @@ mod tests {
         let report =
             soc.run_integrity_test(&SessionConfig::method(ObservationMethod::Once)).unwrap();
         assert!(!report.any_violation());
+    }
+
+    #[test]
+    fn batched_session_is_byte_identical_to_scalar_oracle() {
+        // The same defected SoC at panel widths 1 (scalar oracle), 3
+        // (ragged tails) and 8 (default) must produce identical
+        // reports for every observation method — detector verdicts,
+        // read-out order, TCKs and pattern counts.
+        for method in [
+            ObservationMethod::Once,
+            ObservationMethod::PerInitialValue,
+            ObservationMethod::PerPattern,
+        ] {
+            let cfg = SessionConfig::method(method);
+            let run = |width: usize| {
+                let mut soc = SocBuilder::new(4)
+                    .coupling_defect(2, 6.0)
+                    .panel_width(width)
+                    .build()
+                    .unwrap();
+                let report = soc.run_integrity_test(&cfg).unwrap();
+                assert!(soc.pending.is_empty(), "queue must drain by session end");
+                (report, soc.transients_run(), soc.patterns_applied)
+            };
+            let oracle = run(1);
+            for width in [3, DEFAULT_PANEL_WIDTH, 64] {
+                assert_eq!(run(width), oracle, "panel width {width} diverged ({method})");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_conventional_generation_matches_scalar() {
+        let run = |width: usize| {
+            let mut soc = SocBuilder::new(4).panel_width(width).build().unwrap();
+            soc.run_conventional_generation().unwrap()
+        };
+        assert_eq!(run(DEFAULT_PANEL_WIDTH), run(1));
+    }
+
+    #[test]
+    fn batched_session_still_honors_cancellation() {
+        let mut soc = SocBuilder::new(3).build().unwrap();
+        assert_eq!(soc.panel_width(), DEFAULT_PANEL_WIDTH);
+        let token = CancelToken::new();
+        token.cancel();
+        soc.set_cancel_token(Some(token));
+        let err = soc
+            .run_integrity_test(&SessionConfig::method(ObservationMethod::Once))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DeadlineExceeded { .. }), "{err:?}");
+        soc.set_cancel_token(None);
+        assert!(soc.pending.is_empty(), "a failed flush must not leave stale patterns");
+        let report =
+            soc.run_integrity_test(&SessionConfig::method(ObservationMethod::Once)).unwrap();
+        assert!(!report.any_violation());
+    }
+
+    #[test]
+    fn solver_cache_derives_sweep_points_by_low_rank_update() {
+        let cache = SolverCache::new();
+        let baseline = SocBuilder::new(4).build().unwrap();
+        cache.seed(baseline.transient_sim());
+
+        // A coupling-severity sweep point: derived, not refactored.
+        let mut swept = SocBuilder::new(4)
+            .coupling_defect(2, 6.0)
+            .solver_cache(cache.clone())
+            .build()
+            .unwrap();
+        assert!(swept.solver_is_rank_updated(), "coupling delta must hit the cache");
+        assert_eq!(cache.derived_count(), 1);
+
+        // Same severity again: served from the derived map.
+        let again = SocBuilder::new(4)
+            .coupling_defect(2, 6.0)
+            .solver_cache(cache.clone())
+            .build()
+            .unwrap();
+        assert!(Arc::ptr_eq(&swept.transient_sim(), &again.transient_sim()));
+        assert_eq!(cache.derived_count(), 1);
+
+        // The derived solver's verdicts match a fresh factorisation's.
+        let mut fresh = SocBuilder::new(4).coupling_defect(2, 6.0).build().unwrap();
+        assert!(!fresh.solver_is_rank_updated());
+        let cfg = SessionConfig::method(ObservationMethod::Once);
+        let a = swept.run_integrity_test(&cfg).unwrap();
+        let b = fresh.run_integrity_test(&cfg).unwrap();
+        assert_eq!(a, b, "low-rank-updated session verdicts must match fresh factors");
+    }
+
+    #[test]
+    fn solver_cache_falls_back_to_refactorise_on_non_coupling_deltas() {
+        let cache = SolverCache::new();
+        let baseline = SocBuilder::new(4).build().unwrap();
+        cache.seed(baseline.transient_sim());
+        // A weak driver changes G: never low-rank-updatable.
+        let soc = SocBuilder::new(4)
+            .weak_driver_defect(1, 4.0)
+            .solver_cache(cache.clone())
+            .build()
+            .unwrap();
+        assert!(!soc.solver_is_rank_updated());
+        assert_eq!(cache.derived_count(), 0);
+        // An unseeded cache misses everything.
+        let unseeded = SolverCache::new();
+        let soc = SocBuilder::new(4)
+            .coupling_defect(2, 6.0)
+            .solver_cache(unseeded.clone())
+            .build()
+            .unwrap();
+        assert!(!soc.solver_is_rank_updated());
+        assert_eq!(unseeded.derived_count(), 0);
     }
 
     #[test]

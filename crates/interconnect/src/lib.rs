@@ -62,4 +62,7 @@ pub use defect::Defect;
 pub use drive::{DriveLevel, VectorPair};
 pub use error::InterconnectError;
 pub use params::{Bus, BusParams};
-pub use solver::{BusWaveforms, GuardrailEvent, GuardrailPolicy, TransientSim};
+pub use solver::{
+    BusWaveforms, GuardrailEvent, GuardrailPolicy, PanelScratch, TransientSim, WavePanel,
+    MAX_UPDATE_RANK,
+};

@@ -45,7 +45,7 @@
 
 use crate::drive::{Stimulus, VectorPair};
 use crate::error::InterconnectError;
-use crate::linalg::{Banded, BandedLu};
+use crate::linalg::{Banded, BandedLu, Panel, RankUpdatedLu};
 #[cfg(feature = "dense-oracle")]
 use crate::linalg::{LuFactors, Matrix};
 use crate::params::Bus;
@@ -84,6 +84,8 @@ pub struct SimScratch {
     state: Vec<f64>,
     /// Right-hand side, overwritten in place by the solve each step.
     rhs: Vec<f64>,
+    /// Rank-sized scratch for low-rank-updated solves (empty otherwise).
+    aux: Vec<f64>,
 }
 
 impl SimScratch {
@@ -98,6 +100,79 @@ impl SimScratch {
         self.state.resize(dim, 0.0);
         self.rhs.clear();
         self.rhs.resize(dim, 0.0);
+        self.aux.clear();
+    }
+}
+
+/// Reusable scratch for the panel entry points
+/// ([`TransientSim::run_panel_with_scratch`] and friends): threading one
+/// through a campaign makes every batched timestep allocation-free once
+/// the buffers have grown to the largest batch.
+#[derive(Debug, Clone, Default)]
+pub struct PanelScratch {
+    /// Current full state, one column per pattern.
+    state: Panel,
+    /// Right-hand-side panel, solved in place each step.
+    rhs: Panel,
+    /// Rank-sized scratch for low-rank-updated solves.
+    aux: Vec<f64>,
+    /// Interleaved lane-block state for the direct-factor fast path
+    /// (`lanes[i·W + c]` is unknown `i` of lane `c`).
+    lanes: Vec<f64>,
+    /// Interleaved lane-block right-hand side, solved in place.
+    lrhs: Vec<f64>,
+    /// Step-major waveform staging for the lane path: each timestep
+    /// appends one contiguous row of probe read-outs, and a single
+    /// blocked transpose scatters them into the trace-major
+    /// [`WavePanel`] at the end. Writing traces directly would touch
+    /// one page per (pattern, wire) trace every step — past ~64 traces
+    /// that thrashes the L1 DTLB and the step loop's cost starts
+    /// depending on whether the allocator handed out huge pages.
+    stage: Vec<f64>,
+    /// Scalar scratch for the sequential fallback paths.
+    scalar: SimScratch,
+}
+
+impl PanelScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> PanelScratch {
+        PanelScratch::default()
+    }
+
+    fn reset(&mut self, dim: usize, k: usize) {
+        self.state.reset(dim, k);
+        self.rhs.reset(dim, k);
+        self.aux.clear();
+    }
+}
+
+/// The transient-system factor of a banded RC engine: either direct
+/// banded LU factors, or a low-rank (Sherman–Morrison–Woodbury) update
+/// of another bus's factors when only coupling entries differ. The
+/// dispatch is one match per solve call, far off the per-element hot
+/// path.
+#[derive(Debug, Clone)]
+enum RcFactor {
+    Direct(BandedLu),
+    Updated(RankUpdatedLu),
+}
+
+impl RcFactor {
+    #[inline]
+    fn solve_into(&self, b: &mut [f64], aux: &mut Vec<f64>) {
+        match self {
+            RcFactor::Direct(lu) => lu.solve_into(b),
+            RcFactor::Updated(upd) => upd.solve_into(b, aux),
+        }
+    }
+
+    #[inline]
+    fn solve_panel_into(&self, panel: &mut Panel, aux: &mut Vec<f64>) {
+        match self {
+            RcFactor::Direct(lu) => lu.solve_panel_into(panel),
+            RcFactor::Updated(upd) => upd.solve_panel_into(panel, aux),
+        }
     }
 }
 
@@ -105,8 +180,8 @@ impl SimScratch {
 #[derive(Debug, Clone)]
 struct BandedRcEngine {
     dim: usize,
-    /// `G + C/h`, banded-LU-factored.
-    a_lu: BandedLu,
+    /// `G + C/h`, banded-LU-factored (directly or via low-rank update).
+    a_lu: RcFactor,
     /// `G` alone, banded-LU-factored (for the DC operating point).
     g_lu: BandedLu,
     /// `C / h` for the history term.
@@ -332,7 +407,7 @@ fn build_banded_rc(bus: &Bus, dt: f64) -> Result<BandedRcEngine, InterconnectErr
 
     Ok(BandedRcEngine {
         dim,
-        a_lu: a.lu()?,
+        a_lu: RcFactor::Direct(a.lu()?),
         g_lu: g.lu()?,
         c_over_h,
         g_drv,
@@ -757,7 +832,7 @@ impl TransientSim {
         drv: &mut [Vec<f64>],
         cancel: Option<&CancelToken>,
     ) -> Result<(), InterconnectError> {
-        let SimScratch { state, rhs } = scratch;
+        let SimScratch { state, rhs, aux } = scratch;
         // DC operating point of the initial source values.
         state.fill(0.0);
         stamp_rc_sources(e, stimulus, 0.0, state);
@@ -769,7 +844,7 @@ impl TransientSim {
             let t = k as f64 * self.dt;
             e.c_over_h.mul_vec_into(state, rhs);
             stamp_rc_sources(e, stimulus, t, rhs);
-            e.a_lu.solve_into(rhs);
+            e.a_lu.solve_into(rhs, aux);
             std::mem::swap(state, rhs);
             check_finite(state, k)?;
             collect(&e.recv_nodes, &e.drv_nodes, state, recv, drv);
@@ -788,7 +863,7 @@ impl TransientSim {
         drv: &mut [Vec<f64>],
         cancel: Option<&CancelToken>,
     ) -> Result<(), InterconnectError> {
-        let SimScratch { state, rhs } = scratch;
+        let SimScratch { state, rhs, .. } = scratch;
         // DC operating point: inductors short, capacitors open.
         state.fill(0.0);
         stamp_rlc_sources(&e.drv_branches, stimulus, 0.0, state);
@@ -820,7 +895,7 @@ impl TransientSim {
         drv: &mut [Vec<f64>],
         cancel: Option<&CancelToken>,
     ) -> Result<(), InterconnectError> {
-        let SimScratch { state, rhs } = scratch;
+        let SimScratch { state, rhs, .. } = scratch;
         state.fill(0.0);
         stamp_dense_rc_sources(e, stimulus, 0.0, state);
         e.g_lu.solve_into(state);
@@ -851,7 +926,7 @@ impl TransientSim {
         drv: &mut [Vec<f64>],
         cancel: Option<&CancelToken>,
     ) -> Result<(), InterconnectError> {
-        let SimScratch { state, rhs } = scratch;
+        let SimScratch { state, rhs, .. } = scratch;
         state.fill(0.0);
         stamp_rlc_sources(&e.drv_branches, stimulus, 0.0, state);
         e.dc_lu.solve_into(state);
@@ -916,6 +991,471 @@ impl TransientSim {
         let stim = Stimulus::from_pair(&self.bus, pair, self.switch_at)?;
         self.run_cancellable(&stim, duration, scratch, cancel)
     }
+
+    /// Runs one transient per stimulus as a single batched **panel**:
+    /// every timestep advances all patterns through one matrix-panel
+    /// history multiply and one multi-RHS solve, instead of `k`
+    /// separate matrix-vector passes. Each pattern still starts from
+    /// its own DC operating point — the patterns are physically
+    /// independent, only the linear-algebra work is shared — so for
+    /// finite systems the per-pattern waveforms are bitwise identical
+    /// to looped [`TransientSim::run`] calls. Allocates fresh scratch;
+    /// prefer [`TransientSim::run_panel_with_scratch`] in loops.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransientSim::run`].
+    pub fn run_panel(
+        &self,
+        stimuli: &[Stimulus],
+        duration: f64,
+    ) -> Result<WavePanel, InterconnectError> {
+        self.run_panel_with_scratch(stimuli, duration, &mut PanelScratch::new())
+    }
+
+    /// As [`TransientSim::run_panel`], reusing caller-provided scratch
+    /// so repeated batches never allocate in the timestep loop.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransientSim::run`].
+    pub fn run_panel_with_scratch(
+        &self,
+        stimuli: &[Stimulus],
+        duration: f64,
+        scratch: &mut PanelScratch,
+    ) -> Result<WavePanel, InterconnectError> {
+        self.run_panel_cancellable(stimuli, duration, scratch, None)
+    }
+
+    /// As [`TransientSim::run_panel_with_scratch`], polling `cancel`
+    /// every [`CANCEL_CHECK_INTERVAL`] joint timesteps — the same
+    /// stride, and therefore the same `Cancelled { step }`, as the
+    /// scalar path polling during its first pattern.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransientSim::run`], plus
+    /// [`InterconnectError::Cancelled`] when the token fires.
+    pub fn run_panel_cancellable(
+        &self,
+        stimuli: &[Stimulus],
+        duration: f64,
+        scratch: &mut PanelScratch,
+        cancel: Option<&CancelToken>,
+    ) -> Result<WavePanel, InterconnectError> {
+        if duration <= 0.0 {
+            return Err(InterconnectError::time("duration must be positive"));
+        }
+        for stim in stimuli {
+            if stim.width() != self.bus.wires() {
+                return Err(InterconnectError::WireOutOfRange {
+                    wire: stim.width(),
+                    width: self.bus.wires(),
+                });
+            }
+        }
+        match &self.engine {
+            Engine::BandedRc(_) | Engine::BandedRlc(_) => {
+                match self.run_panel_attempt(stimuli, duration, scratch, cancel) {
+                    // A non-finite panel state cannot identify which
+                    // pattern a sequential run would have failed on
+                    // first (and the blocked kernels' dropped zero
+                    // skips are only bitwise-safe for finite systems),
+                    // so divergence replays the batch scalar-sequential
+                    // for exact per-pattern semantics.
+                    Err(InterconnectError::Diverged { .. }) => {
+                        self.run_panel_sequential(stimuli, duration, scratch, cancel)
+                    }
+                    other => other,
+                }
+            }
+            #[cfg(feature = "dense-oracle")]
+            Engine::DenseRc(_) | Engine::DenseRlc(_) => {
+                self.run_panel_sequential(stimuli, duration, scratch, cancel)
+            }
+        }
+    }
+
+    /// Convenience: lowers a batch of [`VectorPair`]s to stimuli (edge
+    /// at the configured switch time) and runs them as one panel.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransientSim::run_panel`].
+    pub fn run_pairs_cancellable(
+        &self,
+        pairs: &[VectorPair],
+        duration: f64,
+        scratch: &mut PanelScratch,
+        cancel: Option<&CancelToken>,
+    ) -> Result<WavePanel, InterconnectError> {
+        let stimuli: Vec<Stimulus> = pairs
+            .iter()
+            .map(|pair| Stimulus::from_pair(&self.bus, pair, self.switch_at))
+            .collect::<Result<_, _>>()?;
+        self.run_panel_cancellable(&stimuli, duration, scratch, cancel)
+    }
+
+    /// The batched banded panel loop (both formulations).
+    fn run_panel_attempt(
+        &self,
+        stimuli: &[Stimulus],
+        duration: f64,
+        scratch: &mut PanelScratch,
+        cancel: Option<&CancelToken>,
+    ) -> Result<WavePanel, InterconnectError> {
+        let steps = ((duration / self.dt) - 1e-9).ceil().max(1.0) as usize;
+        scratch.reset(self.engine.dim(), stimuli.len());
+        let mut wp = WavePanel::empty(self, stimuli.len(), steps + 1);
+        match &self.engine {
+            Engine::BandedRc(e) => {
+                self.run_banded_rc_panel(e, stimuli, steps, scratch, &mut wp, cancel)?;
+            }
+            Engine::BandedRlc(e) => {
+                self.run_banded_rlc_panel(e, stimuli, steps, scratch, &mut wp, cancel)?;
+            }
+            #[cfg(feature = "dense-oracle")]
+            Engine::DenseRc(_) | Engine::DenseRlc(_) => {
+                unreachable!("dense panel runs go through the sequential path")
+            }
+        }
+        Ok(wp)
+    }
+
+    /// The scalar-sequential reference: one [`TransientSim::run_cancellable`]
+    /// per stimulus, packed into a [`WavePanel`]. Used by the dense
+    /// oracle and as the divergence fallback, so batched entry points
+    /// keep exact scalar error semantics (the first pattern a
+    /// sequential run would fail is the one reported).
+    fn run_panel_sequential(
+        &self,
+        stimuli: &[Stimulus],
+        duration: f64,
+        scratch: &mut PanelScratch,
+        cancel: Option<&CancelToken>,
+    ) -> Result<WavePanel, InterconnectError> {
+        let steps = ((duration / self.dt) - 1e-9).ceil().max(1.0) as usize;
+        let samples = steps + 1;
+        let w = self.bus.wires();
+        let mut wp = WavePanel::empty(self, stimuli.len(), samples);
+        for (c, stim) in stimuli.iter().enumerate() {
+            let waves = self.run_cancellable(stim, duration, &mut scratch.scalar, cancel)?;
+            debug_assert_eq!(waves.samples(), samples);
+            for wire in 0..w {
+                let at = (c * w + wire) * samples;
+                wp.receiver[at..at + samples].copy_from_slice(waves.wire(wire));
+                wp.driver[at..at + samples].copy_from_slice(waves.driver_end(wire));
+            }
+        }
+        Ok(wp)
+    }
+
+    /// Banded-RC panel dispatch: direct factors run the interleaved
+    /// lane-block fast path in chunks of 8 (then 4, then 1) patterns;
+    /// low-rank-updated factors keep the column-major [`Panel`] loop
+    /// (their Woodbury correction is rank-bound, not kernel-bound).
+    #[allow(clippy::too_many_arguments)]
+    fn run_banded_rc_panel(
+        &self,
+        e: &BandedRcEngine,
+        stimuli: &[Stimulus],
+        steps: usize,
+        scratch: &mut PanelScratch,
+        wp: &mut WavePanel,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), InterconnectError> {
+        let RcFactor::Direct(a_lu) = &e.a_lu else {
+            return self.run_banded_rc_panel_cols(e, stimuli, steps, scratch, wp, cancel);
+        };
+        let mut done = 0;
+        while stimuli.len() - done >= 8 {
+            self.run_rc_lanes::<8>(e, a_lu, &stimuli[done..done + 8], done, steps, scratch, wp, cancel)?;
+            done += 8;
+        }
+        while stimuli.len() - done >= 4 {
+            self.run_rc_lanes::<4>(e, a_lu, &stimuli[done..done + 4], done, steps, scratch, wp, cancel)?;
+            done += 4;
+        }
+        while done < stimuli.len() {
+            self.run_rc_lanes::<1>(e, a_lu, &stimuli[done..done + 1], done, steps, scratch, wp, cancel)?;
+            done += 1;
+        }
+        Ok(())
+    }
+
+    /// One `W`-wide lane block of the banded-RC timestep loop: state and
+    /// right-hand side stay interleaved (`buf[i·W + c]`) across the whole
+    /// loop, so the multiply and both substitutions run `W`-wide
+    /// contiguous fused-multiply-adds with no per-step transposes.
+    #[allow(clippy::too_many_arguments)]
+    fn run_rc_lanes<const W: usize>(
+        &self,
+        e: &BandedRcEngine,
+        a_lu: &BandedLu,
+        stimuli: &[Stimulus],
+        c0: usize,
+        steps: usize,
+        scratch: &mut PanelScratch,
+        wp: &mut WavePanel,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), InterconnectError> {
+        let n = e.dim;
+        let wires = e.recv_nodes.len();
+        let row = 2 * wires * W;
+        let PanelScratch { lanes, lrhs, stage, .. } = scratch;
+        lanes.clear();
+        lanes.resize(n * W, 0.0);
+        lrhs.clear();
+        lrhs.resize(n * W, 0.0);
+        stage.clear();
+        stage.resize((steps + 1) * row, 0.0);
+        // DC operating point per lane.
+        for (c, stim) in stimuli.iter().enumerate() {
+            stamp_rc_lane(e, stim, 0.0, lanes, W, c);
+        }
+        e.g_lu.solve_interleaved_into::<W>(lanes);
+        check_finite_lanes(lanes, W, 0)?;
+        stage_lanes(&e.recv_nodes, &e.drv_nodes, lanes, W, &mut stage[..row]);
+        for k in 1..=steps {
+            check_cancel(cancel, k)?;
+            let t = k as f64 * self.dt;
+            e.c_over_h.mul_interleaved_into::<W>(lanes, lrhs);
+            for (c, stim) in stimuli.iter().enumerate() {
+                stamp_rc_lane(e, stim, t, lrhs, W, c);
+            }
+            a_lu.solve_interleaved_into::<W>(lrhs);
+            std::mem::swap(lanes, lrhs);
+            check_finite_lanes(lanes, W, k)?;
+            stage_lanes(&e.recv_nodes, &e.drv_nodes, lanes, W, &mut stage[k * row..(k + 1) * row]);
+        }
+        scatter_stage(stage, W, wires, wp, c0);
+        Ok(())
+    }
+
+    /// Column-major [`Panel`] banded-RC loop, used when the factor is a
+    /// low-rank update (the Woodbury correction works per column).
+    #[allow(clippy::too_many_arguments)]
+    fn run_banded_rc_panel_cols(
+        &self,
+        e: &BandedRcEngine,
+        stimuli: &[Stimulus],
+        steps: usize,
+        scratch: &mut PanelScratch,
+        wp: &mut WavePanel,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), InterconnectError> {
+        let PanelScratch { state, rhs, aux, .. } = scratch;
+        // DC operating point per pattern (columns were zeroed by reset).
+        for (c, stim) in stimuli.iter().enumerate() {
+            stamp_rc_sources(e, stim, 0.0, state.col_mut(c));
+        }
+        e.g_lu.solve_panel_into(state);
+        check_finite_panel(state, 0)?;
+        collect_panel(&e.recv_nodes, &e.drv_nodes, state, wp, 0);
+        for k in 1..=steps {
+            check_cancel(cancel, k)?;
+            let t = k as f64 * self.dt;
+            e.c_over_h.mul_panel_into(state, rhs);
+            for (c, stim) in stimuli.iter().enumerate() {
+                stamp_rc_sources(e, stim, t, rhs.col_mut(c));
+            }
+            e.a_lu.solve_panel_into(rhs, aux);
+            std::mem::swap(state, rhs);
+            check_finite_panel(state, k)?;
+            collect_panel(&e.recv_nodes, &e.drv_nodes, state, wp, k);
+        }
+        Ok(())
+    }
+
+    /// Banded-RLC panel dispatch: always direct factors, so every chunk
+    /// runs the interleaved lane-block fast path.
+    #[allow(clippy::too_many_arguments)]
+    fn run_banded_rlc_panel(
+        &self,
+        e: &BandedRlcEngine,
+        stimuli: &[Stimulus],
+        steps: usize,
+        scratch: &mut PanelScratch,
+        wp: &mut WavePanel,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), InterconnectError> {
+        let mut done = 0;
+        while stimuli.len() - done >= 8 {
+            self.run_rlc_lanes::<8>(e, &stimuli[done..done + 8], done, steps, scratch, wp, cancel)?;
+            done += 8;
+        }
+        while stimuli.len() - done >= 4 {
+            self.run_rlc_lanes::<4>(e, &stimuli[done..done + 4], done, steps, scratch, wp, cancel)?;
+            done += 4;
+        }
+        while done < stimuli.len() {
+            self.run_rlc_lanes::<1>(e, &stimuli[done..done + 1], done, steps, scratch, wp, cancel)?;
+            done += 1;
+        }
+        Ok(())
+    }
+
+    /// One `W`-wide lane block of the banded-RLC (augmented-MNA)
+    /// timestep loop; mirrors [`TransientSim::run_rc_lanes`].
+    #[allow(clippy::too_many_arguments)]
+    fn run_rlc_lanes<const W: usize>(
+        &self,
+        e: &BandedRlcEngine,
+        stimuli: &[Stimulus],
+        c0: usize,
+        steps: usize,
+        scratch: &mut PanelScratch,
+        wp: &mut WavePanel,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), InterconnectError> {
+        let n = e.dim;
+        let wires = e.recv_nodes.len();
+        let row = 2 * wires * W;
+        let PanelScratch { lanes, lrhs, stage, .. } = scratch;
+        lanes.clear();
+        lanes.resize(n * W, 0.0);
+        lrhs.clear();
+        lrhs.resize(n * W, 0.0);
+        stage.clear();
+        stage.resize((steps + 1) * row, 0.0);
+        for (c, stim) in stimuli.iter().enumerate() {
+            stamp_rlc_lane(&e.drv_branches, stim, 0.0, lanes, W, c);
+        }
+        e.dc_lu.solve_interleaved_into::<W>(lanes);
+        check_finite_lanes(lanes, W, 0)?;
+        stage_lanes(&e.recv_nodes, &e.drv_nodes, lanes, W, &mut stage[..row]);
+        for k in 1..=steps {
+            check_cancel(cancel, k)?;
+            let t = k as f64 * self.dt;
+            e.hist.mul_interleaved_into::<W>(lanes, lrhs);
+            for (c, stim) in stimuli.iter().enumerate() {
+                stamp_rlc_lane(&e.drv_branches, stim, t, lrhs, W, c);
+            }
+            e.a_lu.solve_interleaved_into::<W>(lrhs);
+            std::mem::swap(lanes, lrhs);
+            check_finite_lanes(lanes, W, k)?;
+            stage_lanes(&e.recv_nodes, &e.drv_nodes, lanes, W, &mut stage[k * row..(k + 1) * row]);
+        }
+        scatter_stage(stage, W, wires, wp, c0);
+        Ok(())
+    }
+
+    /// The changed coupling-capacitance entries between this sim's bus
+    /// and `bus`, as rank-1 update terms — `None` when the delta is not
+    /// low-rank-updatable (different geometry, any non-coupling change,
+    /// inductance, a non-direct banded-RC engine, or more than
+    /// [`MAX_UPDATE_RANK`] changed entries).
+    fn coupling_delta(&self, bus: &Bus) -> Option<Vec<(usize, usize, f64)>> {
+        let Engine::BandedRc(e) = &self.engine else { return None };
+        if !matches!(e.a_lu, RcFactor::Direct(_)) {
+            return None;
+        }
+        let a = &self.bus;
+        if a.wires() != bus.wires()
+            || a.segments() != bus.segments()
+            || bus.has_inductance()
+            || a.r_seg != bus.r_seg
+            || a.cg_node != bus.cg_node
+            || a.l_seg != bus.l_seg
+            || a.lm_seg != bus.lm_seg
+            || a.driver_r != bus.driver_r
+            || a.receiver_c != bus.receiver_c
+            || a.vdd() != bus.vdd()
+            || a.rise_time != bus.rise_time
+        {
+            return None;
+        }
+        let w = a.wires();
+        let mut terms = Vec::new();
+        for pair in 0..w.saturating_sub(1) {
+            for seg in 0..a.segments() {
+                let old = a.cc_node[pair][seg];
+                let new = bus.cc_node[pair][seg];
+                if old != new {
+                    if terms.len() == MAX_UPDATE_RANK {
+                        return None;
+                    }
+                    // Segment-major RC ordering: node = seg·w + wire.
+                    terms.push((seg * w + pair, seg * w + pair + 1, (new - old) / self.dt));
+                }
+            }
+        }
+        Some(terms)
+    }
+
+    /// FNV-1a fingerprint of the coupling delta between this sim's bus
+    /// and `bus` — the solver-cache key for rank-updated factors.
+    /// `None` exactly when [`TransientSim::try_rank_update`] would
+    /// refuse (fall back to a fresh factorisation).
+    #[must_use]
+    pub fn update_fingerprint(&self, bus: &Bus) -> Option<u64> {
+        let terms = self.coupling_delta(bus)?;
+        let mut h = fnv_mix(0xCBF2_9CE4_8422_2325, self.bus.fingerprint());
+        h = fnv_mix(h, self.dt.to_bits());
+        for (a, b, s) in terms {
+            h = fnv_mix(h, a as u64);
+            h = fnv_mix(h, b as u64);
+            h = fnv_mix(h, s.to_bits());
+        }
+        Some(h)
+    }
+
+    /// Attempts to derive a simulator for `bus` from this one's cached
+    /// factors via a Sherman–Morrison–Woodbury low-rank update: when
+    /// only coupling-capacitance entries differ (a severity or corner
+    /// sweep point), the O(N·b²) refactorisation is replaced by `r`
+    /// base solves plus an `r × r` factorisation, and every subsequent
+    /// timestep pays only an O(N·r) correction.
+    ///
+    /// Returns `None` — the **fallback-to-refactorise rule** — when the
+    /// buses differ in anything but coupling capacitance, when either
+    /// carries inductance, when this engine is not a direct banded-RC
+    /// factorisation (updates never chain), when more than
+    /// [`MAX_UPDATE_RANK`] entries changed, or when the updated system
+    /// is singular.
+    ///
+    /// The returned sim's waveforms agree with a freshly factored
+    /// [`TransientSim::new`] numerically (≤ 1e-12 in practice) but not
+    /// bitwise — byte-determinism contracts must stay on fresh factors.
+    #[must_use]
+    pub fn try_rank_update(&self, bus: &Bus) -> Option<TransientSim> {
+        let terms = self.coupling_delta(bus)?;
+        let Engine::BandedRc(e) = &self.engine else { return None };
+        let RcFactor::Direct(base_lu) = &e.a_lu else { return None };
+        let w = bus.wires();
+        let node = |wire: usize, seg: usize| seg * w + wire;
+        // G is untouched by a pure-C delta; the history matrix is
+        // tridiagonal and restamped from the new bus directly.
+        let mut c_over_h = Banded::zeros(e.dim, 1, 1);
+        stamp_cap_over_h(bus, self.dt, &node, |i, j, v| c_over_h.add(i, j, v));
+        let a_lu = if terms.is_empty() {
+            RcFactor::Direct(base_lu.clone())
+        } else {
+            RcFactor::Updated(base_lu.rank_update(&terms).ok()?)
+        };
+        Some(TransientSim {
+            bus: bus.clone(),
+            dt: self.dt,
+            switch_at: self.switch_at,
+            engine: Engine::BandedRc(BandedRcEngine {
+                dim: e.dim,
+                a_lu,
+                g_lu: e.g_lu.clone(),
+                c_over_h,
+                g_drv: e.g_drv.clone(),
+                drv_nodes: e.drv_nodes.clone(),
+                recv_nodes: e.recv_nodes.clone(),
+            }),
+        })
+    }
+
+    /// Whether this simulator runs on low-rank-updated factors rather
+    /// than a direct factorisation.
+    #[must_use]
+    pub fn is_rank_updated(&self) -> bool {
+        matches!(&self.engine, Engine::BandedRc(e) if matches!(e.a_lu, RcFactor::Updated(_)))
+    }
 }
 
 /// Adds the driver Norton terms to an RC right-hand side.
@@ -937,6 +1477,27 @@ fn stamp_dense_rc_sources(e: &DenseRcEngine, stimulus: &Stimulus, t: f64, rhs: &
 fn stamp_rlc_sources(drv_branches: &[usize], stimulus: &Stimulus, t: f64, rhs: &mut [f64]) {
     for (wire, &row) in drv_branches.iter().enumerate() {
         rhs[row] -= stimulus.voltage(wire, t);
+    }
+}
+
+/// [`stamp_rc_sources`] into lane `c` of a `w`-interleaved block.
+fn stamp_rc_lane(e: &BandedRcEngine, stimulus: &Stimulus, t: f64, rhs: &mut [f64], w: usize, c: usize) {
+    for (wire, (&node, &gd)) in e.drv_nodes.iter().zip(&e.g_drv).enumerate() {
+        rhs[node * w + c] += gd * stimulus.voltage(wire, t);
+    }
+}
+
+/// [`stamp_rlc_sources`] into lane `c` of a `w`-interleaved block.
+fn stamp_rlc_lane(
+    drv_branches: &[usize],
+    stimulus: &Stimulus,
+    t: f64,
+    rhs: &mut [f64],
+    w: usize,
+    c: usize,
+) {
+    for (wire, &row) in drv_branches.iter().enumerate() {
+        rhs[row * w + c] -= stimulus.voltage(wire, t);
     }
 }
 
@@ -1047,6 +1608,235 @@ impl BusWaveforms {
     pub fn time_of(&self, k: usize) -> f64 {
         k as f64 * self.dt
     }
+}
+
+/// Ceiling on the number of changed coupling `(pair, segment)` entries
+/// [`TransientSim::try_rank_update`] absorbs. Beyond this rank the
+/// O(N·r) per-solve correction stops paying for the skipped
+/// refactorisation, so callers fall back to a fresh factorisation.
+pub const MAX_UPDATE_RANK: usize = 32;
+
+/// Struct-of-arrays waveforms for a batch of patterns run by
+/// [`TransientSim::run_panel`]: one flat time-major column per
+/// `(pattern, wire)`, so the timestep loop writes each sample once at
+/// stride 1 within a column and per-pattern extraction is a memcpy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavePanel {
+    dt: f64,
+    switch_at: f64,
+    vdd: f64,
+    wires: usize,
+    patterns: usize,
+    samples: usize,
+    /// Receiver-end voltages, `[(pattern·wires + wire)·samples + step]`.
+    receiver: Vec<f64>,
+    /// Driver-end voltages, same layout.
+    driver: Vec<f64>,
+}
+
+impl WavePanel {
+    fn empty(sim: &TransientSim, patterns: usize, samples: usize) -> Self {
+        let wires = sim.bus.wires();
+        WavePanel {
+            dt: sim.dt,
+            switch_at: sim.switch_at,
+            vdd: sim.bus.vdd(),
+            wires,
+            patterns,
+            samples,
+            receiver: vec![0.0; patterns * wires * samples],
+            driver: vec![0.0; patterns * wires * samples],
+        }
+    }
+
+    /// Sample interval (s).
+    #[must_use]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// When the drivers launched their edge (s).
+    #[must_use]
+    pub fn switch_at(&self) -> f64 {
+        self.switch_at
+    }
+
+    /// Supply voltage the run used (V).
+    #[must_use]
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Number of wires per pattern.
+    #[must_use]
+    pub fn wires(&self) -> usize {
+        self.wires
+    }
+
+    /// Number of patterns in the batch.
+    #[must_use]
+    pub fn patterns(&self) -> usize {
+        self.patterns
+    }
+
+    /// Number of samples per waveform.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The time of sample `k` (s).
+    #[must_use]
+    pub fn time_of(&self, k: usize) -> f64 {
+        k as f64 * self.dt
+    }
+
+    /// Receiver-end waveform of `wire` under `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` or `wire` is out of range.
+    #[must_use]
+    pub fn wire(&self, pattern: usize, wire: usize) -> &[f64] {
+        let at = self.column(pattern, wire);
+        &self.receiver[at..at + self.samples]
+    }
+
+    /// Driver-end waveform of `wire` under `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` or `wire` is out of range.
+    #[must_use]
+    pub fn driver_end(&self, pattern: usize, wire: usize) -> &[f64] {
+        let at = self.column(pattern, wire);
+        &self.driver[at..at + self.samples]
+    }
+
+    /// Copies one pattern's waveforms out as a standalone
+    /// [`BusWaveforms`], bitwise identical to what the scalar path
+    /// would have produced for that stimulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is out of range.
+    #[must_use]
+    pub fn extract(&self, pattern: usize) -> BusWaveforms {
+        BusWaveforms {
+            dt: self.dt,
+            switch_at: self.switch_at,
+            vdd: self.vdd,
+            receiver: (0..self.wires).map(|w| self.wire(pattern, w).to_vec()).collect(),
+            driver: (0..self.wires).map(|w| self.driver_end(pattern, w).to_vec()).collect(),
+        }
+    }
+
+    fn column(&self, pattern: usize, wire: usize) -> usize {
+        assert!(
+            pattern < self.patterns && wire < self.wires,
+            "pattern {pattern} / wire {wire} out of range ({} patterns, {} wires)",
+            self.patterns,
+            self.wires
+        );
+        (pattern * self.wires + wire) * self.samples
+    }
+}
+
+/// Panel analogue of [`check_finite`]: first non-finite unknown in any
+/// column raises `Diverged`, which the batched entry points translate
+/// into a scalar-sequential replay.
+fn check_finite_panel(p: &Panel, step: usize) -> Result<(), InterconnectError> {
+    for col in p.cols() {
+        if let Some(unknown) = col.iter().position(|v| !v.is_finite()) {
+            return Err(InterconnectError::Diverged { step, unknown });
+        }
+    }
+    Ok(())
+}
+
+/// Lane-block analogue of [`check_finite`]: a branch-free exponent-mask
+/// sweep (all-ones exponent ⇔ NaN or ±∞) that vectorises, with the
+/// position recovered on the cold failure path. The reported unknown is
+/// the block-local row; the batched entry points discard it and replay
+/// scalar-sequentially for exact per-pattern error semantics.
+fn check_finite_lanes(xs: &[f64], w: usize, step: usize) -> Result<(), InterconnectError> {
+    let mut bad = 0u64;
+    for &v in xs {
+        let exp = (v.to_bits() >> 52) & 0x7FF;
+        bad |= (exp + 1) >> 11;
+    }
+    if bad == 0 {
+        return Ok(());
+    }
+    let at = xs.iter().position(|v| !v.is_finite()).unwrap_or(0);
+    Err(InterconnectError::Diverged { step, unknown: at / w })
+}
+
+/// Copies one timestep's probe read-outs from a `w`-interleaved lane
+/// block into a contiguous staging row: receiver values for every
+/// (pattern, wire), then driver values. The row is one sequential
+/// cache-line-sized burst, where writing straight into the trace-major
+/// [`WavePanel`] would touch `2·w·wires` pages every step.
+fn stage_lanes(recv_nodes: &[usize], drv_nodes: &[usize], state: &[f64], w: usize, row: &mut [f64]) {
+    let wires = recv_nodes.len();
+    let (recv, drv) = row.split_at_mut(wires * w);
+    for c in 0..w {
+        for (wi, (&rnode, &dnode)) in recv_nodes.iter().zip(drv_nodes).enumerate() {
+            recv[c * wires + wi] = state[rnode * w + c];
+            drv[c * wires + wi] = state[dnode * w + c];
+        }
+    }
+}
+
+/// Transposes the step-major staging buffer of [`stage_lanes`] rows
+/// into the trace-major [`WavePanel`] for patterns `c0..c0 + w`: one
+/// strided read pass per trace, each writing a fully contiguous trace,
+/// so the staging pages stay warm in the second-level TLB across
+/// traces instead of missing once per sample.
+fn scatter_stage(stage: &[f64], w: usize, wires: usize, wp: &mut WavePanel, c0: usize) {
+    let samples = wp.samples;
+    let row = 2 * wires * w;
+    for c in 0..w {
+        for wi in 0..wires {
+            let src = c * wires + wi;
+            let at = ((c0 + c) * wires + wi) * samples;
+            let rdst = &mut wp.receiver[at..at + samples];
+            let ddst = &mut wp.driver[at..at + samples];
+            for (k, (r, d)) in rdst.iter_mut().zip(ddst).enumerate() {
+                *r = stage[k * row + src];
+                *d = stage[k * row + wires * w + src];
+            }
+        }
+    }
+}
+
+/// Scatters the current panel state into the SoA waveform storage:
+/// column `c` of `state` is pattern `c`'s node voltages at `step`.
+fn collect_panel(
+    recv_nodes: &[usize],
+    drv_nodes: &[usize],
+    state: &Panel,
+    wp: &mut WavePanel,
+    step: usize,
+) {
+    let wires = recv_nodes.len();
+    let samples = wp.samples;
+    for (c, col) in state.cols().enumerate() {
+        for (w, (&rnode, &dnode)) in recv_nodes.iter().zip(drv_nodes).enumerate() {
+            let at = (c * wires + w) * samples + step;
+            wp.receiver[at] = col[rnode];
+            wp.driver[at] = col[dnode];
+        }
+    }
+}
+
+/// One FNV-1a round over the little-endian bytes of `v`.
+fn fnv_mix(mut h: u64, v: u64) -> u64 {
+    for byte in v.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -1441,5 +2231,265 @@ mod tests {
         let e = GuardrailEvent::DtHalved { from: 2e-12, to: 1e-12 };
         assert!(e.to_string().contains("halved"));
         assert!(GuardrailEvent::DenseFallback.to_string().contains("dense-oracle"));
+    }
+
+    /// Deterministic batch of `k` vector pairs over `wires` wires.
+    fn test_pairs(wires: usize, k: usize) -> Vec<VectorPair> {
+        (0..k)
+            .map(|i| {
+                let before: String =
+                    (0..wires).map(|w| if (i >> (w % 8)) & 1 == 1 { '1' } else { '0' }).collect();
+                let after: String = before
+                    .chars()
+                    .enumerate()
+                    .map(|(w, c)| if w == i % wires { if c == '1' { '0' } else { '1' } } else { c })
+                    .collect();
+                VectorPair::from_strs(&before, &after).unwrap()
+            })
+            .collect()
+    }
+
+    fn assert_bitwise_panel(wp: &WavePanel, looped: &[BusWaveforms]) {
+        assert_eq!(wp.patterns(), looped.len());
+        for (c, waves) in looped.iter().enumerate() {
+            assert_eq!(wp.samples(), waves.samples());
+            for w in 0..waves.wires() {
+                for (a, b) in wp.wire(c, w).iter().zip(waves.wire(w)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "recv pat {c} wire {w}");
+                }
+                for (a, b) in wp.driver_end(c, w).iter().zip(waves.driver_end(w)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "drv pat {c} wire {w}");
+                }
+            }
+            assert_eq!(&wp.extract(c), waves);
+        }
+    }
+
+    #[test]
+    fn panel_run_bitwise_matches_looped_scalar_rc_and_rlc() {
+        for bus in [small_bus(5), rlc_bus(3, 0.4e-9)] {
+            let sim = TransientSim::new(&bus, 2e-12).unwrap();
+            let mut scratch = PanelScratch::new();
+            for k in [1usize, 3, 4, 7, 8, 12] {
+                let pairs = test_pairs(bus.wires(), k);
+                let wp = sim.run_pairs_cancellable(&pairs, 1e-9, &mut scratch, None).unwrap();
+                let looped: Vec<BusWaveforms> =
+                    pairs.iter().map(|p| sim.run_pair(p, 1e-9).unwrap()).collect();
+                assert_bitwise_panel(&wp, &looped);
+            }
+        }
+    }
+
+    /// Satellite acceptance property: over ≥48 random RC/RLC buses and
+    /// every unroll-relevant panel width — including the ragged tails
+    /// narrower than the 8/4 block widths and a 12·n multiple that
+    /// chains full blocks — the batched run is bitwise identical to
+    /// looping the scalar engine.
+    #[test]
+    fn panel_run_bitwise_property_over_random_buses() {
+        use sint_runtime::prop::{gen, Runner};
+        let mut scratch = PanelScratch::new();
+        Runner::new("panel_bitwise_random_buses").cases(48).run(
+            |rng| {
+                let wires = gen::usize_in(rng, 2..6);
+                let mut params = BusParams::dsm_bus(wires)
+                    .segments(gen::usize_in(rng, 2..6))
+                    .r_per_mm(gen::f64_in(rng, 15.0..60.0))
+                    .cc_per_mm(gen::f64_in(rng, 10e-15..60e-15))
+                    .driver_r(gen::f64_in(rng, 60.0..240.0));
+                if gen::bool_any(rng) {
+                    let l = gen::f64_in(rng, 0.2e-9..0.6e-9);
+                    params = params.l_per_mm(l).lm_per_mm(l * gen::f64_in(rng, 0.0..0.5));
+                }
+                let k = gen::one_of(rng, &[1usize, 3, 4, 7, 8, 12, 24]);
+                (params, k)
+            },
+            |(params, k)| {
+                let bus = params.clone().build().map_err(|e| e.to_string())?;
+                let sim = TransientSim::new(&bus, 2e-12).map_err(|e| e.to_string())?;
+                let pairs = test_pairs(bus.wires(), *k);
+                let wp = sim
+                    .run_pairs_cancellable(&pairs, 0.3e-9, &mut scratch, None)
+                    .map_err(|e| e.to_string())?;
+                let looped: Vec<BusWaveforms> = pairs
+                    .iter()
+                    .map(|p| sim.run_pair(p, 0.3e-9))
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| e.to_string())?;
+                assert_bitwise_panel(&wp, &looped);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn empty_panel_is_a_valid_run() {
+        let bus = small_bus(3);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        let wp = sim.run_panel(&[], 1e-9).unwrap();
+        assert_eq!(wp.patterns(), 0);
+        assert_eq!(wp.wires(), 3);
+        assert!(wp.samples() > 1);
+    }
+
+    #[test]
+    fn panel_rejects_bad_inputs_like_scalar() {
+        let bus = small_bus(3);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        assert!(sim.run_panel(&[], 0.0).is_err());
+        let wrong = test_pairs(2, 1);
+        assert!(matches!(
+            sim.run_pairs_cancellable(&wrong, 1e-9, &mut PanelScratch::new(), None),
+            Err(InterconnectError::WireOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn panel_cancellation_matches_scalar_step() {
+        let bus = small_bus(3);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        let pairs = test_pairs(3, 5);
+        let scalar_step = {
+            let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+            match sim.run_pair_cancellable(&pairs[0], 2e-9, &mut SimScratch::new(), Some(&token)) {
+                Err(InterconnectError::Cancelled { step }) => step,
+                other => panic!("expected Cancelled, got {other:?}"),
+            }
+        };
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        match sim.run_pairs_cancellable(&pairs, 2e-9, &mut PanelScratch::new(), Some(&token)) {
+            Err(InterconnectError::Cancelled { step }) => {
+                assert_eq!(step, scalar_step, "panel must cancel at the scalar step");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diverging_panel_reports_the_scalar_error() {
+        let mut bus = small_bus(3);
+        crate::defect::Defect::CouplingBoost { wire: 1, factor: 1e300 }.apply(&mut bus).unwrap();
+        let dt = 1e-300;
+        let sim = TransientSim::new(&bus, dt).unwrap();
+        let pairs = test_pairs(3, 4);
+        let scalar = sim.run_pair(&pairs[0], 4.0 * dt).unwrap_err();
+        let panel = sim
+            .run_pairs_cancellable(&pairs, 4.0 * dt, &mut PanelScratch::new(), None)
+            .unwrap_err();
+        // The sequential fallback replays pattern by pattern, so the
+        // reported divergence is exactly the scalar one.
+        assert_eq!(panel, scalar);
+    }
+
+    #[test]
+    fn panel_scratch_reuse_across_widths_is_bitwise_stable() {
+        let bus = small_bus(4);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        let mut scratch = PanelScratch::new();
+        let pairs = test_pairs(4, 8);
+        let first = sim.run_pairs_cancellable(&pairs, 1e-9, &mut scratch, None).unwrap();
+        // Interleave a narrower batch, then rerun the original.
+        let narrow = test_pairs(4, 3);
+        let _ = sim.run_pairs_cancellable(&narrow, 1e-9, &mut scratch, None).unwrap();
+        let again = sim.run_pairs_cancellable(&pairs, 1e-9, &mut scratch, None).unwrap();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn rank_update_matches_fresh_refactorisation() {
+        let base_bus = small_bus(4);
+        let base = TransientSim::new(&base_bus, 2e-12).unwrap();
+        let mut boosted = small_bus(4);
+        crate::defect::Defect::CouplingBoost { wire: 1, factor: 1.7 }.apply(&mut boosted).unwrap();
+
+        let updated = base.try_rank_update(&boosted).expect("coupling-only delta");
+        assert!(updated.is_rank_updated());
+        let fresh = TransientSim::new(&boosted, 2e-12).unwrap();
+        assert!(!fresh.is_rank_updated());
+
+        let pairs = test_pairs(4, 6);
+        for pair in &pairs {
+            let a = updated.run_pair(pair, 1e-9).unwrap();
+            let b = fresh.run_pair(pair, 1e-9).unwrap();
+            for w in 0..4 {
+                for (x, y) in a.wire(w).iter().zip(b.wire(w)) {
+                    assert!(
+                        (x - y).abs() <= 1e-12,
+                        "low-rank update drifted: wire {w}, {x} vs {y}"
+                    );
+                }
+            }
+        }
+
+        // The updated factors run the panel path too, bitwise against
+        // their own scalar solves.
+        let wp = updated.run_pairs_cancellable(&pairs, 1e-9, &mut PanelScratch::new(), None).unwrap();
+        let looped: Vec<BusWaveforms> =
+            pairs.iter().map(|p| updated.run_pair(p, 1e-9).unwrap()).collect();
+        assert_bitwise_panel(&wp, &looped);
+    }
+
+    #[test]
+    fn rank_update_with_identical_bus_is_bitwise_identity() {
+        let bus = small_bus(3);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        let same = sim.try_rank_update(&bus).expect("empty delta is updatable");
+        assert!(!same.is_rank_updated(), "empty delta keeps direct factors");
+        let pair = &test_pairs(3, 1)[0];
+        assert_eq!(sim.run_pair(pair, 1e-9).unwrap(), same.run_pair(pair, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn rank_update_refusals() {
+        let bus = small_bus(4);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+
+        // Non-coupling change (driver weakening touches G).
+        let mut weak = small_bus(4);
+        crate::defect::Defect::WeakDriver { wire: 0, factor: 4.0 }.apply(&mut weak).unwrap();
+        assert!(sim.try_rank_update(&weak).is_none());
+        assert!(sim.update_fingerprint(&weak).is_none());
+
+        // Different geometry.
+        assert!(sim.try_rank_update(&small_bus(5)).is_none());
+
+        // Inductive target.
+        assert!(sim.try_rank_update(&rlc_bus(4, 0.4e-9)).is_none());
+
+        // Inductive source engine.
+        let rlc = TransientSim::new(&rlc_bus(4, 0.4e-9), 2e-12).unwrap();
+        assert!(rlc.try_rank_update(&rlc_bus(4, 0.4e-9)).is_none());
+
+        // Delta wider than MAX_UPDATE_RANK: boost every pair on a bus
+        // with (w−1)·segments = 7·8 = 56 changed entries.
+        let wide = BusParams::dsm_bus(8).segments(8).build().unwrap();
+        let wide_sim = TransientSim::new(&wide, 2e-12).unwrap();
+        let mut all = BusParams::dsm_bus(8).segments(8).build().unwrap();
+        for w in 0..8 {
+            crate::defect::Defect::CouplingBoost { wire: w, factor: 1.3 }.apply(&mut all).unwrap();
+        }
+        assert!(wide_sim.try_rank_update(&all).is_none());
+
+        // Updates never chain: an updated sim refuses further deltas.
+        let mut boosted = small_bus(4);
+        crate::defect::Defect::CouplingBoost { wire: 1, factor: 1.5 }.apply(&mut boosted).unwrap();
+        let updated = sim.try_rank_update(&boosted).unwrap();
+        assert!(updated.try_rank_update(&bus).is_none());
+    }
+
+    #[test]
+    fn update_fingerprint_keys_the_delta() {
+        let bus = small_bus(4);
+        let sim = TransientSim::new(&bus, 2e-12).unwrap();
+        let mut b1 = small_bus(4);
+        crate::defect::Defect::CouplingBoost { wire: 1, factor: 1.5 }.apply(&mut b1).unwrap();
+        let mut b2 = small_bus(4);
+        crate::defect::Defect::CouplingBoost { wire: 1, factor: 1.6 }.apply(&mut b2).unwrap();
+        let f0 = sim.update_fingerprint(&bus).unwrap();
+        let f1 = sim.update_fingerprint(&b1).unwrap();
+        let f2 = sim.update_fingerprint(&b2).unwrap();
+        assert_ne!(f0, f1);
+        assert_ne!(f1, f2);
+        assert_eq!(f1, sim.update_fingerprint(&b1).unwrap(), "stable across calls");
     }
 }

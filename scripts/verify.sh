@@ -121,4 +121,24 @@ if ! cmp "$tmp/fleet_ref_summary.json" "$tmp/fleet_summary.json"; then
 fi
 echo "fleet resume: summaries byte-identical"
 
+# Batched-solve determinism: the multi-RHS panel path is contractually
+# bitwise-identical to the scalar path, so a fixed defect campaign
+# (including a solver blow-up that forces the divergence fallback) must
+# produce byte-identical summaries batched (panel width 8) vs unbatched
+# (width 1) and across thread counts. The same binary gates the
+# amortised-refactorisation path: a coupling-swept SoC must take the
+# low-rank solver update and agree with fresh factors to 1e-12.
+SINT_THREADS=1 target/release/batch_check 8 "$tmp/batch_w8.json"
+SINT_THREADS=1 target/release/batch_check 1 "$tmp/batch_w1.json"
+if ! cmp "$tmp/batch_w8.json" "$tmp/batch_w1.json"; then
+    echo "verify: FAIL — batched summary differs from unbatched" >&2
+    exit 1
+fi
+SINT_THREADS=8 target/release/batch_check 8 "$tmp/batch_w8_t8.json"
+if ! cmp "$tmp/batch_w8.json" "$tmp/batch_w8_t8.json"; then
+    echo "verify: FAIL — batched summary differs across thread counts" >&2
+    exit 1
+fi
+echo "batched solves: byte-identical vs unbatched, low-rank gate holds"
+
 echo "verify: OK"

@@ -12,7 +12,7 @@ use sint::core::nd::{NdThresholds, NoiseDetector};
 use sint::interconnect::drive::{DriveLevel, VectorPair};
 use sint::interconnect::linalg::Matrix;
 use sint::interconnect::params::BusParams;
-use sint::interconnect::solver::{SolverBackend, TransientSim, DEFAULT_SWITCH_AT};
+use sint::interconnect::solver::{PanelScratch, SolverBackend, TransientSim, DEFAULT_SWITCH_AT};
 use sint::interconnect::variation::{apply_variation, SplitMix64, VariationSigma};
 use sint::jtag::integrity::QuarantineSet;
 use sint::jtag::state::TapState;
@@ -405,6 +405,79 @@ fn banded_engine_matches_dense_oracle() {
                     check((a - b).abs() <= 1e-9, || {
                         format!("wire {wire} ({w}x{s}): banded {a} vs dense {b}")
                     })?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn panel_transients_bitwise_match_looped_scalar_runs() {
+    // The multi-RHS panel path hoists every factor load across its k
+    // columns but performs each column's FLOPs in the scalar order, so
+    // on finite systems the waveforms must be *bitwise* identical to
+    // looped single-RHS runs — at every panel width, including ragged
+    // tails narrower than the 8/4-wide unrolled kernels and the full
+    // 12·n MA batch of a victim.
+    Runner::new("panel_matches_looped_scalar").cases(48).run(
+        |rng| {
+            let wires = gen::usize_in(rng, 2..9);
+            let segments = gen::usize_in(rng, 1..6);
+            let inductive = gen::bool_any(rng);
+            let seed = gen::u64_any(rng);
+            // Enough random levels for 12·wires distinct vector pairs.
+            let raw: Vec<bool> = (0..24 * wires * 2).map(|_| gen::bool_any(rng)).collect();
+            (wires, segments, inductive, seed, raw)
+        },
+        |(wires, segments, inductive, seed, raw)| {
+            let (w, s) = (*wires, *segments);
+            let mut params = BusParams::dsm_bus(w).segments(s);
+            if *inductive {
+                params = params.l_per_mm(0.4e-9).lm_per_mm(0.1e-9).rise_time(60e-12);
+            }
+            let mut bus = params.build().map_err(|e| e.to_string())?;
+            apply_variation(&mut bus, VariationSigma::typical(), *seed)
+                .map_err(|e| e.to_string())?;
+            let sim = TransientSim::new(&bus, 4e-12).map_err(|e| e.to_string())?;
+            let duration = 0.1e-9;
+            let pair_at = |i: usize| {
+                let at = (i % 24) * 2 * w;
+                let before = raw[at..at + w].iter().map(|&b| DriveLevel::from(b)).collect();
+                let after =
+                    raw[at + w..at + 2 * w].iter().map(|&b| DriveLevel::from(b)).collect();
+                VectorPair::new(before, after)
+            };
+            // The scalar oracle runs, one per distinct pattern.
+            let max_k = 12 * w;
+            let scalar: Vec<_> = (0..max_k)
+                .map(|i| sim.run_pair(&pair_at(i), duration))
+                .collect::<Result<_, _>>()
+                .map_err(|e| e.to_string())?;
+            let mut scratch = PanelScratch::new();
+            for k in [1usize, 3, 4, 7, 8, max_k] {
+                let pairs: Vec<VectorPair> = (0..k).map(pair_at).collect();
+                let panel = sim
+                    .run_pairs_cancellable(&pairs, duration, &mut scratch, None)
+                    .map_err(|e| e.to_string())?;
+                check_eq(panel.patterns(), k)?;
+                for (c, oracle) in scalar[..k].iter().enumerate() {
+                    check_eq(panel.samples(), oracle.samples())?;
+                    for wire in 0..w {
+                        let cols = panel
+                            .wire(c, wire)
+                            .iter()
+                            .zip(oracle.wire(wire))
+                            .chain(panel.driver_end(c, wire).iter().zip(oracle.driver_end(wire)));
+                        for (a, b) in cols {
+                            check(a.to_bits() == b.to_bits(), || {
+                                format!(
+                                    "panel width {k}, pattern {c}, wire {wire} ({w}x{s}): \
+                                     {a:e} != {b:e}"
+                                )
+                            })?;
+                        }
+                    }
                 }
             }
             Ok(())
