@@ -1,13 +1,18 @@
 //! Bench: the sharded test-floor engine.
 //!
-//! Two questions, answered with numbers in `BENCH_fleet.json`:
+//! Three questions, answered with numbers in `BENCH_fleet.json`:
 //!
 //! 1. **Does work-stealing pay?** A 200-board floor is timed serial,
 //!    sharded without imbalance, and sharded with a deliberately
 //!    unbalanced shard layout (`shards(2)` at 8 threads — without
 //!    stealing, six workers would idle). The stealing speedup over the
 //!    serial run is the headline number.
-//! 2. **Does the acceptance floor hold?** The ISSUE's 1000-board floor
+//! 2. **Is supervision free when nothing fails?** The same fault-free
+//!    floor runs raw (`unsupervised()`) and supervised; the
+//!    `supervisor_overhead` row records the relative cost of the
+//!    resilience layer's bookkeeping (health EWMA, breaker counters,
+//!    virtual clock) on a healthy fleet — budgeted at under 3%.
+//! 3. **Does the acceptance floor hold?** The ISSUE's 1000-board floor
 //!    runs once serial and once sharded; the artifact records the wall
 //!    time, the trial throughput, and that the merged summaries were
 //!    **byte-identical** — the determinism invariant measured, not just
@@ -22,6 +27,18 @@ use sint_runtime::bench::{black_box, Bench};
 use sint_runtime::json::{Json, ToJson};
 use std::time::Duration;
 use std::time::Instant;
+
+/// Best-of-`runs` wall time for `f` — minima damp scheduler noise
+/// better than means for back-to-back comparisons.
+fn min_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
 
 fn floor(boards: usize) -> FloorSpec {
     FloorSpec::new(boards)
@@ -54,7 +71,21 @@ fn main() {
         black_box(skewed.run(threads, &NullSink));
     });
 
-    // 2. The acceptance floor: 1000 boards, bounded memory, determinism
+    // 2. Supervisor overhead on a fault-free floor: best-of-N wall
+    // times, raw engine vs the default supervised one. Minima damp
+    // scheduler noise; the floors are identical so the delta is pure
+    // resilience bookkeeping.
+    let raw_engine = FleetEngine::new(floor(200)).expect("static floor spec").unsupervised();
+    let supervised_engine = FleetEngine::new(floor(200)).expect("static floor spec");
+    let raw_secs = min_secs(5, || {
+        black_box(raw_engine.run(threads, &NullSink));
+    });
+    let supervised_secs = min_secs(5, || {
+        black_box(supervised_engine.run(threads, &NullSink));
+    });
+    let overhead_pct = (supervised_secs / raw_secs - 1.0) * 100.0;
+
+    // 3. The acceptance floor: 1000 boards, bounded memory, determinism
     // measured serial-vs-sharded.
     let engine = FleetEngine::new(floor(1000)).expect("static floor spec");
     let t0 = Instant::now();
@@ -69,12 +100,26 @@ fn main() {
     let trials = 1000 * 3;
     print!("{}", b.table());
     println!(
+        "supervisor_overhead: raw {raw_secs:.3}s, supervised {supervised_secs:.3}s \
+         ({overhead_pct:+.2}% on a fault-free floor)"
+    );
+    println!(
         "floor_1000x3: serial {serial_secs:.2}s, {threads} threads {sharded_secs:.2}s \
          ({:.0} trials/s), summaries byte-identical: {identical}",
         trials as f64 / sharded_secs
     );
 
     let mut json = b.json();
+    json.push(
+        "supervisor_overhead",
+        Json::obj([
+            ("boards", 200u64.to_json()),
+            ("threads", threads.to_json()),
+            ("raw_secs", raw_secs.to_json()),
+            ("supervised_secs", supervised_secs.to_json()),
+            ("overhead_pct", overhead_pct.to_json()),
+        ]),
+    );
     json.push(
         "floor_1000x3",
         Json::obj([

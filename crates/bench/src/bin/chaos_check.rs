@@ -1,0 +1,261 @@
+//! **Tool** — chaos-mode fleet driver, used by `scripts/verify.sh`'s
+//! `chaos_matrix` gate to prove the resilience layer's determinism
+//! contract end to end.
+//!
+//! Runs a fixed 1000-board floor (3 trials per board, 3 clients — one
+//! with a zero admission budget) under an **active deterministic
+//! [`ChaosPlan`]**: population rates make ~15% of boards flaky and ~3%
+//! dead, half of an afflicted board's trials take a fault (chain scan
+//! fault, wedged solver, harness panic or sink write failure), one
+//! explicit injection of every fault kind is scheduled, and one board
+//! is killed outright. The supervised engine retries flaky fixtures
+//! with backoff, trips circuit breakers on the dead ones, probes, and
+//! quarantines — and the merged summary (verdicts, quarantine roster
+//! and resilience totals included) must still be **byte-identical**
+//! serial vs `SINT_THREADS=8` and across kill/resume, because every
+//! fault coordinate and every supervisor decision is a pure function
+//! of seeds.
+//!
+//! A validating sink cross-checks the paper's core discipline while
+//! records stream: a board whose chain fault *persists* (a dead
+//! fixture) must never yield an interconnect verdict — apparatus
+//! failures are named as such, never misblamed on the bus under test.
+//! Any violation exits with code 4.
+//!
+//! ```text
+//! chaos_check <checkpoint.json> <summary.json> \
+//!     [--halt-after N] [--records <records.jsonl>]
+//! ```
+//!
+//! Exit codes: 0 = floor complete, 2 = usage/IO error, 3 = halted
+//! deliberately at the `--halt-after` threshold, 4 = an injected
+//! infrastructure fault surfaced as an interconnect verdict.
+
+use sint_bench::threads_from_env;
+use sint_core::campaign::TrialOutcome;
+use sint_core::checkpoint::CheckpointEntry;
+use sint_fleet::{
+    BoardProfile, BoardSpec, ChaosKind, ChaosPlan, ClientSpec, FleetCheckpoint, FleetEngine,
+    FleetError, FloorSpec, JsonlSink, NullSink, RecordSink,
+};
+use sint_runtime::json::ToJson;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BOARDS: usize = 1000;
+const TRIALS_PER_BOARD: usize = 3;
+const SNAPSHOT_EVERY: usize = 100;
+
+/// The fixed floor, mirroring `fleet_resume`'s shape (three clients,
+/// one zero-budget) so admission control stays part of the chaos
+/// determinism contract.
+fn floor() -> FloorSpec {
+    FloorSpec::new(BOARDS)
+        .trials_per_board(TRIALS_PER_BOARD)
+        .seed(0xC4A0_5F10)
+        .with_clients(vec![
+            ClientSpec::new("assembly"),
+            ClientSpec::new("qualification"),
+            ClientSpec::with_budget("burst", Duration::ZERO),
+        ])
+}
+
+/// The fixed storm: rates afflict a deterministic slice of the
+/// population, one explicit injection of every fault kind pins each
+/// code path, and board 7 is killed outright so quarantine always
+/// exercises.
+fn plan() -> ChaosPlan {
+    ChaosPlan::new(0xBAD5_EED5)
+        .rates(0.15, 0.03, 0.5)
+        .inject(0, 0, ChaosKind::Scan)
+        .inject(1, 1, ChaosKind::Wedge)
+        .inject(2, 0, ChaosKind::Panic)
+        .inject(3, 2, ChaosKind::Sink)
+        .kill(7)
+}
+
+/// Forwards records to an inner sink while counting attribution
+/// violations: an interconnect verdict streamed for a trial whose
+/// chain fault persists across attempts (a dead fixture) means an
+/// apparatus failure was misblamed on the bus under test.
+struct ValidatingSink<'a> {
+    inner: &'a dyn RecordSink,
+    plan: ChaosPlan,
+    violations: AtomicU64,
+}
+
+impl ValidatingSink<'_> {
+    fn is_verdict(outcome: TrialOutcome) -> bool {
+        !matches!(outcome, TrialOutcome::Shed | TrialOutcome::Failed)
+    }
+}
+
+impl RecordSink for ValidatingSink<'_> {
+    fn record(
+        &self,
+        board: &BoardSpec,
+        client: &str,
+        entry: &CheckpointEntry,
+    ) -> Result<(), FleetError> {
+        let persistent_fault = self.plan.profile(board.id) == BoardProfile::Dead
+            && self
+                .plan
+                .fault_at(board.id, entry.index)
+                .is_some_and(|kind| kind != ChaosKind::Sink);
+        if persistent_fault && Self::is_verdict(entry.outcome) {
+            self.violations.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "chaos_check: VIOLATION board {} trial {} verdict {:?} despite a persistent chain fault",
+                board.id, entry.index, entry.outcome
+            );
+        }
+        self.inner.record(board, client, entry)
+    }
+
+    fn board_done(&self, summary: &sint_fleet::BoardSummary) -> Result<(), FleetError> {
+        self.inner.board_done(summary)
+    }
+}
+
+struct Args {
+    checkpoint_path: String,
+    summary_path: String,
+    halt_after: Option<usize>,
+    records_path: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut halt_after = None;
+    let mut records_path = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--halt-after" {
+            let value = argv.next().ok_or("--halt-after needs a board count")?;
+            let count = value
+                .parse::<usize>()
+                .map_err(|_| format!("--halt-after wants a number, got {value:?}"))?;
+            halt_after = Some(count);
+        } else if arg == "--records" {
+            records_path = Some(argv.next().ok_or("--records needs a file path")?);
+        } else {
+            positional.push(arg);
+        }
+    }
+    if positional.len() != 2 {
+        return Err(
+            "usage: chaos_check <checkpoint.json> <summary.json> \
+             [--halt-after N] [--records <records.jsonl>]"
+                .to_string(),
+        );
+    }
+    let mut positional = positional.into_iter();
+    Ok(Args {
+        checkpoint_path: positional.next().unwrap_or_default(),
+        summary_path: positional.next().unwrap_or_default(),
+        halt_after,
+        records_path,
+    })
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let threads = threads_from_env();
+
+    // Resume from an existing snapshot, or start fresh.
+    let mut checkpoint = match std::fs::read_to_string(&args.checkpoint_path) {
+        Ok(text) => FleetCheckpoint::parse(&text)
+            .map_err(|e| format!("bad checkpoint {}: {e}", args.checkpoint_path))?,
+        Err(_) => FleetCheckpoint::new(),
+    };
+    let resumed_from = checkpoint.len();
+
+    let engine = FleetEngine::new(floor())
+        .map_err(|e| format!("bad floor spec: {e}"))?
+        .chaos(plan());
+
+    let records = match &args.records_path {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create records file {path}: {e}"))?;
+            Some(JsonlSink::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let inner: &dyn RecordSink = match &records {
+        Some(sink) => sink,
+        None => &NullSink,
+    };
+    let sink = ValidatingSink { inner, plan: plan(), violations: AtomicU64::new(0) };
+
+    // Injected harness panics are isolated and classified by the
+    // supervisor; keep their reports out of the tool's output.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let checkpoint_path = args.checkpoint_path.clone();
+    let halt_after = args.halt_after;
+    let summary =
+        engine.run_checkpointed(threads, &mut checkpoint, SNAPSHOT_EVERY, &sink, |cp| {
+            let rendered = cp.to_json().render();
+            if let Err(e) = std::fs::write(&checkpoint_path, format!("{rendered}\n")) {
+                eprintln!("chaos_check: cannot write checkpoint: {e}");
+                std::process::exit(2);
+            }
+            if let Some(limit) = halt_after {
+                if cp.len() >= limit {
+                    eprintln!(
+                        "chaos_check: halting deliberately with {} / {} boards checkpointed",
+                        cp.len(),
+                        BOARDS
+                    );
+                    std::process::exit(3);
+                }
+            }
+        });
+
+    let _ = std::panic::take_hook();
+
+    let violations = sink.violations.load(Ordering::Relaxed);
+    if let Some(sink) = records {
+        use std::io::Write;
+        let (mut writer, lines) = sink.finish().map_err(|e| format!("record stream: {e}"))?;
+        writer.flush().map_err(|e| format!("cannot flush records file: {e}"))?;
+        eprintln!("chaos_check: streamed {lines} records");
+    }
+
+    let rendered = summary.to_json().render_pretty();
+    std::fs::write(&args.summary_path, format!("{rendered}\n"))
+        .map_err(|e| format!("cannot write summary {}: {e}", args.summary_path))?;
+    eprintln!(
+        "chaos_check: {} boards ({} resumed), {} threads — {} healthy / {} flaky / {} dead, \
+         {} quarantined, {} retries, {} infra failures, {} sink errors",
+        BOARDS,
+        resumed_from,
+        threads,
+        summary.healthy_boards,
+        summary.flaky_boards,
+        summary.dead_boards,
+        summary.quarantined.len(),
+        summary.resilience.retries,
+        summary.resilience.infra_failures,
+        summary.resilience.sink_errors,
+    );
+    if violations > 0 {
+        eprintln!(
+            "chaos_check: {violations} interconnect verdicts on persistently-faulted fixtures"
+        );
+        return Ok(ExitCode::from(4));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("chaos_check: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

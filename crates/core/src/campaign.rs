@@ -12,6 +12,7 @@ use crate::soc::SocBuilder;
 use sint_interconnect::defect::Defect;
 use sint_interconnect::params::BusParams;
 use sint_interconnect::variation::VariationSigma;
+use sint_jtag::fault::ScanFault;
 use sint_runtime::cancel::CancelToken;
 use sint_runtime::json::{Json, ToJson};
 use sint_runtime::pool::{panic_message, Pool};
@@ -36,6 +37,11 @@ pub enum TrialSabotage {
     /// [`Campaign::deadline`] — without one the trial refuses with
     /// [`CoreError::BadConfig`] instead of hanging the batch.
     Wedge,
+    /// The trial's scan chain carries an injected [`ScanFault`]: the
+    /// pre-session self-check must refuse the session with
+    /// [`CoreError::Infrastructure`], so the fault is attributed to the
+    /// test apparatus — never to the interconnect under test.
+    ChainFault(ScanFault),
 }
 
 /// One campaign trial: a defect (or `None` for a healthy control) and
@@ -74,6 +80,15 @@ impl Trial {
     #[must_use]
     pub fn wedged() -> Trial {
         Trial { defect: None, sabotage: TrialSabotage::Wedge }
+    }
+
+    /// A trial whose scan chain is broken by `fault` — the session must
+    /// refuse with [`CoreError::Infrastructure`] instead of producing an
+    /// interconnect verdict. `defect` (if any) is still installed on the
+    /// bus so a misattribution would be visible.
+    #[must_use]
+    pub fn chain_faulted(defect: Option<Defect>, fault: ScanFault) -> Trial {
+        Trial { defect, sabotage: TrialSabotage::ChainFault(fault) }
     }
 
     /// The wire whose verdict is judged (the defect's focus, or wire 0
@@ -316,6 +331,11 @@ pub enum ShedReason {
     },
     /// The campaign budget was exhausted before the trial started.
     Budget,
+    /// The trial's board was quarantined by its supervisor: consecutive
+    /// infrastructure failures opened the circuit breaker and every
+    /// half-open re-admission probe failed, so the remaining trials are
+    /// abandoned rather than run on a dead fixture.
+    Quarantined,
 }
 
 impl fmt::Display for ShedReason {
@@ -325,6 +345,9 @@ impl fmt::Display for ShedReason {
                 write!(f, "deadline exceeded (cancelled at solver step {step})")
             }
             ShedReason::Budget => f.write_str("campaign budget exhausted before start"),
+            ShedReason::Quarantined => {
+                f.write_str("board quarantined after failed re-admission probes")
+            }
         }
     }
 }
@@ -337,6 +360,7 @@ impl ToJson for ShedReason {
                 ("step", step.to_json()),
             ]),
             ShedReason::Budget => Json::obj([("kind", "budget".to_json())]),
+            ShedReason::Quarantined => Json::obj([("kind", "quarantined".to_json())]),
         }
     }
 }
@@ -367,6 +391,39 @@ impl ToJson for TrialShed {
             ("reason", self.reason.to_json()),
         ])
     }
+}
+
+/// How one **single attempt** of a trial ended, with panics isolated
+/// and every failure classified — the vocabulary a supervisor needs to
+/// distinguish "the interconnect answered" from "the test apparatus
+/// broke" from "the schedule cut it loose".
+///
+/// This is the per-attempt face of the engine
+/// ([`Campaign::run_trial_isolated`]); the batch engines' own attempt
+/// loop aggregates the same classifications internally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptOutcome {
+    /// The session ran to completion and judged the interconnect.
+    Verdict(TrialOutcome),
+    /// The attempt was abandoned by the schedule: deadline overrun
+    /// mid-solve or budget exhausted before start. Not a failure of
+    /// either the apparatus or the interconnect.
+    Shed(ShedReason),
+    /// The test apparatus itself failed: the pre-session chain
+    /// self-check refused the session, or the harness panicked. By
+    /// construction this is **never** an interconnect verdict — a
+    /// supervisor retries or quarantines on it.
+    Infrastructure {
+        /// The diagnosis or panic message, rendered as text.
+        error: String,
+    },
+    /// The attempt errored in a way that is neither a schedule cut nor
+    /// a diagnosed infrastructure fault (bad configuration, solver
+    /// divergence…).
+    Error {
+        /// The error, rendered as text.
+        error: String,
+    },
 }
 
 /// How one trial attempt sequence ended without a verdict.
@@ -555,6 +612,9 @@ impl Campaign {
             _ => self.config,
         };
         let mut builder = SocBuilder::new(self.wires).bus_params(self.bus_params.clone());
+        if let TrialSabotage::ChainFault(fault) = trial.sabotage {
+            builder = builder.scan_fault(fault);
+        }
         if let Some(width) = self.panel_width {
             builder = builder.panel_width(width);
         }
@@ -622,6 +682,33 @@ impl Campaign {
             }
         }
         Err(TrialAbort::Failed { attempts: max_attempts, error: last_error })
+    }
+
+    /// Runs exactly **one attempt** of one trial, isolating panics and
+    /// classifying every way it can end — the building block for
+    /// external supervisors (the fleet's circuit breaker) that own
+    /// their own retry and quarantine policy instead of using the
+    /// campaign's [`RetryPolicy`].
+    ///
+    /// `seed` is used verbatim (no attempt striding); callers that
+    /// retry should derive per-attempt seeds themselves, e.g. with the
+    /// same `base + attempt * seed_stride` rule the internal engine
+    /// uses, to keep attempt 0 byte-identical to the unsupervised path.
+    #[must_use]
+    pub fn run_trial_isolated(&self, trial: Trial, seed: u64) -> AttemptOutcome {
+        match catch_unwind(AssertUnwindSafe(|| self.run_trial_seeded(trial, seed))) {
+            Ok(Ok(outcome)) => AttemptOutcome::Verdict(outcome),
+            Ok(Err(CoreError::DeadlineExceeded { step })) => {
+                AttemptOutcome::Shed(ShedReason::Deadline { step })
+            }
+            Ok(Err(error @ CoreError::Infrastructure(_))) => {
+                AttemptOutcome::Infrastructure { error: error.to_string() }
+            }
+            Ok(Err(error)) => AttemptOutcome::Error { error: error.to_string() },
+            // A panic is an apparatus failure by definition: the
+            // harness died, the interconnect never answered.
+            Err(payload) => AttemptOutcome::Infrastructure { error: panic_message(&*payload) },
+        }
     }
 
     /// Runs a batch of trials serially.

@@ -249,6 +249,7 @@ fn parse_shed_reason(reason: &Json) -> Result<ShedReason, CheckpointError> {
     match kind {
         "deadline" => Ok(ShedReason::Deadline { step: field_u64(reason, "step")? as usize }),
         "budget" => Ok(ShedReason::Budget),
+        "quarantined" => Ok(ShedReason::Quarantined),
         other => Err(CheckpointError::schema(format!("unknown shed reason {other:?}"))),
     }
 }

@@ -11,7 +11,14 @@
 //!
 //! [`Soc::check_infrastructure`]: crate::soc::Soc::check_infrastructure
 
-use sint_jtag::integrity::ChainCheckReport;
+use crate::error::CoreError;
+use crate::instructions::extended_instruction_set;
+use sint_jtag::bcell::StandardBsc;
+use sint_jtag::chain::Chain;
+use sint_jtag::device::Device;
+use sint_jtag::driver::JtagDriver;
+use sint_jtag::fault::ScanFault;
+use sint_jtag::integrity::{check_boundary, check_chain, ChainCheckReport};
 use sint_runtime::json::{Json, ToJson};
 use std::fmt;
 
@@ -40,6 +47,48 @@ impl ToJson for InfrastructureDiagnosis {
             ("chain_cells", self.chain_cells.to_json()),
             ("report", self.report.to_json()),
         ])
+    }
+}
+
+/// Runs the chain-only self-check against a fresh boundary chain of
+/// `2 * wires` standard cells — the **half-open re-admission probe** of
+/// a board supervisor. Unlike a full session it never touches the
+/// analog substrate (no bus, no solver factorisation), so it costs a
+/// few thousand TCKs instead of a transient solve; it answers exactly
+/// one question: *can this fixture's scan infrastructure be trusted
+/// again?*
+///
+/// `fault` (when present) is injected into the probe chain — the
+/// deterministic-chaos hook: a dead fixture keeps its fault, so the
+/// probe keeps failing and the board stays quarantined.
+///
+/// # Errors
+///
+/// [`CoreError::Infrastructure`] with the structured diagnosis when the
+/// self-check finds anomalies; [`CoreError::Jtag`] if the chain cannot
+/// be probed at all.
+pub fn probe_chain(wires: usize, fault: Option<ScanFault>) -> Result<ChainCheckReport, CoreError> {
+    let mut device = Device::new("probe", extended_instruction_set()?);
+    for _ in 0..2 * wires.max(1) {
+        device.push_cell(Box::new(StandardBsc::new()));
+    }
+    let cells = device.boundary().len();
+    let mut chain = Chain::single(device);
+    if let Some(fault) = fault {
+        chain.inject_fault(fault);
+    }
+    let mut driver = JtagDriver::new(chain);
+    driver.reset();
+    let mut report = check_chain(&mut driver)?;
+    if report.healthy() {
+        let boundary = check_boundary(&mut driver)?;
+        report.anomalies.extend(boundary.anomalies);
+        report.tck_cost += boundary.tck_cost;
+    }
+    if report.healthy() {
+        Ok(report)
+    } else {
+        Err(CoreError::Infrastructure(InfrastructureDiagnosis { chain_cells: cells, report }))
     }
 }
 
@@ -72,5 +121,24 @@ mod tests {
         assert!(j.contains("\"chain_cells\":8"), "{j}");
         assert!(j.contains("\"healthy\":false"), "{j}");
         assert!(j.contains("serial_stuck"), "{j}");
+    }
+
+    #[test]
+    fn probe_passes_a_healthy_chain() {
+        let report = probe_chain(3, None).unwrap();
+        assert!(report.healthy());
+        assert!(report.tck_cost > 0, "the probe really scanned");
+    }
+
+    #[test]
+    fn probe_refuses_a_faulted_chain_with_a_diagnosis() {
+        let err = probe_chain(3, Some(ScanFault::StuckAtZero { link: 0 })).unwrap_err();
+        match err {
+            CoreError::Infrastructure(diag) => {
+                assert_eq!(diag.chain_cells, 6);
+                assert!(!diag.report.healthy());
+            }
+            other => panic!("expected an infrastructure diagnosis, got {other:?}"),
+        }
     }
 }

@@ -64,13 +64,13 @@ pub mod soc;
 pub mod timing;
 
 pub use campaign::{
-    Campaign, CampaignRun, CampaignStats, RetryPolicy, ShedReason, Trial, TrialOutcome,
-    TrialShed,
+    AttemptOutcome, Campaign, CampaignRun, CampaignStats, RetryPolicy, ShedReason, Trial,
+    TrialOutcome, TrialShed,
 };
 pub use checkpoint::CampaignCheckpoint;
 pub use degrade::{ChainPolicy, DegradationEvent, DegradedOutcome};
 pub use error::CoreError;
-pub use infra::InfrastructureDiagnosis;
+pub use infra::{probe_chain, InfrastructureDiagnosis};
 pub use mafm::{CoverageReport, IntegrityFault};
 pub use obsc::Obsc;
 pub use pgbsc::Pgbsc;

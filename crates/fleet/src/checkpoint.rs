@@ -1,22 +1,28 @@
 //! Board-granular fleet checkpoints.
 //!
 //! A fleet run snapshots one [`BoardEntry`] per finished board — its
-//! id, seed, owning client and campaign counters — into a versioned
-//! JSON document. Feeding the last snapshot back into
+//! id, seed, owning client, campaign counters and supervisor
+//! [`BoardReport`] — into a versioned JSON document. Feeding the last
+//! snapshot back into
 //! [`crate::engine::FleetEngine::run_checkpointed`] re-runs only the
-//! unfinished boards; because each board is a pure function of its id,
-//! the resumed merged summary is byte-identical to an uninterrupted
-//! run. Entries are keyed by id *and* seed, so a snapshot taken
-//! against a different floor layout is rejected at lookup time rather
-//! than replayed silently.
+//! unfinished boards; because each board is a pure function of its id
+//! (breaker trips, backoff waits and chaos faults included), the
+//! resumed merged summary is byte-identical to an uninterrupted run.
+//! Entries are keyed by id *and* seed, so a snapshot taken against a
+//! different floor layout is rejected at lookup time rather than
+//! replayed silently. Version-1 snapshots (which predate the
+//! resilience layer and carry no reports) are rejected with a typed
+//! error — resuming them would silently forget quarantine state.
 
 use crate::engine::BoardSummary;
 use crate::error::FleetError;
+use crate::supervisor::BoardReport;
 use sint_core::campaign::CampaignStats;
 use sint_runtime::json::{Json, ToJson};
 
-/// Fleet checkpoint format version.
-const FLEET_CHECKPOINT_VERSION: u64 = 1;
+/// Fleet checkpoint format version. Version 2 added the per-board
+/// supervisor report (breaker/quarantine/backoff state).
+const FLEET_CHECKPOINT_VERSION: u64 = 2;
 
 /// One finished board in a checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +37,9 @@ pub struct BoardEntry {
     pub stats: CampaignStats,
     /// The panic message when the board's harness crashed.
     pub crashed: Option<String>,
+    /// The board's supervisor report (verdict, health, breaker and
+    /// spool counters).
+    pub report: BoardReport,
 }
 
 impl BoardEntry {
@@ -43,6 +52,7 @@ impl BoardEntry {
             client: summary.client,
             stats: summary.stats,
             crashed: summary.crashed.clone(),
+            report: summary.report.clone(),
         }
     }
 }
@@ -58,6 +68,7 @@ impl ToJson for BoardEntry {
                 Some(m) => m.to_json(),
                 None => Json::Null,
             }),
+            ("report", self.report.to_json()),
         ])
     }
 }
@@ -119,8 +130,9 @@ impl FleetCheckpoint {
     /// # Errors
     ///
     /// [`FleetError::Json`] for malformed JSON, [`FleetError::Schema`]
-    /// for a well-formed document that is not a version-1 fleet
-    /// checkpoint.
+    /// for a well-formed document that is not a version-2 fleet
+    /// checkpoint — including the pre-resilience version 1, which is
+    /// rejected by name rather than resumed without its reports.
     pub fn parse(text: &str) -> Result<FleetCheckpoint, FleetError> {
         let root = Json::parse(text)?;
         match root.get("version").and_then(Json::as_u64) {
@@ -186,18 +198,24 @@ fn parse_board_entry(entry: &Json) -> Result<BoardEntry, FleetError> {
                 .to_string(),
         ),
     };
+    let report = entry
+        .get("report")
+        .ok_or_else(|| FleetError::schema("entry has no supervisor report"))
+        .and_then(BoardReport::from_json)?;
     Ok(BoardEntry {
         board: field_u64(entry, "board")? as usize,
         seed: field_u64(entry, "seed")?,
         client: field_u64(entry, "client")? as usize,
         stats,
         crashed,
+        report,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::supervisor::BoardVerdict;
 
     fn entry(board: usize) -> BoardEntry {
         BoardEntry {
@@ -213,6 +231,23 @@ mod tests {
                 shed_trials: 1,
             },
             crashed: if board == 2 { Some("injected".into()) } else { None },
+            report: if board == 3 {
+                BoardReport {
+                    verdict: BoardVerdict::Dead,
+                    health: 0.421875,
+                    retries: 4,
+                    infra_failures: 3,
+                    breaker_trips: 1,
+                    probes: 2,
+                    quarantined_at: Some(1),
+                    ticks: 17,
+                    sink_errors: 1,
+                    spooled: 1,
+                    dropped_records: 0,
+                }
+            } else {
+                BoardReport::default()
+            },
         }
     }
 
@@ -224,10 +259,38 @@ mod tests {
         }
         assert_eq!(checkpoint.entries()[0].board, 0, "entries kept sorted");
         let rendered = checkpoint.to_json().render();
-        assert!(rendered.contains(r#""version":1"#), "{rendered}");
+        assert!(rendered.contains(r#""version":2"#), "{rendered}");
+        assert!(rendered.contains(r#""verdict":"dead""#), "{rendered}");
         let parsed = FleetCheckpoint::parse(&rendered).unwrap();
         assert_eq!(parsed, checkpoint);
         assert_eq!(parsed.to_json().render(), rendered, "re-rendering is stable");
+    }
+
+    #[test]
+    fn resilience_state_survives_the_round_trip() {
+        let mut checkpoint = FleetCheckpoint::new();
+        checkpoint.record(entry(3));
+        let parsed = FleetCheckpoint::parse(&checkpoint.to_json().render()).unwrap();
+        let report = &parsed.entry_for(3, 22).unwrap().report;
+        assert_eq!(report.verdict, BoardVerdict::Dead);
+        assert_eq!(report.quarantined_at, Some(1));
+        assert_eq!(report.breaker_trips, 1);
+        assert_eq!(report.health, 0.421875, "health survives exactly");
+    }
+
+    #[test]
+    fn version_1_snapshots_are_rejected_by_name() {
+        // A well-formed v1 document (no reports). It must not resume.
+        let v1 = r#"{"version":1,"entries":[{"board":0,"seed":0,"client":0,"stats":{"defect_trials":0,"detected":0,"control_trials":0,"false_alarms":0,"failed_trials":0,"shed_trials":0},"crashed":null}]}"#;
+        match FleetCheckpoint::parse(v1) {
+            Err(FleetError::Schema { reason }) => {
+                assert!(
+                    reason.contains("unsupported fleet checkpoint version 1"),
+                    "{reason}"
+                );
+            }
+            other => panic!("v1 must be rejected with a typed error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -236,10 +299,12 @@ mod tests {
         for bad in [
             r#"{"entries":[]}"#,
             r#"{"version":9,"entries":[]}"#,
-            r#"{"version":1}"#,
-            r#"{"version":1,"entries":[{"board":0}]}"#,
-            r#"{"version":1,"entries":[{"board":0,"seed":0,"client":0,"stats":{},"crashed":null}]}"#,
-            r#"{"version":1,"entries":[{"board":0,"seed":0,"client":0,"stats":{"defect_trials":0,"detected":0,"control_trials":0,"false_alarms":0,"failed_trials":0,"shed_trials":0},"crashed":5}]}"#,
+            r#"{"version":2}"#,
+            r#"{"version":2,"entries":[{"board":0}]}"#,
+            r#"{"version":2,"entries":[{"board":0,"seed":0,"client":0,"stats":{},"crashed":null}]}"#,
+            // Counters fine but no supervisor report.
+            r#"{"version":2,"entries":[{"board":0,"seed":0,"client":0,"stats":{"defect_trials":0,"detected":0,"control_trials":0,"false_alarms":0,"failed_trials":0,"shed_trials":0},"crashed":null}]}"#,
+            r#"{"version":2,"entries":[{"board":0,"seed":0,"client":0,"stats":{"defect_trials":0,"detected":0,"control_trials":0,"false_alarms":0,"failed_trials":0,"shed_trials":0},"crashed":5}]}"#,
         ] {
             assert!(
                 matches!(FleetCheckpoint::parse(bad), Err(FleetError::Schema { .. })),

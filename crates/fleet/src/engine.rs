@@ -3,22 +3,29 @@
 //! Boards are dealt round-robin into shards and executed by
 //! `Pool::try_map_stealing`: a worker drains its home shard, then
 //! steals boards from whichever shard has the most left, so one slow
-//! board never serializes its shard. Each board runs its campaign
-//! serially through `Campaign::run_streaming`, pushing per-trial
-//! checkpoint-v2 records into the caller's [`RecordSink`] as they
-//! finish; only the board's [`CampaignStats`] counters come back to the
-//! scheduler. The merged [`FleetSummary`] folds those counters in
-//! board-id order — the order is fixed and the counters commute, so the
-//! summary is byte-identical at any thread or shard count.
+//! board never serializes its shard. Each board runs serially —
+//! by default under a [`BoardSupervisor`] (backoff-governed retries,
+//! circuit-breaker quarantine, sink spooling; see
+//! [`crate::supervisor`]), optionally with a deterministic
+//! [`ChaosPlan`] injecting faults — pushing per-trial checkpoint-v2
+//! records into the caller's [`RecordSink`] as they finish; only the
+//! board's [`CampaignStats`] counters and its [`BoardReport`] come
+//! back to the scheduler. The merged [`FleetSummary`] folds those in
+//! board-id order — the order is fixed and the folds commute, so the
+//! summary is byte-identical at any thread or shard count, chaos
+//! included.
 
+use crate::chaos::ChaosPlan;
 use crate::checkpoint::{BoardEntry, FleetCheckpoint};
 use crate::error::FleetError;
 use crate::record::RecordSink;
 use crate::spec::{BoardSpec, FloorSpec};
+use crate::supervisor::{BoardReport, BoardSupervisor, BoardVerdict, SupervisorConfig};
 use sint_core::campaign::CampaignStats;
 use sint_runtime::cancel::CancelToken;
 use sint_runtime::json::{Json, ToJson};
 use sint_runtime::pool::Pool;
+use std::cell::Cell;
 use std::time::Duration;
 
 /// What one board's campaign produced.
@@ -36,6 +43,9 @@ pub struct BoardSummary {
     /// the scheduler's backstop; trial-level panics are already
     /// isolated inside the campaign and show up as `failed_trials`.
     pub crashed: Option<String>,
+    /// The supervisor's resilience report (a spotless default when the
+    /// board ran unsupervised).
+    pub report: BoardReport,
 }
 
 impl ToJson for BoardSummary {
@@ -49,6 +59,7 @@ impl ToJson for BoardSummary {
                 Some(m) => m.to_json(),
                 None => Json::Null,
             }),
+            ("report", self.report.to_json()),
         ])
     }
 }
@@ -60,6 +71,9 @@ pub struct ClientSummary {
     pub name: String,
     /// Boards the client owned.
     pub boards: usize,
+    /// Mean final health of the client's boards (1.0 when it owns
+    /// none), folded in board-id order.
+    pub health: f64,
     /// Counters merged over the client's boards, in board-id order.
     pub stats: CampaignStats,
 }
@@ -69,25 +83,113 @@ impl ToJson for ClientSummary {
         Json::obj([
             ("name", self.name.to_json()),
             ("boards", self.boards.to_json()),
+            ("health", self.health.to_json()),
             ("stats", self.stats.to_json()),
         ])
     }
 }
 
+/// One quarantined board in the merged summary: where and after how
+/// much probing its supervisor gave up on the fixture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// The board's floor position.
+    pub board: usize,
+    /// Index of the owning client.
+    pub client: usize,
+    /// Trial index at which the breaker opened for good.
+    pub at_trial: usize,
+    /// Half-open re-admission probes that all failed.
+    pub probes: u64,
+    /// The board's virtual-clock reading at the end of its run.
+    pub ticks: u64,
+}
+
+impl ToJson for QuarantineRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("board", self.board.to_json()),
+            ("client", self.client.to_json()),
+            ("at_trial", self.at_trial.to_json()),
+            ("probes", self.probes.to_json()),
+            ("ticks", self.ticks.to_json()),
+        ])
+    }
+}
+
+/// Floor-wide resilience counters, folded over every board's
+/// [`BoardReport`] in board-id order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceTotals {
+    /// Extra attempts beyond the first, across all boards.
+    pub retries: u64,
+    /// Attempts classified as infrastructure failures.
+    pub infra_failures: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Half-open re-admission probes run.
+    pub probes: u64,
+    /// Record-sink write failures observed.
+    pub sink_errors: u64,
+    /// Records that travelled through supervisor spools.
+    pub spooled: u64,
+    /// Records lost to spool bounds or unrecovered sinks.
+    pub dropped_records: u64,
+}
+
+impl ResilienceTotals {
+    /// Folds one board's report into the totals.
+    pub fn absorb(&mut self, report: &BoardReport) {
+        self.retries += report.retries;
+        self.infra_failures += report.infra_failures;
+        self.breaker_trips += report.breaker_trips;
+        self.probes += report.probes;
+        self.sink_errors += report.sink_errors;
+        self.spooled += report.spooled;
+        self.dropped_records += report.dropped_records;
+    }
+}
+
+impl ToJson for ResilienceTotals {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("retries", self.retries.to_json()),
+            ("infra_failures", self.infra_failures.to_json()),
+            ("breaker_trips", self.breaker_trips.to_json()),
+            ("probes", self.probes.to_json()),
+            ("sink_errors", self.sink_errors.to_json()),
+            ("spooled", self.spooled.to_json()),
+            ("dropped_records", self.dropped_records.to_json()),
+        ])
+    }
+}
+
 /// The merged result of a fleet run: per-client and floor-wide
-/// counters. Deliberately tiny — the per-trial record stream is the
-/// full-resolution result; this is the invariant-bearing digest that
-/// `verify.sh` byte-compares across thread counts.
+/// counters, board verdicts and resilience totals. Deliberately tiny —
+/// the per-trial record stream is the full-resolution result; this is
+/// the invariant-bearing digest that `verify.sh` byte-compares across
+/// thread counts (and, in the `chaos_matrix` gate, under active fault
+/// injection).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetSummary {
     /// Boards on the floor.
     pub boards: usize,
     /// Boards whose harness crashed outright.
     pub crashed_boards: usize,
+    /// Boards whose fixture stayed spotless.
+    pub healthy_boards: usize,
+    /// Boards that took infrastructure faults but recovered by retry.
+    pub flaky_boards: usize,
+    /// Boards quarantined (or crashed) as untrustworthy fixtures.
+    pub dead_boards: usize,
+    /// The quarantine roster, in board-id order.
+    pub quarantined: Vec<QuarantineRecord>,
     /// Per-client summaries, in roster order.
     pub clients: Vec<ClientSummary>,
     /// Counters merged over every board.
     pub totals: CampaignStats,
+    /// Resilience counters merged over every board.
+    pub resilience: ResilienceTotals,
 }
 
 impl ToJson for FleetSummary {
@@ -95,30 +197,45 @@ impl ToJson for FleetSummary {
         Json::obj([
             ("boards", self.boards.to_json()),
             ("crashed_boards", self.crashed_boards.to_json()),
+            ("healthy_boards", self.healthy_boards.to_json()),
+            ("flaky_boards", self.flaky_boards.to_json()),
+            ("dead_boards", self.dead_boards.to_json()),
+            ("quarantined", Json::Array(self.quarantined.iter().map(ToJson::to_json).collect())),
             ("clients", Json::Array(self.clients.iter().map(ToJson::to_json).collect())),
             ("totals", self.totals.to_json()),
+            ("resilience", self.resilience.to_json()),
         ])
     }
 }
 
 /// The long-running floor engine: a validated [`FloorSpec`] plus
-/// fleet-level scheduling knobs.
+/// fleet-level scheduling and resilience knobs.
 #[derive(Debug, Clone)]
 pub struct FleetEngine {
     spec: FloorSpec,
     deadline: Option<Duration>,
     shards: usize,
+    supervision: Option<SupervisorConfig>,
+    chaos: Option<ChaosPlan>,
 }
 
 impl FleetEngine {
-    /// Wraps a validated spec.
+    /// Wraps a validated spec. Boards run supervised by default (the
+    /// default [`SupervisorConfig`]); see [`FleetEngine::unsupervised`]
+    /// for the raw engine.
     ///
     /// # Errors
     ///
     /// [`FleetError::BadSpec`] when the floor description is unusable.
     pub fn new(spec: FloorSpec) -> Result<FleetEngine, FleetError> {
         spec.validate()?;
-        Ok(FleetEngine { spec, deadline: None, shards: 0 })
+        Ok(FleetEngine {
+            spec,
+            deadline: None,
+            shards: 0,
+            supervision: Some(SupervisorConfig::default()),
+            chaos: None,
+        })
     }
 
     /// Bounds the whole fleet run: the deadline token is the parent of
@@ -135,6 +252,35 @@ impl FleetEngine {
     #[must_use]
     pub fn shards(mut self, shards: usize) -> FleetEngine {
         self.shards = shards;
+        self
+    }
+
+    /// Overrides the supervisor configuration.
+    #[must_use]
+    pub fn supervisor(mut self, config: SupervisorConfig) -> FleetEngine {
+        self.supervision = Some(config);
+        self
+    }
+
+    /// Installs a deterministic chaos plan: its faults are injected at
+    /// the plan's `(board, trial)` coordinates and the supervisor (kept
+    /// or installed with defaults) absorbs them. Determinism is
+    /// preserved — the plan is a pure function of its seed.
+    #[must_use]
+    pub fn chaos(mut self, plan: ChaosPlan) -> FleetEngine {
+        self.chaos = Some(plan);
+        if self.supervision.is_none() {
+            self.supervision = Some(SupervisorConfig::default());
+        }
+        self
+    }
+
+    /// Strips supervision (and any chaos plan): boards run their
+    /// campaigns raw, as a pure scheduling benchmark baseline.
+    #[must_use]
+    pub fn unsupervised(mut self) -> FleetEngine {
+        self.supervision = None;
+        self.chaos = None;
         self
     }
 
@@ -155,13 +301,14 @@ impl FleetEngine {
     /// Runs the floor with board-granular checkpointing and resume.
     ///
     /// Boards already in `checkpoint` (matched by id *and* seed) are
-    /// skipped — their counters are folded straight into the summary
-    /// and their trial records do **not** re-stream. The rest run
-    /// shard-scheduled in chunks of `snapshot_every` boards, with
-    /// `snap` invoked after each chunk (typically to persist the
+    /// skipped — their counters and reports are folded straight into
+    /// the summary and their trial records do **not** re-stream. The
+    /// rest run shard-scheduled in chunks of `snapshot_every` boards,
+    /// with `snap` invoked after each chunk (typically to persist the
     /// checkpoint's JSON). Because boards are pure functions of their
-    /// id, the resumed merged summary is byte-identical to an
-    /// uninterrupted run at any thread count.
+    /// id — supervisor state and chaos schedules included — the
+    /// resumed merged summary is byte-identical to an uninterrupted
+    /// run at any thread count.
     ///
     /// # Panics
     ///
@@ -201,6 +348,9 @@ impl FleetEngine {
         let pool = Pool::new(threads);
         let shard_count = if self.shards == 0 { pool.threads() } else { self.shards };
         let campaign = self.spec.campaign();
+        let supervisor = self.supervision.as_ref().map(|config| {
+            BoardSupervisor::new(config, self.chaos.as_ref(), &campaign, self.spec.wires_each())
+        });
 
         for chunk in pending.chunks(snapshot_every.max(1)) {
             let lanes = shard_count.max(1);
@@ -211,19 +361,32 @@ impl FleetEngine {
             let results = pool.try_map_stealing(&shards, |_, _, board| {
                 let client = &self.spec.clients()[board.client];
                 let trials = self.spec.trials(board);
-                let stats = campaign.run_streaming(
-                    &trials,
-                    client_tokens[board.client].as_ref(),
-                    |entry| sink.record(board, &client.name, entry),
-                );
+                let budget = client_tokens[board.client].as_ref();
+                let (stats, report) = match &supervisor {
+                    Some(supervisor) => {
+                        supervisor.run_board(board, &trials, budget, sink, &client.name)
+                    }
+                    None => {
+                        let sink_errors = Cell::new(0u64);
+                        let stats = campaign.run_streaming(&trials, budget, |entry| {
+                            if sink.record(board, &client.name, entry).is_err() {
+                                sink_errors.set(sink_errors.get() + 1);
+                            }
+                        });
+                        let report =
+                            BoardReport { sink_errors: sink_errors.get(), ..BoardReport::default() };
+                        (stats, report)
+                    }
+                };
                 let summary = BoardSummary {
                     board: board.id,
                     client: board.client,
                     seed: board.seed,
                     stats,
                     crashed: None,
+                    report,
                 };
-                sink.board_done(&summary);
+                let _ = sink.board_done(&summary);
                 summary
             });
             for (shard, outcomes) in shards.iter().zip(results) {
@@ -237,8 +400,9 @@ impl FleetEngine {
                                 seed: board.seed,
                                 stats: CampaignStats::default(),
                                 crashed: Some(panic.message),
+                                report: BoardReport::crashed(),
                             };
-                            sink.board_done(&summary);
+                            let _ = sink.board_done(&summary);
                             summary
                         }
                     };
@@ -250,8 +414,8 @@ impl FleetEngine {
         self.summarize(checkpoint)
     }
 
-    /// Folds the checkpoint's per-board counters into the merged
-    /// summary, in board-id order.
+    /// Folds the checkpoint's per-board counters and reports into the
+    /// merged summary, in board-id order.
     fn summarize(&self, checkpoint: &FleetCheckpoint) -> FleetSummary {
         let mut clients: Vec<ClientSummary> = self
             .spec
@@ -260,11 +424,18 @@ impl FleetEngine {
             .map(|c| ClientSummary {
                 name: c.name.clone(),
                 boards: 0,
+                health: 1.0,
                 stats: CampaignStats::default(),
             })
             .collect();
+        let mut health_sums = vec![0.0f64; clients.len()];
         let mut totals = CampaignStats::default();
+        let mut resilience = ResilienceTotals::default();
         let mut crashed_boards = 0usize;
+        let mut healthy_boards = 0usize;
+        let mut flaky_boards = 0usize;
+        let mut dead_boards = 0usize;
+        let mut quarantined = Vec::new();
         for id in 0..self.spec.boards() {
             let board = self.spec.board(id);
             let entry = checkpoint
@@ -273,12 +444,43 @@ impl FleetEngine {
             let client = &mut clients[entry.client];
             client.boards += 1;
             client.stats.merge(&entry.stats);
+            health_sums[entry.client] += entry.report.health;
             totals.merge(&entry.stats);
+            resilience.absorb(&entry.report);
             if entry.crashed.is_some() {
                 crashed_boards += 1;
             }
+            match entry.report.verdict {
+                BoardVerdict::Healthy => healthy_boards += 1,
+                BoardVerdict::Flaky => flaky_boards += 1,
+                BoardVerdict::Dead => dead_boards += 1,
+            }
+            if let Some(at_trial) = entry.report.quarantined_at {
+                quarantined.push(QuarantineRecord {
+                    board: entry.board,
+                    client: entry.client,
+                    at_trial,
+                    probes: entry.report.probes,
+                    ticks: entry.report.ticks,
+                });
+            }
         }
-        FleetSummary { boards: self.spec.boards(), crashed_boards, clients, totals }
+        for (client, sum) in clients.iter_mut().zip(health_sums) {
+            if client.boards > 0 {
+                client.health = sum / client.boards as f64;
+            }
+        }
+        FleetSummary {
+            boards: self.spec.boards(),
+            crashed_boards,
+            healthy_boards,
+            flaky_boards,
+            dead_boards,
+            quarantined,
+            clients,
+            totals,
+            resilience,
+        }
     }
 }
 
@@ -308,8 +510,11 @@ mod tests {
         }
         assert_eq!(serial.boards, 12);
         assert_eq!(serial.crashed_boards, 0);
+        assert_eq!(serial.healthy_boards, 12, "no chaos, every fixture spotless");
         assert_eq!(serial.clients.len(), 2);
         assert_eq!(serial.clients[0].boards, 6);
+        assert_eq!(serial.clients[0].health, 1.0);
+        assert_eq!(serial.resilience, ResilienceTotals::default());
         let mut refold = CampaignStats::default();
         for c in &serial.clients {
             refold.merge(&c.stats);
@@ -325,6 +530,14 @@ mod tests {
             let engine = FleetEngine::new(small_floor()).unwrap().shards(shards);
             assert_eq!(engine.run(4, &NullSink), reference, "{shards} shards");
         }
+    }
+
+    #[test]
+    fn supervised_and_unsupervised_runs_agree_on_a_healthy_floor() {
+        let supervised = FleetEngine::new(small_floor()).unwrap().run(2, &NullSink);
+        let raw = FleetEngine::new(small_floor()).unwrap().unsupervised().run(2, &NullSink);
+        assert_eq!(supervised.totals, raw.totals, "supervision never changes verdicts");
+        assert_eq!(supervised.healthy_boards, raw.healthy_boards);
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub enum FleetError {
     },
     /// An embedded checkpoint-v2 trial entry failed to decode.
     Entry(CheckpointError),
+    /// A [`crate::record::RecordSink`] write failed. Typed so the
+    /// supervisor can spool the record and keep the board running —
+    /// a result-path hiccup must never abort a healthy floor.
+    Sink {
+        /// The underlying I/O (or injected) failure, rendered as text.
+        reason: String,
+    },
 }
 
 impl FleetError {
@@ -39,6 +46,12 @@ impl FleetError {
     pub fn schema(reason: impl Into<String>) -> FleetError {
         FleetError::Schema { reason: reason.into() }
     }
+
+    /// A [`FleetError::Sink`] with the given reason.
+    #[must_use]
+    pub fn sink(reason: impl Into<String>) -> FleetError {
+        FleetError::Sink { reason: reason.into() }
+    }
 }
 
 impl fmt::Display for FleetError {
@@ -50,6 +63,7 @@ impl fmt::Display for FleetError {
                 write!(f, "fleet artifact schema violation: {reason}")
             }
             FleetError::Entry(e) => write!(f, "embedded trial record is invalid: {e}"),
+            FleetError::Sink { reason } => write!(f, "record sink write failed: {reason}"),
         }
     }
 }
@@ -78,5 +92,7 @@ mod tests {
         assert!(e.to_string().contains("zero boards"));
         let e = FleetError::schema("missing version");
         assert!(e.to_string().contains("missing version"));
+        let e = FleetError::sink("disk full");
+        assert!(e.to_string().contains("disk full"));
     }
 }

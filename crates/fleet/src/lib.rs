@@ -32,6 +32,22 @@
 //! - [`checkpoint`] — board-granular kill/resume: per-board summaries
 //!   snapshot into a versioned [`FleetCheckpoint`]; a resumed floor's
 //!   merged summary is byte-identical to an uninterrupted run.
+//! - [`supervisor`] — the fleet resilience layer: every board runs
+//!   under a [`BoardSupervisor`] with backoff-governed retries
+//!   ([`sint_runtime::backoff::BackoffPolicy`]), an EWMA health score
+//!   separating *flaky* fixtures from *dead* ones, and a per-board
+//!   circuit breaker (`Closed → Open → HalfOpen`) whose half-open
+//!   probes run only the chain self-check — exhausting them
+//!   quarantines the board and sheds its remaining trials with a typed
+//!   [`BoardVerdict`] in the merged summary. Sink write failures spool
+//!   in a bounded queue and flush on recovery.
+//! - [`chaos`] — seeded deterministic fault schedules: a [`ChaosPlan`]
+//!   decides, as a pure function of its seed, which boards are flaky
+//!   or dead and which `(board, trial)` coordinates take a
+//!   [`ChaosKind`] fault (chain scan fault, wedged solver, harness
+//!   panic, sink write failure) — so `verify.sh`'s `chaos_matrix` gate
+//!   can byte-compare summaries produced *under active fault
+//!   injection* across thread counts and kill/resume.
 //!
 //! **Determinism invariant** (locked by `scripts/verify.sh`'s
 //! `fleet_determinism` gate): every board's behaviour is a pure
@@ -42,16 +58,24 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod engine;
 pub mod error;
 pub mod record;
 pub mod spec;
 pub mod stream;
+pub mod supervisor;
 
+pub use chaos::{BoardProfile, ChaosKind, ChaosPlan};
 pub use checkpoint::{BoardEntry, FleetCheckpoint};
-pub use engine::{BoardSummary, ClientSummary, FleetEngine, FleetSummary};
+pub use engine::{
+    BoardSummary, ClientSummary, FleetEngine, FleetSummary, QuarantineRecord, ResilienceTotals,
+};
 pub use error::FleetError;
-pub use record::{replay_summary, trial_record, JsonlSink, NullSink, RecordSink};
+pub use record::{board_record, replay_summary, trial_record, JsonlSink, NullSink, RecordSink};
 pub use spec::{BoardSpec, ClientSpec, FloorSpec};
 pub use stream::{FleetEvent, FleetStream};
+pub use supervisor::{
+    BoardReport, BoardSupervisor, BoardVerdict, BreakerState, SupervisorConfig,
+};

@@ -5,15 +5,24 @@
 //! moment they finish. [`JsonlSink`] turns that into an **incremental
 //! JSON artifact** — one self-describing record per line, written as
 //! produced, so a million-trial floor costs one line of buffering.
-//! Lines from different boards interleave in scheduling order, but
-//! every line carries its board id and trial index, so
-//! [`replay_summary`] can fold a concatenated artifact back into the
-//! merged [`FleetSummary`] deterministically — the golden test locks
-//! replay-equals-in-memory.
+//! Version-2 streams carry two record kinds: `"trial"` lines (one per
+//! finished trial) and `"board"` lines (one per finished board, with
+//! its counters, crash marker and supervisor [`BoardReport`]). Lines
+//! from different boards interleave in scheduling order, but every
+//! line carries its board id, so [`replay_summary`] can fold a
+//! concatenated artifact back into the merged [`FleetSummary`] —
+//! verdict counts, quarantine roster and resilience totals included —
+//! deterministically. The golden test locks replay-equals-in-memory.
+//!
+//! Sink writes are **fallible by contract**: `record`/`board_done`
+//! return [`FleetError::Sink`] so a board supervisor can spool the
+//! failed record and keep the board running — a result-path hiccup
+//! must never abort a healthy floor.
 
-use crate::engine::{BoardSummary, ClientSummary, FleetSummary};
+use crate::engine::{BoardSummary, ClientSummary, FleetSummary, QuarantineRecord, ResilienceTotals};
 use crate::error::FleetError;
 use crate::spec::BoardSpec;
+use crate::supervisor::{BoardReport, BoardVerdict};
 use sint_core::campaign::CampaignStats;
 use sint_core::checkpoint::CheckpointEntry;
 use sint_runtime::json::{Json, ToJson};
@@ -21,21 +30,40 @@ use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::Mutex;
 
-/// Record format version emitted by [`trial_record`].
-const RECORD_VERSION: u64 = 1;
+/// Record format version emitted by [`trial_record`] and
+/// [`board_record`]. Version 2 added the `kind` tag and per-board
+/// report lines; version-1 streams (untagged, trial-only) are
+/// rejected.
+const RECORD_VERSION: u64 = 2;
 
 /// Where streamed results go. Implementations must be callable from
 /// any worker thread; calls for *different* boards may interleave, but
 /// one board's records always arrive in trial order from one thread.
+///
+/// Both methods are fallible: a failed write surfaces as
+/// [`FleetError::Sink`] to the caller (the supervisor spools and
+/// retries; the unsupervised engine counts and drops). Implementations
+/// must stay consistent under retries — a record that errored was
+/// **not** written.
 pub trait RecordSink: Sync {
     /// One finished trial of `board`, owned by the client named
     /// `client`, as a checkpoint-v2 entry.
-    fn record(&self, board: &BoardSpec, client: &str, entry: &CheckpointEntry);
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Sink`] when the record could not be written.
+    fn record(&self, board: &BoardSpec, client: &str, entry: &CheckpointEntry)
+        -> Result<(), FleetError>;
 
     /// A board finished (or crashed — see [`BoardSummary::crashed`]).
     /// Default: ignored.
-    fn board_done(&self, summary: &BoardSummary) {
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Sink`] when the record could not be written.
+    fn board_done(&self, summary: &BoardSummary) -> Result<(), FleetError> {
         let _ = summary;
+        Ok(())
     }
 }
 
@@ -45,7 +73,14 @@ pub trait RecordSink: Sync {
 pub struct NullSink;
 
 impl RecordSink for NullSink {
-    fn record(&self, _board: &BoardSpec, _client: &str, _entry: &CheckpointEntry) {}
+    fn record(
+        &self,
+        _board: &BoardSpec,
+        _client: &str,
+        _entry: &CheckpointEntry,
+    ) -> Result<(), FleetError> {
+        Ok(())
+    }
 }
 
 /// The self-describing JSON form of one streamed trial record.
@@ -53,6 +88,7 @@ impl RecordSink for NullSink {
 pub fn trial_record(board: &BoardSpec, client: &str, entry: &CheckpointEntry) -> Json {
     Json::obj([
         ("v", RECORD_VERSION.to_json()),
+        ("kind", "trial".to_json()),
         ("board", board.id.to_json()),
         ("client", board.client.to_json()),
         ("client_name", client.to_json()),
@@ -60,10 +96,32 @@ pub fn trial_record(board: &BoardSpec, client: &str, entry: &CheckpointEntry) ->
     ])
 }
 
+/// The self-describing JSON form of one finished board's summary —
+/// counters, crash marker and supervisor report.
+#[must_use]
+pub fn board_record(summary: &BoardSummary) -> Json {
+    Json::obj([
+        ("v", RECORD_VERSION.to_json()),
+        ("kind", "board".to_json()),
+        ("board", summary.board.to_json()),
+        ("client", summary.client.to_json()),
+        ("seed", summary.seed.to_json()),
+        ("stats", summary.stats.to_json()),
+        ("crashed", match &summary.crashed {
+            Some(m) => m.to_json(),
+            None => Json::Null,
+        }),
+        ("report", summary.report.to_json()),
+    ])
+}
+
 /// Streams one compact JSON record per line into any writer — the
 /// incremental artifact emitter. Thread-safe (a mutex serialises
-/// lines); write failures are latched rather than panicking mid-floor
-/// and surface from [`JsonlSink::finish`].
+/// lines). The first write failure is latched: it is returned as a
+/// typed [`FleetError::Sink`] from the failing call and every later
+/// one, and surfaces again from [`JsonlSink::finish`] — so a
+/// supervisor sees the failure immediately while an unsupervised run
+/// still learns of it at the end.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write + Send> {
     inner: Mutex<SinkState<W>>,
@@ -83,54 +141,84 @@ impl<W: Write + Send> JsonlSink<W> {
         JsonlSink { inner: Mutex::new(SinkState { writer, lines: 0, error: None }) }
     }
 
+    fn write_line(&self, line: &str) -> Result<(), FleetError> {
+        let Ok(mut state) = self.inner.lock() else {
+            return Err(FleetError::sink("record stream poisoned by a panic"));
+        };
+        if let Some(error) = &state.error {
+            return Err(FleetError::sink(error.clone()));
+        }
+        match writeln!(state.writer, "{line}") {
+            Ok(()) => {
+                state.lines += 1;
+                Ok(())
+            }
+            Err(e) => {
+                let rendered = e.to_string();
+                state.error = Some(rendered.clone());
+                Err(FleetError::sink(rendered))
+            }
+        }
+    }
+
     /// Finishes the stream, returning the writer and the line count.
     ///
     /// # Errors
     ///
-    /// The first write error encountered while streaming, rendered as
-    /// text (the record that hit it and all later ones were dropped).
+    /// [`FleetError::Sink`] carrying the first write error encountered
+    /// while streaming (records that hit it were reported to their
+    /// callers at the time).
     pub fn finish(self) -> Result<(W, u64), FleetError> {
         match self.inner.into_inner() {
             Ok(state) => match state.error {
                 None => Ok((state.writer, state.lines)),
-                Some(error) => Err(FleetError::schema(format!("record stream failed: {error}"))),
+                Some(error) => Err(FleetError::sink(error)),
             },
-            Err(_) => Err(FleetError::schema("record stream poisoned by a panic")),
+            Err(_) => Err(FleetError::sink("record stream poisoned by a panic")),
         }
     }
 }
 
 impl<W: Write + Send> RecordSink for JsonlSink<W> {
-    fn record(&self, board: &BoardSpec, client: &str, entry: &CheckpointEntry) {
-        let line = trial_record(board, client, entry).render();
-        if let Ok(mut state) = self.inner.lock() {
-            if state.error.is_some() {
-                return;
-            }
-            match writeln!(state.writer, "{line}") {
-                Ok(()) => state.lines += 1,
-                Err(e) => state.error = Some(e.to_string()),
-            }
-        }
+    fn record(
+        &self,
+        board: &BoardSpec,
+        client: &str,
+        entry: &CheckpointEntry,
+    ) -> Result<(), FleetError> {
+        self.write_line(&trial_record(board, client, entry).render())
     }
+
+    fn board_done(&self, summary: &BoardSummary) -> Result<(), FleetError> {
+        self.write_line(&board_record(summary).render())
+    }
+}
+
+/// Per-board state accumulated while replaying a stream.
+struct ReplayBoard {
+    client: usize,
+    stats: CampaignStats,
+    crashed: bool,
+    report: Option<BoardReport>,
 }
 
 /// Folds a concatenated JSONL record artifact back into the merged
 /// [`FleetSummary`] — the verification path proving the incremental
 /// artifact carries the same information as the in-memory run.
 ///
-/// Replay sees only boards that streamed at least one record, and no
-/// crash markers travel through trial records, so it reconstructs the
-/// summary of a floor where **every board completed** (with
-/// `trials_per_board >= 1`) — exactly the shape the golden test runs.
-/// Client roster order is recovered from the records' client indices.
+/// Trial lines rebuild the counters; board lines rebuild crash
+/// markers, verdict counts, the quarantine roster, client health and
+/// the resilience totals. A board that streamed trials but no board
+/// line (a stream cut mid-board) replays with a default spotless
+/// report. Client roster order is recovered from the trial records'
+/// client indices.
 ///
 /// # Errors
 ///
 /// [`FleetError::Json`] / [`FleetError::Schema`] / [`FleetError::Entry`]
-/// when a line is not a version-1 trial record.
+/// when a line is not a version-2 record.
 pub fn replay_summary(text: &str) -> Result<FleetSummary, FleetError> {
-    let mut boards: BTreeMap<usize, (usize, CampaignStats)> = BTreeMap::new();
+    let mut boards: BTreeMap<usize, ReplayBoard> = BTreeMap::new();
     let mut client_names: BTreeMap<usize, String> = BTreeMap::new();
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let record = Json::parse(line)?;
@@ -151,43 +239,111 @@ pub fn replay_summary(text: &str) -> Result<FleetSummary, FleetError> {
             .and_then(Json::as_u64)
             .ok_or_else(|| FleetError::schema("record is missing its client index"))?
             as usize;
-        let name = record
-            .get("client_name")
-            .and_then(Json::as_str)
-            .ok_or_else(|| FleetError::schema("record is missing its client name"))?;
-        let entry = CheckpointEntry::from_json(
-            record.get("entry").ok_or_else(|| FleetError::schema("record has no entry"))?,
-        )?;
-        client_names.entry(client).or_insert_with(|| name.to_string());
-        let slot = boards.entry(board).or_insert((client, CampaignStats::default()));
-        if slot.0 != client {
+        let slot = boards.entry(board).or_insert(ReplayBoard {
+            client,
+            stats: CampaignStats::default(),
+            crashed: false,
+            report: None,
+        });
+        if slot.client != client {
             return Err(FleetError::schema(format!(
                 "board {board} appears under two clients ({} and {client})",
-                slot.0
+                slot.client
             )));
         }
-        slot.1.accumulate(entry.outcome);
+        match record.get("kind").and_then(Json::as_str) {
+            Some("trial") => {
+                let name = record
+                    .get("client_name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| FleetError::schema("trial record is missing its client name"))?;
+                let entry = CheckpointEntry::from_json(
+                    record
+                        .get("entry")
+                        .ok_or_else(|| FleetError::schema("trial record has no entry"))?,
+                )?;
+                client_names.entry(client).or_insert_with(|| name.to_string());
+                slot.stats.accumulate(entry.outcome);
+            }
+            Some("board") => {
+                slot.crashed = matches!(record.get("crashed"), Some(Json::Str(_)));
+                slot.report = Some(BoardReport::from_json(
+                    record
+                        .get("report")
+                        .ok_or_else(|| FleetError::schema("board record has no report"))?,
+                )?);
+            }
+            Some(other) => {
+                return Err(FleetError::schema(format!("unknown record kind {other:?}")));
+            }
+            None => return Err(FleetError::schema("record is missing its kind")),
+        }
     }
     // Client indices must form a contiguous roster to reconstruct
     // admission order.
-    let roster = client_names.len();
-    if client_names.keys().next_back().is_some_and(|&max| max + 1 != roster) {
+    let roster =
+        boards.values().map(|b| b.client + 1).max().unwrap_or(0).max(client_names.len());
+    if client_names.keys().next_back().is_some_and(|&max| max + 1 > roster) {
         return Err(FleetError::schema("client indices are not contiguous"));
     }
     let mut clients: Vec<ClientSummary> = (0..roster)
         .map(|index| ClientSummary {
             name: client_names.remove(&index).unwrap_or_default(),
             boards: 0,
+            health: 1.0,
             stats: CampaignStats::default(),
         })
         .collect();
+    let mut health_sums = vec![0.0f64; roster];
     let mut totals = CampaignStats::default();
-    for (client, stats) in boards.values() {
-        clients[*client].boards += 1;
-        clients[*client].stats.merge(stats);
-        totals.merge(stats);
+    let mut resilience = ResilienceTotals::default();
+    let mut crashed_boards = 0usize;
+    let mut healthy_boards = 0usize;
+    let mut flaky_boards = 0usize;
+    let mut dead_boards = 0usize;
+    let mut quarantined = Vec::new();
+    for (id, replay) in &boards {
+        let report = replay.report.clone().unwrap_or_default();
+        let client = &mut clients[replay.client];
+        client.boards += 1;
+        client.stats.merge(&replay.stats);
+        health_sums[replay.client] += report.health;
+        totals.merge(&replay.stats);
+        resilience.absorb(&report);
+        if replay.crashed {
+            crashed_boards += 1;
+        }
+        match report.verdict {
+            BoardVerdict::Healthy => healthy_boards += 1,
+            BoardVerdict::Flaky => flaky_boards += 1,
+            BoardVerdict::Dead => dead_boards += 1,
+        }
+        if let Some(at_trial) = report.quarantined_at {
+            quarantined.push(QuarantineRecord {
+                board: *id,
+                client: replay.client,
+                at_trial,
+                probes: report.probes,
+                ticks: report.ticks,
+            });
+        }
     }
-    Ok(FleetSummary { boards: boards.len(), crashed_boards: 0, clients, totals })
+    for (client, sum) in clients.iter_mut().zip(health_sums) {
+        if client.boards > 0 {
+            client.health = sum / client.boards as f64;
+        }
+    }
+    Ok(FleetSummary {
+        boards: boards.len(),
+        crashed_boards,
+        healthy_boards,
+        flaky_boards,
+        dead_boards,
+        quarantined,
+        clients,
+        totals,
+        resilience,
+    })
 }
 
 #[cfg(test)]
@@ -199,21 +355,71 @@ mod tests {
         CheckpointEntry { index, seed: index as u64, outcome, failure: None, shed: None }
     }
 
+    fn sample_board_summary(board: usize, client: usize) -> BoardSummary {
+        BoardSummary {
+            board,
+            client,
+            seed: board as u64 + 1,
+            stats: CampaignStats::default(),
+            crashed: None,
+            report: BoardReport::default(),
+        }
+    }
+
     #[test]
     fn jsonl_sink_writes_one_parseable_line_per_record() {
         let sink = JsonlSink::new(Vec::new());
         let board = BoardSpec { id: 7, client: 1, seed: 42 };
-        sink.record(&board, "acme", &sample_entry(0, TrialOutcome::CleanPass));
-        sink.record(&board, "acme", &sample_entry(1, TrialOutcome::Missed));
+        sink.record(&board, "acme", &sample_entry(0, TrialOutcome::CleanPass)).unwrap();
+        sink.record(&board, "acme", &sample_entry(1, TrialOutcome::Missed)).unwrap();
+        sink.board_done(&sample_board_summary(7, 1)).unwrap();
         let (bytes, lines) = sink.finish().unwrap();
-        assert_eq!(lines, 2);
+        assert_eq!(lines, 3);
         let text = String::from_utf8(bytes).unwrap();
         for line in text.lines() {
             let json = Json::parse(line).unwrap();
+            assert_eq!(json.get("v").and_then(Json::as_u64), Some(2));
             assert_eq!(json.get("board").and_then(Json::as_u64), Some(7));
-            assert_eq!(json.get("client_name").and_then(Json::as_str), Some("acme"));
-            CheckpointEntry::from_json(json.get("entry").unwrap()).unwrap();
+            match json.get("kind").and_then(Json::as_str) {
+                Some("trial") => {
+                    assert_eq!(json.get("client_name").and_then(Json::as_str), Some("acme"));
+                    CheckpointEntry::from_json(json.get("entry").unwrap()).unwrap();
+                }
+                Some("board") => {
+                    BoardReport::from_json(json.get("report").unwrap()).unwrap();
+                }
+                other => panic!("unexpected kind {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn failed_writes_surface_as_typed_sink_errors() {
+        /// A writer that accepts `quota` full lines, then fails.
+        struct Flaky {
+            quota: usize,
+            buffer: Vec<u8>,
+        }
+        impl Write for Flaky {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.buffer.iter().filter(|&&b| b == b'\n').count() >= self.quota {
+                    return Err(std::io::Error::other("injected disk failure"));
+                }
+                self.buffer.write(buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Flaky { quota: 1, buffer: Vec::new() });
+        let board = BoardSpec { id: 0, client: 0, seed: 1 };
+        sink.record(&board, "a", &sample_entry(0, TrialOutcome::CleanPass)).unwrap();
+        let err = sink.record(&board, "a", &sample_entry(1, TrialOutcome::CleanPass)).unwrap_err();
+        assert!(matches!(err, FleetError::Sink { .. }), "{err:?}");
+        // The latch keeps returning the same failure…
+        assert!(sink.record(&board, "a", &sample_entry(2, TrialOutcome::CleanPass)).is_err());
+        // …and finish() reports it too.
+        assert!(matches!(sink.finish(), Err(FleetError::Sink { .. })));
     }
 
     #[test]
@@ -221,9 +427,12 @@ mod tests {
         assert!(matches!(replay_summary("not json"), Err(FleetError::Json(_))));
         for bad in [
             r#"{"board":0}"#,
-            r#"{"v":9,"board":0,"client":0,"client_name":"x","entry":{}}"#,
-            r#"{"v":1,"client":0,"client_name":"x","entry":{}}"#,
-            r#"{"v":1,"board":0,"client":0,"client_name":"x"}"#,
+            r#"{"v":1,"kind":"trial","board":0,"client":0,"client_name":"x","entry":{}}"#,
+            r#"{"v":2,"kind":"trial","client":0,"client_name":"x","entry":{}}"#,
+            r#"{"v":2,"kind":"trial","board":0,"client":0,"client_name":"x"}"#,
+            r#"{"v":2,"board":0,"client":0,"client_name":"x","entry":{}}"#,
+            r#"{"v":2,"kind":"mystery","board":0,"client":0}"#,
+            r#"{"v":2,"kind":"board","board":0,"client":0,"crashed":null}"#,
         ] {
             assert!(
                 matches!(replay_summary(bad), Err(FleetError::Schema { .. })),
@@ -231,7 +440,8 @@ mod tests {
             );
         }
         // A record whose entry is not a checkpoint entry.
-        let bad = r#"{"v":1,"board":0,"client":0,"client_name":"x","entry":{"index":0}}"#;
+        let bad =
+            r#"{"v":2,"kind":"trial","board":0,"client":0,"client_name":"x","entry":{"index":0}}"#;
         assert!(matches!(replay_summary(bad), Err(FleetError::Entry(_))));
     }
 
@@ -270,5 +480,45 @@ mod tests {
         assert_eq!(summary.clients[0].name, "a");
         assert_eq!(summary.clients[1].stats.false_alarms, 1);
         assert_eq!(summary.totals.detected, 1);
+        assert_eq!(summary.healthy_boards, 2, "no board lines means spotless defaults");
+        assert_eq!(summary.resilience, ResilienceTotals::default());
+    }
+
+    #[test]
+    fn replay_recovers_reports_from_board_lines() {
+        let b0 = BoardSpec { id: 0, client: 0, seed: 1 };
+        let mut dead = sample_board_summary(1, 0);
+        dead.report = BoardReport {
+            verdict: BoardVerdict::Dead,
+            health: 0.25,
+            quarantined_at: Some(2),
+            probes: 2,
+            ticks: 9,
+            retries: 3,
+            infra_failures: 3,
+            breaker_trips: 1,
+            ..BoardReport::default()
+        };
+        let lines = [
+            trial_record(&b0, "a", &sample_entry(0, TrialOutcome::CleanPass)).render(),
+            board_record(&sample_board_summary(0, 0)).render(),
+            trial_record(
+                &BoardSpec { id: 1, client: 0, seed: 2 },
+                "a",
+                &sample_entry(0, TrialOutcome::Shed),
+            )
+            .render(),
+            board_record(&dead).render(),
+        ];
+        let summary = replay_summary(&lines.join("\n")).unwrap();
+        assert_eq!(summary.boards, 2);
+        assert_eq!(summary.healthy_boards, 1);
+        assert_eq!(summary.dead_boards, 1);
+        assert_eq!(summary.quarantined.len(), 1);
+        assert_eq!(summary.quarantined[0].board, 1);
+        assert_eq!(summary.quarantined[0].at_trial, 2);
+        assert_eq!(summary.resilience.retries, 3);
+        assert_eq!(summary.resilience.breaker_trips, 1);
+        assert_eq!(summary.clients[0].health, (1.0 + 0.25) / 2.0);
     }
 }

@@ -162,6 +162,13 @@ impl FloorSpec {
         self.trials_per_board
     }
 
+    /// Bus width of every board — also the size of the chain a board
+    /// supervisor's re-admission probe scans.
+    #[must_use]
+    pub fn wires_each(&self) -> usize {
+        self.wires
+    }
+
     /// The client roster, in admission order.
     #[must_use]
     pub fn clients(&self) -> &[ClientSpec] {

@@ -11,6 +11,7 @@
 //! its own (joined by the stream's `Drop`).
 
 use crate::engine::{BoardSummary, FleetEngine, FleetSummary};
+use crate::error::FleetError;
 use crate::record::RecordSink;
 use crate::spec::BoardSpec;
 use sint_core::checkpoint::CheckpointEntry;
@@ -84,16 +85,23 @@ impl ChannelSink {
 }
 
 impl RecordSink for ChannelSink {
-    fn record(&self, board: &BoardSpec, client: &str, entry: &CheckpointEntry) {
+    fn record(
+        &self,
+        board: &BoardSpec,
+        client: &str,
+        entry: &CheckpointEntry,
+    ) -> Result<(), FleetError> {
         self.send(FleetEvent::Trial {
             board: *board,
             client: client.to_string(),
             entry: entry.clone(),
         });
+        Ok(())
     }
 
-    fn board_done(&self, summary: &BoardSummary) {
+    fn board_done(&self, summary: &BoardSummary) -> Result<(), FleetError> {
         self.send(FleetEvent::Board(summary.clone()));
+        Ok(())
     }
 }
 

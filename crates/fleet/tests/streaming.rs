@@ -23,13 +23,18 @@ fn concatenated_jsonl_artifact_round_trips_to_the_in_memory_summary() {
     let sink = JsonlSink::new(Vec::new());
     let in_memory = engine.run(4, &sink);
     let (bytes, lines) = sink.finish().unwrap();
-    assert_eq!(lines as usize, 10 * 3, "one line per trial");
+    assert_eq!(lines as usize, 10 * 3 + 10, "one line per trial plus one per board");
     let text = String::from_utf8(bytes).unwrap();
 
-    // Every line is standalone JSON for the workspace parser.
+    // Every line is standalone JSON for the workspace parser, tagged
+    // with its record kind.
     for line in text.lines() {
         let record = Json::parse(line).expect("each record line parses");
-        assert_eq!(record.get("v").and_then(Json::as_u64), Some(1));
+        assert_eq!(record.get("v").and_then(Json::as_u64), Some(2));
+        assert!(
+            matches!(record.get("kind").and_then(Json::as_str), Some("trial" | "board")),
+            "{line}"
+        );
     }
 
     // Replaying the concatenated artifact reproduces the merged

@@ -1,0 +1,166 @@
+//! Deterministic retry pacing: virtual time plus bounded exponential
+//! backoff with decorrelated jitter.
+//!
+//! A resilient scheduler needs to space retries out, but wall-clock
+//! sleeps would make every retry schedule depend on load — fatal for a
+//! system whose summaries must be byte-identical across thread counts
+//! and kill/resume. This module keeps both halves deterministic:
+//!
+//! - [`VirtualClock`] counts **ticks**, advanced explicitly by the
+//!   scheduler as work completes (one tick per finished attempt, plus
+//!   the backoff delays it chooses to "wait"). No wall time is ever
+//!   read, so two runs that execute the same attempts read the same
+//!   clock no matter how they were scheduled.
+//! - [`BackoffPolicy`] computes the delay before a retry as a **pure
+//!   function of `(seed, stream, attempt)`** using forked
+//!   [`Rng64`] substreams: the decorrelated-jitter recurrence is
+//!   re-iterated from attempt zero on every call, so any caller at any
+//!   time — a live scheduler, a resumed one, a verifier — derives the
+//!   identical schedule without carrying mutable RNG state around.
+
+use crate::rng::Rng64;
+
+/// A monotonic tick counter standing in for wall time.
+///
+/// The unit is deliberately abstract ("one attempt's worth of work");
+/// what matters is that every advance is driven by deterministic
+/// events, so the final reading is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VirtualClock {
+    now: u64,
+}
+
+impl VirtualClock {
+    /// A clock at tick zero.
+    #[must_use]
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// The current tick.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances by one tick (an attempt completed).
+    pub fn tick(&mut self) {
+        self.advance(1);
+    }
+
+    /// Advances by `ticks` (a backoff wait elapsed), saturating.
+    pub fn advance(&mut self, ticks: u64) {
+        self.now = self.now.saturating_add(ticks);
+    }
+}
+
+/// Capped exponential backoff with decorrelated jitter.
+///
+/// The classic decorrelated-jitter recurrence (`sleep = random between
+/// base and 3 × previous sleep`, capped) spreads retries without
+/// synchronising them — but the usual formulation draws from a shared
+/// mutable RNG, which would make the schedule depend on who retried
+/// first. Here every draw comes from a substream forked by
+/// `(seed, stream, step)`, and [`BackoffPolicy::delay`] replays the
+/// recurrence from step zero, so the delay before attempt `a` is a pure
+/// function of its arguments. Delays are always at least 1 tick and
+/// never exceed the ceiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Minimum delay in ticks (clamped to at least 1 at use).
+    pub base: u64,
+    /// Maximum delay per wait, in ticks.
+    pub ceiling: u64,
+    /// Total attempts per operation (1 = no retry).
+    pub max_attempts: usize,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> BackoffPolicy {
+        BackoffPolicy { base: 2, ceiling: 64, max_attempts: 3 }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay, in virtual ticks, to wait before retry attempt
+    /// `attempt` (attempt 0 is the first try, so the first meaningful
+    /// delay is `attempt = 1`). Pure: the same `(seed, stream,
+    /// attempt)` always yields the same delay, on any machine, in any
+    /// schedule. Always in `1..=ceiling`.
+    #[must_use]
+    pub fn delay(&self, seed: u64, stream: u64, attempt: usize) -> u64 {
+        let base = self.base.max(1);
+        let ceiling = self.ceiling.max(base);
+        let lanes = Rng64::new(seed).fork(stream);
+        let mut delay = base;
+        for step in 0..attempt {
+            // Decorrelated jitter: uniform in [base, 3 * previous],
+            // with the previous value already capped so the product
+            // cannot overflow for any sane ceiling.
+            let hi = delay.saturating_mul(3).max(base + 1).min(ceiling.saturating_mul(3));
+            let mut draw = lanes.fork(step as u64);
+            delay = (base + draw.gen_range(0..hi.saturating_sub(base).max(1))).min(ceiling);
+        }
+        delay.clamp(1, ceiling)
+    }
+
+    /// The full retry schedule for one operation: the delays before
+    /// attempts `1..max_attempts`. Derived by [`BackoffPolicy::delay`],
+    /// so it shares the purity guarantee.
+    #[must_use]
+    pub fn schedule(&self, seed: u64, stream: u64) -> Vec<u64> {
+        (1..self.max_attempts.max(1)).map(|a| self.delay(seed, stream, a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_counts_deterministic_events() {
+        let mut clock = VirtualClock::new();
+        assert_eq!(clock.now(), 0);
+        clock.tick();
+        clock.advance(41);
+        assert_eq!(clock.now(), 42);
+        clock.advance(u64::MAX);
+        assert_eq!(clock.now(), u64::MAX, "advance saturates");
+    }
+
+    #[test]
+    fn delays_are_pure_functions_of_their_arguments() {
+        let policy = BackoffPolicy::default();
+        for attempt in 0..8 {
+            assert_eq!(
+                policy.delay(7, 3, attempt),
+                policy.delay(7, 3, attempt),
+                "attempt {attempt}"
+            );
+        }
+        // Distinct streams decorrelate: not every delay can collide.
+        let a = policy.schedule(7, 3);
+        let b = policy.schedule(7, 4);
+        assert_eq!(a.len(), 2);
+        assert!(a != b || a.iter().all(|&d| d <= policy.ceiling));
+    }
+
+    #[test]
+    fn delays_stay_in_bounds() {
+        let policy = BackoffPolicy { base: 2, ceiling: 10, max_attempts: 50 };
+        for stream in 0..20 {
+            for (i, delay) in policy.schedule(99, stream).iter().enumerate() {
+                assert!(*delay >= 1, "stream {stream} attempt {i}: zero delay");
+                assert!(*delay <= 10, "stream {stream} attempt {i}: {delay} > ceiling");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_policies_never_yield_zero() {
+        let policy = BackoffPolicy { base: 0, ceiling: 0, max_attempts: 4 };
+        for attempt in 0..4 {
+            assert_eq!(policy.delay(1, 1, attempt), 1);
+        }
+    }
+}

@@ -26,6 +26,11 @@
 //! - [`cancel`] — a shared cancellation flag with optional wall-clock
 //!   deadline ([`cancel::CancelToken`]) so no compute loop can wedge a
 //!   campaign forever.
+//! - [`backoff`] — deterministic retry pacing: a [`backoff::VirtualClock`]
+//!   of event-driven ticks and a [`backoff::BackoffPolicy`] whose
+//!   decorrelated-jitter delays are pure functions of
+//!   `(seed, stream, attempt)`, so retry schedules stay reproducible
+//!   across thread counts and kill/resume.
 //!
 //! The policy this crate enforces: **no `sint` crate may declare an
 //! external dependency.** `scripts/verify.sh` builds with
@@ -34,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod bench;
 pub mod cancel;
 pub mod json;
@@ -41,6 +47,7 @@ pub mod pool;
 pub mod prop;
 pub mod rng;
 
+pub use backoff::{BackoffPolicy, VirtualClock};
 pub use bench::{Bench, BenchResult};
 pub use cancel::CancelToken;
 pub use json::{Json, JsonParseError, ToJson};

@@ -13,10 +13,10 @@ cargo build --release --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
 
-# Unwrap hygiene on the fault-injection substrate: the jtag and runtime
-# library paths must stay free of .unwrap()/.expect() so injected faults
-# surface as typed errors, never as harness panics.
-cargo clippy -p sint-jtag -p sint-runtime --lib -- -D warnings -D clippy::unwrap_used
+# Unwrap hygiene on the fault-injection substrate: the jtag, runtime
+# and fleet library paths must stay free of .unwrap() so injected
+# faults surface as typed errors, never as harness panics.
+cargo clippy -p sint-jtag -p sint-runtime -p sint-fleet --lib -- -D warnings -D clippy::unwrap_used
 
 # Campaign kill/resume determinism: run the checkpointed campaign to
 # completion, run it again but kill it halfway, resume from the
@@ -120,6 +120,40 @@ if ! cmp "$tmp/fleet_ref_summary.json" "$tmp/fleet_summary.json"; then
     exit 1
 fi
 echo "fleet resume: summaries byte-identical"
+
+# Chaos matrix: the fleet resilience layer under an ACTIVE deterministic
+# fault schedule (chain scan faults, wedged solvers, harness panics,
+# sink write failures; flaky boards recovered by backoff-paced retry,
+# dead boards quarantined by circuit breakers). The merged summary —
+# verdict counts, quarantine roster and resilience totals included —
+# must be byte-identical serial vs 8 threads, and across a kill at 300
+# boards plus resume. The binary itself exits 4 if any injected
+# infrastructure fault is attributed to the interconnect.
+SINT_THREADS=1 target/release/chaos_check \
+    "$tmp/chaos_ref_ckpt.json" "$tmp/chaos_ref_summary.json"
+SINT_THREADS=8 target/release/chaos_check \
+    "$tmp/chaos_t8_ckpt.json" "$tmp/chaos_t8_summary.json"
+if ! cmp "$tmp/chaos_ref_summary.json" "$tmp/chaos_t8_summary.json"; then
+    echo "verify: FAIL — chaotic fleet summary differs between 1 and 8 threads" >&2
+    exit 1
+fi
+
+status=0
+SINT_THREADS=4 target/release/chaos_check \
+    "$tmp/chaos_ckpt.json" "$tmp/chaos_summary.json" --halt-after 300 || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "verify: FAIL — halted chaos run exited $status, expected 3" >&2
+    exit 1
+fi
+
+SINT_THREADS=8 target/release/chaos_check \
+    "$tmp/chaos_ckpt.json" "$tmp/chaos_summary.json"
+
+if ! cmp "$tmp/chaos_ref_summary.json" "$tmp/chaos_summary.json"; then
+    echo "verify: FAIL — resumed chaos summary differs from uninterrupted run" >&2
+    exit 1
+fi
+echo "chaos matrix: summaries byte-identical under active fault injection"
 
 # Batched-solve determinism: the multi-RHS panel path is contractually
 # bitwise-identical to the scalar path, so a fixed defect campaign

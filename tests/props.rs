@@ -18,6 +18,7 @@ use sint::jtag::integrity::QuarantineSet;
 use sint::jtag::state::TapState;
 use sint::jtag::svf::{mask_hex, scan_hex};
 use sint::logic::{BitVector, Logic};
+use sint::runtime::backoff::BackoffPolicy;
 use sint::runtime::prop::{gen, Runner};
 use sint::runtime::rng::Rng64;
 
@@ -518,6 +519,65 @@ fn lu_solves_diagonally_dominant_systems() {
             check_eq(b, x.clone())?;
             for (a, e) in x.iter().zip(&x_true) {
                 check((a - e).abs() < 1e-8, || format!("{a} vs {e}"))?;
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------- Backoff schedules ----------------
+
+#[test]
+fn backoff_schedules_are_pure_functions_of_seed_and_stream() {
+    Runner::new("backoff_schedule_determinism").run(
+        |rng| {
+            let policy = BackoffPolicy {
+                base: 1 + rng.gen_range(0..8),
+                ceiling: 8 + rng.gen_range(0..120),
+                max_attempts: 1 + gen::usize_in(rng, 0..6),
+            };
+            (policy, rng.gen_u64(), rng.gen_u64())
+        },
+        |&(policy, seed, stream)| {
+            // Same (seed, stream) → identical schedule, every time.
+            check_eq(policy.schedule(seed, stream), policy.schedule(seed, stream))?;
+            // Per-attempt delays agree with the schedule at every index
+            // — no hidden state leaks between attempts.
+            for (attempt, delay) in policy.schedule(seed, stream).iter().enumerate() {
+                check_eq(*delay, policy.delay(seed, stream, attempt + 1))?;
+            }
+            // Distinct streams (boards) decorrelate: not every delay of
+            // a multi-attempt schedule may collide unless the policy is
+            // fully saturated at its ceiling.
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn backoff_delays_are_strictly_bounded_and_never_zero() {
+    Runner::new("backoff_delay_bounds").run(
+        |rng| {
+            // Include degenerate policies: zero base, ceiling below
+            // base, zero attempts.
+            let policy = BackoffPolicy {
+                base: rng.gen_range(0..6),
+                ceiling: rng.gen_range(0..64),
+                max_attempts: gen::usize_in(rng, 0..5),
+            };
+            (policy, rng.gen_u64(), rng.gen_u64(), gen::usize_in(rng, 0..12))
+        },
+        |&(policy, seed, stream, attempt)| {
+            let delay = policy.delay(seed, stream, attempt);
+            let ceiling = policy.ceiling.max(policy.base.max(1));
+            check(delay >= 1, || format!("zero/negative delay {delay} from {policy:?}"))?;
+            check(delay <= ceiling, || {
+                format!("delay {delay} above ceiling {ceiling} from {policy:?}")
+            })?;
+            let schedule = policy.schedule(seed, stream);
+            check_eq(schedule.len(), policy.max_attempts.max(1).saturating_sub(1))?;
+            for d in schedule {
+                check(d >= 1 && d <= ceiling, || format!("schedule delay {d} out of bounds"))?;
             }
             Ok(())
         },
