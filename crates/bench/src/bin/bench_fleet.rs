@@ -1,6 +1,6 @@
 //! Bench: the sharded test-floor engine.
 //!
-//! Three questions, answered with numbers in `BENCH_fleet.json`:
+//! Four questions, answered with numbers in `BENCH_fleet.json`:
 //!
 //! 1. **Does work-stealing pay?** A 200-board floor is timed serial,
 //!    sharded without imbalance, and sharded with a deliberately
@@ -18,11 +18,16 @@
 //!    **byte-identical** — the determinism invariant measured, not just
 //!    unit-tested. The run streams through `NullSink`, so the resident
 //!    set stays flat no matter the trial count.
+//! 4. **What does crash consistency cost?** The 200-board floor streams
+//!    its records to disk twice: raw JSONL with no fsync, and
+//!    CRC-framed JSONL with a final fsync — the durable configuration
+//!    every tool now ships. The `durability_overhead` row records the
+//!    relative tax, budgeted at under 5%.
 //!
 //! Honours `SINT_THREADS` for the sharded rows.
 
 use sint_bench::{emit_artifact, threads_from_env};
-use sint_fleet::{ClientSpec, FleetEngine, FloorSpec, NullSink};
+use sint_fleet::{ClientSpec, FleetEngine, FloorSpec, JsonlSink, NullSink};
 use sint_runtime::bench::{black_box, Bench};
 use sint_runtime::json::{Json, ToJson};
 use std::time::Duration;
@@ -97,6 +102,34 @@ fn main() {
     let identical = serial.to_json().render() == sharded.to_json().render();
     assert!(identical, "sharded summary diverged from the serial run");
 
+    // 4. Durability tax: the same 200-board floor streamed to a real
+    // file raw (unframed, page-cache only) vs framed with a closing
+    // fsync — the torn-write-tolerant configuration the tools use.
+    let durable_dir =
+        std::env::temp_dir().join(format!("sint_bench_durable_{}", std::process::id()));
+    std::fs::create_dir_all(&durable_dir).expect("bench temp dir");
+    let stream_engine = FleetEngine::new(floor(200)).expect("static floor spec");
+    let raw_stream_secs = min_secs(5, || {
+        let file = std::fs::File::create(durable_dir.join("records.raw.jsonl"))
+            .expect("raw records file");
+        let sink = JsonlSink::raw(std::io::BufWriter::new(file));
+        black_box(stream_engine.run(threads, &sink));
+        // The baseline flushes but trusts the page cache — a crash may
+        // tear or lose the tail.
+        let _ = sink.finish().expect("raw sink finish");
+    });
+    let framed_stream_secs = min_secs(5, || {
+        let file = std::fs::File::create(durable_dir.join("records.framed.jsonl"))
+            .expect("framed records file");
+        let sink = JsonlSink::new(std::io::BufWriter::new(file));
+        black_box(stream_engine.run(threads, &sink));
+        let (writer, _) = sink.finish().expect("framed sink finish");
+        let file = writer.into_inner().expect("flush framed records");
+        file.sync_all().expect("fsync framed records");
+    });
+    let durability_pct = (framed_stream_secs / raw_stream_secs - 1.0) * 100.0;
+    let _ = std::fs::remove_dir_all(&durable_dir);
+
     let trials = 1000 * 3;
     print!("{}", b.table());
     println!(
@@ -107,6 +140,10 @@ fn main() {
         "floor_1000x3: serial {serial_secs:.2}s, {threads} threads {sharded_secs:.2}s \
          ({:.0} trials/s), summaries byte-identical: {identical}",
         trials as f64 / sharded_secs
+    );
+    println!(
+        "durability_overhead: raw {raw_stream_secs:.3}s, framed+fsync {framed_stream_secs:.3}s \
+         ({durability_pct:+.2}% against a <5% budget)"
     );
 
     let mut json = b.json();
@@ -132,6 +169,17 @@ fn main() {
             ("speedup", (serial_secs / sharded_secs).to_json()),
             ("shed_trials", serial.totals.shed_trials.to_json()),
             ("summaries_byte_identical", identical.to_json()),
+        ]),
+    );
+    json.push(
+        "durability_overhead",
+        Json::obj([
+            ("boards", 200u64.to_json()),
+            ("threads", threads.to_json()),
+            ("raw_stream_secs", raw_stream_secs.to_json()),
+            ("framed_fsync_secs", framed_stream_secs.to_json()),
+            ("overhead_pct", durability_pct.to_json()),
+            ("budget_pct", 5.0f64.to_json()),
         ]),
     );
     emit_artifact("bench_fleet", &json);

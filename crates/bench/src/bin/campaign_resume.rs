@@ -125,8 +125,9 @@ fn run() -> Result<ExitCode, String> {
     let checkpoint_path = args.checkpoint_path.clone();
     let halt_after = args.halt_after;
     let run = campaign.run_checkpointed(&batch, threads, &mut checkpoint, SNAPSHOT_EVERY, |cp| {
-        let rendered = cp.to_json().render();
-        if let Err(e) = std::fs::write(&checkpoint_path, format!("{rendered}\n")) {
+        // Atomic replace: a kill mid-snapshot must leave the previous
+        // checkpoint intact, never a half-file that parse() rejects.
+        if let Err(e) = cp.store_atomic(std::path::Path::new(&checkpoint_path)) {
             eprintln!("campaign_resume: cannot write checkpoint: {e}");
             std::process::exit(2);
         }
@@ -144,8 +145,11 @@ fn run() -> Result<ExitCode, String> {
     let _ = std::panic::take_hook();
 
     let summary = run.to_json().render_pretty();
-    std::fs::write(&args.summary_path, format!("{summary}\n"))
-        .map_err(|e| format!("cannot write summary {}: {e}", args.summary_path))?;
+    sint_runtime::durable::AtomicFile::write(
+        std::path::Path::new(&args.summary_path),
+        format!("{summary}\n").as_bytes(),
+    )
+    .map_err(|e| format!("cannot write summary {}: {e}", args.summary_path))?;
     eprintln!(
         "campaign_resume: {} trials ({} resumed from checkpoint), {} threads: {}",
         TRIALS,

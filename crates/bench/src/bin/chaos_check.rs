@@ -6,15 +6,16 @@
 //! with a zero admission budget) under an **active deterministic
 //! [`ChaosPlan`]**: population rates make ~15% of boards flaky and ~3%
 //! dead, half of an afflicted board's trials take a fault (chain scan
-//! fault, wedged solver, harness panic or sink write failure), one
-//! explicit injection of every fault kind is scheduled, and one board
-//! is killed outright. The supervised engine retries flaky fixtures
-//! with backoff, trips circuit breakers on the dead ones, probes, and
-//! quarantines — and the merged summary (verdicts, quarantine roster
-//! and resilience totals included) must still be **byte-identical**
-//! serial vs `SINT_THREADS=8` and across kill/resume, because every
-//! fault coordinate and every supervisor decision is a pure function
-//! of seeds.
+//! fault, wedged solver, harness panic, sink write failure or
+//! byte-level disk fault), one explicit injection of every fault kind
+//! pins each code path, and one board is killed outright. The
+//! supervised engine retries flaky fixtures with backoff, trips
+//! circuit breakers on the dead ones, probes, and quarantines — and
+//! the merged summary (verdicts, quarantine roster and resilience
+//! totals included) must still be **byte-identical** serial vs
+//! `SINT_THREADS=8` and across kill/resume, because every fault
+//! coordinate and every supervisor decision is a pure function of
+//! seeds.
 //!
 //! A validating sink cross-checks the paper's core discipline while
 //! records stream: a board whose chain fault *persists* (a dead
@@ -22,23 +23,36 @@
 //! failures are named as such, never misblamed on the bus under test.
 //! Any violation exits with code 4.
 //!
+//! Durability mirrors `fleet_resume`: checkpoints go through a
+//! generation pair ([`GenPair`]), record streams are CRC-framed,
+//! tail-recovered on startup and flushed before every snapshot, a
+//! complete run replays the stream against the merged summary (exit 5
+//! on disagreement), and `--kill-at-byte <N|rand:SEED>` dies mid-write
+//! at a byte offset for the `torn_write` crash-storm gate.
+//!
 //! ```text
-//! chaos_check <checkpoint.json> <summary.json> \
-//!     [--halt-after N] [--records <records.jsonl>]
+//! chaos_check <checkpoint> <summary.json> \
+//!     [--halt-after N] [--records <records.jsonl>] \
+//!     [--kill-at-byte <N|rand:SEED>]
 //! ```
 //!
 //! Exit codes: 0 = floor complete, 2 = usage/IO error, 3 = halted
-//! deliberately at the `--halt-after` threshold, 4 = an injected
-//! infrastructure fault surfaced as an interconnect verdict.
+//! deliberately (kill simulation), 4 = an injected infrastructure
+//! fault surfaced as an interconnect verdict, 5 = record-stream replay
+//! disagrees with the merged summary.
 
 use sint_bench::threads_from_env;
 use sint_core::campaign::TrialOutcome;
 use sint_core::checkpoint::CheckpointEntry;
 use sint_fleet::{
-    BoardProfile, BoardSpec, ChaosKind, ChaosPlan, ClientSpec, FleetCheckpoint, FleetEngine,
-    FleetError, FloorSpec, JsonlSink, NullSink, RecordSink,
+    replay_summary_recovered, BoardProfile, BoardSpec, ChaosKind, ChaosPlan, ClientSpec,
+    FleetCheckpoint, FleetEngine, FleetError, FloorSpec, JsonlSink, NullSink, RecordSink,
 };
+use sint_runtime::durable::{recover_stream_file, AtomicFile, FuseWriter, GenPair};
 use sint_runtime::json::ToJson;
+use sint_runtime::rng::Rng64;
+use std::io::BufWriter;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -72,6 +86,7 @@ fn plan() -> ChaosPlan {
         .inject(1, 1, ChaosKind::Wedge)
         .inject(2, 0, ChaosKind::Panic)
         .inject(3, 2, ChaosKind::Sink)
+        .inject(4, 1, ChaosKind::Disk)
         .kill(7)
 }
 
@@ -98,11 +113,13 @@ impl RecordSink for ValidatingSink<'_> {
         client: &str,
         entry: &CheckpointEntry,
     ) -> Result<(), FleetError> {
+        // Sink and disk faults hit the result path, not the fixture —
+        // a verdict under them is legitimate.
         let persistent_fault = self.plan.profile(board.id) == BoardProfile::Dead
             && self
                 .plan
                 .fault_at(board.id, entry.index)
-                .is_some_and(|kind| kind != ChaosKind::Sink);
+                .is_some_and(|kind| !matches!(kind, ChaosKind::Sink | ChaosKind::Disk));
         if persistent_fault && Self::is_verdict(entry.outcome) {
             self.violations.fetch_add(1, Ordering::Relaxed);
             eprintln!(
@@ -123,12 +140,28 @@ struct Args {
     summary_path: String,
     halt_after: Option<usize>,
     records_path: Option<String>,
+    kill_at_byte: Option<u64>,
+}
+
+/// Resolves a `--kill-at-byte` operand: a literal byte offset, or
+/// `rand:SEED` for a deterministic draw in `[64, 262_208)`.
+fn parse_kill_spec(value: &str) -> Result<u64, String> {
+    if let Some(seed) = value.strip_prefix("rand:") {
+        let seed = seed
+            .parse::<u64>()
+            .map_err(|_| format!("--kill-at-byte rand: wants a seed number, got {value:?}"))?;
+        return Ok(64 + Rng64::new(seed).gen_range(0..262_144));
+    }
+    value.parse::<u64>().map_err(|_| {
+        format!("--kill-at-byte wants a byte offset or rand:SEED, got {value:?}")
+    })
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut halt_after = None;
     let mut records_path = None;
+    let mut kill_at_byte = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         if arg == "--halt-after" {
@@ -139,16 +172,22 @@ fn parse_args() -> Result<Args, String> {
             halt_after = Some(count);
         } else if arg == "--records" {
             records_path = Some(argv.next().ok_or("--records needs a file path")?);
+        } else if arg == "--kill-at-byte" {
+            let value = argv.next().ok_or("--kill-at-byte needs an offset or rand:SEED")?;
+            kill_at_byte = Some(parse_kill_spec(&value)?);
         } else {
             positional.push(arg);
         }
     }
     if positional.len() != 2 {
         return Err(
-            "usage: chaos_check <checkpoint.json> <summary.json> \
-             [--halt-after N] [--records <records.jsonl>]"
+            "usage: chaos_check <checkpoint> <summary.json> \
+             [--halt-after N] [--records <records.jsonl>] [--kill-at-byte <N|rand:SEED>]"
                 .to_string(),
         );
+    }
+    if kill_at_byte.is_some() && records_path.is_none() {
+        return Err("--kill-at-byte needs --records (it kills the record stream)".to_string());
     }
     let mut positional = positional.into_iter();
     Ok(Args {
@@ -156,6 +195,7 @@ fn parse_args() -> Result<Args, String> {
         summary_path: positional.next().unwrap_or_default(),
         halt_after,
         records_path,
+        kill_at_byte,
     })
 }
 
@@ -163,12 +203,11 @@ fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     let threads = threads_from_env();
 
-    // Resume from an existing snapshot, or start fresh.
-    let mut checkpoint = match std::fs::read_to_string(&args.checkpoint_path) {
-        Ok(text) => FleetCheckpoint::parse(&text)
-            .map_err(|e| format!("bad checkpoint {}: {e}", args.checkpoint_path))?,
-        Err(_) => FleetCheckpoint::new(),
-    };
+    // Resume from the newest valid checkpoint generation, or start
+    // fresh.
+    let pair = GenPair::new(&args.checkpoint_path);
+    let (mut checkpoint, generation) = FleetCheckpoint::load_pair(&pair)
+        .map_err(|e| format!("bad checkpoint {}: {e}", args.checkpoint_path))?;
     let resumed_from = checkpoint.len();
 
     let engine = FleetEngine::new(floor())
@@ -177,9 +216,28 @@ fn run() -> Result<ExitCode, String> {
 
     let records = match &args.records_path {
         Some(path) => {
-            let file = std::fs::File::create(path)
-                .map_err(|e| format!("cannot create records file {path}: {e}"))?;
-            Some(JsonlSink::new(std::io::BufWriter::new(file)))
+            let path = Path::new(path);
+            if std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false) {
+                let scan = recover_stream_file(path)
+                    .map_err(|e| format!("cannot recover records {}: {e}", path.display()))?;
+                if scan.torn() {
+                    eprintln!(
+                        "chaos_check: recovered records stream: {} valid records kept, \
+                         {} torn tail bytes dropped",
+                        scan.records, scan.dropped_bytes
+                    );
+                }
+            }
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot open records file {}: {e}", path.display()))?;
+            let fuse = FuseWriter::new(file, args.kill_at_byte.unwrap_or(u64::MAX), || {
+                eprintln!("chaos_check: record stream hit its byte fuse, dying mid-write");
+                std::process::exit(3);
+            });
+            Some(JsonlSink::new(BufWriter::new(fuse)))
         }
         None => None,
     };
@@ -193,12 +251,20 @@ fn run() -> Result<ExitCode, String> {
     // supervisor; keep their reports out of the tool's output.
     std::panic::set_hook(Box::new(|_| {}));
 
-    let checkpoint_path = args.checkpoint_path.clone();
     let halt_after = args.halt_after;
+    let records_ref = &records;
+    let pair_ref = &pair;
     let summary =
         engine.run_checkpointed(threads, &mut checkpoint, SNAPSHOT_EVERY, &sink, |cp| {
-            let rendered = cp.to_json().render();
-            if let Err(e) = std::fs::write(&checkpoint_path, format!("{rendered}\n")) {
+            // Write-ahead ordering: flush streamed records before the
+            // checkpoint claims their boards are done.
+            if let Some(records) = records_ref {
+                if let Err(e) = records.flush() {
+                    eprintln!("chaos_check: cannot flush records: {e}");
+                    std::process::exit(2);
+                }
+            }
+            if let Err(e) = cp.store_pair(pair_ref) {
                 eprintln!("chaos_check: cannot write checkpoint: {e}");
                 std::process::exit(2);
             }
@@ -218,20 +284,25 @@ fn run() -> Result<ExitCode, String> {
 
     let violations = sink.violations.load(Ordering::Relaxed);
     if let Some(sink) = records {
-        use std::io::Write;
-        let (mut writer, lines) = sink.finish().map_err(|e| format!("record stream: {e}"))?;
-        writer.flush().map_err(|e| format!("cannot flush records file: {e}"))?;
+        let (writer, lines) = sink.finish().map_err(|e| format!("record stream: {e}"))?;
+        let fuse = writer
+            .into_inner()
+            .map_err(|e| format!("cannot flush records file: {}", e.into_error()))?;
+        let file = fuse.into_inner();
+        file.sync_all().map_err(|e| format!("cannot sync records file: {e}"))?;
         eprintln!("chaos_check: streamed {lines} records");
     }
 
     let rendered = summary.to_json().render_pretty();
-    std::fs::write(&args.summary_path, format!("{rendered}\n"))
+    AtomicFile::write(Path::new(&args.summary_path), format!("{rendered}\n").as_bytes())
         .map_err(|e| format!("cannot write summary {}: {e}", args.summary_path))?;
     eprintln!(
-        "chaos_check: {} boards ({} resumed), {} threads — {} healthy / {} flaky / {} dead, \
-         {} quarantined, {} retries, {} infra failures, {} sink errors",
+        "chaos_check: {} boards ({} resumed from checkpoint generation {}), {} threads — \
+         {} healthy / {} flaky / {} dead, {} quarantined, {} retries, {} infra failures, \
+         {} sink errors",
         BOARDS,
         resumed_from,
+        generation,
         threads,
         summary.healthy_boards,
         summary.flaky_boards,
@@ -246,6 +317,27 @@ fn run() -> Result<ExitCode, String> {
             "chaos_check: {violations} interconnect verdicts on persistently-faulted fixtures"
         );
         return Ok(ExitCode::from(4));
+    }
+
+    // Self-check: the record stream must fold back to the exact merged
+    // summary even mid-chaos — spooled records arrived late but
+    // arrived, and recovery + dedup lost nothing.
+    if let Some(path) = &args.records_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read back records {path}: {e}"))?;
+        let (replayed, note) = replay_summary_recovered(&text)
+            .map_err(|e| format!("records replay failed: {e}"))?;
+        if note.recovered() {
+            eprintln!(
+                "chaos_check: replay recovered the stream: {} records, \
+                 {} duplicate trials skipped, {} torn tail bytes tolerated",
+                note.records, note.duplicate_trials, note.torn_tail_bytes
+            );
+        }
+        if replayed.to_json().render() != summary.to_json().render() {
+            eprintln!("chaos_check: replayed records disagree with the merged summary");
+            return Ok(ExitCode::from(5));
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

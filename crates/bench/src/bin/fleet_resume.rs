@@ -1,36 +1,62 @@
 //! **Tool** — fleet-floor driver with kill/resume support, used by
-//! `scripts/verify.sh` to prove the fleet determinism and resume
-//! contracts end to end.
+//! `scripts/verify.sh` to prove the fleet determinism, resume and
+//! crash-consistency contracts end to end.
 //!
 //! Runs a fixed 1000-board floor (3 trials per board, 3 clients — one
 //! of which, `burst`, carries a zero admission budget and therefore
 //! sheds every one of its trials deterministically), snapshotting the
-//! board-granular [`FleetCheckpoint`] to disk every 100 finished
-//! boards. With `--halt-after N` the process exits with code 3 as soon
-//! as N boards are checkpointed — simulating a kill — and a later
-//! invocation without the flag resumes from the snapshot, re-running
+//! board-granular [`FleetCheckpoint`] every 100 finished boards into a
+//! **generation pair** (`<checkpoint>.a` / `<checkpoint>.b` via
+//! [`GenPair`]) — a crash mid-snapshot can only lose the generation
+//! being written, never the last good one. With `--halt-after N` the
+//! process exits with code 3 as soon as N boards are checkpointed —
+//! simulating a kill at a clean boundary — and a later invocation
+//! without the flag resumes from the surviving generation, re-running
 //! only unfinished boards. The merged summary JSON is byte-identical
 //! to an uninterrupted run at any `SINT_THREADS`: that byte-identity
 //! *is* the `fleet_determinism` gate.
 //!
-//! With `--records <path>` every trial streams a JSONL record through
-//! the incremental artifact emitter as it finishes — the bounded-memory
-//! result path (the tool never holds a `Vec` of trial outcomes either
-//! way; the merged summary is folded from per-board counters).
+//! With `--records <path>` every trial streams a CRC-framed JSONL
+//! record through the incremental artifact emitter as it finishes.
+//! Records are flushed *before* every checkpoint snapshot (write-ahead
+//! ordering), an existing stream is tail-recovered on startup (torn
+//! final line truncated, with a note), and after a complete run the
+//! stream is replayed and compared against the merged summary — a
+//! disagreement exits 5.
+//!
+//! The crash-storm knobs simulate mid-write kills for the `torn_write`
+//! gate:
+//!
+//! - `--kill-at-byte <N|rand:SEED>` (requires `--records`): the
+//!   process dies — mid-line, without flushing — the moment the record
+//!   stream has written N bytes in this invocation (`rand:SEED` draws
+//!   the offset deterministically from the seed), leaving a torn tail
+//!   for the next invocation to recover. Exits 3.
+//! - `--torn-ckpt K`: at the second snapshot of the invocation the
+//!   checkpoint generation is deliberately torn after K bytes (a
+//!   non-atomic partial image in the next slot) and the process exits
+//!   3 — proving resume falls back to the previous generation.
 //!
 //! ```text
-//! fleet_resume <checkpoint.json> <summary.json> \
-//!     [--halt-after N] [--records <records.jsonl>]
+//! fleet_resume <checkpoint> <summary.json> \
+//!     [--halt-after N] [--records <records.jsonl>] \
+//!     [--kill-at-byte <N|rand:SEED>] [--torn-ckpt K]
 //! ```
 //!
 //! Exit codes: 0 = floor complete, 2 = usage/IO error, 3 = halted
-//! deliberately at the `--halt-after` threshold.
+//! deliberately (kill simulation), 5 = record-stream replay disagrees
+//! with the merged summary.
 
 use sint_bench::threads_from_env;
 use sint_fleet::{
-    ClientSpec, FleetCheckpoint, FleetEngine, FloorSpec, JsonlSink, NullSink, RecordSink,
+    replay_summary_recovered, ClientSpec, FleetCheckpoint, FleetEngine, FloorSpec, JsonlSink,
+    NullSink, RecordSink,
 };
+use sint_runtime::durable::{recover_stream_file, AtomicFile, FuseWriter, GenPair};
 use sint_runtime::json::ToJson;
+use sint_runtime::rng::Rng64;
+use std::io::BufWriter;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -58,12 +84,32 @@ struct Args {
     summary_path: String,
     halt_after: Option<usize>,
     records_path: Option<String>,
+    kill_at_byte: Option<u64>,
+    torn_ckpt: Option<usize>,
+}
+
+/// Resolves a `--kill-at-byte` operand: a literal byte offset, or
+/// `rand:SEED` for a deterministic draw in `[64, 262_208)` — low
+/// enough to land inside the ~720 KB stream, high enough to leave at
+/// least one whole record before the tear.
+fn parse_kill_spec(value: &str) -> Result<u64, String> {
+    if let Some(seed) = value.strip_prefix("rand:") {
+        let seed = seed
+            .parse::<u64>()
+            .map_err(|_| format!("--kill-at-byte rand: wants a seed number, got {value:?}"))?;
+        return Ok(64 + Rng64::new(seed).gen_range(0..262_144));
+    }
+    value.parse::<u64>().map_err(|_| {
+        format!("--kill-at-byte wants a byte offset or rand:SEED, got {value:?}")
+    })
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut halt_after = None;
     let mut records_path = None;
+    let mut kill_at_byte = None;
+    let mut torn_ckpt = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         if arg == "--halt-after" {
@@ -74,16 +120,29 @@ fn parse_args() -> Result<Args, String> {
             halt_after = Some(count);
         } else if arg == "--records" {
             records_path = Some(argv.next().ok_or("--records needs a file path")?);
+        } else if arg == "--kill-at-byte" {
+            let value = argv.next().ok_or("--kill-at-byte needs an offset or rand:SEED")?;
+            kill_at_byte = Some(parse_kill_spec(&value)?);
+        } else if arg == "--torn-ckpt" {
+            let value = argv.next().ok_or("--torn-ckpt needs a byte count")?;
+            let keep = value
+                .parse::<usize>()
+                .map_err(|_| format!("--torn-ckpt wants a number, got {value:?}"))?;
+            torn_ckpt = Some(keep);
         } else {
             positional.push(arg);
         }
     }
     if positional.len() != 2 {
         return Err(
-            "usage: fleet_resume <checkpoint.json> <summary.json> \
-             [--halt-after N] [--records <records.jsonl>]"
+            "usage: fleet_resume <checkpoint> <summary.json> \
+             [--halt-after N] [--records <records.jsonl>] \
+             [--kill-at-byte <N|rand:SEED>] [--torn-ckpt K]"
                 .to_string(),
         );
+    }
+    if kill_at_byte.is_some() && records_path.is_none() {
+        return Err("--kill-at-byte needs --records (it kills the record stream)".to_string());
     }
     let mut positional = positional.into_iter();
     Ok(Args {
@@ -91,6 +150,8 @@ fn parse_args() -> Result<Args, String> {
         summary_path: positional.next().unwrap_or_default(),
         halt_after,
         records_path,
+        kill_at_byte,
+        torn_ckpt,
     })
 }
 
@@ -98,23 +159,44 @@ fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     let threads = threads_from_env();
 
-    // Resume from an existing snapshot, or start fresh.
-    let mut checkpoint = match std::fs::read_to_string(&args.checkpoint_path) {
-        Ok(text) => FleetCheckpoint::parse(&text)
-            .map_err(|e| format!("bad checkpoint {}: {e}", args.checkpoint_path))?,
-        Err(_) => FleetCheckpoint::new(),
-    };
+    // Resume from the newest valid checkpoint generation, or start
+    // fresh (a pair with no valid slot is the normal first-run state).
+    let pair = GenPair::new(&args.checkpoint_path);
+    let (mut checkpoint, generation) = FleetCheckpoint::load_pair(&pair)
+        .map_err(|e| format!("bad checkpoint {}: {e}", args.checkpoint_path))?;
     let resumed_from = checkpoint.len();
 
     let engine = FleetEngine::new(floor()).map_err(|e| format!("bad floor spec: {e}"))?;
 
-    // The streaming sink: an incremental JSONL artifact when requested,
-    // otherwise the null sink (the summary never needs the records).
+    // The streaming sink: an incremental framed JSONL artifact when
+    // requested, otherwise the null sink. An existing stream is
+    // tail-recovered (a torn final line from a mid-write kill is
+    // truncated) and then appended to; the byte fuse simulates the
+    // next mid-write kill when `--kill-at-byte` is set.
     let records = match &args.records_path {
         Some(path) => {
-            let file = std::fs::File::create(path)
-                .map_err(|e| format!("cannot create records file {path}: {e}"))?;
-            Some(JsonlSink::new(std::io::BufWriter::new(file)))
+            let path = Path::new(path);
+            if std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false) {
+                let scan = recover_stream_file(path)
+                    .map_err(|e| format!("cannot recover records {}: {e}", path.display()))?;
+                if scan.torn() {
+                    eprintln!(
+                        "fleet_resume: recovered records stream: {} valid records kept, \
+                         {} torn tail bytes dropped",
+                        scan.records, scan.dropped_bytes
+                    );
+                }
+            }
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot open records file {}: {e}", path.display()))?;
+            let fuse = FuseWriter::new(file, args.kill_at_byte.unwrap_or(u64::MAX), || {
+                eprintln!("fleet_resume: record stream hit its byte fuse, dying mid-write");
+                std::process::exit(3);
+            });
+            Some(JsonlSink::new(BufWriter::new(fuse)))
         }
         None => None,
     };
@@ -123,12 +205,41 @@ fn run() -> Result<ExitCode, String> {
         None => &NullSink,
     };
 
-    let checkpoint_path = args.checkpoint_path.clone();
     let halt_after = args.halt_after;
+    let torn_ckpt = args.torn_ckpt;
+    let records_ref = &records;
+    let pair_ref = &pair;
+    let mut snaps = 0usize;
     let summary =
         engine.run_checkpointed(threads, &mut checkpoint, SNAPSHOT_EVERY, sink, |cp| {
-            let rendered = cp.to_json().render();
-            if let Err(e) = std::fs::write(&checkpoint_path, format!("{rendered}\n")) {
+            // Write-ahead ordering: every record of a checkpointed
+            // board must be on disk before the checkpoint claims the
+            // board is done — otherwise a crash could leave a
+            // checkpoint whose boards are missing from the stream.
+            if let Some(records) = records_ref {
+                if let Err(e) = records.flush() {
+                    eprintln!("fleet_resume: cannot flush records: {e}");
+                    std::process::exit(2);
+                }
+            }
+            snaps += 1;
+            if let Some(keep) = torn_ckpt {
+                if snaps == 2 {
+                    let payload = cp.to_json().render() + "\n";
+                    match pair_ref.tear(&payload, keep) {
+                        Ok(generation) => eprintln!(
+                            "fleet_resume: tore checkpoint generation {generation} after \
+                             {keep} bytes, halting"
+                        ),
+                        Err(e) => {
+                            eprintln!("fleet_resume: cannot tear checkpoint: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                    std::process::exit(3);
+                }
+            }
+            if let Err(e) = cp.store_pair(pair_ref) {
                 eprintln!("fleet_resume: cannot write checkpoint: {e}");
                 std::process::exit(2);
             }
@@ -145,19 +256,49 @@ fn run() -> Result<ExitCode, String> {
         });
 
     if let Some(sink) = records {
-        use std::io::Write;
-        let (mut writer, lines) = sink.finish().map_err(|e| format!("record stream: {e}"))?;
-        writer.flush().map_err(|e| format!("cannot flush records file: {e}"))?;
+        // finish() flushes; then unwrap the writer stack and fsync so
+        // the completed artifact is durable, not just buffered.
+        let (writer, lines) = sink.finish().map_err(|e| format!("record stream: {e}"))?;
+        let fuse = writer
+            .into_inner()
+            .map_err(|e| format!("cannot flush records file: {}", e.into_error()))?;
+        let file = fuse.into_inner();
+        file.sync_all().map_err(|e| format!("cannot sync records file: {e}"))?;
         eprintln!("fleet_resume: streamed {lines} trial records");
     }
 
     let rendered = summary.to_json().render_pretty();
-    std::fs::write(&args.summary_path, format!("{rendered}\n"))
+    AtomicFile::write(Path::new(&args.summary_path), format!("{rendered}\n").as_bytes())
         .map_err(|e| format!("cannot write summary {}: {e}", args.summary_path))?;
+
+    // Self-check: the record stream must fold back to the exact merged
+    // summary — the end-to-end proof that recovery + dedup lost
+    // nothing. A disagreement is a distinct exit code so verify.sh
+    // can tell it from an IO failure.
+    if let Some(path) = &args.records_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read back records {path}: {e}"))?;
+        let (replayed, note) = replay_summary_recovered(&text)
+            .map_err(|e| format!("records replay failed: {e}"))?;
+        if note.recovered() {
+            eprintln!(
+                "fleet_resume: replay recovered the stream: {} records, \
+                 {} duplicate trials skipped, {} torn tail bytes tolerated",
+                note.records, note.duplicate_trials, note.torn_tail_bytes
+            );
+        }
+        if replayed.to_json().render() != summary.to_json().render() {
+            eprintln!("fleet_resume: replayed records disagree with the merged summary");
+            return Ok(ExitCode::from(5));
+        }
+    }
+
     eprintln!(
-        "fleet_resume: {} boards ({} resumed from checkpoint), {} threads, {} shed of {} trials",
+        "fleet_resume: {} boards ({} resumed from checkpoint generation {}), \
+         {} threads, {} shed of {} trials",
         BOARDS,
         resumed_from,
+        generation,
         threads,
         summary.totals.shed_trials,
         BOARDS * TRIALS_PER_BOARD,

@@ -196,6 +196,20 @@ impl CampaignCheckpoint {
         }
         Ok(checkpoint)
     }
+
+    /// Persists the snapshot crash-consistently: the rendering is
+    /// staged to a temporary sibling, fsynced, and renamed over `path`
+    /// ([`sint_runtime::durable::AtomicFile`]), so a kill at any byte
+    /// offset leaves either the previous snapshot or this one — never
+    /// a half-written file that [`CampaignCheckpoint::parse`] rejects.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure from staging, syncing or renaming.
+    pub fn store_atomic(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let payload = self.to_json().render() + "\n";
+        sint_runtime::durable::AtomicFile::write(path, payload.as_bytes())
+    }
 }
 
 impl ToJson for CampaignCheckpoint {

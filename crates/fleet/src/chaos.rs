@@ -23,16 +23,19 @@
 //!   quarantines them.
 
 use sint_jtag::fault::ScanFault;
+use sint_runtime::durable::{draw_write_fault, DiskFault};
 use sint_runtime::rng::Rng64;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
 /// Substream salts, so the plan's independent questions (profile,
-/// per-trial fault, fault kind, scan-fault shape) never alias.
+/// per-trial fault, fault kind, scan-fault shape, disk-fault shape)
+/// never alias.
 const SALT_PROFILE: u64 = 0x50;
 const SALT_TRIAL: u64 = 0x51;
 const SALT_KIND: u64 = 0x52;
 const SALT_SCAN: u64 = 0x53;
+const SALT_DISK: u64 = 0x54;
 
 /// What kind of fault a chaos coordinate injects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +52,14 @@ pub enum ChaosKind {
     /// fails once; the supervisor must spool and flush on recovery.
     /// Never counts against the board's health — the fixture is fine.
     Sink,
+    /// A byte-level disk fault on the write of this trial's record: a
+    /// [`DiskFault`] drawn via [`ChaosPlan::disk_fault`] (short write,
+    /// torn write, or `ENOSPC`) is realised through a
+    /// [`sint_runtime::durable::FaultyWriter`]. Short writes recover
+    /// in-process (`write_all` retries the remainder); torn writes and
+    /// `ENOSPC` surface as sink failures the supervisor spools. Like
+    /// [`ChaosKind::Sink`], never counts against board health.
+    Disk,
 }
 
 impl ChaosKind {
@@ -60,6 +71,7 @@ impl ChaosKind {
             ChaosKind::Wedge => "wedge",
             ChaosKind::Panic => "panic",
             ChaosKind::Sink => "sink",
+            ChaosKind::Disk => "disk",
         }
     }
 }
@@ -180,12 +192,24 @@ impl ChaosPlan {
         }
         let mut kind =
             Rng64::new(self.seed).fork(SALT_KIND).fork(board as u64).fork(trial as u64);
-        Some(match kind.gen_index(4) {
+        Some(match kind.gen_index(5) {
             0 => ChaosKind::Scan,
             1 => ChaosKind::Wedge,
             2 => ChaosKind::Panic,
-            _ => ChaosKind::Sink,
+            3 => ChaosKind::Sink,
+            _ => ChaosKind::Disk,
         })
+    }
+
+    /// The concrete [`DiskFault`] a [`ChaosKind::Disk`] coordinate at
+    /// `(board, trial)` injects — a pure function of
+    /// `(plan seed, board, trial)`, never a rename failure (record
+    /// streams are append-only; renames belong to checkpoint slots).
+    #[must_use]
+    pub fn disk_fault(&self, board: usize, trial: usize) -> DiskFault {
+        let mut lane =
+            Rng64::new(self.seed).fork(SALT_DISK).fork(board as u64).fork(trial as u64);
+        draw_write_fault(&mut lane)
     }
 
     /// The fault injected into attempt `attempt` of `(board, trial)`.
@@ -291,5 +315,18 @@ mod tests {
         assert_eq!(ChaosKind::Wedge.kind(), "wedge");
         assert_eq!(ChaosKind::Panic.kind(), "panic");
         assert_eq!(ChaosKind::Sink.kind(), "sink");
+        assert_eq!(ChaosKind::Disk.kind(), "disk");
+    }
+
+    #[test]
+    fn disk_faults_are_pure_and_never_rename_failures() {
+        let plan = ChaosPlan::new(0xD15C).rates(0.5, 0.0, 1.0);
+        for board in 0..64 {
+            for trial in 0..4 {
+                let fault = plan.disk_fault(board, trial);
+                assert_eq!(fault, plan.disk_fault(board, trial));
+                assert_ne!(fault, DiskFault::RenameFail);
+            }
+        }
     }
 }

@@ -18,6 +18,7 @@ use crate::engine::BoardSummary;
 use crate::error::FleetError;
 use crate::supervisor::BoardReport;
 use sint_core::campaign::CampaignStats;
+use sint_runtime::durable::GenPair;
 use sint_runtime::json::{Json, ToJson};
 
 /// Fleet checkpoint format version. Version 2 added the per-board
@@ -153,6 +154,43 @@ impl FleetCheckpoint {
             checkpoint.record(parse_board_entry(entry)?);
         }
         Ok(checkpoint)
+    }
+
+    /// Loads the newest valid generation from a [`GenPair`] — the
+    /// crash-safe resume path. Returns the checkpoint and its
+    /// generation number; a pair with no valid slot (fresh run, or
+    /// both slots destroyed) yields an empty checkpoint at generation
+    /// zero rather than an error, because "nothing to resume" is the
+    /// normal first-run state.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] when the slots cannot be read at all;
+    /// [`FleetError::Json`] / [`FleetError::Schema`] when the
+    /// surviving generation's payload is not a version-2 checkpoint
+    /// (its frame was intact, so this is corruption beyond a torn
+    /// write).
+    pub fn load_pair(pair: &GenPair) -> Result<(FleetCheckpoint, u64), FleetError> {
+        match pair.load().map_err(|e| FleetError::io(e.to_string()))? {
+            None => Ok((FleetCheckpoint::new(), 0)),
+            Some((generation, payload)) => {
+                Ok((FleetCheckpoint::parse(&payload)?, generation))
+            }
+        }
+    }
+
+    /// Stores this checkpoint as the next generation of a [`GenPair`],
+    /// leaving the previous generation untouched in the other slot —
+    /// a crash anywhere during the write can only lose the snapshot
+    /// being written, never the last good one. Returns the generation
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] when the slot cannot be written.
+    pub fn store_pair(&self, pair: &GenPair) -> Result<u64, FleetError> {
+        let payload = self.to_json().render() + "\n";
+        pair.store(&payload).map_err(|e| FleetError::io(e.to_string()))
     }
 }
 
@@ -311,6 +349,50 @@ mod tests {
                 "{bad}"
             );
         }
+    }
+
+    #[test]
+    fn generation_pair_round_trips_and_survives_slot_loss() {
+        let dir = std::env::temp_dir()
+            .join(format!("sint_fleet_ckpt_pair_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pair = GenPair::new(dir.join("ckpt"));
+
+        // A fresh pair resumes as an empty checkpoint, not an error.
+        let (empty, generation) = FleetCheckpoint::load_pair(&pair).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(generation, 0);
+
+        let mut first = FleetCheckpoint::new();
+        first.record(entry(0));
+        assert_eq!(first.store_pair(&pair).unwrap(), 1);
+        let mut second = first.clone();
+        second.record(entry(3));
+        assert_eq!(second.store_pair(&pair).unwrap(), 2);
+        let (loaded, generation) = FleetCheckpoint::load_pair(&pair).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(loaded, second);
+
+        // Destroying the newest slot falls back to the previous
+        // generation; destroying both yields the empty first-run state.
+        let (slot_a, slot_b) = pair.slots();
+        let newest = if std::fs::read_to_string(&slot_a)
+            .is_ok_and(|s| s.starts_with("sintgen 2"))
+        {
+            slot_a.clone()
+        } else {
+            slot_b.clone()
+        };
+        std::fs::write(&newest, "sintgen garbage").unwrap();
+        let (loaded, generation) = FleetCheckpoint::load_pair(&pair).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(loaded, first);
+        std::fs::remove_file(&slot_a).unwrap();
+        std::fs::remove_file(&slot_b).ok();
+        let (empty, generation) = FleetCheckpoint::load_pair(&pair).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(generation, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -310,6 +310,17 @@ impl FleetEngine {
     /// resumed merged summary is byte-identical to an uninterrupted
     /// run at any thread count.
     ///
+    /// **Durability convention** (the write-ahead ordering the tools
+    /// follow): inside `snap`, flush the record sink
+    /// ([`crate::JsonlSink::flush`]) *before* persisting the
+    /// checkpoint (e.g. [`FleetCheckpoint::store_pair`] into a
+    /// [`sint_runtime::durable::GenPair`]). Then a crash at any byte
+    /// offset leaves every checkpointed board's records on disk ahead
+    /// of the checkpoint that claims them, and the recovered stream
+    /// plus the resumed run's re-streamed records fold — duplicates
+    /// deduped — to the exact uninterrupted summary
+    /// ([`crate::replay_summary_recovered`]).
+    ///
     /// # Panics
     ///
     /// Panics if `checkpoint` claims a board the floor does not have

@@ -32,6 +32,12 @@ pub enum FleetError {
         /// The underlying I/O (or injected) failure, rendered as text.
         reason: String,
     },
+    /// Durable storage failed outside the record path — reading or
+    /// writing a checkpoint generation slot.
+    Io {
+        /// The underlying I/O failure, rendered as text.
+        reason: String,
+    },
 }
 
 impl FleetError {
@@ -52,6 +58,12 @@ impl FleetError {
     pub fn sink(reason: impl Into<String>) -> FleetError {
         FleetError::Sink { reason: reason.into() }
     }
+
+    /// A [`FleetError::Io`] with the given reason.
+    #[must_use]
+    pub fn io(reason: impl Into<String>) -> FleetError {
+        FleetError::Io { reason: reason.into() }
+    }
 }
 
 impl fmt::Display for FleetError {
@@ -64,6 +76,7 @@ impl fmt::Display for FleetError {
             }
             FleetError::Entry(e) => write!(f, "embedded trial record is invalid: {e}"),
             FleetError::Sink { reason } => write!(f, "record sink write failed: {reason}"),
+            FleetError::Io { reason } => write!(f, "durable storage failed: {reason}"),
         }
     }
 }

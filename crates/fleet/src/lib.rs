@@ -31,7 +31,14 @@
 //!   (backpressure, constant memory).
 //! - [`checkpoint`] — board-granular kill/resume: per-board summaries
 //!   snapshot into a versioned [`FleetCheckpoint`]; a resumed floor's
-//!   merged summary is byte-identical to an uninterrupted run.
+//!   merged summary is byte-identical to an uninterrupted run. Since
+//!   the durability layer landed, snapshots persist through
+//!   generation pairs ([`FleetCheckpoint::store_pair`] /
+//!   [`FleetCheckpoint::load_pair`] on a
+//!   [`sint_runtime::durable::GenPair`]): a crash mid-write can only
+//!   lose the snapshot being written, never the last good one, and
+//!   record streams are CRC-framed so a torn tail is recovered
+//!   ([`replay_summary_recovered`]) instead of poisoning replay.
 //! - [`supervisor`] — the fleet resilience layer: every board runs
 //!   under a [`BoardSupervisor`] with backoff-governed retries
 //!   ([`sint_runtime::backoff::BackoffPolicy`]), an EWMA health score
@@ -45,7 +52,8 @@
 //!   decides, as a pure function of its seed, which boards are flaky
 //!   or dead and which `(board, trial)` coordinates take a
 //!   [`ChaosKind`] fault (chain scan fault, wedged solver, harness
-//!   panic, sink write failure) — so `verify.sh`'s `chaos_matrix` gate
+//!   panic, sink write failure, byte-level disk fault) — so
+//!   `verify.sh`'s `chaos_matrix` gate
 //!   can byte-compare summaries produced *under active fault
 //!   injection* across thread counts and kill/resume.
 //!
@@ -73,7 +81,10 @@ pub use engine::{
     BoardSummary, ClientSummary, FleetEngine, FleetSummary, QuarantineRecord, ResilienceTotals,
 };
 pub use error::FleetError;
-pub use record::{board_record, replay_summary, trial_record, JsonlSink, NullSink, RecordSink};
+pub use record::{
+    board_record, replay_summary, replay_summary_recovered, trial_record, JsonlSink, NullSink,
+    RecordSink, RecoveredStream,
+};
 pub use spec::{BoardSpec, ClientSpec, FloorSpec};
 pub use stream::{FleetEvent, FleetStream};
 pub use supervisor::{

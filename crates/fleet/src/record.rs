@@ -18,6 +18,18 @@
 //! return [`FleetError::Sink`] so a board supervisor can spool the
 //! failed record and keep the board running — a result-path hiccup
 //! must never abort a healthy floor.
+//!
+//! Since the durability layer landed, every [`JsonlSink`] line is
+//! **framed** ([`sint_runtime::durable::frame`]): a fixed-width
+//! length+CRC-32 suffix makes a torn trailing line detectable instead
+//! of poisonous. [`replay_summary`] folds only frame-valid lines,
+//! tolerates a torn *final* line (counted in a typed
+//! [`RecoveredStream`] note), and skips re-streamed duplicate trials —
+//! so the concatenation of a recovered post-crash stream and the
+//! resumed run's appended records folds to the same summary as an
+//! uninterrupted run. Framing is deterministic, so all byte-identity
+//! gates hold. [`JsonlSink::raw`] keeps an unframed variant as the
+//! durability-overhead bench baseline.
 
 use crate::engine::{BoardSummary, ClientSummary, FleetSummary, QuarantineRecord, ResilienceTotals};
 use crate::error::FleetError;
@@ -25,8 +37,9 @@ use crate::spec::BoardSpec;
 use crate::supervisor::{BoardReport, BoardVerdict};
 use sint_core::campaign::CampaignStats;
 use sint_core::checkpoint::CheckpointEntry;
+use sint_runtime::durable::{frame, unframe};
 use sint_runtime::json::{Json, ToJson};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
 use std::sync::Mutex;
 
@@ -125,6 +138,7 @@ pub fn board_record(summary: &BoardSummary) -> Json {
 #[derive(Debug)]
 pub struct JsonlSink<W: Write + Send> {
     inner: Mutex<SinkState<W>>,
+    framed: bool,
 }
 
 #[derive(Debug)]
@@ -135,10 +149,21 @@ struct SinkState<W> {
 }
 
 impl<W: Write + Send> JsonlSink<W> {
-    /// Wraps a writer (a `File`, a `Vec<u8>`, a `BufWriter`…).
+    /// Wraps a writer (a `File`, a `Vec<u8>`, a `BufWriter`…). Every
+    /// line is framed with a length+CRC-32 suffix so a torn tail is
+    /// detectable and recoverable.
     #[must_use]
     pub fn new(writer: W) -> JsonlSink<W> {
-        JsonlSink { inner: Mutex::new(SinkState { writer, lines: 0, error: None }) }
+        JsonlSink { inner: Mutex::new(SinkState { writer, lines: 0, error: None }), framed: true }
+    }
+
+    /// Wraps a writer *without* framing — the durability-overhead
+    /// bench baseline. Raw streams cannot be tail-recovered and
+    /// [`replay_summary`] rejects them; production paths use
+    /// [`JsonlSink::new`].
+    #[must_use]
+    pub fn raw(writer: W) -> JsonlSink<W> {
+        JsonlSink { inner: Mutex::new(SinkState { writer, lines: 0, error: None }), framed: false }
     }
 
     fn write_line(&self, line: &str) -> Result<(), FleetError> {
@@ -148,7 +173,12 @@ impl<W: Write + Send> JsonlSink<W> {
         if let Some(error) = &state.error {
             return Err(FleetError::sink(error.clone()));
         }
-        match writeln!(state.writer, "{line}") {
+        let wrote = if self.framed {
+            writeln!(state.writer, "{}", frame(line))
+        } else {
+            writeln!(state.writer, "{line}")
+        };
+        match wrote {
             Ok(()) => {
                 state.lines += 1;
                 Ok(())
@@ -161,17 +191,46 @@ impl<W: Write + Send> JsonlSink<W> {
         }
     }
 
-    /// Finishes the stream, returning the writer and the line count.
+    /// Flushes the underlying writer without consuming the sink — the
+    /// write-ahead half of the checkpoint ordering: calling this
+    /// *before* persisting a checkpoint guarantees every record of a
+    /// checkpointed board is on disk before the checkpoint claims the
+    /// board is done.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Sink`] on the first (possibly latched) failure.
+    pub fn flush(&self) -> Result<(), FleetError> {
+        let Ok(mut state) = self.inner.lock() else {
+            return Err(FleetError::sink("record stream poisoned by a panic"));
+        };
+        if let Some(error) = &state.error {
+            return Err(FleetError::sink(error.clone()));
+        }
+        if let Err(e) = state.writer.flush() {
+            let rendered = e.to_string();
+            state.error = Some(rendered.clone());
+            return Err(FleetError::sink(rendered));
+        }
+        Ok(())
+    }
+
+    /// Finishes the stream — flushing the writer — and returns it with
+    /// the line count. Without this, a `BufWriter`-backed sink can
+    /// silently drop the tail of the stream on process exit.
     ///
     /// # Errors
     ///
     /// [`FleetError::Sink`] carrying the first write error encountered
     /// while streaming (records that hit it were reported to their
-    /// callers at the time).
+    /// callers at the time), or the final flush failure.
     pub fn finish(self) -> Result<(W, u64), FleetError> {
         match self.inner.into_inner() {
-            Ok(state) => match state.error {
-                None => Ok((state.writer, state.lines)),
+            Ok(mut state) => match state.error {
+                None => {
+                    state.writer.flush().map_err(|e| FleetError::sink(e.to_string()))?;
+                    Ok((state.writer, state.lines))
+                }
                 Some(error) => Err(FleetError::sink(error)),
             },
             Err(_) => Err(FleetError::sink("record stream poisoned by a panic")),
@@ -202,25 +261,106 @@ struct ReplayBoard {
     report: Option<BoardReport>,
 }
 
+/// What stream recovery tolerated while replaying a post-crash
+/// artifact — the typed note attached to a [`replay_summary_recovered`]
+/// result so tooling can report *that* recovery happened, not just
+/// that the fold succeeded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveredStream {
+    /// Frame-valid record lines folded into the summary.
+    pub records: u64,
+    /// Re-streamed trial records skipped because the same
+    /// `(board, trial)` coordinate was already folded — the signature
+    /// of a resumed run appending to a recovered stream.
+    pub duplicate_trials: u64,
+    /// Bytes of a torn (frame-invalid) final line that were tolerated
+    /// instead of erroring. Zero for a cleanly terminated stream.
+    pub torn_tail_bytes: u64,
+}
+
+impl RecoveredStream {
+    /// True when the replay had to tolerate anything — a torn tail or
+    /// duplicate trials.
+    #[must_use]
+    pub fn recovered(&self) -> bool {
+        self.torn_tail_bytes > 0 || self.duplicate_trials > 0
+    }
+}
+
 /// Folds a concatenated JSONL record artifact back into the merged
 /// [`FleetSummary`] — the verification path proving the incremental
 /// artifact carries the same information as the in-memory run.
 ///
-/// Trial lines rebuild the counters; board lines rebuild crash
-/// markers, verdict counts, the quarantine roster, client health and
-/// the resilience totals. A board that streamed trials but no board
-/// line (a stream cut mid-board) replays with a default spotless
-/// report. Client roster order is recovered from the trial records'
-/// client indices.
+/// The strict form of [`replay_summary_recovered`]: the
+/// [`RecoveredStream`] note is dropped, but the same tolerances apply
+/// (torn final line, duplicate trials).
 ///
 /// # Errors
 ///
 /// [`FleetError::Json`] / [`FleetError::Schema`] / [`FleetError::Entry`]
-/// when a line is not a version-2 record.
+/// when a line is not a framed version-2 record.
 pub fn replay_summary(text: &str) -> Result<FleetSummary, FleetError> {
+    replay_summary_recovered(text).map(|(summary, _)| summary)
+}
+
+/// [`replay_summary`] with crash tolerance made explicit.
+///
+/// Every line must carry a valid length+CRC-32 frame. Two departures
+/// from strictness make post-crash artifacts foldable:
+///
+/// - A frame-**invalid** *final* line is tolerated (the stream was
+///   torn mid-write by a crash) and counted in
+///   [`RecoveredStream::torn_tail_bytes`] — provided at least one
+///   valid record precedes it, so a wholly-unframed stream is still
+///   rejected rather than silently folding to an empty summary.
+/// - A trial record for a `(board, trial)` coordinate already folded
+///   is skipped and counted in [`RecoveredStream::duplicate_trials`]:
+///   a resumed run re-streams its checkpointed boards' trials, so the
+///   concatenation of a recovered stream and the resumed appendix
+///   holds each coordinate at most twice; first occurrence wins.
+///
+/// Frame-*valid* lines with malformed payloads always error — a frame
+/// that checks out proves the bytes are exactly what the writer wrote,
+/// so a schema problem there is corruption of a different kind and
+/// must not be papered over. Mid-stream frame failures error too:
+/// torn writes only happen at the tail.
+///
+/// Trial lines rebuild the counters; board lines rebuild crash
+/// markers, verdict counts, the quarantine roster, client health and
+/// the resilience totals (a board line re-streamed after resume simply
+/// overwrites with identical content). A board that streamed trials
+/// but no board line (a stream cut mid-board) replays with a default
+/// spotless report. Client roster order is recovered from the trial
+/// records' client indices.
+///
+/// # Errors
+///
+/// [`FleetError::Json`] / [`FleetError::Schema`] / [`FleetError::Entry`]
+/// when a line is not a framed version-2 record (with the tolerances
+/// above).
+pub fn replay_summary_recovered(
+    text: &str,
+) -> Result<(FleetSummary, RecoveredStream), FleetError> {
     let mut boards: BTreeMap<usize, ReplayBoard> = BTreeMap::new();
     let mut client_names: BTreeMap<usize, String> = BTreeMap::new();
-    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+    let mut seen_trials: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut note = RecoveredStream::default();
+    let lines: Vec<&str> = text.lines().collect();
+    let last_content = lines.iter().rposition(|l| !l.trim().is_empty());
+    for (index, raw) in lines.iter().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = match unframe(raw) {
+            Ok(payload) => payload,
+            Err(e) => {
+                if Some(index) == last_content && note.records > 0 {
+                    note.torn_tail_bytes = raw.len() as u64;
+                    break;
+                }
+                return Err(FleetError::schema(format!("line {index}: invalid frame: {e}")));
+            }
+        };
         let record = Json::parse(line)?;
         match record.get("v").and_then(Json::as_u64) {
             Some(RECORD_VERSION) => {}
@@ -263,9 +403,15 @@ pub fn replay_summary(text: &str) -> Result<FleetSummary, FleetError> {
                         .ok_or_else(|| FleetError::schema("trial record has no entry"))?,
                 )?;
                 client_names.entry(client).or_insert_with(|| name.to_string());
-                slot.stats.accumulate(entry.outcome);
+                note.records += 1;
+                if seen_trials.insert((board, entry.index)) {
+                    slot.stats.accumulate(entry.outcome);
+                } else {
+                    note.duplicate_trials += 1;
+                }
             }
             Some("board") => {
+                note.records += 1;
                 slot.crashed = matches!(record.get("crashed"), Some(Json::Str(_)));
                 slot.report = Some(BoardReport::from_json(
                     record
@@ -333,7 +479,7 @@ pub fn replay_summary(text: &str) -> Result<FleetSummary, FleetError> {
             client.health = sum / client.boards as f64;
         }
     }
-    Ok(FleetSummary {
+    let summary = FleetSummary {
         boards: boards.len(),
         crashed_boards,
         healthy_boards,
@@ -343,7 +489,8 @@ pub fn replay_summary(text: &str) -> Result<FleetSummary, FleetError> {
         clients,
         totals,
         resilience,
-    })
+    };
+    Ok((summary, note))
 }
 
 #[cfg(test)]
@@ -367,7 +514,7 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_sink_writes_one_parseable_line_per_record() {
+    fn jsonl_sink_writes_one_parseable_framed_line_per_record() {
         let sink = JsonlSink::new(Vec::new());
         let board = BoardSpec { id: 7, client: 1, seed: 42 };
         sink.record(&board, "acme", &sample_entry(0, TrialOutcome::CleanPass)).unwrap();
@@ -377,7 +524,7 @@ mod tests {
         assert_eq!(lines, 3);
         let text = String::from_utf8(bytes).unwrap();
         for line in text.lines() {
-            let json = Json::parse(line).unwrap();
+            let json = Json::parse(unframe(line).expect("every sink line is framed")).unwrap();
             assert_eq!(json.get("v").and_then(Json::as_u64), Some(2));
             assert_eq!(json.get("board").and_then(Json::as_u64), Some(7));
             match json.get("kind").and_then(Json::as_str) {
@@ -424,7 +571,12 @@ mod tests {
 
     #[test]
     fn replay_rejects_malformed_streams() {
-        assert!(matches!(replay_summary("not json"), Err(FleetError::Json(_))));
+        // A wholly-unframed stream is rejected outright — torn-tail
+        // tolerance needs at least one valid record first.
+        assert!(matches!(replay_summary("not json"), Err(FleetError::Schema { .. })));
+        // A frame-valid line whose payload is not JSON proves the
+        // writer wrote garbage — that is corruption, not a torn write.
+        assert!(matches!(replay_summary(&frame("not json")), Err(FleetError::Json(_))));
         for bad in [
             r#"{"board":0}"#,
             r#"{"v":1,"kind":"trial","board":0,"client":0,"client_name":"x","entry":{}}"#,
@@ -435,30 +587,34 @@ mod tests {
             r#"{"v":2,"kind":"board","board":0,"client":0,"crashed":null}"#,
         ] {
             assert!(
-                matches!(replay_summary(bad), Err(FleetError::Schema { .. })),
+                matches!(replay_summary(&frame(bad)), Err(FleetError::Schema { .. })),
                 "{bad}"
             );
         }
         // A record whose entry is not a checkpoint entry.
         let bad =
             r#"{"v":2,"kind":"trial","board":0,"client":0,"client_name":"x","entry":{"index":0}}"#;
-        assert!(matches!(replay_summary(bad), Err(FleetError::Entry(_))));
+        assert!(matches!(replay_summary(&frame(bad)), Err(FleetError::Entry(_))));
     }
 
     #[test]
     fn replay_detects_board_client_conflicts() {
-        let a = trial_record(
-            &BoardSpec { id: 0, client: 0, seed: 1 },
-            "a",
-            &sample_entry(0, TrialOutcome::CleanPass),
-        )
-        .render();
-        let b = trial_record(
-            &BoardSpec { id: 0, client: 1, seed: 1 },
-            "b",
-            &sample_entry(1, TrialOutcome::CleanPass),
-        )
-        .render();
+        let a = frame(
+            &trial_record(
+                &BoardSpec { id: 0, client: 0, seed: 1 },
+                "a",
+                &sample_entry(0, TrialOutcome::CleanPass),
+            )
+            .render(),
+        );
+        let b = frame(
+            &trial_record(
+                &BoardSpec { id: 0, client: 1, seed: 1 },
+                "b",
+                &sample_entry(1, TrialOutcome::CleanPass),
+            )
+            .render(),
+        );
         let text = format!("{a}\n{b}\n");
         assert!(matches!(replay_summary(&text), Err(FleetError::Schema { .. })));
     }
@@ -468,13 +624,19 @@ mod tests {
         let b0 = BoardSpec { id: 0, client: 0, seed: 1 };
         let b1 = BoardSpec { id: 1, client: 1, seed: 2 };
         let lines = [
-            trial_record(&b1, "b", &sample_entry(0, TrialOutcome::FalseAlarm)).render(),
+            frame(&trial_record(&b1, "b", &sample_entry(0, TrialOutcome::FalseAlarm)).render()),
             String::new(),
-            trial_record(&b0, "a", &sample_entry(0, TrialOutcome::CleanPass)).render(),
-            trial_record(&b1, "b", &sample_entry(1, TrialOutcome::Detected { noise: true, skew: false }))
+            frame(&trial_record(&b0, "a", &sample_entry(0, TrialOutcome::CleanPass)).render()),
+            frame(
+                &trial_record(
+                    &b1,
+                    "b",
+                    &sample_entry(1, TrialOutcome::Detected { noise: true, skew: false }),
+                )
                 .render(),
+            ),
         ];
-        let summary = replay_summary(&lines.join("\n")).unwrap();
+        let (summary, note) = replay_summary_recovered(&lines.join("\n")).unwrap();
         assert_eq!(summary.boards, 2);
         assert_eq!(summary.clients.len(), 2);
         assert_eq!(summary.clients[0].name, "a");
@@ -482,6 +644,8 @@ mod tests {
         assert_eq!(summary.totals.detected, 1);
         assert_eq!(summary.healthy_boards, 2, "no board lines means spotless defaults");
         assert_eq!(summary.resilience, ResilienceTotals::default());
+        assert_eq!(note, RecoveredStream { records: 3, ..RecoveredStream::default() });
+        assert!(!note.recovered());
     }
 
     #[test]
@@ -500,15 +664,17 @@ mod tests {
             ..BoardReport::default()
         };
         let lines = [
-            trial_record(&b0, "a", &sample_entry(0, TrialOutcome::CleanPass)).render(),
-            board_record(&sample_board_summary(0, 0)).render(),
-            trial_record(
-                &BoardSpec { id: 1, client: 0, seed: 2 },
-                "a",
-                &sample_entry(0, TrialOutcome::Shed),
-            )
-            .render(),
-            board_record(&dead).render(),
+            frame(&trial_record(&b0, "a", &sample_entry(0, TrialOutcome::CleanPass)).render()),
+            frame(&board_record(&sample_board_summary(0, 0)).render()),
+            frame(
+                &trial_record(
+                    &BoardSpec { id: 1, client: 0, seed: 2 },
+                    "a",
+                    &sample_entry(0, TrialOutcome::Shed),
+                )
+                .render(),
+            ),
+            frame(&board_record(&dead).render()),
         ];
         let summary = replay_summary(&lines.join("\n")).unwrap();
         assert_eq!(summary.boards, 2);
@@ -520,5 +686,60 @@ mod tests {
         assert_eq!(summary.resilience.retries, 3);
         assert_eq!(summary.resilience.breaker_trips, 1);
         assert_eq!(summary.clients[0].health, (1.0 + 0.25) / 2.0);
+    }
+
+    #[test]
+    fn replay_tolerates_a_torn_final_line_with_a_typed_note() {
+        let b0 = BoardSpec { id: 0, client: 0, seed: 1 };
+        let whole = frame(&trial_record(&b0, "a", &sample_entry(0, TrialOutcome::CleanPass)).render());
+        let torn = &frame(&trial_record(&b0, "a", &sample_entry(1, TrialOutcome::Missed)).render())
+            [..40];
+        let text = format!("{whole}\n{torn}");
+        let (summary, note) = replay_summary_recovered(&text).unwrap();
+        assert_eq!(summary.totals.control_trials, 1);
+        assert_eq!(summary.totals.defect_trials, 0, "the torn trial is not folded");
+        assert_eq!(note.records, 1);
+        assert_eq!(note.torn_tail_bytes, 40);
+        assert!(note.recovered());
+        // The strict alias applies the same tolerance.
+        assert_eq!(replay_summary(&text).unwrap(), summary);
+    }
+
+    #[test]
+    fn replay_rejects_mid_stream_frame_garbage() {
+        let b0 = BoardSpec { id: 0, client: 0, seed: 1 };
+        let whole = frame(&trial_record(&b0, "a", &sample_entry(0, TrialOutcome::CleanPass)).render());
+        // Torn line *followed by* a valid one: torn writes only happen
+        // at the tail, so this is corruption and must error.
+        let text = format!("{}\n{whole}\n", &whole[..30]);
+        assert!(matches!(replay_summary(&text), Err(FleetError::Schema { .. })));
+    }
+
+    #[test]
+    fn replay_skips_restreamed_duplicate_trials() {
+        let b0 = BoardSpec { id: 0, client: 0, seed: 1 };
+        let t0 = frame(&trial_record(&b0, "a", &sample_entry(0, TrialOutcome::CleanPass)).render());
+        let t1 = frame(&trial_record(&b0, "a", &sample_entry(1, TrialOutcome::Missed)).render());
+        // A resume re-streams trial 0 after the recovered prefix.
+        let text = format!("{t0}\n{t0}\n{t1}\n");
+        let (summary, note) = replay_summary_recovered(&text).unwrap();
+        assert_eq!(summary.totals.control_trials, 1, "first occurrence wins, once");
+        assert_eq!(summary.totals.defect_trials, 1);
+        assert_eq!(note.records, 3);
+        assert_eq!(note.duplicate_trials, 1);
+        assert!(note.recovered());
+    }
+
+    #[test]
+    fn raw_sink_lines_are_unframed() {
+        let sink = JsonlSink::raw(Vec::new());
+        let board = BoardSpec { id: 3, client: 0, seed: 9 };
+        sink.record(&board, "a", &sample_entry(0, TrialOutcome::CleanPass)).unwrap();
+        let (bytes, lines) = sink.finish().unwrap();
+        assert_eq!(lines, 1);
+        let text = String::from_utf8(bytes).unwrap();
+        let line = text.lines().next().unwrap();
+        assert!(unframe(line).is_err(), "raw lines carry no frame");
+        Json::parse(line).expect("raw lines are the bare record payload");
     }
 }

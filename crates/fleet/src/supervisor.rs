@@ -34,10 +34,17 @@
 //! chaos-injected) is counted, the record is spooled in a bounded
 //! in-memory queue, and the backlog flushes — in trial order — on the
 //! next successful write. A result-path hiccup never aborts a board.
+//! [`ChaosKind::Disk`] coordinates go further than the flat
+//! [`ChaosKind::Sink`] failure: the record's framed bytes are pushed
+//! through a [`FaultyWriter`] carrying a concrete
+//! [`sint_runtime::durable::DiskFault`], so a short write recovers
+//! in-process (`write_all` retries the remainder — no sink error at
+//! all) while a torn write or `ENOSPC` surfaces as a real spoolable
+//! failure.
 
 use crate::chaos::{ChaosKind, ChaosPlan};
 use crate::error::FleetError;
-use crate::record::RecordSink;
+use crate::record::{trial_record, RecordSink};
 use crate::spec::BoardSpec;
 use sint_core::campaign::{
     AttemptOutcome, Campaign, CampaignStats, ShedReason, Trial, TrialFailure, TrialOutcome,
@@ -47,8 +54,10 @@ use sint_core::checkpoint::CheckpointEntry;
 use sint_core::probe_chain;
 use sint_runtime::backoff::{BackoffPolicy, VirtualClock};
 use sint_runtime::cancel::CancelToken;
+use sint_runtime::durable::{frame, DiskFault, FaultyWriter};
 use sint_runtime::json::{Json, ToJson};
 use std::collections::VecDeque;
+use std::io::Write;
 use std::time::Duration;
 
 /// Backoff substream used for half-open probe waits, disjoint from the
@@ -273,6 +282,17 @@ impl ToJson for BoardReport {
     }
 }
 
+/// How a chaos coordinate disrupts the write of one trial record.
+#[derive(Debug, Clone, Copy)]
+enum SinkDisruption {
+    /// [`ChaosKind::Sink`]: the write fails flatly, once.
+    Flat,
+    /// [`ChaosKind::Disk`]: the record's framed bytes are pushed
+    /// through a [`FaultyWriter`] carrying this concrete fault; only
+    /// faults that `write_all` cannot absorb become sink failures.
+    Disk(DiskFault),
+}
+
 /// How one attempt was classified for the resilience machines.
 enum Classified {
     Verdict(TrialOutcome),
@@ -331,8 +351,9 @@ impl<'a> BoardSupervisor<'a> {
     /// Runs one attempt, chaos-transformed, and classifies the result.
     fn attempt(&self, board: &BoardSpec, trial: &Trial, index: usize, attempt: usize) -> Classified {
         let fault = match self.chaos.and_then(|c| c.fault_on_attempt(board.id, index, attempt)) {
-            // Sink faults hit the result path, never the trial itself.
-            Some(ChaosKind::Sink) | None => None,
+            // Sink and disk faults hit the result path, never the
+            // trial itself.
+            Some(ChaosKind::Sink | ChaosKind::Disk) | None => None,
             fault => fault,
         };
         let seed = (index as u64)
@@ -350,7 +371,7 @@ impl<'a> BoardSupervisor<'a> {
                 Trial { defect: trial.defect, sabotage: TrialSabotage::Panic },
                 seed,
             ),
-            Some(ChaosKind::Wedge | ChaosKind::Sink) => self.wedged.run_trial_isolated(
+            Some(ChaosKind::Wedge | ChaosKind::Sink | ChaosKind::Disk) => self.wedged.run_trial_isolated(
                 Trial { defect: trial.defect, sabotage: TrialSabotage::Wedge },
                 seed,
             ),
@@ -397,9 +418,13 @@ impl<'a> BoardSupervisor<'a> {
 
         for (index, trial) in trials.iter().enumerate() {
             let seed = index as u64;
-            let sink_fault = self
-                .chaos
-                .is_some_and(|c| c.fault_at(board.id, index) == Some(ChaosKind::Sink));
+            let sink_fault = self.chaos.and_then(|c| match c.fault_at(board.id, index) {
+                Some(ChaosKind::Sink) => Some(SinkDisruption::Flat),
+                Some(ChaosKind::Disk) => {
+                    Some(SinkDisruption::Disk(c.disk_fault(board.id, index)))
+                }
+                _ => None,
+            });
             if breaker == BreakerState::Open {
                 let entry = shed_entry(index, seed, ShedReason::Quarantined);
                 self.emit(&mut st, board, client, sink, entry, sink_fault);
@@ -530,7 +555,8 @@ impl<'a> BoardSupervisor<'a> {
 
     /// Records one finished trial: fold the stats, then write through
     /// the sink with spool-on-failure. `sink_fault` simulates one
-    /// injected write failure for this record.
+    /// injected write failure for this record — flat, or realised at
+    /// the byte level through a [`FaultyWriter`].
     fn emit(
         &self,
         st: &mut BoardState,
@@ -538,13 +564,31 @@ impl<'a> BoardSupervisor<'a> {
         client: &str,
         sink: &dyn RecordSink,
         entry: CheckpointEntry,
-        sink_fault: bool,
+        sink_fault: Option<SinkDisruption>,
     ) {
         st.stats.accumulate(entry.outcome);
-        if sink_fault {
-            st.report.sink_errors += 1;
-            spool(st, entry, self.config.spool_limit);
-            return;
+        match sink_fault {
+            None => {}
+            Some(SinkDisruption::Flat) => {
+                st.report.sink_errors += 1;
+                spool(st, entry, self.config.spool_limit);
+                return;
+            }
+            Some(SinkDisruption::Disk(fault)) => {
+                // Realise the fault against the record's actual framed
+                // bytes. `write_all` absorbs short writes by retrying
+                // the remainder — only torn writes and ENOSPC survive
+                // as failures. The probe writer is deterministic, so
+                // the outcome is a pure function of the chaos plan.
+                let mut probe = FaultyWriter::with_fault(Vec::new(), Some(fault));
+                let line = frame(&trial_record(board, client, &entry).render());
+                if probe.write_all(line.as_bytes()).and_then(|()| probe.write_all(b"\n")).is_err()
+                {
+                    st.report.sink_errors += 1;
+                    spool(st, entry, self.config.spool_limit);
+                    return;
+                }
+            }
         }
         // Flush the backlog first so the stream keeps trial order.
         while let Some(front) = st.spool.front() {

@@ -141,7 +141,8 @@ fn sink_faults_spool_and_flush_without_losing_records() {
     let trial_lines = text
         .lines()
         .filter(|l| {
-            Json::parse(l).unwrap().get("kind").and_then(Json::as_str) == Some("trial")
+            let payload = sint_runtime::durable::unframe(l).expect("framed line");
+            Json::parse(payload).unwrap().get("kind").and_then(Json::as_str) == Some("trial")
         })
         .count();
     assert_eq!(trial_lines, 4 * 3, "the spooled record flushed — nothing lost");

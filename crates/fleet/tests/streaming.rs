@@ -6,6 +6,7 @@
 use sint_fleet::{
     replay_summary, ClientSpec, FleetEngine, FloorSpec, JsonlSink, NullSink,
 };
+use sint_runtime::durable::unframe;
 use sint_runtime::json::{Json, ToJson};
 
 fn floor() -> FloorSpec {
@@ -26,10 +27,11 @@ fn concatenated_jsonl_artifact_round_trips_to_the_in_memory_summary() {
     assert_eq!(lines as usize, 10 * 3 + 10, "one line per trial plus one per board");
     let text = String::from_utf8(bytes).unwrap();
 
-    // Every line is standalone JSON for the workspace parser, tagged
-    // with its record kind.
+    // Every line is standalone, CRC-framed JSON for the workspace
+    // parser, tagged with its record kind.
     for line in text.lines() {
-        let record = Json::parse(line).expect("each record line parses");
+        let payload = unframe(line).expect("each record line carries a valid frame");
+        let record = Json::parse(payload).expect("each record line parses");
         assert_eq!(record.get("v").and_then(Json::as_u64), Some(2));
         assert!(
             matches!(record.get("kind").and_then(Json::as_str), Some("trial" | "board")),

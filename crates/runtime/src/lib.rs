@@ -31,6 +31,14 @@
 //!   decorrelated-jitter delays are pure functions of
 //!   `(seed, stream, attempt)`, so retry schedules stay reproducible
 //!   across thread counts and kill/resume.
+//! - [`durable`] — crash-consistent persistence:
+//!   [`durable::AtomicFile`] replace-file writes, [`durable::GenPair`]
+//!   generation-pair checkpoints that survive a torn overwrite of
+//!   either slot, CRC-32 line framing ([`durable::frame`]) with a
+//!   tail-recovery scanner ([`durable::scan_frames`]), and a
+//!   deterministic disk-fault injector ([`durable::FaultyWriter`])
+//!   whose short/torn/`ENOSPC` failures are pure functions of
+//!   `(seed, path, op-index)`.
 //!
 //! The policy this crate enforces: **no `sint` crate may declare an
 //! external dependency.** `scripts/verify.sh` builds with
@@ -42,6 +50,7 @@
 pub mod backoff;
 pub mod bench;
 pub mod cancel;
+pub mod durable;
 pub mod json;
 pub mod pool;
 pub mod prop;
@@ -50,6 +59,7 @@ pub mod rng;
 pub use backoff::{BackoffPolicy, VirtualClock};
 pub use bench::{Bench, BenchResult};
 pub use cancel::CancelToken;
+pub use durable::{AtomicFile, DiskFault, DiskFaults, FaultyWriter, FuseWriter, GenPair};
 pub use json::{Json, JsonParseError, ToJson};
 pub use pool::{JobPanic, Pool};
 pub use prop::Runner;

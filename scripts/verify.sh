@@ -123,8 +123,9 @@ echo "fleet resume: summaries byte-identical"
 
 # Chaos matrix: the fleet resilience layer under an ACTIVE deterministic
 # fault schedule (chain scan faults, wedged solvers, harness panics,
-# sink write failures; flaky boards recovered by backoff-paced retry,
-# dead boards quarantined by circuit breakers). The merged summary —
+# sink write failures, torn/short/ENOSPC disk faults; flaky boards
+# recovered by backoff-paced retry, dead boards quarantined by circuit
+# breakers). The merged summary —
 # verdict counts, quarantine roster and resilience totals included —
 # must be byte-identical serial vs 8 threads, and across a kill at 300
 # boards plus resume. The binary itself exits 4 if any injected
@@ -174,5 +175,73 @@ if ! cmp "$tmp/batch_w8.json" "$tmp/batch_w8_t8.json"; then
     exit 1
 fi
 echo "batched solves: byte-identical vs unbatched, low-rank gate holds"
+
+# Torn-write storm: kill the streaming fleet run mid-write at several
+# byte offsets (fixed and seeded-random), let the resume recover the
+# CRC-framed records stream and the generation-paired checkpoint, and
+# require the merged summary — and its records-replay self-check — to
+# match the uninterrupted reference byte for byte.
+for kill in rand:11 rand:22 4097; do
+    rm -f "$tmp/tw_ckpt.json.a" "$tmp/tw_ckpt.json.b" \
+        "$tmp/tw_records.jsonl" "$tmp/tw_summary.json"
+    status=0
+    SINT_THREADS=4 target/release/fleet_resume \
+        "$tmp/tw_ckpt.json" "$tmp/tw_summary.json" \
+        --records "$tmp/tw_records.jsonl" --kill-at-byte "$kill" || status=$?
+    if [ "$status" -ne 3 ]; then
+        echo "verify: FAIL — kill-at-byte $kill run exited $status, expected 3" >&2
+        exit 1
+    fi
+    SINT_THREADS=8 target/release/fleet_resume \
+        "$tmp/tw_ckpt.json" "$tmp/tw_summary.json" \
+        --records "$tmp/tw_records.jsonl"
+    if ! cmp "$tmp/fleet_ref_summary.json" "$tmp/tw_summary.json"; then
+        echo "verify: FAIL — summary after kill at $kill differs from reference" >&2
+        exit 1
+    fi
+done
+echo "torn-write storm: recovered summaries byte-identical at 3 kill offsets"
+
+# Torn checkpoint: tear the second generation image itself mid-write;
+# the loader must fall back to the surviving generation and the resumed
+# summary must still match the reference.
+rm -f "$tmp/tc_ckpt.json.a" "$tmp/tc_ckpt.json.b" "$tmp/tc_summary.json"
+status=0
+SINT_THREADS=4 target/release/fleet_resume \
+    "$tmp/tc_ckpt.json" "$tmp/tc_summary.json" --torn-ckpt 120 || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "verify: FAIL — torn-checkpoint run exited $status, expected 3" >&2
+    exit 1
+fi
+SINT_THREADS=8 target/release/fleet_resume \
+    "$tmp/tc_ckpt.json" "$tmp/tc_summary.json"
+if ! cmp "$tmp/fleet_ref_summary.json" "$tmp/tc_summary.json"; then
+    echo "verify: FAIL — summary after torn checkpoint differs from reference" >&2
+    exit 1
+fi
+echo "torn checkpoint: resume fell back a generation, summary byte-identical"
+
+# The same crash storm under active chaos: injected disk faults in the
+# schedule, a seeded kill mid-stream, then recovery + resume with the
+# replay self-check armed (the binary exits 5 if the recovered stream
+# does not fold back to the summary it wrote).
+rm -f "$tmp/ctw_ckpt.json.a" "$tmp/ctw_ckpt.json.b" \
+    "$tmp/ctw_records.jsonl" "$tmp/ctw_summary.json"
+status=0
+SINT_THREADS=4 target/release/chaos_check \
+    "$tmp/ctw_ckpt.json" "$tmp/ctw_summary.json" \
+    --records "$tmp/ctw_records.jsonl" --kill-at-byte rand:33 || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "verify: FAIL — chaotic kill-at-byte run exited $status, expected 3" >&2
+    exit 1
+fi
+SINT_THREADS=8 target/release/chaos_check \
+    "$tmp/ctw_ckpt.json" "$tmp/ctw_summary.json" \
+    --records "$tmp/ctw_records.jsonl"
+if ! cmp "$tmp/chaos_ref_summary.json" "$tmp/ctw_summary.json"; then
+    echo "verify: FAIL — chaotic summary after mid-stream kill differs" >&2
+    exit 1
+fi
+echo "chaos crash storm: recovery + replay self-check byte-identical"
 
 echo "verify: OK"

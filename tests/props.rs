@@ -17,8 +17,14 @@ use sint::interconnect::variation::{apply_variation, SplitMix64, VariationSigma}
 use sint::jtag::integrity::QuarantineSet;
 use sint::jtag::state::TapState;
 use sint::jtag::svf::{mask_hex, scan_hex};
+use sint::fleet::{
+    replay_summary_recovered, ClientSpec, FleetCheckpoint, FleetEngine, FloorSpec, JsonlSink,
+    NullSink,
+};
 use sint::logic::{BitVector, Logic};
 use sint::runtime::backoff::BackoffPolicy;
+use sint::runtime::durable::{frame, scan_frames, GenPair};
+use sint::runtime::json::ToJson;
 use sint::runtime::prop::{gen, Runner};
 use sint::runtime::rng::Rng64;
 
@@ -580,6 +586,203 @@ fn backoff_delays_are_strictly_bounded_and_never_zero() {
                 check(d >= 1 && d <= ceiling, || format!("schedule delay {d} out of bounds"))?;
             }
             Ok(())
+        },
+    );
+}
+
+// ---------------- Durable persistence ----------------
+
+#[test]
+fn frame_scanner_recovers_exactly_the_longest_valid_prefix() {
+    Runner::new("frame_scan_prefix").run(
+        |rng| {
+            let payloads = gen::vec_of(rng, 0..12, |rng| {
+                format!("{{\"i\":{}}}", rng.gen_u64())
+            });
+            // A tail the crash may have left behind: nothing, a frame
+            // torn mid-write (no trailing newline survives), or plain
+            // garbage lines. None of it may leak into the prefix.
+            let tail: Vec<u8> = match gen::usize_in(rng, 0..3) {
+                0 => Vec::new(),
+                1 => {
+                    let torn = format!("{}\n", frame("{\"i\":99}"));
+                    let keep = 1 + gen::usize_in(rng, 0..torn.len() - 1);
+                    torn.into_bytes()[..keep].to_vec()
+                }
+                _ => format!("torn{:x}\n{:x}", rng.gen_u64(), rng.gen_u64()).into_bytes(),
+            };
+            (payloads, tail)
+        },
+        |(payloads, tail)| {
+            let mut stream = Vec::new();
+            for p in payloads {
+                stream.extend_from_slice(frame(p).as_bytes());
+                stream.push(b'\n');
+            }
+            let prefix_len = stream.len() as u64;
+            stream.extend_from_slice(tail);
+
+            let (recovered, scan) = scan_frames(&stream);
+            check_eq(scan.records, payloads.len() as u64)?;
+            check_eq(scan.valid_bytes, prefix_len)?;
+            check_eq(scan.dropped_bytes, tail.len() as u64)?;
+            check_eq(scan.torn(), !tail.is_empty())?;
+            for (got, want) in recovered.iter().zip(payloads) {
+                check_eq(*got, want.as_bytes())?;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// An in-memory record stream whose bytes the snapshot callback can
+/// observe mid-run — the test double for a records file on disk.
+struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if let Ok(mut bytes) = self.0.lock() {
+            bytes.extend_from_slice(buf);
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn truncated_streams_resume_and_replay_to_the_reference_summary() {
+    // Kill a streaming checkpointed run at an arbitrary byte past some
+    // snapshot, recover the stream's longest valid prefix, resume from
+    // that snapshot, and the recovered-plus-resumed artifact must fold
+    // back to the uninterrupted run's exact summary.
+    Runner::new("torn_stream_recovery").cases(12).run(
+        |rng| {
+            (
+                rng.gen_u64(),
+                1 + gen::usize_in(rng, 0..4),
+                gen::usize_in(rng, 0..usize::MAX),
+                gen::usize_in(rng, 0..usize::MAX),
+            )
+        },
+        |&(seed, snapshot_every, pick, cut)| {
+            let engine = || {
+                FleetEngine::new(
+                    FloorSpec::new(12)
+                        .trials_per_board(3)
+                        .seed(seed)
+                        .with_clients(vec![ClientSpec::new("acme"), ClientSpec::new("initech")]),
+                )
+                .map_err(|e| format!("engine: {e}"))
+            };
+            let reference = engine()?.run(1, &NullSink).to_json().render();
+
+            // The killed run: stream through a shared buffer so each
+            // snapshot can note how many record bytes preceded it —
+            // the write-ahead point a real resume would see on disk.
+            let shared = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            let sink = JsonlSink::new(SharedBuf(std::sync::Arc::clone(&shared)));
+            let mut snapshots: Vec<(String, usize)> = Vec::new();
+            let mut killed_ckpt = FleetCheckpoint::new();
+            let _ = engine()?.run_checkpointed(2, &mut killed_ckpt, snapshot_every, &sink, |cp| {
+                let len = shared.lock().map(|b| b.len()).unwrap_or(0);
+                snapshots.push((cp.to_json().render(), len));
+            });
+            let full = shared.lock().map_err(|_| "poisoned buffer".to_string())?.clone();
+            check(!snapshots.is_empty(), || "no snapshots taken".to_string())?;
+
+            // Crash at an arbitrary byte at or past the chosen snapshot.
+            let (render, written) = &snapshots[pick % snapshots.len()];
+            let cut_at = written + cut % (full.len() - written + 1);
+            let (_, scan) = scan_frames(&full[..cut_at]);
+            check(scan.valid_bytes as usize >= *written, || {
+                format!("write-ahead violated: {} valid < {written} checkpointed", scan.valid_bytes)
+            })?;
+            let prefix = &full[..scan.valid_bytes as usize];
+
+            // Resume from the snapshot at a different thread count.
+            let mut resumed_ckpt =
+                FleetCheckpoint::parse(render).map_err(|e| format!("parse: {e}"))?;
+            let resume_sink = JsonlSink::new(Vec::new());
+            let resumed = engine()?
+                .run_checkpointed(4, &mut resumed_ckpt, snapshot_every, &resume_sink, |_| {})
+                .to_json()
+                .render();
+            check_eq(resumed, reference.clone())?;
+
+            // Recovered prefix + resumed tail replays byte-identically,
+            // deduplicating any trials the tail re-streamed.
+            let (tail, _) = resume_sink.finish().map_err(|e| format!("finish: {e}"))?;
+            let mut combined = prefix.to_vec();
+            combined.extend_from_slice(&tail);
+            let text = String::from_utf8(combined).map_err(|e| format!("utf8: {e}"))?;
+            let (replayed, note) =
+                replay_summary_recovered(&text).map_err(|e| format!("replay: {e}"))?;
+            check_eq(note.torn_tail_bytes, 0)?;
+            check_eq(replayed.to_json().render(), reference)
+        },
+    );
+}
+
+#[test]
+fn generation_pairs_survive_corruption_of_either_slot() {
+    Runner::new("genpair_slot_loss").cases(24).run(
+        |rng| {
+            (
+                rng.gen_u64(),
+                format!("first-{:x}", rng.gen_u64()),
+                format!("second-{:x}", rng.gen_u64()),
+                format!("third-{:x}", rng.gen_u64()),
+                gen::usize_in(rng, 0..2),
+                gen::usize_in(rng, 0..3),
+            )
+        },
+        |(tag, first, second, third, victim, mode)| {
+            let dir = std::env::temp_dir()
+                .join(format!("sint_prop_genpair_{}_{tag:016x}", std::process::id()));
+            std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir: {e}"))?;
+            let result = (|| {
+                let pair = GenPair::new(dir.join("ckpt"));
+                check_eq(pair.store(first).map_err(|e| format!("store 1: {e}"))?, 1)?;
+                check_eq(pair.store(second).map_err(|e| format!("store 2: {e}"))?, 2)?;
+
+                // Identify the slots by generation, then smash one.
+                let (slot_a, slot_b) = pair.slots();
+                let a_is_newest = std::fs::read_to_string(&slot_a)
+                    .map(|s| s.starts_with("sintgen 2 "))
+                    .unwrap_or(false);
+                let (newest, oldest) =
+                    if a_is_newest { (slot_a, slot_b) } else { (slot_b, slot_a) };
+                let target = if *victim == 0 { &newest } else { &oldest };
+                match mode {
+                    // Torn write: only a prefix of the image survives.
+                    0 => {
+                        let data =
+                            std::fs::read(target).map_err(|e| format!("read slot: {e}"))?;
+                        std::fs::write(target, &data[..data.len().min(11)])
+                            .map_err(|e| format!("tear slot: {e}"))?;
+                    }
+                    // Bit rot: the header no longer parses.
+                    1 => std::fs::write(target, "sintgen garbage\n")
+                        .map_err(|e| format!("rot slot: {e}"))?,
+                    // The slot file vanished entirely.
+                    _ => std::fs::remove_file(target).map_err(|e| format!("rm slot: {e}"))?,
+                }
+
+                // Whichever slot died, the survivor still loads — and a
+                // fresh store heals the pair past both generations.
+                let (survivor_gen, survivor) = if *victim == 0 { (1, first) } else { (2, second) };
+                let loaded = pair.load().map_err(|e| format!("load: {e}"))?;
+                check_eq(loaded, Some((survivor_gen, survivor.clone())))?;
+                let healed = pair.store(third).map_err(|e| format!("store 3: {e}"))?;
+                check_eq(healed, survivor_gen + 1)?;
+                let reloaded = pair.load().map_err(|e| format!("reload: {e}"))?;
+                check_eq(reloaded, Some((healed, third.clone())))
+            })();
+            let _ = std::fs::remove_dir_all(&dir);
+            result
         },
     );
 }
