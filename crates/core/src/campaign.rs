@@ -6,9 +6,12 @@
 //! the caller supplies the exact defect list (randomised campaigns
 //! sample defects upstream, e.g. in `sint-bench`).
 
+use crate::adaptive::AdaptiveConfig;
+use crate::cost::MethodPlanner;
 use crate::error::CoreError;
-use crate::session::{ObservationMethod, SessionConfig};
-use crate::soc::SocBuilder;
+use crate::session::{IntegrityReport, ObservationMethod, SessionConfig};
+use crate::soc::{Soc, SocBuilder};
+use crate::timing::ChainGeometry;
 use sint_interconnect::defect::Defect;
 use sint_interconnect::params::BusParams;
 use sint_interconnect::variation::VariationSigma;
@@ -481,6 +484,8 @@ pub struct Campaign {
     deadline: Option<Duration>,
     budget: Option<Duration>,
     panel_width: Option<usize>,
+    planner: Option<MethodPlanner>,
+    adaptive: AdaptiveConfig,
 }
 
 impl Campaign {
@@ -496,7 +501,47 @@ impl Campaign {
             deadline: None,
             budget: None,
             panel_width: None,
+            planner: None,
+            adaptive: AdaptiveConfig::default(),
         }
+    }
+
+    /// Installs a cost-model method planner: every trial's observation
+    /// method is chosen by [`MethodPlanner::choose`] over this
+    /// campaign's chain geometry instead of the session config's fixed
+    /// method. The fleet's board specs route their `defect_prior` /
+    /// `tck_budget` knobs through this.
+    #[must_use]
+    pub fn planner(mut self, planner: MethodPlanner) -> Campaign {
+        self.planner = Some(planner);
+        self
+    }
+
+    /// The installed method planner, if any.
+    #[must_use]
+    pub fn method_planner(&self) -> Option<&MethodPlanner> {
+        self.planner.as_ref()
+    }
+
+    /// Overrides the adaptive-engine configuration (round size and
+    /// pattern reordering) used by [`Campaign::run_adaptive`] and
+    /// friends. Ignored by the exhaustive engines.
+    #[must_use]
+    pub fn adaptive(mut self, config: AdaptiveConfig) -> Campaign {
+        self.adaptive = config;
+        self
+    }
+
+    /// The active adaptive-engine configuration.
+    #[must_use]
+    pub fn adaptive_config(&self) -> AdaptiveConfig {
+        self.adaptive
+    }
+
+    /// Interconnect width of every trial SoC.
+    #[must_use]
+    pub fn wires(&self) -> usize {
+        self.wires
     }
 
     /// Overrides every trial SoC's pattern-batching width (see
@@ -599,7 +644,17 @@ impl Campaign {
         if trial.sabotage == TrialSabotage::Panic {
             panic!("injected fault: sabotaged trial (TrialSabotage::Panic)");
         }
-        let config = match trial.sabotage {
+        let config = self.trial_session_config(trial)?;
+        let mut soc = self.build_trial_soc(trial, seed_offset)?;
+        let report = soc.run_integrity_test(&config)?;
+        Ok(Campaign::judge(trial, &report))
+    }
+
+    /// The session configuration one trial runs with: the campaign's
+    /// config, the wedge sabotage's inflated settle window, and the
+    /// planner's method choice (when installed) applied in that order.
+    pub(crate) fn trial_session_config(&self, trial: Trial) -> Result<SessionConfig, CoreError> {
+        let mut config = match trial.sabotage {
             TrialSabotage::Wedge => {
                 if self.deadline.is_none() {
                     return Err(CoreError::config(
@@ -611,6 +666,16 @@ impl Campaign {
             }
             _ => self.config,
         };
+        if let Some(planner) = &self.planner {
+            config.method = planner.choose(ChainGeometry::new(self.wires, 0));
+        }
+        Ok(config)
+    }
+
+    /// Builds one trial's SoC: bus parameters, sabotage chain fault,
+    /// panel width, per-die variation, the injected defect, and the
+    /// per-trial deadline token.
+    pub(crate) fn build_trial_soc(&self, trial: Trial, seed_offset: u64) -> Result<Soc, CoreError> {
         let mut builder = SocBuilder::new(self.wires).bus_params(self.bus_params.clone());
         if let TrialSabotage::ChainFault(fault) = trial.sabotage {
             builder = builder.scan_fault(fault);
@@ -628,8 +693,13 @@ impl Campaign {
         if let Some(per_trial) = self.deadline {
             soc.set_cancel_token(Some(CancelToken::with_deadline(per_trial)));
         }
-        let report = soc.run_integrity_test(&config)?;
-        Ok(match trial.defect {
+        Ok(soc)
+    }
+
+    /// Judges a finished session against its trial kind: the defect's
+    /// focus wire for defect trials, the whole bus for controls.
+    pub(crate) fn judge(trial: Trial, report: &IntegrityReport) -> TrialOutcome {
+        match trial.defect {
             Some(_) => {
                 let v = report.wire(trial.judged_wire());
                 if v.any() {
@@ -645,7 +715,7 @@ impl Campaign {
                     TrialOutcome::CleanPass
                 }
             }
-        })
+        }
     }
 
     /// Runs one trial with bounded, seed-perturbed retry per the

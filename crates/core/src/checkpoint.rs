@@ -83,6 +83,15 @@ pub struct CheckpointEntry {
     /// one; drop the entry from the snapshot to re-run a shed trial
     /// under a fresh budget.
     pub shed: Option<TrialShed>,
+    /// Patterns the adaptive engine skipped for this trial because
+    /// their `(victim, fault)` pairs were already in the campaign
+    /// coverage ledger. Zero for non-adaptive runs; rendered only when
+    /// nonzero so existing v2 records stay byte-identical.
+    pub dropped: u64,
+    /// Escalation passes (extra half re-runs with mid-half probes) the
+    /// adaptive engine spent localizing this trial's failures. Zero for
+    /// non-adaptive runs; rendered only when nonzero.
+    pub escalation: u64,
 }
 
 impl CheckpointEntry {
@@ -101,7 +110,7 @@ impl CheckpointEntry {
 
 impl ToJson for CheckpointEntry {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("index", self.index.to_json()),
             ("seed", self.seed.to_json()),
             ("outcome", self.outcome.to_json()),
@@ -113,7 +122,16 @@ impl ToJson for CheckpointEntry {
                 Some(s) => s.to_json(),
                 None => Json::Null,
             }),
-        ])
+        ];
+        // Adaptive counters render only when nonzero so pre-adaptive v2
+        // records (and their goldens) stay byte-identical.
+        if self.dropped != 0 {
+            fields.push(("dropped", self.dropped.to_json()));
+        }
+        if self.escalation != 0 {
+            fields.push(("escalation", self.escalation.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -298,7 +316,16 @@ fn parse_entry(entry: &Json) -> Result<CheckpointEntry, CheckpointError> {
             )?,
         }),
     };
-    Ok(CheckpointEntry { index, seed, outcome, failure, shed })
+    // Absent counters decode as zero: pre-adaptive records carry none.
+    let dropped = match entry.get("dropped") {
+        None | Some(Json::Null) => 0,
+        Some(_) => field_u64(entry, "dropped")?,
+    };
+    let escalation = match entry.get("escalation") {
+        None | Some(Json::Null) => 0,
+        Some(_) => field_u64(entry, "escalation")?,
+    };
+    Ok(CheckpointEntry { index, seed, outcome, failure, shed, dropped, escalation })
 }
 
 impl Campaign {
@@ -349,7 +376,7 @@ impl Campaign {
                 }
             };
             stats.accumulate(outcome);
-            emit(&CheckpointEntry { index, seed, outcome, failure, shed });
+            emit(&CheckpointEntry { index, seed, outcome, failure, shed, dropped: 0, escalation: 0 });
         }
         stats
     }
@@ -416,7 +443,7 @@ impl Campaign {
                         None,
                     ),
                 };
-                checkpoint.record(CheckpointEntry { index: *index, seed, outcome, failure, shed });
+                checkpoint.record(CheckpointEntry { index: *index, seed, outcome, failure, shed, dropped: 0, escalation: 0 });
             }
             sink(checkpoint);
         }
@@ -463,6 +490,8 @@ mod tests {
             outcome: TrialOutcome::Detected { noise: true, skew: false },
             failure: None,
             shed: None,
+                    dropped: 0,
+            escalation: 0,
         });
         checkpoint.record(CheckpointEntry {
             index: 2,
@@ -475,6 +504,8 @@ mod tests {
                 error: "injected fault: sabotaged trial".into(),
             }),
             shed: None,
+                    dropped: 0,
+            escalation: 0,
         });
         checkpoint.record(CheckpointEntry {
             index: 3,
@@ -486,6 +517,8 @@ mod tests {
                 seed: 3,
                 reason: ShedReason::Deadline { step: 64 },
             }),
+                    dropped: 0,
+            escalation: 0,
         });
         checkpoint.record(CheckpointEntry {
             index: 4,
@@ -493,6 +526,8 @@ mod tests {
             outcome: TrialOutcome::Shed,
             failure: None,
             shed: Some(TrialShed { index: 4, seed: 4, reason: ShedReason::Budget }),
+                    dropped: 0,
+            escalation: 0,
         });
         let rendered = checkpoint.to_json().render();
         assert!(rendered.contains(r#""version":2"#), "{rendered}");
@@ -544,6 +579,8 @@ mod tests {
             outcome: TrialOutcome::CleanPass,
             failure: None,
             shed: None,
+                    dropped: 0,
+            escalation: 0,
         });
         assert!(checkpoint.entry_for(3, 3).is_some());
         assert!(checkpoint.entry_for(3, 7).is_none(), "wrong seed must not match");
@@ -644,6 +681,8 @@ mod tests {
             outcome: TrialOutcome::Shed,
             failure: None,
             shed: Some(TrialShed { index: 5, seed: 5, reason: ShedReason::Deadline { step: 9 } }),
+                    dropped: 0,
+            escalation: 0,
         };
         let parsed = CheckpointEntry::from_json(&entry.to_json()).unwrap();
         assert_eq!(parsed, entry);

@@ -45,6 +45,7 @@
 //! # }
 //! ```
 
+pub mod adaptive;
 pub mod campaign;
 pub mod checkpoint;
 pub mod cost;
@@ -67,7 +68,9 @@ pub use campaign::{
     AttemptOutcome, Campaign, CampaignRun, CampaignStats, RetryPolicy, ShedReason, Trial,
     TrialOutcome, TrialShed,
 };
+pub use adaptive::{AdaptiveCheckpoint, AdaptiveConfig, AdaptiveDelta, AdaptiveRun, FaultPriority};
 pub use checkpoint::CampaignCheckpoint;
+pub use cost::MethodPlanner;
 pub use degrade::{ChainPolicy, DegradationEvent, DegradedOutcome};
 pub use error::CoreError;
 pub use infra::{probe_chain, InfrastructureDiagnosis};

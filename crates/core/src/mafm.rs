@@ -210,6 +210,24 @@ pub struct ScheduledPattern {
 ///
 /// [`CoreError::BadConfig`] for a bus of fewer than two wires.
 pub fn conventional_schedule(width: usize) -> Result<Vec<ScheduledPattern>, CoreError> {
+    let mut out = Vec::new();
+    conventional_schedule_into(width, &mut out)?;
+    Ok(out)
+}
+
+/// [`conventional_schedule`] into a caller-owned buffer: entries already
+/// present are overwritten in place (their vector allocations reused),
+/// so a campaign regenerating the schedule per trial pays no per-pattern
+/// allocation after the first build. The buffer is truncated or grown to
+/// exactly `6·width` entries.
+///
+/// # Errors
+///
+/// [`CoreError::BadConfig`] for a bus of fewer than two wires.
+pub fn conventional_schedule_into(
+    width: usize,
+    out: &mut Vec<ScheduledPattern>,
+) -> Result<(), CoreError> {
     if width < 2 {
         return Err(CoreError::config("MA model needs at least two wires"));
     }
@@ -221,21 +239,44 @@ pub fn conventional_schedule(width: usize) -> Result<Vec<ScheduledPattern>, Core
     let templates = IntegrityFault::ALL.map(|fault| {
         (fault, vec![fault.aggressor_before(); width], vec![fault.aggressor_after(); width])
     });
-    let mut out = Vec::with_capacity(width * IntegrityFault::ALL.len());
+    let total = width * IntegrityFault::ALL.len();
+    out.truncate(total);
+    out.reserve(total.saturating_sub(out.len()));
+    let mut slot = 0usize;
     for victim in 0..width {
         for (fault, before_t, after_t) in &templates {
-            let mut before = before_t.clone();
-            before[victim] = fault.victim_before();
-            let mut after = after_t.clone();
-            after[victim] = fault.victim_after();
-            out.push(ScheduledPattern {
-                victim,
-                fault: *fault,
-                pair: VectorPair::new(before, after),
-            });
+            if let Some(existing) = out.get_mut(slot) {
+                existing.victim = victim;
+                existing.fault = *fault;
+                existing.pair.fill_from(before_t, after_t);
+                existing.pair.set_wire(victim, fault.victim_before(), fault.victim_after());
+            } else {
+                let mut before = before_t.clone();
+                before[victim] = fault.victim_before();
+                let mut after = after_t.clone();
+                after[victim] = fault.victim_after();
+                out.push(ScheduledPattern {
+                    victim,
+                    fault: *fault,
+                    pair: VectorPair::new(before, after),
+                });
+            }
+            slot += 1;
         }
     }
-    Ok(out)
+    Ok(())
+}
+
+/// Stable-reorders a schedule so patterns exciting faults earlier in
+/// `order` run first. Victim-major order is preserved within each fault
+/// class (the sort is stable), so the result is a pure function of the
+/// input schedule and `order` — the deterministic tie-break the adaptive
+/// engine relies on for thread-count-invariant summaries.
+pub fn reorder_schedule(schedule: &mut [ScheduledPattern], order: &[IntegrityFault; 6]) {
+    let rank = |fault: IntegrityFault| -> usize {
+        order.iter().position(|&f| f == fault).unwrap_or(order.len())
+    };
+    schedule.sort_by_key(|s| rank(s.fault));
 }
 
 /// The vector a PGBSC array drives after `updates` Update-DR events,
@@ -637,6 +678,154 @@ impl ToJson for CoverageReport {
     }
 }
 
+/// Campaign-level coverage ledger: one bit per `(victim, fault)` pair,
+/// set once that pair has been *detected* by any trial of the campaign.
+///
+/// The adaptive engine consults the ledger before exciting a pattern:
+/// a pair already detected need not be re-excited in later severity or
+/// corner sweeps, so whole schedule suffixes can be dropped. Recording
+/// is monotone (bits are only ever set), which is what makes the
+/// adaptive campaign's detected-pair union provably equal to the
+/// exhaustive sweep's: every dropped pattern's pair is already in the
+/// union by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageLedger {
+    /// One 6-bit fault mask per wire, bit order = [`IntegrityFault::ALL`].
+    masks: Vec<u8>,
+}
+
+impl CoverageLedger {
+    /// An empty ledger for a `wires`-wide bus.
+    #[must_use]
+    pub fn new(wires: usize) -> CoverageLedger {
+        CoverageLedger { masks: vec![0; wires] }
+    }
+
+    /// Position of `fault` in [`IntegrityFault::ALL`].
+    #[must_use]
+    pub fn fault_index(fault: IntegrityFault) -> usize {
+        IntegrityFault::ALL
+            .iter()
+            .position(|&f| f == fault)
+            .expect("ALL enumerates every fault")
+    }
+
+    fn bit(fault: IntegrityFault) -> u8 {
+        1 << Self::fault_index(fault)
+    }
+
+    /// Bus width the ledger tracks.
+    #[must_use]
+    pub fn wires(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Marks `(victim, fault)` detected; returns `true` when the pair
+    /// was not previously covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim` is out of range.
+    pub fn record(&mut self, victim: usize, fault: IntegrityFault) -> bool {
+        let bit = Self::bit(fault);
+        let fresh = self.masks[victim] & bit == 0;
+        self.masks[victim] |= bit;
+        fresh
+    }
+
+    /// Whether `(victim, fault)` has been detected. Out-of-range victims
+    /// read as uncovered.
+    #[must_use]
+    pub fn is_covered(&self, victim: usize, fault: IntegrityFault) -> bool {
+        self.masks.get(victim).is_some_and(|m| m & Self::bit(fault) != 0)
+    }
+
+    /// Number of covered pairs.
+    #[must_use]
+    pub fn covered_count(&self) -> usize {
+        self.masks.iter().map(|m| m.count_ones() as usize).sum()
+    }
+
+    /// All covered pairs, victim-major then [`IntegrityFault::ALL`]
+    /// order — a canonical rendering independent of detection order.
+    #[must_use]
+    pub fn pairs(&self) -> Vec<(usize, IntegrityFault)> {
+        let mut out = Vec::with_capacity(self.covered_count());
+        for (victim, mask) in self.masks.iter().enumerate() {
+            for fault in IntegrityFault::ALL {
+                if mask & Self::bit(fault) != 0 {
+                    out.push((victim, fault));
+                }
+            }
+        }
+        out
+    }
+
+    /// Unions `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledgers track different widths.
+    pub fn merge(&mut self, other: &CoverageLedger) {
+        assert_eq!(self.wires(), other.wires(), "ledger width mismatch");
+        for (mine, theirs) in self.masks.iter_mut().zip(&other.masks) {
+            *mine |= theirs;
+        }
+    }
+
+    /// The last `(victim position, pattern index)` of a PGBSC half whose
+    /// pair is still uncovered, given the half's victim order and its
+    /// three covered faults. `None` means every pair in the half is
+    /// covered and the whole half can be dropped. Positions before the
+    /// returned one must still run in full (the on-chip generator only
+    /// advances forward), which is why only a *suffix* is droppable.
+    #[must_use]
+    pub fn last_uncovered(
+        &self,
+        victims: &[usize],
+        faults: &[IntegrityFault; 3],
+    ) -> Option<(usize, usize)> {
+        for pos in (0..victims.len()).rev() {
+            for (p, &fault) in faults.iter().enumerate().rev() {
+                if !self.is_covered(victims[pos], fault) {
+                    return Some((pos, p));
+                }
+            }
+        }
+        None
+    }
+
+    /// Parses a ledger rendered by [`ToJson`]. `None` on malformed
+    /// input (missing keys, non-integer masks, bits beyond the six
+    /// fault classes).
+    #[must_use]
+    pub fn from_json(json: &Json) -> Option<CoverageLedger> {
+        let wires = json.get("wires")?.as_u64()? as usize;
+        let masks: Vec<u8> = json
+            .get("masks")?
+            .as_array()?
+            .iter()
+            .map(|m| {
+                let v = m.as_u64()?;
+                if v < 64 { Some(v as u8) } else { None }
+            })
+            .collect::<Option<_>>()?;
+        if masks.len() != wires {
+            return None;
+        }
+        Some(CoverageLedger { masks })
+    }
+}
+
+impl ToJson for CoverageLedger {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("wires", self.wires().to_json()),
+            ("masks", Json::Array(self.masks.iter().map(|&m| u64::from(m).to_json()).collect())),
+        ])
+    }
+}
+
 /// Number of scanned initial values the PGBSC campaign needs: always 2,
 /// independent of width — the paper's headline reduction.
 #[must_use]
@@ -931,5 +1120,124 @@ mod tests {
             }
         }
         assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn schedule_into_reuses_buffer_and_matches_fresh_build() {
+        let mut buf = Vec::new();
+        conventional_schedule_into(8, &mut buf).unwrap();
+        assert_eq!(buf, conventional_schedule(8).unwrap());
+        // Regenerating at a different width overwrites in place and
+        // still matches a fresh build exactly.
+        conventional_schedule_into(5, &mut buf).unwrap();
+        assert_eq!(buf, conventional_schedule(5).unwrap());
+        conventional_schedule_into(11, &mut buf).unwrap();
+        assert_eq!(buf, conventional_schedule(11).unwrap());
+        assert!(conventional_schedule_into(1, &mut buf).is_err());
+    }
+
+    #[test]
+    fn reorder_schedule_is_stable_and_fault_major() {
+        let mut sched = conventional_schedule(4).unwrap();
+        let order = [
+            IntegrityFault::Fs,
+            IntegrityFault::Rs,
+            IntegrityFault::Pg,
+            IntegrityFault::PgBar,
+            IntegrityFault::Ng,
+            IntegrityFault::NgBar,
+        ];
+        reorder_schedule(&mut sched, &order);
+        // Fault classes appear in the requested order…
+        let mut rank_seen = 0;
+        for s in &sched {
+            let r = order.iter().position(|&f| f == s.fault).unwrap();
+            assert!(r >= rank_seen, "fault order violated at {s:?}");
+            rank_seen = r;
+        }
+        // …and victims stay ascending within each class (stability).
+        for fault in IntegrityFault::ALL {
+            let victims: Vec<_> =
+                sched.iter().filter(|s| s.fault == fault).map(|s| s.victim).collect();
+            assert_eq!(victims, vec![0, 1, 2, 3], "{fault}");
+        }
+        // Reordering is idempotent: a second pass with the same order
+        // changes nothing.
+        let snapshot = sched.clone();
+        reorder_schedule(&mut sched, &order);
+        assert_eq!(sched, snapshot);
+    }
+
+    #[test]
+    fn ledger_records_monotonically() {
+        let mut ledger = CoverageLedger::new(4);
+        assert_eq!(ledger.covered_count(), 0);
+        assert!(!ledger.is_covered(2, IntegrityFault::Rs));
+        assert!(ledger.record(2, IntegrityFault::Rs));
+        assert!(!ledger.record(2, IntegrityFault::Rs), "second record is stale");
+        assert!(ledger.is_covered(2, IntegrityFault::Rs));
+        assert!(ledger.record(0, IntegrityFault::Pg));
+        assert_eq!(ledger.covered_count(), 2);
+        assert_eq!(
+            ledger.pairs(),
+            vec![(0, IntegrityFault::Pg), (2, IntegrityFault::Rs)]
+        );
+        assert!(!ledger.is_covered(9, IntegrityFault::Pg), "out of range reads uncovered");
+    }
+
+    #[test]
+    fn ledger_merge_unions() {
+        let mut a = CoverageLedger::new(3);
+        a.record(0, IntegrityFault::Pg);
+        let mut b = CoverageLedger::new(3);
+        b.record(0, IntegrityFault::Pg);
+        b.record(2, IntegrityFault::Fs);
+        a.merge(&b);
+        assert_eq!(a.pairs(), vec![(0, IntegrityFault::Pg), (2, IntegrityFault::Fs)]);
+    }
+
+    #[test]
+    fn ledger_last_uncovered_truncates_suffix_only() {
+        let faults = IntegrityFault::covered_by_initial(DriveLevel::Low);
+        let victims = [0usize, 1, 2];
+        let mut ledger = CoverageLedger::new(3);
+        // Nothing covered: the stop is the very last pattern.
+        assert_eq!(ledger.last_uncovered(&victims, &faults), Some((2, 2)));
+        // Covering the tail pulls the stop forward…
+        ledger.record(2, faults[2]);
+        assert_eq!(ledger.last_uncovered(&victims, &faults), Some((2, 1)));
+        ledger.record(2, faults[1]);
+        ledger.record(2, faults[0]);
+        assert_eq!(ledger.last_uncovered(&victims, &faults), Some((1, 2)));
+        // …but an interior hole keeps everything after it running.
+        ledger.record(1, faults[0]);
+        assert_eq!(ledger.last_uncovered(&victims, &faults), Some((1, 2)));
+        for f in faults {
+            ledger.record(0, f);
+            ledger.record(1, f);
+        }
+        assert_eq!(ledger.last_uncovered(&victims, &faults), None, "whole half droppable");
+    }
+
+    #[test]
+    fn ledger_round_trips_through_json() {
+        let mut ledger = CoverageLedger::new(5);
+        ledger.record(1, IntegrityFault::NgBar);
+        ledger.record(4, IntegrityFault::Pg);
+        ledger.record(4, IntegrityFault::Fs);
+        let rendered = ledger.to_json().render();
+        let parsed = Json::parse(&rendered).unwrap();
+        assert_eq!(CoverageLedger::from_json(&parsed), Some(ledger));
+        assert!(CoverageLedger::from_json(&Json::parse("{}").unwrap()).is_none());
+        assert!(
+            CoverageLedger::from_json(&Json::parse(r#"{"wires":2,"masks":[64,0]}"#).unwrap())
+                .is_none(),
+            "mask bits beyond the six fault classes rejected"
+        );
+        assert!(
+            CoverageLedger::from_json(&Json::parse(r#"{"wires":3,"masks":[0]}"#).unwrap())
+                .is_none(),
+            "length mismatch rejected"
+        );
     }
 }

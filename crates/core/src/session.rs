@@ -116,6 +116,12 @@ impl ToJson for ReadoutPoint {
                 ("victim", victim.to_json()),
                 ("fault", format!("{fault:?}").to_json()),
             ]),
+            ReadoutPoint::Probe { initial, victim, pattern } => Json::obj([
+                ("at", "probe".to_json()),
+                ("initial", format!("{initial:?}").to_json()),
+                ("victim", victim.to_json()),
+                ("pattern", pattern.to_json()),
+            ]),
         }
     }
 }
@@ -145,6 +151,18 @@ pub enum ReadoutPoint {
         victim: usize,
         /// Fault the pattern excites.
         fault: IntegrityFault,
+    },
+    /// Adaptive localization probe (see [`crate::adaptive`]): like
+    /// `AfterPattern`, but the engine *clears* the detectors right after
+    /// scanning them out, so the snapshot is per-probe-window rather
+    /// than cumulative. Only adaptive sessions emit this point.
+    Probe {
+        /// Initial value of the enclosing half.
+        initial: DriveLevel,
+        /// Victim wire the probe follows.
+        victim: usize,
+        /// Pattern index within the victim's three-pattern burst (0–2).
+        pattern: usize,
     },
 }
 

@@ -88,13 +88,21 @@ pub fn conventional_generation_tcks(g: ChainGeometry) -> u64 {
 /// `n`.
 #[must_use]
 pub fn pgbsc_generation_tcks(g: ChainGeometry) -> u64 {
-    let per_initial = IR_SCAN_TCKS          // SAMPLE/PRELOAD
+    2 * pgbsc_half_generation_tcks(g)
+}
+
+/// Generation TCKs for **one** initial-value half of the PGBSC session
+/// (half of [`pgbsc_generation_tcks`]). The adaptive engine prices
+/// halves separately because fault dropping can truncate or skip a half
+/// outright.
+#[must_use]
+pub fn pgbsc_half_generation_tcks(g: ChainGeometry) -> u64 {
+    IR_SCAN_TCKS                            // SAMPLE/PRELOAD
         + g.dr_scan_tcks()                  // initial value
         + IR_SCAN_TCKS                      // G-SITEST
         + g.dr_scan_tcks()                  // victim select (pattern 1)
         + 2 * UPDATE_PULSE_TCKS             // patterns 2, 3
-        + (g.wires as u64 - 1) * (1 + DR_SCAN_OVERHEAD + 2 * UPDATE_PULSE_TCKS);
-    2 * per_initial
+        + (g.wires as u64 - 1) * (1 + DR_SCAN_OVERHEAD + 2 * UPDATE_PULSE_TCKS)
 }
 
 /// Table 5, row "T%": relative improvement of PGBSC over conventional.
@@ -153,6 +161,19 @@ pub fn method_total_tcks(g: ChainGeometry, method: ObservationMethod) -> u64 {
     let readouts = readout_count(method, g.wires);
     let resumes = resume_count(method, g.wires);
     pgbsc_generation_tcks(g) + readouts * readout_tcks(g) + resumes * resume_tcks(g)
+}
+
+/// Estimated extra TCKs the escalating read-out pays to localize the
+/// failures of **one** flagged half (see [`crate::adaptive`]): a binary
+/// search over the half's `3n` pattern positions costs about
+/// `log2(3n)` extra half re-runs, each with one probe (read-out +
+/// resume). This is a *planning* estimate for [`crate::cost`], not an
+/// exact count — actual cost depends on how the failures cluster.
+#[must_use]
+pub fn escalation_overhead_tcks(g: ChainGeometry) -> u64 {
+    let positions = 3 * g.wires as u64;
+    let passes = 64 - positions.max(1).leading_zeros() as u64; // ceil(log2)+1 scale
+    passes * (pgbsc_half_generation_tcks(g) + readout_tcks(g) + resume_tcks(g))
 }
 
 #[cfg(test)]
@@ -226,5 +247,27 @@ mod tests {
     fn readout_cost_formula() {
         let g = ChainGeometry::new(5, 0);
         assert_eq!(readout_tcks(g), 10 + 2 * (10 + 5));
+    }
+
+    #[test]
+    fn half_generation_is_exactly_half() {
+        for n in [2usize, 8, 16, 32] {
+            let g = ChainGeometry::new(n, 7);
+            assert_eq!(2 * pgbsc_half_generation_tcks(g), pgbsc_generation_tcks(g));
+        }
+    }
+
+    #[test]
+    fn escalation_estimate_is_logarithmic_not_linear() {
+        // The whole point of escalation: localizing costs ~log2(3n)
+        // half re-runs, far below method 3's 6n per-pattern read-outs.
+        for n in [8usize, 16, 32, 64] {
+            let g = ChainGeometry::new(n, 10);
+            let esc = escalation_overhead_tcks(g);
+            let m1 = method_total_tcks(g, ObservationMethod::Once);
+            let m3 = method_total_tcks(g, ObservationMethod::PerPattern);
+            assert!(esc > 0, "n={n}");
+            assert!(m1 + 2 * esc < m3, "escalating both halves beats method 3: n={n}");
+        }
     }
 }

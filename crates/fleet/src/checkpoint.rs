@@ -14,7 +14,7 @@
 //! resilience layer and carry no reports) are rejected with a typed
 //! error — resuming them would silently forget quarantine state.
 
-use crate::engine::BoardSummary;
+use crate::engine::{AdaptiveTotals, BoardSummary};
 use crate::error::FleetError;
 use crate::supervisor::BoardReport;
 use sint_core::campaign::CampaignStats;
@@ -41,6 +41,10 @@ pub struct BoardEntry {
     /// The board's supervisor report (verdict, health, breaker and
     /// spool counters).
     pub report: BoardReport,
+    /// Adaptive-engine counters summed over the board's trials
+    /// (all-zero on exhaustive floors; rendered only when nonzero so
+    /// pre-adaptive snapshots stay byte-identical).
+    pub adaptive: AdaptiveTotals,
 }
 
 impl BoardEntry {
@@ -54,13 +58,14 @@ impl BoardEntry {
             stats: summary.stats,
             crashed: summary.crashed.clone(),
             report: summary.report.clone(),
+            adaptive: summary.adaptive,
         }
     }
 }
 
 impl ToJson for BoardEntry {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("board", self.board.to_json()),
             ("seed", self.seed.to_json()),
             ("client", self.client.to_json()),
@@ -70,7 +75,11 @@ impl ToJson for BoardEntry {
                 None => Json::Null,
             }),
             ("report", self.report.to_json()),
-        ])
+        ];
+        if self.adaptive != AdaptiveTotals::default() {
+            fields.push(("adaptive", self.adaptive.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -240,6 +249,13 @@ fn parse_board_entry(entry: &Json) -> Result<BoardEntry, FleetError> {
         .get("report")
         .ok_or_else(|| FleetError::schema("entry has no supervisor report"))
         .and_then(BoardReport::from_json)?;
+    let adaptive = match entry.get("adaptive") {
+        None | Some(Json::Null) => AdaptiveTotals::default(),
+        Some(counters) => AdaptiveTotals {
+            dropped: field_u64(counters, "dropped")?,
+            escalation: field_u64(counters, "escalation")?,
+        },
+    };
     Ok(BoardEntry {
         board: field_u64(entry, "board")? as usize,
         seed: field_u64(entry, "seed")?,
@@ -247,6 +263,7 @@ fn parse_board_entry(entry: &Json) -> Result<BoardEntry, FleetError> {
         stats,
         crashed,
         report,
+        adaptive,
     })
 }
 
@@ -269,6 +286,11 @@ mod tests {
                 shed_trials: 1,
             },
             crashed: if board == 2 { Some("injected".into()) } else { None },
+            adaptive: if board == 3 {
+                AdaptiveTotals { dropped: 5, escalation: 2 }
+            } else {
+                AdaptiveTotals::default()
+            },
             report: if board == 3 {
                 BoardReport {
                     verdict: BoardVerdict::Dead,
@@ -393,6 +415,25 @@ mod tests {
         assert!(empty.is_empty());
         assert_eq!(generation, 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adaptive_counters_round_trip_and_default_to_zero() {
+        let mut checkpoint = FleetCheckpoint::new();
+        checkpoint.record(entry(3));
+        let rendered = checkpoint.to_json().render();
+        assert!(rendered.contains(r#""adaptive":{"dropped":5,"escalation":2}"#), "{rendered}");
+        let parsed = FleetCheckpoint::parse(&rendered).unwrap();
+        assert_eq!(parsed.entry_for(3, 22).unwrap().adaptive.dropped, 5);
+
+        // An all-zero entry renders without the key at all, and a
+        // pre-adaptive snapshot (no key) parses to zero counters.
+        checkpoint.record(entry(0));
+        let rendered = checkpoint.to_json().render();
+        let zero_entry = &rendered[rendered.find(r#""board":0"#).unwrap()..];
+        assert!(!zero_entry[..zero_entry.find(r#""board":3"#).unwrap()].contains("adaptive"));
+        let parsed = FleetCheckpoint::parse(&rendered).unwrap();
+        assert_eq!(parsed.entry_for(0, 1).unwrap().adaptive, AdaptiveTotals::default());
     }
 
     #[test]

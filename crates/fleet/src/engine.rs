@@ -28,6 +28,41 @@ use sint_runtime::pool::Pool;
 use std::cell::Cell;
 use std::time::Duration;
 
+/// Adaptive-engine counters folded over trial records: how many
+/// pattern halves the coverage ledger dropped and how many
+/// binary-search escalation passes ran. All-zero on exhaustive floors,
+/// so the JSON stays byte-compatible when the adaptive engine is off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdaptiveTotals {
+    /// Pattern halves skipped because their pairs were already covered.
+    pub dropped: u64,
+    /// Binary-search escalation passes run by flagged probes.
+    pub escalation: u64,
+}
+
+impl AdaptiveTotals {
+    /// Folds one trial record's counters into the totals.
+    pub fn absorb_entry(&mut self, dropped: u64, escalation: u64) {
+        self.dropped += dropped;
+        self.escalation += escalation;
+    }
+
+    /// Folds another totals value in.
+    pub fn merge(&mut self, other: &AdaptiveTotals) {
+        self.dropped += other.dropped;
+        self.escalation += other.escalation;
+    }
+}
+
+impl ToJson for AdaptiveTotals {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dropped", self.dropped.to_json()),
+            ("escalation", self.escalation.to_json()),
+        ])
+    }
+}
+
 /// What one board's campaign produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoardSummary {
@@ -46,6 +81,9 @@ pub struct BoardSummary {
     /// The supervisor's resilience report (a spotless default when the
     /// board ran unsupervised).
     pub report: BoardReport,
+    /// Adaptive-engine counters summed over the board's trials
+    /// (all-zero on exhaustive floors).
+    pub adaptive: AdaptiveTotals,
 }
 
 impl ToJson for BoardSummary {
@@ -60,6 +98,7 @@ impl ToJson for BoardSummary {
                 None => Json::Null,
             }),
             ("report", self.report.to_json()),
+            ("adaptive", self.adaptive.to_json()),
         ])
     }
 }
@@ -188,6 +227,9 @@ pub struct FleetSummary {
     pub clients: Vec<ClientSummary>,
     /// Counters merged over every board.
     pub totals: CampaignStats,
+    /// Adaptive-engine counters merged over every board (all-zero on
+    /// exhaustive floors).
+    pub adaptive: AdaptiveTotals,
     /// Resilience counters merged over every board.
     pub resilience: ResilienceTotals,
 }
@@ -203,6 +245,7 @@ impl ToJson for FleetSummary {
             ("quarantined", Json::Array(self.quarantined.iter().map(ToJson::to_json).collect())),
             ("clients", Json::Array(self.clients.iter().map(ToJson::to_json).collect())),
             ("totals", self.totals.to_json()),
+            ("adaptive", self.adaptive.to_json()),
             ("resilience", self.resilience.to_json()),
         ])
     }
@@ -361,6 +404,7 @@ impl FleetEngine {
         let campaign = self.spec.campaign();
         let supervisor = self.supervision.as_ref().map(|config| {
             BoardSupervisor::new(config, self.chaos.as_ref(), &campaign, self.spec.wires_each())
+                .adaptive(self.spec.is_adaptive())
         });
 
         for chunk in pending.chunks(snapshot_every.max(1)) {
@@ -373,20 +417,29 @@ impl FleetEngine {
                 let client = &self.spec.clients()[board.client];
                 let trials = self.spec.trials(board);
                 let budget = client_tokens[board.client].as_ref();
-                let (stats, report) = match &supervisor {
+                let (stats, report, adaptive) = match &supervisor {
                     Some(supervisor) => {
                         supervisor.run_board(board, &trials, budget, sink, &client.name)
                     }
                     None => {
                         let sink_errors = Cell::new(0u64);
-                        let stats = campaign.run_streaming(&trials, budget, |entry| {
+                        let totals = Cell::new(AdaptiveTotals::default());
+                        let emit = |entry: &sint_core::checkpoint::CheckpointEntry| {
+                            let mut t = totals.get();
+                            t.absorb_entry(entry.dropped, entry.escalation);
+                            totals.set(t);
                             if sink.record(board, &client.name, entry).is_err() {
                                 sink_errors.set(sink_errors.get() + 1);
                             }
-                        });
+                        };
+                        let stats = if self.spec.is_adaptive() {
+                            campaign.run_streaming_adaptive(&trials, budget, emit)
+                        } else {
+                            campaign.run_streaming(&trials, budget, emit)
+                        };
                         let report =
                             BoardReport { sink_errors: sink_errors.get(), ..BoardReport::default() };
-                        (stats, report)
+                        (stats, report, totals.get())
                     }
                 };
                 let summary = BoardSummary {
@@ -396,6 +449,7 @@ impl FleetEngine {
                     stats,
                     crashed: None,
                     report,
+                    adaptive,
                 };
                 let _ = sink.board_done(&summary);
                 summary
@@ -412,6 +466,7 @@ impl FleetEngine {
                                 stats: CampaignStats::default(),
                                 crashed: Some(panic.message),
                                 report: BoardReport::crashed(),
+                                adaptive: AdaptiveTotals::default(),
                             };
                             let _ = sink.board_done(&summary);
                             summary
@@ -441,6 +496,7 @@ impl FleetEngine {
             .collect();
         let mut health_sums = vec![0.0f64; clients.len()];
         let mut totals = CampaignStats::default();
+        let mut adaptive = AdaptiveTotals::default();
         let mut resilience = ResilienceTotals::default();
         let mut crashed_boards = 0usize;
         let mut healthy_boards = 0usize;
@@ -457,6 +513,7 @@ impl FleetEngine {
             client.stats.merge(&entry.stats);
             health_sums[entry.client] += entry.report.health;
             totals.merge(&entry.stats);
+            adaptive.merge(&entry.adaptive);
             resilience.absorb(&entry.report);
             if entry.crashed.is_some() {
                 crashed_boards += 1;
@@ -490,6 +547,7 @@ impl FleetEngine {
             quarantined,
             clients,
             totals,
+            adaptive,
             resilience,
         }
     }
@@ -567,6 +625,41 @@ mod tests {
             FleetEngine::new(FloorSpec::new(0)),
             Err(FleetError::BadSpec { .. })
         ));
+    }
+
+    #[test]
+    fn adaptive_floor_is_thread_invariant_and_replays_exactly() {
+        use crate::record::{replay_summary, JsonlSink};
+        let floor = || {
+            FloorSpec::new(6)
+                .trials_per_board(4)
+                .adaptive(true)
+                .with_clients(vec![ClientSpec::new("a"), ClientSpec::new("b")])
+        };
+        let engine = FleetEngine::new(floor()).unwrap();
+        let sink = JsonlSink::new(Vec::new());
+        let serial = engine.run(1, &sink);
+        assert!(
+            serial.adaptive.dropped > 0,
+            "boards with repeated defects must drop covered halves: {:?}",
+            serial.adaptive
+        );
+        let (bytes, _) = sink.finish().unwrap();
+        let replayed = replay_summary(&String::from_utf8(bytes).unwrap()).unwrap();
+        assert_eq!(
+            replayed.to_json().render(),
+            serial.to_json().render(),
+            "the streamed artifact folds to the in-memory summary, counters included"
+        );
+        for threads in [2, 4] {
+            let sharded = engine.run(threads, &NullSink);
+            assert_eq!(sharded.to_json().render(), serial.to_json().render(), "{threads} threads");
+        }
+        // Supervision only adds resilience machinery — on a healthy
+        // floor the adaptive verdicts and counters are identical raw.
+        let raw = FleetEngine::new(floor()).unwrap().unsupervised().run(2, &NullSink);
+        assert_eq!(raw.totals, serial.totals);
+        assert_eq!(raw.adaptive, serial.adaptive);
     }
 
     #[test]

@@ -31,7 +31,9 @@
 //! gates hold. [`JsonlSink::raw`] keeps an unframed variant as the
 //! durability-overhead bench baseline.
 
-use crate::engine::{BoardSummary, ClientSummary, FleetSummary, QuarantineRecord, ResilienceTotals};
+use crate::engine::{
+    AdaptiveTotals, BoardSummary, ClientSummary, FleetSummary, QuarantineRecord, ResilienceTotals,
+};
 use crate::error::FleetError;
 use crate::spec::BoardSpec;
 use crate::supervisor::{BoardReport, BoardVerdict};
@@ -257,6 +259,7 @@ impl<W: Write + Send> RecordSink for JsonlSink<W> {
 struct ReplayBoard {
     client: usize,
     stats: CampaignStats,
+    adaptive: AdaptiveTotals,
     crashed: bool,
     report: Option<BoardReport>,
 }
@@ -382,6 +385,7 @@ pub fn replay_summary_recovered(
         let slot = boards.entry(board).or_insert(ReplayBoard {
             client,
             stats: CampaignStats::default(),
+            adaptive: AdaptiveTotals::default(),
             crashed: false,
             report: None,
         });
@@ -406,6 +410,7 @@ pub fn replay_summary_recovered(
                 note.records += 1;
                 if seen_trials.insert((board, entry.index)) {
                     slot.stats.accumulate(entry.outcome);
+                    slot.adaptive.absorb_entry(entry.dropped, entry.escalation);
                 } else {
                     note.duplicate_trials += 1;
                 }
@@ -442,6 +447,7 @@ pub fn replay_summary_recovered(
         .collect();
     let mut health_sums = vec![0.0f64; roster];
     let mut totals = CampaignStats::default();
+    let mut adaptive = AdaptiveTotals::default();
     let mut resilience = ResilienceTotals::default();
     let mut crashed_boards = 0usize;
     let mut healthy_boards = 0usize;
@@ -455,6 +461,7 @@ pub fn replay_summary_recovered(
         client.stats.merge(&replay.stats);
         health_sums[replay.client] += report.health;
         totals.merge(&replay.stats);
+        adaptive.merge(&replay.adaptive);
         resilience.absorb(&report);
         if replay.crashed {
             crashed_boards += 1;
@@ -488,6 +495,7 @@ pub fn replay_summary_recovered(
         quarantined,
         clients,
         totals,
+        adaptive,
         resilience,
     };
     Ok((summary, note))
@@ -499,7 +507,7 @@ mod tests {
     use sint_core::campaign::TrialOutcome;
 
     fn sample_entry(index: usize, outcome: TrialOutcome) -> CheckpointEntry {
-        CheckpointEntry { index, seed: index as u64, outcome, failure: None, shed: None }
+        CheckpointEntry { index, seed: index as u64, outcome, failure: None, shed: None, dropped: 0, escalation: 0 }
     }
 
     fn sample_board_summary(board: usize, client: usize) -> BoardSummary {
@@ -510,6 +518,7 @@ mod tests {
             stats: CampaignStats::default(),
             crashed: None,
             report: BoardReport::default(),
+            adaptive: AdaptiveTotals::default(),
         }
     }
 
@@ -728,6 +737,22 @@ mod tests {
         assert_eq!(note.records, 3);
         assert_eq!(note.duplicate_trials, 1);
         assert!(note.recovered());
+    }
+
+    #[test]
+    fn replay_folds_adaptive_counters_once_per_trial() {
+        let b0 = BoardSpec { id: 0, client: 0, seed: 1 };
+        let mut entry = sample_entry(0, TrialOutcome::Detected { noise: true, skew: false });
+        entry.dropped = 3;
+        entry.escalation = 2;
+        let line = frame(&trial_record(&b0, "a", &entry).render());
+        // A resumed run re-streams the same trial: the duplicate is
+        // skipped, so its counters fold exactly once.
+        let text = format!("{line}\n{line}\n");
+        let (summary, note) = replay_summary_recovered(&text).unwrap();
+        assert_eq!(summary.adaptive, AdaptiveTotals { dropped: 3, escalation: 2 });
+        assert_eq!(summary.totals.detected, 1);
+        assert_eq!(note.duplicate_trials, 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::error::FleetError;
 use sint_core::campaign::{Campaign, Trial};
 use sint_core::session::{ObservationMethod, SessionConfig};
+use sint_core::MethodPlanner;
 use sint_interconnect::defect::Defect;
 use sint_interconnect::params::BusParams;
 use sint_runtime::rng::Rng64;
@@ -67,6 +68,8 @@ pub struct FloorSpec {
     segments: usize,
     dt: f64,
     clients: Vec<ClientSpec>,
+    planner: Option<MethodPlanner>,
+    adaptive: bool,
 }
 
 impl FloorSpec {
@@ -84,7 +87,32 @@ impl FloorSpec {
             segments: 2,
             dt: 10e-12,
             clients: vec![ClientSpec::new("default")],
+            planner: None,
+            adaptive: false,
         }
+    }
+
+    /// Installs a cost-model [`MethodPlanner`] on every board's
+    /// campaign: the observation method is chosen from the floor's bus
+    /// width, the planner's defect prior and its TCK budget instead of
+    /// being pinned to method 1.
+    #[must_use]
+    pub fn planner(mut self, planner: MethodPlanner) -> FloorSpec {
+        self.planner = Some(planner);
+        self
+    }
+
+    /// Switches every board to the adaptive campaign engine: a
+    /// per-board [`sint_core::mafm::CoverageLedger`] drops pattern
+    /// halves whose `(victim, fault)` pairs were already detected, and
+    /// probes escalate to binary-search localization only where they
+    /// flag. Trial records gain nonzero `dropped` / `escalation`
+    /// counters; determinism is unaffected because each board folds its
+    /// ledger serially.
+    #[must_use]
+    pub fn adaptive(mut self, adaptive: bool) -> FloorSpec {
+        self.adaptive = adaptive;
+        self
     }
 
     /// Overrides the bus width of every board.
@@ -175,6 +203,12 @@ impl FloorSpec {
         &self.clients
     }
 
+    /// Whether boards run the adaptive campaign engine.
+    #[must_use]
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
     /// The board at position `id`: client by round-robin deal, seed by
     /// an id-keyed fork of the floor seed. Pure — any caller at any
     /// time gets the same board.
@@ -213,15 +247,20 @@ impl FloorSpec {
     }
 
     /// The campaign every board runs: the floor's bus geometry on its
-    /// solver grid, method-1 sessions.
+    /// solver grid, method-1 sessions (or whatever the installed
+    /// [`MethodPlanner`] picks for the width).
     #[must_use]
     pub fn campaign(&self) -> Campaign {
-        Campaign::new(self.wires)
+        let campaign = Campaign::new(self.wires)
             .bus_params(BusParams::dsm_bus(self.wires).segments(self.segments))
             .session(SessionConfig {
                 dt: self.dt,
                 ..SessionConfig::method(ObservationMethod::Once)
-            })
+            });
+        match self.planner {
+            Some(planner) => campaign.planner(planner),
+            None => campaign,
+        }
     }
 }
 
@@ -260,6 +299,19 @@ mod tests {
         assert!(FloorSpec::new(1).solver_grid(0, 1e-12).validate().is_err());
         assert!(FloorSpec::new(1).solver_grid(2, -1.0).validate().is_err());
         assert!(FloorSpec::new(4).validate().is_ok());
+    }
+
+    #[test]
+    fn planner_and_adaptive_knobs_ride_into_the_campaign() {
+        let spec = FloorSpec::new(1)
+            .wires(8)
+            .planner(MethodPlanner::new(1.0).unwrap())
+            .adaptive(true);
+        assert!(spec.is_adaptive());
+        let campaign = spec.campaign();
+        assert_eq!(campaign.method_planner(), Some(&MethodPlanner::new(1.0).unwrap()));
+        assert!(!FloorSpec::new(1).is_adaptive(), "exhaustive by default");
+        assert!(FloorSpec::new(1).campaign().method_planner().is_none());
     }
 
     #[test]

@@ -43,15 +43,19 @@
 //! failure.
 
 use crate::chaos::{ChaosKind, ChaosPlan};
+use crate::engine::AdaptiveTotals;
 use crate::error::FleetError;
 use crate::record::{trial_record, RecordSink};
 use crate::spec::BoardSpec;
+use sint_core::adaptive::AdaptiveDelta;
 use sint_core::campaign::{
     AttemptOutcome, Campaign, CampaignStats, ShedReason, Trial, TrialFailure, TrialOutcome,
     TrialSabotage, TrialShed,
 };
 use sint_core::checkpoint::CheckpointEntry;
+use sint_core::mafm::CoverageLedger;
 use sint_core::probe_chain;
+use sint_interconnect::drive::DriveLevel;
 use sint_runtime::backoff::{BackoffPolicy, VirtualClock};
 use sint_runtime::cancel::CancelToken;
 use sint_runtime::durable::{frame, DiskFault, FaultyWriter};
@@ -293,9 +297,11 @@ enum SinkDisruption {
     Disk(DiskFault),
 }
 
-/// How one attempt was classified for the resilience machines.
+/// How one attempt was classified for the resilience machines. A
+/// verdict from an adaptive attempt carries the [`AdaptiveDelta`] the
+/// caller folds into the board's ledger.
 enum Classified {
-    Verdict(TrialOutcome),
+    Verdict(TrialOutcome, Option<AdaptiveDelta>),
     Shed(ShedReason),
     Infra(String),
     Plain(String),
@@ -323,6 +329,7 @@ pub struct BoardSupervisor<'a> {
     /// escapes at a deterministic step instead of a wall-clock one.
     wedged: Campaign,
     wires: usize,
+    adaptive: bool,
 }
 
 impl<'a> BoardSupervisor<'a> {
@@ -340,7 +347,20 @@ impl<'a> BoardSupervisor<'a> {
             campaign,
             wedged: campaign.clone().deadline(Duration::ZERO),
             wires,
+            adaptive: false,
         }
+    }
+
+    /// Switches every supervised board to the adaptive campaign engine:
+    /// attempts run [`Campaign::run_adaptive_trial_isolated`] against a
+    /// per-board [`CoverageLedger`], verdicts fold their
+    /// [`AdaptiveDelta`] into it, and trial records carry the
+    /// `dropped` / `escalation` counters. The ledger is strictly
+    /// per-board and folds serially, so determinism is untouched.
+    #[must_use]
+    pub fn adaptive(mut self, adaptive: bool) -> BoardSupervisor<'a> {
+        self.adaptive = adaptive;
+        self
     }
 
     fn ewma(&self, health: f64, sample: f64) -> f64 {
@@ -349,7 +369,17 @@ impl<'a> BoardSupervisor<'a> {
     }
 
     /// Runs one attempt, chaos-transformed, and classifies the result.
-    fn attempt(&self, board: &BoardSpec, trial: &Trial, index: usize, attempt: usize) -> Classified {
+    /// `ledger` is the board's adaptive context (coverage ledger plus
+    /// the half order the priority clock picked); `None` runs the
+    /// conventional exhaustive trial.
+    fn attempt(
+        &self,
+        board: &BoardSpec,
+        trial: &Trial,
+        index: usize,
+        attempt: usize,
+        ledger: Option<(&CoverageLedger, [DriveLevel; 2])>,
+    ) -> Classified {
         let fault = match self.chaos.and_then(|c| c.fault_on_attempt(board.id, index, attempt)) {
             // Sink and disk faults hit the result path, never the
             // trial itself.
@@ -358,26 +388,28 @@ impl<'a> BoardSupervisor<'a> {
         };
         let seed = (index as u64)
             .wrapping_add((attempt as u64).wrapping_mul(self.campaign.retry_policy().seed_stride));
-        let outcome = match fault {
-            None => self.campaign.run_trial_isolated(*trial, seed),
+        let run = |campaign: &Campaign, trial: Trial| match ledger {
+            Some((ledger, order)) => campaign.run_adaptive_trial_isolated(trial, seed, ledger, order),
+            None => (campaign.run_trial_isolated(trial, seed), None),
+        };
+        let (outcome, delta) = match fault {
+            None => run(self.campaign, *trial),
             Some(ChaosKind::Scan) => {
                 let chain_fault = self.chaos.map_or(
                     sint_jtag::fault::ScanFault::StuckAtZero { link: 0 },
                     |c| c.scan_fault(board.id),
                 );
-                self.campaign.run_trial_isolated(Trial::chain_faulted(trial.defect, chain_fault), seed)
+                run(self.campaign, Trial::chain_faulted(trial.defect, chain_fault))
             }
-            Some(ChaosKind::Panic) => self.campaign.run_trial_isolated(
-                Trial { defect: trial.defect, sabotage: TrialSabotage::Panic },
-                seed,
-            ),
-            Some(ChaosKind::Wedge | ChaosKind::Sink | ChaosKind::Disk) => self.wedged.run_trial_isolated(
-                Trial { defect: trial.defect, sabotage: TrialSabotage::Wedge },
-                seed,
-            ),
+            Some(ChaosKind::Panic) => {
+                run(self.campaign, Trial { defect: trial.defect, sabotage: TrialSabotage::Panic })
+            }
+            Some(ChaosKind::Wedge | ChaosKind::Sink | ChaosKind::Disk) => {
+                run(&self.wedged, Trial { defect: trial.defect, sabotage: TrialSabotage::Wedge })
+            }
         };
         match outcome {
-            AttemptOutcome::Verdict(v) => Classified::Verdict(v),
+            AttemptOutcome::Verdict(v) => Classified::Verdict(v, delta),
             // A chaos wedge ends as a deadline shed mechanically, but it
             // *is* an apparatus fault — reclassify so the breaker sees it.
             AttemptOutcome::Shed(ShedReason::Deadline { step })
@@ -404,7 +436,7 @@ impl<'a> BoardSupervisor<'a> {
         budget: Option<&CancelToken>,
         sink: &dyn RecordSink,
         client: &str,
-    ) -> (CampaignStats, BoardReport) {
+    ) -> (CampaignStats, BoardReport, AdaptiveTotals) {
         let mut st = BoardState {
             stats: CampaignStats::default(),
             report: BoardReport::default(),
@@ -415,6 +447,14 @@ impl<'a> BoardSupervisor<'a> {
         let mut consecutive = 0usize;
         let mut breaker = BreakerState::Closed;
         let max_attempts = self.config.backoff.max_attempts.max(1);
+        // The board's adaptive state: the coverage ledger that lets
+        // later trials drop already-detected pairs, and the recency
+        // clock that reorders pattern halves. Both fold serially in
+        // trial order, so they never disturb determinism.
+        let mut ledger = CoverageLedger::new(self.wires);
+        let mut priority = sint_core::FaultPriority::default();
+        let mut adaptive_totals = AdaptiveTotals::default();
+        let reorder = self.campaign.adaptive_config().reorder;
 
         for (index, trial) in trials.iter().enumerate() {
             let seed = index as u64;
@@ -443,19 +483,40 @@ impl<'a> BoardSupervisor<'a> {
             let mut attempts_made = 0usize;
             let mut last_error = String::new();
             while attempt < max_attempts {
-                let classified = self.attempt(board, trial, index, attempt);
+                let order = if reorder {
+                    priority.half_order()
+                } else {
+                    [DriveLevel::Low, DriveLevel::High]
+                };
+                let adaptive_ctx = self.adaptive.then_some((&ledger, order));
+                let classified = self.attempt(board, trial, index, attempt, adaptive_ctx);
                 clock.tick();
                 attempts_made = attempt + 1;
                 match classified {
-                    Classified::Verdict(outcome) => {
+                    Classified::Verdict(outcome, delta) => {
                         health = self.ewma(health, 1.0);
                         consecutive = 0;
+                        let (dropped, escalation) = match delta {
+                            Some(delta) => {
+                                for (victim, fault) in delta.detected {
+                                    if ledger.record(victim, fault) {
+                                        priority.record(fault);
+                                    }
+                                }
+                                adaptive_totals.dropped += delta.dropped;
+                                adaptive_totals.escalation += delta.escalations;
+                                (delta.dropped, delta.escalations)
+                            }
+                            None => (0, 0),
+                        };
                         entry = Some(CheckpointEntry {
                             index,
                             seed,
                             outcome,
                             failure: None,
                             shed: None,
+                            dropped,
+                            escalation,
                         });
                         break;
                     }
@@ -522,6 +583,8 @@ impl<'a> BoardSupervisor<'a> {
                     error: last_error.clone(),
                 }),
                 shed: None,
+                            dropped: 0,
+                escalation: 0,
             });
             self.emit(&mut st, board, client, sink, entry, sink_fault);
         }
@@ -550,7 +613,7 @@ impl<'a> BoardSupervisor<'a> {
         } else {
             BoardVerdict::Healthy
         };
-        (st.stats, st.report)
+        (st.stats, st.report, adaptive_totals)
     }
 
     /// Records one finished trial: fold the stats, then write through
@@ -617,6 +680,8 @@ fn shed_entry(index: usize, seed: u64, reason: ShedReason) -> CheckpointEntry {
         outcome: TrialOutcome::Shed,
         failure: None,
         shed: Some(TrialShed { index, seed, reason }),
+            dropped: 0,
+        escalation: 0,
     }
 }
 
@@ -691,11 +756,34 @@ mod tests {
         let supervisor = BoardSupervisor::new(&config, None, &campaign, 3);
         let board = BoardSpec { id: 0, client: 0, seed: 11 };
         let trials = [Trial::control(), Trial::control()];
-        let (stats, report) = supervisor.run_board(&board, &trials, None, &NullSink, "c");
+        let (stats, report, adaptive) = supervisor.run_board(&board, &trials, None, &NullSink, "c");
         assert_eq!(stats.control_trials, 2);
         assert_eq!(report.verdict, BoardVerdict::Healthy);
         assert_eq!(report.health, 1.0, "EWMA of all-1 samples stays exactly 1");
         assert_eq!(report.retries, 0);
         assert_eq!(report.ticks, 2, "one tick per attempt, no backoff waits");
+        assert_eq!(adaptive, AdaptiveTotals::default(), "exhaustive boards drop nothing");
+    }
+
+    #[test]
+    fn an_adaptive_board_folds_its_ledger_across_trials() {
+        use sint_interconnect::defect::Defect;
+        let config = SupervisorConfig::default();
+        let campaign = Campaign::new(3);
+        let supervisor = BoardSupervisor::new(&config, None, &campaign, 3).adaptive(true);
+        let board = BoardSpec { id: 0, client: 0, seed: 11 };
+        // The same strong defect three times: the first trial pays for
+        // escalation, later ones drop the covered pattern halves.
+        let defect = Defect::CouplingBoost { wire: 1, factor: 8.0 };
+        let trials = [
+            Trial::defective(defect),
+            Trial::defective(defect),
+            Trial::defective(defect),
+        ];
+        let (stats, report, adaptive) = supervisor.run_board(&board, &trials, None, &NullSink, "c");
+        assert_eq!(stats.detected, 3, "dropped re-excitations keep their ledger credit");
+        assert_eq!(report.verdict, BoardVerdict::Healthy);
+        assert!(adaptive.dropped > 0, "repeat trials must drop covered halves");
+        assert!(adaptive.escalation > 0, "the first detection pays for localization");
     }
 }

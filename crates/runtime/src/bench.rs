@@ -79,17 +79,20 @@ pub struct Bench {
     suite: String,
     warmup: Duration,
     samples: usize,
+    min_iters: u64,
     results: Vec<BenchResult>,
 }
 
 impl Bench {
-    /// A suite with defaults: 100 ms warmup, 30 samples per benchmark.
+    /// A suite with defaults: 100 ms warmup, 30 samples per benchmark,
+    /// a single-iteration floor.
     #[must_use]
     pub fn new(suite: &str) -> Bench {
         Bench {
             suite: suite.to_string(),
             warmup: Duration::from_millis(100),
             samples: 30,
+            min_iters: 1,
             results: Vec::new(),
         }
     }
@@ -108,18 +111,34 @@ impl Bench {
         self
     }
 
+    /// Sets an iteration floor: warmup runs at least this many
+    /// iterations even after the warmup budget elapses, and every
+    /// sample runs at least this many iterations regardless of what
+    /// calibration picked. Slow-but-jittery workloads (adaptive
+    /// sessions whose cost depends on what the ledger dropped) need a
+    /// floor so a lucky fast first iteration cannot calibrate the whole
+    /// sample down to noise.
+    #[must_use]
+    pub fn min_iters(mut self, min_iters: u64) -> Bench {
+        self.min_iters = min_iters.max(1);
+        self
+    }
+
     /// Measures `f`, records the result, and returns it.
     pub fn measure(&mut self, name: &str, mut f: impl FnMut()) -> &BenchResult {
-        // Warmup: run until the warmup budget elapses (at least once).
+        // Warmup: run until the warmup budget elapses AND the iteration
+        // floor is met (at least once regardless).
         let start = Instant::now();
         let mut warm_iters: u64 = 0;
-        while start.elapsed() < self.warmup || warm_iters == 0 {
+        while start.elapsed() < self.warmup || warm_iters < self.min_iters.max(1) {
             f();
             warm_iters += 1;
         }
-        // Calibrate iterations per sample from the observed warm rate.
+        // Calibrate iterations per sample from the observed warm rate,
+        // never dipping below the configured floor.
         let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
-        let iters = ((TARGET_SAMPLE.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let iters = ((TARGET_SAMPLE.as_secs_f64() / per_iter.max(1e-9)) as u64)
+            .clamp(self.min_iters.max(1), 1 << 24);
 
         let mut per_iter_ns = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
@@ -238,6 +257,26 @@ mod tests {
         assert!(json.contains("\"suite\":\"t\""), "{json}");
         assert!(json.contains("\"median_ns\""), "{json}");
         assert_eq!(b.results().len(), 2);
+    }
+
+    #[test]
+    fn min_iters_floors_warmup_and_calibration() {
+        // A workload slow enough that calibration alone would pick
+        // fewer iterations than the floor (the 5 ms sample target fits
+        // at most 5 one-millisecond iterations): the floor must win.
+        let mut b = Bench::new("t").warmup(Duration::ZERO).samples(2).min_iters(16);
+        let mut calls = 0u64;
+        let r = b.measure("slow", || {
+            calls += 1;
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        assert_eq!(r.iters_per_sample, 16, "calibration respects the floor");
+        // 16 warmup iterations (the zero budget elapsed immediately but
+        // the floor still applies) + 2 samples × 16.
+        assert_eq!(calls, 16 + 2 * 16);
+        // The builder refuses a zero floor.
+        let zeroed = Bench::new("t").min_iters(0);
+        assert_eq!(zeroed.min_iters, 1);
     }
 
     #[test]

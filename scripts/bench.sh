@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Performance trajectory: runs the solver / session / mafm / robustness
-# / fleet benchmark bins and records their JSON artifacts as
+# / fleet / adaptive benchmark bins and records their JSON artifacts as
 # BENCH_*.json at the repo root, so successive commits accumulate
 # comparable timing data. The uppercase BENCH_*.json names are the only
 # artifact paths this script writes at the repo root.
@@ -22,7 +22,7 @@ trap 'rm -rf "$dir"' EXIT
 
 cargo build --release -p sint-bench
 
-for name in solver session mafm robustness fleet; do
+for name in solver session mafm robustness fleet adaptive; do
     SINT_ARTIFACT_DIR="$dir" cargo run --release -p sint-bench --bin "bench_$name"
     mv "$dir/bench_$name.json" "BENCH_$name.json"
     echo "wrote BENCH_$name.json"

@@ -244,4 +244,37 @@ if ! cmp "$tmp/chaos_ref_summary.json" "$tmp/ctw_summary.json"; then
 fi
 echo "chaos crash storm: recovery + replay self-check byte-identical"
 
+# Adaptive equivalence: the adaptive campaign engine (ledger-driven
+# fault dropping, escalating read-out localization, reordered halves)
+# must detect exactly what the attributed-exhaustive oracle detects —
+# the binary itself exits 2 on any divergence. The summary must be
+# byte-identical serial vs 8 threads, and across a kill at a round
+# boundary plus resume (the checkpoint carries the coverage ledger, so
+# the continuation drops exactly what the uninterrupted run would).
+SINT_THREADS=1 target/release/adaptive_check \
+    "$tmp/ad_ref_ckpt.json" "$tmp/ad_ref_summary.json"
+SINT_THREADS=8 target/release/adaptive_check \
+    "$tmp/ad_t8_ckpt.json" "$tmp/ad_t8_summary.json"
+if ! cmp "$tmp/ad_ref_summary.json" "$tmp/ad_t8_summary.json"; then
+    echo "verify: FAIL — adaptive summary differs between 1 and 8 threads" >&2
+    exit 1
+fi
+
+status=0
+SINT_THREADS=4 target/release/adaptive_check \
+    "$tmp/ad_ckpt.json" "$tmp/ad_summary.json" --halt-after 12 || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "verify: FAIL — halted adaptive run exited $status, expected 3" >&2
+    exit 1
+fi
+
+SINT_THREADS=8 target/release/adaptive_check \
+    "$tmp/ad_ckpt.json" "$tmp/ad_summary.json"
+
+if ! cmp "$tmp/ad_ref_summary.json" "$tmp/ad_summary.json"; then
+    echo "verify: FAIL — resumed adaptive summary differs from uninterrupted run" >&2
+    exit 1
+fi
+echo "adaptive equivalence: oracle match, summaries byte-identical"
+
 echo "verify: OK"

@@ -4,16 +4,21 @@
 //! Each `#[test]` wraps one property; a failure panics with the harness
 //! seed, case index, and generated input so it can be replayed exactly.
 
+use sint::core::degrade::ChainPolicy;
 use sint::core::mafm::{
     classify_pair, classify_pair_masked, degraded_conventional_schedule, degraded_pgbsc_sequence,
-    fault_pair, pgbsc_vector, CoverageReport, IntegrityFault,
+    fault_pair, pgbsc_vector, CoverageLedger, CoverageReport, IntegrityFault,
 };
 use sint::core::nd::{NdThresholds, NoiseDetector};
+use sint::core::session::{ObservationMethod, SessionConfig};
+use sint::core::soc::SocBuilder;
+use sint::interconnect::defect::Defect;
 use sint::interconnect::drive::{DriveLevel, VectorPair};
 use sint::interconnect::linalg::Matrix;
 use sint::interconnect::params::BusParams;
 use sint::interconnect::solver::{PanelScratch, SolverBackend, TransientSim, DEFAULT_SWITCH_AT};
 use sint::interconnect::variation::{apply_variation, SplitMix64, VariationSigma};
+use sint::jtag::fault::ScanFault;
 use sint::jtag::integrity::QuarantineSet;
 use sint::jtag::state::TapState;
 use sint::jtag::svf::{mask_hex, scan_hex};
@@ -293,6 +298,109 @@ fn degraded_schedules_cover_the_same_faults_for_every_mask() {
             );
         }
     }
+}
+
+// ---------------- Adaptive campaign equivalence ----------------
+
+#[test]
+fn adaptive_sessions_detect_exactly_the_exhaustive_attribution() {
+    // The adaptive engine's ledger-driven fault dropping and escalating
+    // read-out localization must never change *what* a session detects,
+    // only what it costs: across random widths, random defect mixes,
+    // both chain policies and (under `Degrade`) scan-fault quarantine,
+    // the adaptive detected set equals the attributed-exhaustive
+    // oracle's exactly — and once a ledger covers the oracle's pairs, a
+    // re-run detects nothing new and drops the covered patterns.
+    Runner::new("adaptive_matches_exhaustive").cases(12).run(
+        |rng| {
+            let width = gen::usize_in(rng, 3..17);
+            let defects = gen::vec_of(rng, 0..3, |rng| {
+                let wire = gen::usize_in(rng, 0..width);
+                match gen::usize_in(rng, 0..3) {
+                    0 => Defect::CouplingBoost { wire, factor: gen::f64_in(rng, 1.5..8.0) },
+                    1 => Defect::ResistiveOpen {
+                        wire,
+                        segment: gen::usize_in(rng, 0..2),
+                        extra_ohms: gen::f64_in(rng, 500.0..4000.0),
+                    },
+                    _ => Defect::WeakDriver { wire, factor: gen::f64_in(rng, 2.0..12.0) },
+                }
+            });
+            // Half the cases run degraded around a chain break chosen to
+            // leave at least two healthy wires (cells 0..=cell survive)
+            // and quarantine at least one.
+            let broken_cell =
+                if gen::bool_any(rng) { Some(1 + gen::usize_in(rng, 0..width - 2)) } else { None };
+            let high_first = gen::bool_any(rng);
+            (width, defects, broken_cell, high_first)
+        },
+        |(width, defects, broken_cell, high_first)| {
+            let width = *width;
+            let build = || {
+                let mut b =
+                    SocBuilder::new(width).bus_params(BusParams::dsm_bus(width).segments(2));
+                for &d in defects {
+                    b = b.defect(d);
+                }
+                if let Some(cell) = *broken_cell {
+                    b = b
+                        .scan_fault(ScanFault::BoundaryStuck { device: 0, cell, level: false })
+                        .chain_policy(ChainPolicy::Degrade { min_coverage: 0.0 });
+                }
+                b.build().map_err(|e| e.to_string())
+            };
+            let cfg =
+                SessionConfig { dt: 10e-12, ..SessionConfig::method(ObservationMethod::Once) };
+            let oracle = build()?.run_attributed_exhaustive(&cfg).map_err(|e| e.to_string())?;
+            let order = if *high_first {
+                [DriveLevel::High, DriveLevel::Low]
+            } else {
+                [DriveLevel::Low, DriveLevel::High]
+            };
+            let adaptive = build()?
+                .run_adaptive_session(&cfg, &CoverageLedger::new(width), order)
+                .map_err(|e| e.to_string())?;
+            check_eq(adaptive.detected.clone(), oracle.detected.clone())?;
+            // Quarantined victims are never excited, by either path.
+            if let Some(cell) = *broken_cell {
+                for &(victim, _) in &adaptive.detected {
+                    check(victim <= cell, || format!("quarantined victim {victim} excited"))?;
+                }
+            }
+            // A ledger that already covers the oracle's pairs: the
+            // re-run may re-isolate covered failures that sit before
+            // the truncation point, but never anything the oracle
+            // missed — so a campaign's union over trials equals the
+            // exhaustive union exactly.
+            let mut ledger = CoverageLedger::new(width);
+            for &(victim, fault) in &oracle.detected {
+                ledger.record(victim, fault);
+            }
+            let rerun = build()?
+                .run_adaptive_session(&cfg, &ledger, order)
+                .map_err(|e| e.to_string())?;
+            for pair in &rerun.detected {
+                check(oracle.detected.contains(pair), || {
+                    format!("novel detection {pair:?} beyond the exhaustive union")
+                })?;
+            }
+            // A fully-covered ledger skips both halves outright: every
+            // healthy victim's six patterns drop, nothing runs.
+            let mut full = CoverageLedger::new(width);
+            for victim in 0..width {
+                for fault in IntegrityFault::ALL {
+                    full.record(victim, fault);
+                }
+            }
+            let skipped = build()?
+                .run_adaptive_session(&cfg, &full, order)
+                .map_err(|e| e.to_string())?;
+            let healthy = broken_cell.map_or(width, |cell| cell + 1);
+            check_eq(skipped.dropped, 6 * healthy as u64)?;
+            check(skipped.detected.is_empty(), || format!("{:?}", skipped.detected))?;
+            check_eq(skipped.report.patterns_applied, 0)
+        },
+    );
 }
 
 // ---------------- Noise detector ----------------
